@@ -1,0 +1,146 @@
+package steamstudy
+
+// Ablation benchmarks: each sweeps one generator design choice DESIGN.md
+// calls out and reports the statistic that choice exists to control.
+// Run with:
+//
+//	go test -bench=Ablation -benchtime=1x
+//
+// They double as sensitivity documentation: the reported metrics show how
+// far each published statistic moves when its mechanism is weakened or
+// removed.
+
+import (
+	"fmt"
+	"testing"
+
+	"steamstudy/internal/analysis"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/simworld"
+)
+
+const ablationUsers = 20000
+
+func ablationVectors(b *testing.B, mutate func(*simworld.Config)) *analysis.Vectors {
+	b.Helper()
+	cfg := simworld.DefaultConfig(ablationUsers)
+	cfg.CatalogSize = 1500
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	u, err := simworld.Generate(cfg, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return analysis.Extract(dataset.FromUniverse(u))
+}
+
+// BenchmarkAblationHomophilyNoise sweeps the stub-pairing noise: the
+// design claim is that rank-proximity matching with small noise is what
+// produces the Fig 11 homophily. Larger noise should erase it.
+func BenchmarkAblationHomophilyNoise(b *testing.B) {
+	for _, noise := range []float64{0.003, 0.03, 0.3} {
+		b.Run(fmt.Sprintf("noise=%g", noise), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ablationVectors(b, func(c *simworld.Config) { c.HomophilyNoise = noise })
+				rows := analysis.Figure11Homophily(v)
+				b.ReportMetric(rows[0].Rho, "value-homophily-rho")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSocialNoise removes the wiring latent's attribute
+// loadings entirely (pure noise): homophily must collapse to ~0,
+// demonstrating it is produced by the social key, not by the degree
+// structure.
+func BenchmarkAblationSocialNoise(b *testing.B) {
+	for _, pureNoise := range []bool{false, true} {
+		b.Run(fmt.Sprintf("pure-noise=%v", pureNoise), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ablationVectors(b, func(c *simworld.Config) {
+					if pureNoise {
+						c.SocialWeights = simworld.SocialWeights{Noise: 1}
+					}
+				})
+				rows := analysis.Figure11Homophily(v)
+				b.ReportMetric(rows[0].Rho, "value-homophily-rho")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDomesticWiring sweeps the domestic wiring share: the
+// §4.1 international-friendship fraction should rise as the domestic pass
+// shrinks.
+func BenchmarkAblationDomesticWiring(b *testing.B) {
+	for _, frac := range []float64{0.93, 0.5, 0.0} {
+		b.Run(fmt.Sprintf("domestic=%g", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ablationVectors(b, func(c *simworld.Config) { c.DomesticWiringFrac = frac })
+				loc := analysis.Section4Locality(v)
+				b.ReportMetric(loc.InternationalFrac*100, "international-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMultiplayerBoost sweeps the multiplayer playtime tilt:
+// with no boost the §6.2 share should fall to the catalog share (~48.7 %),
+// confirming the boost is what produces the paper's 57.7 %/67.7 %.
+func BenchmarkAblationMultiplayerBoost(b *testing.B) {
+	for _, boost := range []float64{1.0, 2.4, 4.0} {
+		b.Run(fmt.Sprintf("boost=%g", boost), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ablationVectors(b, func(c *simworld.Config) {
+					c.MultiplayerTotalBoost = boost
+					c.MultiplayerTwoWeekBoost = boost * 1.9
+				})
+				res := analysis.Figure10MultiplayerShare(v.Snap)
+				b.ReportMetric(res.TotalShare*100, "mp-total-share-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCopula removes the latent correlations (identity
+// matrix): the §7 correlations must vanish while Table 3's marginals stay
+// intact — demonstrating the copula carries the dependence structure and
+// the quantile splines carry the marginals, independently.
+func BenchmarkAblationCopula(b *testing.B) {
+	for _, independent := range []bool{false, true} {
+		b.Run(fmt.Sprintf("independent=%v", independent), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ablationVectors(b, func(c *simworld.Config) {
+					if independent {
+						var zero [7][7]float64
+						for d := 0; d < 7; d++ {
+							zero[d][d] = 1
+						}
+						c.Spearman = zero
+					}
+				})
+				rows := analysis.Section7Correlations(v)
+				b.ReportMetric(rows[0].Rho, "games-friends-rho")
+				// Marginals must hold either way.
+				t3 := analysis.Table3Percentiles(v)
+				b.ReportMetric(t3[0].P90, "friends-p90")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCollectors removes the collector sub-population: the
+// Fig 4/8 upticks and the §3.2 big-library anomalies should disappear.
+func BenchmarkAblationCollectors(b *testing.B) {
+	for _, frac := range []float64{0.0004, 0} {
+		b.Run(fmt.Sprintf("collectors=%g", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ablationVectors(b, func(c *simworld.Config) { c.CollectorFrac = frac })
+				res := analysis.Figure4Ownership(v)
+				b.ReportMetric(float64(res.UptickOwners), "uptick-owners")
+				b.ReportMetric(float64(res.NeverPlayedBigLibraries), "never-played-500plus")
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Command steamapiserver generates a synthetic universe and serves it
+// over HTTP speaking the Steam Web API wire format, for crawling with
+// steamcrawl (or any client written for the real API).
+//
+//	steamapiserver -users 50000 -addr 127.0.0.1:8080 -rate 100000 -key SECRET
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"context"
+	"net"
+	"net/http"
+
+	"steamstudy/internal/apiserver"
+	"steamstudy/internal/simworld"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("steamapiserver: ")
+	var (
+		users   = flag.Int("users", 50000, "population size")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		catalog = flag.Int("catalog", 6156, "catalog size")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		rate    = flag.Float64("rate", 0, "per-key request rate limit (0 = unlimited)")
+		burst   = flag.Int("burst", 0, "rate-limit burst")
+		keys    = flag.String("keys", "", "comma-separated accepted API keys (empty = no auth)")
+		fault   = flag.Float64("fault", 0, "inject HTTP 500s on this fraction of requests")
+	)
+	flag.Parse()
+
+	cfg := simworld.DefaultConfig(*users)
+	cfg.CatalogSize = *catalog
+	u, err := simworld.Generate(cfg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := u.Stats()
+	fmt.Fprintf(os.Stderr, "universe ready: %d users, %d games, %d groups, %d friendships\n",
+		st.Users, st.Games, st.Groups, st.Friendships)
+
+	var apiKeys []string
+	if *keys != "" {
+		apiKeys = strings.Split(*keys, ",")
+	}
+	handler := apiserver.New(u, apiserver.Config{
+		APIKeys:       apiKeys,
+		RatePerSecond: *rate,
+		Burst:         *burst,
+		FaultRate:     *fault,
+	})
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go func() {
+		fmt.Fprintf(os.Stderr, "serving the Steam Web API at http://%s\n", lis.Addr())
+		if err := srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintf(os.Stderr, "shutting down: served %d requests (%d rate-limited, %d faults)\n",
+		handler.Metrics.Requests.Load(), handler.Metrics.RateLimited.Load(), handler.Metrics.Faults.Load())
+	srv.Shutdown(context.Background())
+}

@@ -1,0 +1,42 @@
+// Command steamgen generates a calibrated synthetic Steam universe and
+// writes its snapshot to disk (.gob, .gob.gz, .jsonl or .jsonl.gz).
+//
+//	steamgen -users 100000 -seed 1 -out steam.gob.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"steamstudy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("steamgen: ")
+	var (
+		users   = flag.Int("users", 100000, "population size (the paper measured 108.7M; statistics are scale-free)")
+		seed    = flag.Int64("seed", 1, "deterministic generation seed")
+		catalog = flag.Int("catalog", 6156, "storefront catalog size (paper: 6,156)")
+		out     = flag.String("out", "steam.gob.gz", "output path (.gob/.gob.gz/.jsonl/.jsonl.gz)")
+	)
+	flag.Parse()
+
+	study, err := steamstudy.New(steamstudy.Options{
+		Users: *users, Seed: *seed, CatalogSize: *catalog,
+		SkipSecondSnapshot: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := study.Headline()
+	fmt.Fprintf(os.Stderr,
+		"generated %d users, %d games, %d groups, %d friendships, %d owned games, %.0f years of playtime, $%.0f market value\n",
+		h.Users, h.Games, h.Groups, h.Friendships, h.OwnedGames, h.PlaytimeYears, h.MarketValueUSD)
+	if err := study.SaveSnapshot(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)
+}

@@ -1,0 +1,104 @@
+// Command steamstudy regenerates the paper's evaluation: every table
+// (1-4) and figure (1-12) plus the §4.1, §7, §8 and §9 analyses, either
+// over a freshly generated calibrated universe or over a snapshot file
+// produced by steamgen or steamcrawl.
+//
+//	steamstudy -users 200000 -seed 1              # full study, text output
+//	steamstudy -experiment T3                     # one table
+//	steamstudy -snapshot crawl.gob.gz -experiment all
+//	steamstudy -list                              # experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"steamstudy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("steamstudy: ")
+	var (
+		users      = flag.Int("users", 200000, "population size when generating")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		catalog    = flag.Int("catalog", 6156, "catalog size when generating")
+		snapshot   = flag.String("snapshot", "", "analyze this snapshot file instead of generating")
+		experiment = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		noSecond   = flag.Bool("no-second-snapshot", false, "skip the §8 second snapshot")
+		csvDir     = flag.String("csv", "", "also export every data series as CSV into this directory")
+		seeds      = flag.Int("seeds", 0, "instead of one study, sweep this many seeds and report the stability of the headline statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range steamstudy.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *seeds > 0 {
+		list := make([]int64, *seeds)
+		for i := range list {
+			list[i] = *seed + int64(i)
+		}
+		sweep, err := steamstudy.RobustnessSweep(steamstudy.Options{
+			Users: *users, CatalogSize: *catalog,
+		}, list)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := steamstudy.RenderSweep(os.Stdout, list, sweep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var (
+		study *steamstudy.Study
+		err   error
+	)
+	start := time.Now()
+	if *snapshot != "" {
+		study, err = steamstudy.LoadSnapshot(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "steamstudy: snapshot %s loaded in %v\n", *snapshot, time.Since(start).Round(time.Millisecond))
+	} else {
+		study, err = steamstudy.New(steamstudy.Options{
+			Users: *users, Seed: *seed, CatalogSize: *catalog,
+			SkipSecondSnapshot: *noSecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := study.Headline()
+		fmt.Fprintf(os.Stderr,
+			"steamstudy: universe generated in %v: %d users, %d games, %d groups, %d friendships, %.0f years of playtime, $%.0f market value\n",
+			time.Since(start).Round(time.Millisecond),
+			h.Users, h.Games, h.Groups, h.Friendships, h.PlaytimeYears, h.MarketValueUSD)
+	}
+
+	if *csvDir != "" {
+		if err := study.ExportCSV(*csvDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "steamstudy: CSV series written to %s\n", *csvDir)
+	}
+
+	if *experiment == "all" {
+		if err := study.RunAll(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := study.Run(os.Stdout, *experiment); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Achievements example: the paper's §9 study — do achievements
+// incentivize playtime? The correlation is moderate for games offering
+// 1-90 achievements and vanishes beyond 90; completion rates differ by
+// genre (Adventure highest) and the mean sits above the median because of
+// achievement hunters.
+//
+//	go run ./examples/achievements
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"steamstudy"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := steamstudy.New(steamstudy.Options{
+		Users: 30000, CatalogSize: 4000, Seed: 17,
+		SkipSecondSnapshot: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := study.Run(os.Stdout, "E9"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Reading: within 1-90 achievements the correlation with playtime is")
+	fmt.Println("moderate (paper: 0.53) but beyond 90 it disappears (paper: -0.02) —")
+	fmt.Println("achievement-spam titles offer hundreds of achievements nobody plays for.")
+}

@@ -1,0 +1,38 @@
+// Homophily example: reproduce the paper's §7 / Fig 11 finding that
+// players befriend players like themselves — in money spent, popularity,
+// playtime and library size — and contrast it with the much weaker
+// correlations *within* a player's own attributes.
+//
+//	go run ./examples/homophily
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"steamstudy"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := steamstudy.New(steamstudy.Options{
+		Users: 40000, CatalogSize: 3000, Seed: 11,
+		SkipSecondSnapshot: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Do gamers who own more games play more? (§7: only weakly.)")
+	fmt.Println("Do gamers befriend gamers like themselves? (§7: strongly.)")
+	fmt.Println()
+	if err := study.Run(os.Stdout, "F11"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := study.Run(os.Stdout, "E4"); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module steamstudy
+
+go 1.22

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"sort"
+
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/stats"
+)
+
+// AchievementsResult carries the §9 findings.
+type AchievementsResult struct {
+	// Offered-count distribution statistics (paper: mode 12, median 24,
+	// mean 33.1, max 1629 over games offering achievements... the paper
+	// counts games with zero as part of the range 0-1629).
+	OfferedMode   float64
+	OfferedMedian float64
+	OfferedMean   float64
+	OfferedMax    int
+
+	// Correlation between offered achievements and cumulative playtime:
+	// overall (paper: R=0.16), within 1-90 offered (R=0.53), and beyond
+	// 90 (R=-0.02).
+	RhoAll     float64
+	Rho1to90   float64
+	RhoOver90  float64
+	GamesTotal int
+
+	// Completion statistics by multiplayer split (paper: modes 5 %/5 %,
+	// medians 11 %/12 %, means 15 %/14 % for single/multiplayer).
+	SinglePlayer CompletionStats
+	Multiplayer  CompletionStats
+
+	// ByGenre maps each genre to its average completion rate (paper:
+	// Adventure highest at 19 %, Strategy low at 11 %).
+	ByGenre []GenreCompletion
+}
+
+// CompletionStats summarizes per-game average completion rates.
+type CompletionStats struct {
+	ModePct   float64
+	MedianPct float64
+	MeanPct   float64
+	Games     int
+}
+
+// GenreCompletion is one genre's completion summary.
+type GenreCompletion struct {
+	Genre      string
+	AvgPct     float64
+	AvgOffered float64
+	Games      int
+}
+
+// Section9Achievements reproduces the §9 analysis over the catalog and
+// the cumulative per-game playtimes found in the snapshot.
+func Section9Achievements(s *dataset.Snapshot) AchievementsResult {
+	// Cumulative playtime per game.
+	playtime := map[uint32]float64{}
+	for i := range s.Users {
+		for _, og := range s.Users[i].Games {
+			playtime[og.AppID] += float64(og.TotalMinutes)
+		}
+	}
+
+	var offered, play []float64
+	var offeredNonzero []float64
+	var spCompletion, mpCompletion []float64
+	genrePct := map[string][]float64{}
+	genreOffered := map[string][]float64{}
+	res := AchievementsResult{}
+	for i := range s.Games {
+		g := &s.Games[i]
+		if g.Type != "game" {
+			continue
+		}
+		n := len(g.Achievements)
+		offered = append(offered, float64(n))
+		play = append(play, playtime[g.AppID])
+		if n > res.OfferedMax {
+			res.OfferedMax = n
+		}
+		if n == 0 {
+			continue
+		}
+		offeredNonzero = append(offeredNonzero, float64(n))
+		var sum float64
+		for _, a := range g.Achievements {
+			sum += a.Percent
+		}
+		avg := sum / float64(n)
+		if g.Multiplayer {
+			mpCompletion = append(mpCompletion, avg)
+		} else {
+			spCompletion = append(spCompletion, avg)
+		}
+		for _, genre := range g.Genres {
+			genrePct[genre] = append(genrePct[genre], avg)
+			genreOffered[genre] = append(genreOffered[genre], float64(n))
+		}
+	}
+	res.GamesTotal = len(offered)
+	res.OfferedMode = stats.Mode(offeredNonzero)
+	res.OfferedMedian = stats.Median(offeredNonzero)
+	res.OfferedMean = stats.Mean(offeredNonzero)
+
+	res.RhoAll = stats.Spearman(offered, play)
+	res.Rho1to90 = stats.SpearmanSubset(offered, play, 1, 90)
+	res.RhoOver90 = stats.SpearmanSubset(offered, play, 91, 1e18)
+
+	res.SinglePlayer = summarizeCompletion(spCompletion)
+	res.Multiplayer = summarizeCompletion(mpCompletion)
+
+	for genre, pcts := range genrePct {
+		res.ByGenre = append(res.ByGenre, GenreCompletion{
+			Genre:      genre,
+			AvgPct:     stats.Mean(pcts),
+			AvgOffered: stats.Mean(genreOffered[genre]),
+			Games:      len(pcts),
+		})
+	}
+	sort.Slice(res.ByGenre, func(a, b int) bool { return res.ByGenre[a].AvgPct > res.ByGenre[b].AvgPct })
+	return res
+}
+
+func summarizeCompletion(pcts []float64) CompletionStats {
+	if len(pcts) == 0 {
+		return CompletionStats{}
+	}
+	// Mode over integer-rounded percentages, as the paper reports
+	// ("the mode of the average completion rate was 5 %").
+	rounded := make([]float64, len(pcts))
+	for i, p := range pcts {
+		rounded[i] = float64(int(p + 0.5))
+	}
+	return CompletionStats{
+		ModePct:   stats.Mode(rounded),
+		MedianPct: stats.Median(pcts),
+		MeanPct:   stats.Mean(pcts),
+		Games:     len(pcts),
+	}
+}
+
+// HunterSeparation is the §9 future-work measurement the paper could not
+// make with aggregate data: per-player completion rates, which separate
+// achievement hunters (a mass near full completion) from ordinary players
+// (mass near the global averages) and explain why the mean completion
+// sits above the median.
+type HunterSeparation struct {
+	// Pairs is the number of (player, played game) observations.
+	Pairs int
+	// MedianPct / MeanPct of per-player completion, in percent.
+	MedianPct float64
+	MeanPct   float64
+	// NearCompleteFrac is the share of observations with >= 90 %
+	// completion.
+	NearCompleteFrac float64
+	// Hunter subset (players flagged as hunters by the generator).
+	HunterPairs            int
+	HunterMeanPct          float64
+	HunterNearCompleteFrac float64
+}
+
+// HunterSeparationFromRates computes the separation from per-(player,
+// game) completion fractions in [0, 1]; hunters is the subset belonging
+// to achievement-hunter accounts.
+func HunterSeparationFromRates(all, hunters []float64) HunterSeparation {
+	res := HunterSeparation{Pairs: len(all), HunterPairs: len(hunters)}
+	if len(all) == 0 {
+		return res
+	}
+	res.MedianPct = stats.Median(all) * 100
+	res.MeanPct = stats.Mean(all) * 100
+	near := 0
+	for _, r := range all {
+		if r >= 0.9 {
+			near++
+		}
+	}
+	res.NearCompleteFrac = float64(near) / float64(len(all))
+	if len(hunters) > 0 {
+		res.HunterMeanPct = stats.Mean(hunters) * 100
+		nearH := 0
+		for _, r := range hunters {
+			if r >= 0.9 {
+				nearH++
+			}
+		}
+		res.HunterNearCompleteFrac = float64(nearH) / float64(len(hunters))
+	}
+	return res
+}

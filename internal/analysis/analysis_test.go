@@ -1,0 +1,579 @@
+package analysis
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/heavytail"
+	"steamstudy/internal/simworld"
+)
+
+var (
+	aOnce sync.Once
+	aU    *simworld.Universe
+	aSnap *dataset.Snapshot
+	aVec  *Vectors
+)
+
+func fixtures(t *testing.T) (*simworld.Universe, *dataset.Snapshot, *Vectors) {
+	t.Helper()
+	aOnce.Do(func() {
+		cfg := simworld.DefaultConfig(20000)
+		cfg.CatalogSize = 1500
+		aU = simworld.MustGenerate(cfg, 77)
+		aSnap = dataset.FromUniverse(aU)
+		aVec = Extract(aSnap)
+	})
+	return aU, aSnap, aVec
+}
+
+func TestExtractConsistency(t *testing.T) {
+	u, s, v := fixtures(t)
+	if len(v.Friends) != len(s.Users) {
+		t.Fatal("vector length mismatch")
+	}
+	// Spot-check a few users against the universe.
+	for _, i := range []int{0, 100, 5000, len(s.Users) - 1} {
+		if v.TotalH[i] != float64(u.Users[i].TotalMinutes)/60 {
+			t.Fatalf("user %d total playtime mismatch", i)
+		}
+		if v.ValueD[i] != float64(u.Users[i].ValueCents)/100 {
+			t.Fatalf("user %d value mismatch", i)
+		}
+		if int(v.Games[i]) != len(u.Users[i].Library) {
+			t.Fatalf("user %d games mismatch", i)
+		}
+	}
+	if v.G.M() != len(u.Friendships) {
+		t.Fatalf("graph edges %d, universe %d", v.G.M(), len(u.Friendships))
+	}
+}
+
+func TestTable1Countries(t *testing.T) {
+	_, s, _ := fixtures(t)
+	tab := Table1Countries(s, 10)
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Country != "US" {
+		t.Fatalf("top country %s, want US", tab.Rows[0].Country)
+	}
+	if math.Abs(tab.ReportFraction-0.107) > 0.02 {
+		t.Fatalf("report fraction %v", tab.ReportFraction)
+	}
+	sum := tab.OtherPercent
+	for _, r := range tab.Rows {
+		sum += r.Percent
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		t.Fatalf("percentages sum to %v", sum)
+	}
+	// Ranks ascending, percents non-increasing.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i].Percent > tab.Rows[i-1].Percent {
+			t.Fatal("rows not sorted by share")
+		}
+	}
+}
+
+func TestTable2GroupTypes(t *testing.T) {
+	_, s, _ := fixtures(t)
+	rows := Table2GroupTypes(s, 250)
+	if len(rows) == 0 {
+		t.Fatal("no group type rows")
+	}
+	total := 0
+	pct := 0.0
+	for _, r := range rows {
+		total += r.Count
+		pct += r.Percent
+		if r.Type == "Unknown" {
+			t.Fatalf("ground-truth snapshot has untyped groups")
+		}
+	}
+	want := 250
+	if len(s.Groups) < 500 {
+		want = len(s.Groups) / 2
+	}
+	if total != want {
+		t.Fatalf("counts sum to %d, want %d", total, want)
+	}
+	if math.Abs(pct-100) > 1e-6 {
+		t.Fatalf("percentages sum to %v", pct)
+	}
+	// Table 2: Game Server groups dominate the top of the size order.
+	if rows[0].Type != "Game Server" {
+		t.Fatalf("largest-group type %s, want Game Server", rows[0].Type)
+	}
+}
+
+func TestTable3Percentiles(t *testing.T) {
+	_, _, v := fixtures(t)
+	rows := Table3Percentiles(v)
+	if len(rows) != 6 {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for _, r := range rows {
+		if !(r.P50 <= r.P80 && r.P80 <= r.P90 && r.P90 <= r.P95 && r.P95 <= r.P99) {
+			t.Fatalf("percentiles not monotone in row %q: %+v", r.Attribute, r)
+		}
+	}
+	// The two-week row is over all users: its median must be zero.
+	if rows[5].P50 != 0 || rows[5].P80 != 0 {
+		t.Fatalf("two-week row should start at zero: %+v", rows[5])
+	}
+	// Friends row lands near the paper's values on the calibrated universe.
+	if math.Abs(rows[0].P50-4) > 1 {
+		t.Fatalf("friends P50 = %v", rows[0].P50)
+	}
+}
+
+func TestTable4Classification(t *testing.T) {
+	_, _, v := fixtures(t)
+	inputs := StandardTable4Inputs(v, nil, []int{2011, 2012, 2013})
+	rows := Table4Classification(inputs)
+	if len(rows) != 13 {
+		t.Fatalf("row count %d, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("row %q failed: %s", r.Distribution, r.Err)
+		}
+		// Every studied distribution must pass the heavy-tail gate (the
+		// paper observes no exponentially bounded distributions). The
+		// group-size row is exempt at this test scale: with only a few
+		// hundred groups the Vuong test lacks power (R is strongly
+		// positive but p > 0.05); the full-scale run in EXPERIMENTS.md
+		// passes the gate.
+		if r.Class == heavytail.NotHeavyTailed && r.Distribution != "Group size" {
+			t.Errorf("row %q classified not heavy-tailed (comparisons %+v)", r.Distribution, r.Comparisons)
+		}
+		if r.Alpha <= 1 {
+			t.Errorf("row %q alpha %v", r.Distribution, r.Alpha)
+		}
+	}
+}
+
+func TestFigure1Evolution(t *testing.T) {
+	_, _, v := fixtures(t)
+	pts := Figure1Evolution(v)
+	if len(pts) < 50 {
+		t.Fatalf("only %d monthly points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Users < pts[i-1].Users || pts[i].Friendships < pts[i-1].Friendships {
+			t.Fatal("evolution not monotone")
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Users != len(v.Snap.Users) {
+		t.Fatalf("final user count %d, want %d", last.Users, len(v.Snap.Users))
+	}
+	// Friendships from 2008 on are fewer than the full edge count
+	// (§4.1: the graph does not reach the crawl total).
+	if last.Friendships > v.G.M() {
+		t.Fatal("evolution counted more edges than exist")
+	}
+}
+
+func TestFigure2Degrees(t *testing.T) {
+	_, _, v := fixtures(t)
+	series := Figure2DegreeDistributions(v, []int{2010, 2012})
+	if len(series) != 3 {
+		t.Fatalf("series count %d", len(series))
+	}
+	size := func(h map[int]int) int {
+		n := 0
+		for _, c := range h {
+			n += c
+		}
+		return n
+	}
+	// Later cumulative distributions cover at least as many users.
+	if size(series[0].Hist) > size(series[1].Hist) {
+		t.Fatal("2010 cumulative larger than 2012")
+	}
+	if size(series[2].Hist) < size(series[1].Hist) {
+		t.Fatal("entire network smaller than 2012 cumulative")
+	}
+}
+
+func TestFigure3GroupGames(t *testing.T) {
+	_, s, _ := fixtures(t)
+	res := Figure3GroupGameDiversity(s, 20)
+	if res.GroupsConsidered == 0 {
+		t.Skip("no groups above the membership floor at this scale")
+	}
+	total := 0
+	for _, p := range res.Histogram {
+		total += p.Groups
+	}
+	if total != res.GroupsConsidered {
+		t.Fatalf("histogram covers %d of %d groups", total, res.GroupsConsidered)
+	}
+	if res.FocusedFraction < 0 || res.FocusedFraction > 1 {
+		t.Fatalf("focused fraction %v", res.FocusedFraction)
+	}
+}
+
+func TestFigure4Ownership(t *testing.T) {
+	_, _, v := fixtures(t)
+	res := Figure4Ownership(v)
+	if res.OwnedP80 < res.PlayedP80 {
+		t.Fatalf("owned P80 (%v) below played P80 (%v)", res.OwnedP80, res.PlayedP80)
+	}
+	if math.Abs(res.OwnedP80-10) > 3 {
+		t.Fatalf("owned P80 = %v, want ~10", res.OwnedP80)
+	}
+	owners := 0
+	for _, c := range res.OwnedHist {
+		owners += c
+	}
+	players := 0
+	for _, c := range res.PlayedHist {
+		players += c
+	}
+	if players > owners {
+		t.Fatal("more players than owners")
+	}
+}
+
+func TestFigure5GenreOwnership(t *testing.T) {
+	_, s, _ := fixtures(t)
+	rows := Figure5GenreOwnership(s)
+	if len(rows) == 0 {
+		t.Fatal("no genre rows")
+	}
+	if rows[0].Genre != "Action" || !rows[0].OwnedShareTop {
+		t.Fatalf("top owned genre %q, want Action", rows[0].Genre)
+	}
+	for _, r := range rows {
+		if r.Unplayed > r.Owned {
+			t.Fatalf("genre %s has more unplayed than owned", r.Genre)
+		}
+		if r.UnplayedFrac < 0 || r.UnplayedFrac > 1 {
+			t.Fatalf("genre %s unplayed fraction %v", r.Genre, r.UnplayedFrac)
+		}
+	}
+}
+
+func TestFigure6PlaytimeCDF(t *testing.T) {
+	_, _, v := fixtures(t)
+	res := Figure6PlaytimeCDF(v)
+	if math.Abs(res.ZeroTwoWeekFrac-0.806) > 0.03 {
+		t.Fatalf("zero two-week fraction %v", res.ZeroTwoWeekFrac)
+	}
+	if math.Abs(res.Top20TotalShare-0.824) > 0.06 {
+		t.Fatalf("top-20%% total share %v", res.Top20TotalShare)
+	}
+	if res.Top10TwoWeekShare < 0.85 {
+		t.Fatalf("top-10%% two-week share %v", res.Top10TwoWeekShare)
+	}
+	if res.TotalCDF[len(res.TotalCDF)-1].P != 1 {
+		t.Fatal("total CDF does not reach 1")
+	}
+}
+
+func TestFigure7TwoWeek(t *testing.T) {
+	_, _, v := fixtures(t)
+	res := Figure7NonZeroTwoWeek(v)
+	if math.Abs(res.P80-32.05) > 4 {
+		t.Fatalf("nonzero two-week P80 = %v, want ~32.05", res.P80)
+	}
+	if res.Max > 336 {
+		t.Fatalf("two-week max %v exceeds bound", res.Max)
+	}
+	if len(res.Bins) == 0 {
+		t.Fatal("no bins")
+	}
+}
+
+func TestFigure8MarketValue(t *testing.T) {
+	_, _, v := fixtures(t)
+	res := Figure8MarketValue(v)
+	if res.P80 < 100 || res.P80 > 260 {
+		t.Fatalf("value P80 = %v, want near 150.88", res.P80)
+	}
+	if res.Top20ValueShare < 0.5 || res.Top20ValueShare > 0.95 {
+		t.Fatalf("top-20%% value share %v", res.Top20ValueShare)
+	}
+}
+
+func TestFigure9GenreExpenditure(t *testing.T) {
+	_, s, _ := fixtures(t)
+	rows := Figure9GenreExpenditure(s)
+	if rows[0].Genre != "Action" {
+		t.Fatalf("top playtime genre %q, want Action", rows[0].Genre)
+	}
+	// Action is over-represented relative to its catalog share (§6.2).
+	if rows[0].PlaytimeShare < 0.25 {
+		t.Fatalf("Action playtime share %v too low", rows[0].PlaytimeShare)
+	}
+	var pShare float64
+	for _, r := range rows {
+		pShare += r.PlaytimeShare
+	}
+	if math.Abs(pShare-1) > 1e-9 {
+		t.Fatalf("playtime shares sum to %v", pShare)
+	}
+}
+
+func TestFigure10Multiplayer(t *testing.T) {
+	_, s, _ := fixtures(t)
+	res := Figure10MultiplayerShare(s)
+	if math.Abs(res.CatalogShare-0.487) > 0.04 {
+		t.Fatalf("catalog share %v", res.CatalogShare)
+	}
+	if math.Abs(res.TotalShare-0.577) > 0.09 {
+		t.Fatalf("total share %v", res.TotalShare)
+	}
+	if math.Abs(res.TwoWeekShare-0.677) > 0.09 {
+		t.Fatalf("two-week share %v", res.TwoWeekShare)
+	}
+	if res.TwoWeekShare <= res.TotalShare {
+		t.Fatal("two-week share should exceed total share")
+	}
+}
+
+func TestSection7Correlations(t *testing.T) {
+	_, _, v := fixtures(t)
+	rows := Section7Correlations(v)
+	if len(rows) != 5 {
+		t.Fatalf("row count %d", len(rows))
+	}
+	byPair := map[string]float64{}
+	for _, r := range rows {
+		byPair[r.Pair] = r.Rho
+		if r.Strength == "" {
+			t.Fatal("missing strength label")
+		}
+	}
+	if rho := byPair["games owned vs friends"]; math.Abs(rho-0.34) > 0.12 {
+		t.Fatalf("games-friends rho %v", rho)
+	}
+	if rho := byPair["friends vs two-week playtime"]; math.Abs(rho) > 0.19 {
+		t.Fatalf("friends-two-week rho %v should be very weak", rho)
+	}
+}
+
+func TestFigure11Homophily(t *testing.T) {
+	_, _, v := fixtures(t)
+	rows := Figure11Homophily(v)
+	if len(rows) != 4 {
+		t.Fatalf("row count %d", len(rows))
+	}
+	if rows[0].Attribute != "account market value" {
+		t.Fatal("first homophily row should be market value")
+	}
+	for _, r := range rows {
+		if r.Rho < 0.25 {
+			t.Errorf("homophily %q = %v, want at least moderate", r.Attribute, r.Rho)
+		}
+		if r.Pairs == 0 {
+			t.Errorf("homophily %q has no pairs", r.Attribute)
+		}
+	}
+	own, nbr := HomophilyScatter(v, 500)
+	if len(own) != 500 || len(nbr) != 500 {
+		t.Fatalf("scatter subsample size %d/%d", len(own), len(nbr))
+	}
+}
+
+func TestSection4Locality(t *testing.T) {
+	_, _, v := fixtures(t)
+	res := Section4Locality(v)
+	if res.CountryPairs == 0 {
+		t.Fatal("no reported-country pairs")
+	}
+	if math.Abs(res.InternationalFrac-0.3034) > 0.12 {
+		t.Fatalf("international fraction %v", res.InternationalFrac)
+	}
+	if res.CrossCityFrac < 0.6 {
+		t.Fatalf("cross-city fraction %v", res.CrossCityFrac)
+	}
+}
+
+func TestSection8Evolution(t *testing.T) {
+	// A dedicated universe with catalog headroom: the shared fixture's
+	// top collector already owns most of its small catalog, leaving no
+	// room for the §8 tail growth.
+	cfg := simworld.DefaultConfig(8000)
+	cfg.CatalogSize = 4000
+	u := simworld.MustGenerate(cfg, 81)
+	v := Extract(dataset.FromUniverse(u))
+	second := Extract(dataset.FromUniverse(simworld.Evolve(u)))
+	cmp := Section8Evolution(v, second)
+	if cmp.TailGamesGrowth <= 1 {
+		t.Fatalf("tail games growth %v", cmp.TailGamesGrowth)
+	}
+	if cmp.TailValueGrowth <= 1 {
+		t.Fatalf("tail value growth %v", cmp.TailValueGrowth)
+	}
+	// §8's headline: the tail grows much faster than the 80th percentile.
+	if cmp.TailGamesGrowth < cmp.P80GamesGrowth {
+		t.Fatalf("tail (%v) did not outgrow the 80th percentile (%v)",
+			cmp.TailGamesGrowth, cmp.P80GamesGrowth)
+	}
+}
+
+func TestFigure12WeekMatrix(t *testing.T) {
+	u, _, _ := fixtures(t)
+	sample := u.SampleWeekUsers(0.01)
+	res := Figure12WeekMatrix(sample, u.WeekSeries)
+	if res.Users == 0 {
+		t.Fatal("no active users in the week sample")
+	}
+	// Day-one ordering is monotone.
+	day1 := res.Minutes[0]
+	for i := 1; i < len(day1); i++ {
+		if day1[i] < day1[i-1] {
+			t.Fatal("day-one column not sorted")
+		}
+	}
+	// The Fig 12 gradient: heavy day-one players stay heavier.
+	if res.DayOneRankPersistence < 0.2 {
+		t.Fatalf("day-one persistence %v, want a visible gradient", res.DayOneRankPersistence)
+	}
+	// And the paper's other finding: users idle on day one do play later.
+	if res.SwitchedOnFrac == 0 {
+		t.Fatal("no day-one-idle users switched on during the week")
+	}
+}
+
+func TestSection9Achievements(t *testing.T) {
+	_, s, _ := fixtures(t)
+	res := Section9Achievements(s)
+	if res.OfferedMax > 1629 {
+		t.Fatalf("offered max %d beyond the paper's bound", res.OfferedMax)
+	}
+	if res.OfferedMedian < 15 || res.OfferedMedian > 35 {
+		t.Fatalf("offered median %v, want near 24", res.OfferedMedian)
+	}
+	if res.OfferedMean < res.OfferedMedian {
+		t.Fatalf("offered mean %v below median %v (right skew expected)", res.OfferedMean, res.OfferedMedian)
+	}
+	// §9 correlation structure: moderate inside 1-90, weak overall,
+	// none beyond 90.
+	if res.Rho1to90 < 0.3 {
+		t.Fatalf("rho(1-90) = %v, want moderate", res.Rho1to90)
+	}
+	if res.Rho1to90 <= res.RhoAll-0.05 {
+		t.Fatalf("rho(1-90)=%v should exceed overall rho=%v", res.Rho1to90, res.RhoAll)
+	}
+	if math.Abs(res.RhoOver90) > 0.35 {
+		t.Fatalf("rho(>90) = %v, want near zero", res.RhoOver90)
+	}
+	// Mean completion above median (achievement hunters skew).
+	if res.SinglePlayer.MeanPct <= res.SinglePlayer.MedianPct {
+		t.Fatalf("single-player mean %v not above median %v",
+			res.SinglePlayer.MeanPct, res.SinglePlayer.MedianPct)
+	}
+	// Adventure tops the genre completion ordering; Strategy sits low.
+	var advPct, strPct float64
+	for _, g := range res.ByGenre {
+		switch g.Genre {
+		case "Adventure":
+			advPct = g.AvgPct
+		case "Strategy":
+			strPct = g.AvgPct
+		}
+	}
+	if advPct <= strPct {
+		t.Fatalf("Adventure completion (%v) not above Strategy (%v)", advPct, strPct)
+	}
+}
+
+func TestSection10Addiction(t *testing.T) {
+	_, _, v := fixtures(t)
+	res := Section10Addiction(v)
+	// §10.2: the top 1% average more than ~5 hours/day in the fortnight
+	// window (on the calibrated universe the 99th percentile of daily
+	// hours sits near the paper's cutoff).
+	if res.Top1PctDailyHours < 3 || res.Top1PctDailyHours > 8 {
+		t.Fatalf("top-1%% daily hours = %v, want near 5", res.Top1PctDailyHours)
+	}
+	if res.Top1PctGames < 80 {
+		t.Fatalf("top-1%% games = %v, want hundreds-ish", res.Top1PctGames)
+	}
+	if res.Top1PctValueUSD < 1000 {
+		t.Fatalf("top-1%% value = %v, want thousands", res.Top1PctValueUSD)
+	}
+	if res.PopulationAtOnePct != len(v.TwoWkH)/100 {
+		t.Fatal("population cohort size wrong")
+	}
+	if res.Over5HoursDailyFrac <= 0 || res.Over5HoursDailyFrac > 0.05 {
+		t.Fatalf("over-5h/day fraction = %v", res.Over5HoursDailyFrac)
+	}
+}
+
+func TestSection3Anomalies(t *testing.T) {
+	_, _, v := fixtures(t)
+	audit := Section3Anomalies(v, 3)
+	if len(audit.TopCollectors) != 3 {
+		t.Fatalf("top collectors = %d, want 3", len(audit.TopCollectors))
+	}
+	// Collectors are ordered by library size.
+	if audit.TopCollectors[0].Detail == "" || audit.TopCollectors[0].Kind != "top-collector" {
+		t.Fatalf("collector record malformed: %+v", audit.TopCollectors[0])
+	}
+	// The calibrated universe plants idlers and unplayed big libraries.
+	if len(audit.NearMaxTwoWeek) == 0 {
+		t.Error("no near-max idlers flagged (IdlerFrac plants them)")
+	}
+	if audit.Total() != len(audit.BigLibraryNeverPlayed)+len(audit.NearMaxTwoWeek)+
+		len(audit.CapPinnedFriends)+len(audit.TopCollectors) {
+		t.Fatal("Total() inconsistent")
+	}
+	for _, a := range audit.NearMaxTwoWeek {
+		if a.SteamID == 0 {
+			t.Fatal("anomaly without a SteamID")
+		}
+	}
+}
+
+func TestSnowballSampleAndBias(t *testing.T) {
+	_, s, _ := fixtures(t)
+	snow := SnowballSample(s, 10, 0)
+	if len(snow.Users) == 0 || len(snow.Users) >= len(s.Users) {
+		t.Fatalf("snowball reached %d of %d users", len(snow.Users), len(s.Users))
+	}
+	// Every reached user must have friends or be a seed; the bulk of the
+	// population (the isolated ~71%) is invisible.
+	bias := SamplingBias(s, snow)
+	if bias.SnowballMeanFriends <= bias.ExhaustiveMeanFriends {
+		t.Fatalf("snowball mean friends %.2f not above exhaustive %.2f — the §2.2 bias is missing",
+			bias.SnowballMeanFriends, bias.ExhaustiveMeanFriends)
+	}
+	if bias.ZeroFriendFracExhaustive < 0.5 {
+		t.Fatalf("zero-friend fraction %v unexpectedly low", bias.ZeroFriendFracExhaustive)
+	}
+	if bias.Coverage >= 1 || bias.Coverage <= 0 {
+		t.Fatalf("coverage %v", bias.Coverage)
+	}
+	// maxUsers bound honored.
+	bounded := SnowballSample(s, 10, 50)
+	if len(bounded.Users) != 50 {
+		t.Fatalf("bounded snowball returned %d users", len(bounded.Users))
+	}
+}
+
+func TestHunterSeparationFromRates(t *testing.T) {
+	all := []float64{0, 0, 0.1, 0.2, 0.95, 1.0}
+	hunters := []float64{0.95, 1.0}
+	res := HunterSeparationFromRates(all, hunters)
+	if res.Pairs != 6 || res.HunterPairs != 2 {
+		t.Fatalf("counts: %+v", res)
+	}
+	if res.NearCompleteFrac != 2.0/6 || res.HunterNearCompleteFrac != 1.0 {
+		t.Fatalf("near-complete: %+v", res)
+	}
+	if res.MeanPct <= res.MedianPct {
+		t.Fatalf("mean %v should exceed median %v on this skewed input", res.MeanPct, res.MedianPct)
+	}
+	empty := HunterSeparationFromRates(nil, nil)
+	if empty.Pairs != 0 || empty.MeanPct != 0 {
+		t.Fatalf("empty input: %+v", empty)
+	}
+}

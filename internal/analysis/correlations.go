@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"steamstudy/internal/stats"
+)
+
+// CorrelationRow is one §7 correlation with its verbal strength.
+type CorrelationRow struct {
+	Pair     string
+	Rho      float64
+	Strength string
+}
+
+// Section7Correlations reproduces the §7 pairwise correlations. Following
+// the paper's framing ("do players who own more games play more?"), the
+// correlations are computed over users who own at least one game.
+func Section7Correlations(v *Vectors) []CorrelationRow {
+	var gm, fr, tot, tw []float64
+	for i := range v.Games {
+		if v.Games[i] == 0 {
+			continue
+		}
+		gm = append(gm, v.Games[i])
+		fr = append(fr, v.Friends[i])
+		tot = append(tot, v.TotalH[i])
+		tw = append(tw, v.TwoWkH[i])
+	}
+	row := func(pair string, x, y []float64) CorrelationRow {
+		rho := stats.Spearman(x, y)
+		return CorrelationRow{Pair: pair, Rho: rho, Strength: stats.CorrelationStrength(rho)}
+	}
+	return []CorrelationRow{
+		row("games owned vs friends", gm, fr),
+		row("games owned vs two-week playtime", gm, tw),
+		row("games owned vs total playtime", gm, tot),
+		row("friends vs two-week playtime", fr, tw),
+		row("friends vs total playtime", fr, tot),
+	}
+}
+
+// HomophilyRow is one Fig 11 / §7 homophily correlation.
+type HomophilyRow struct {
+	Attribute string
+	Rho       float64
+	Strength  string
+	// Pairs is the number of (user, neighbor-average) points.
+	Pairs int
+}
+
+// Figure11Homophily reproduces the §7 homophily correlations: each user's
+// attribute against the average of their friends' attribute.
+func Figure11Homophily(v *Vectors) []HomophilyRow {
+	row := func(name string, attr []float64) HomophilyRow {
+		own, nbr := v.G.NeighborAverages(attr, 1)
+		rho := stats.Spearman(own, nbr)
+		return HomophilyRow{
+			Attribute: name, Rho: rho,
+			Strength: stats.CorrelationStrength(rho),
+			Pairs:    len(own),
+		}
+	}
+	return []HomophilyRow{
+		row("account market value", v.ValueD),
+		row("number of friends", v.Friends),
+		row("total playtime", v.TotalH),
+		row("games owned", v.Games),
+	}
+}
+
+// HomophilyScatter returns the Fig 11 scatter data (own value vs friends'
+// average value) for plotting, subsampled to at most maxPoints.
+func HomophilyScatter(v *Vectors, maxPoints int) (own, nbr []float64) {
+	own, nbr = v.G.NeighborAverages(v.ValueD, 1)
+	if maxPoints > 0 && len(own) > maxPoints {
+		step := float64(len(own)) / float64(maxPoints)
+		so := make([]float64, 0, maxPoints)
+		sn := make([]float64, 0, maxPoints)
+		for i := 0; i < maxPoints; i++ {
+			j := int(float64(i) * step)
+			so = append(so, own[j])
+			sn = append(sn, nbr[j])
+		}
+		return so, sn
+	}
+	return own, nbr
+}
+
+// LocalityResult carries the §4.1 friendship-locality statistics.
+type LocalityResult struct {
+	// InternationalFrac is the share of friendships between users who
+	// both report a country that cross countries (paper: 30.34 %).
+	InternationalFrac float64
+	// CrossCityFrac is the share of friendships between users who both
+	// report a city that cross cities (paper: 79.84 %).
+	CrossCityFrac float64
+	CountryPairs  int
+	CityPairs     int
+}
+
+// Section4Locality reproduces the §4.1 locality statistics.
+func Section4Locality(v *Vectors) LocalityResult {
+	var res LocalityResult
+	var intl, cross int
+	for _, e := range v.Snap.FriendshipEdges() {
+		a, b := &v.Snap.Users[e.A], &v.Snap.Users[e.B]
+		if a.Country != "" && b.Country != "" {
+			res.CountryPairs++
+			if a.Country != b.Country {
+				intl++
+			}
+		}
+		if a.City != "" && b.City != "" {
+			res.CityPairs++
+			if a.City != b.City {
+				cross++
+			}
+		}
+	}
+	if res.CountryPairs > 0 {
+		res.InternationalFrac = float64(intl) / float64(res.CountryPairs)
+	}
+	if res.CityPairs > 0 {
+		res.CrossCityFrac = float64(cross) / float64(res.CityPairs)
+	}
+	return res
+}

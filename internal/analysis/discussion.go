@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"sort"
+
+	"steamstudy/internal/stats"
+)
+
+// AddictionResult carries the §10.2 discussion numbers: the paper argues
+// its data could ground a cutoff for problematic play — "the top 1 % play
+// more than 5 hours a day, have hundreds of games, or have spent
+// thousands of dollars" — and notes that 1 % of the measured population
+// is over a million gamers.
+type AddictionResult struct {
+	// Top1PctDailyHours is the 99th-percentile average daily playtime
+	// (two-week playtime / 14) over all users.
+	Top1PctDailyHours float64
+	// Top1PctGames is the 99th-percentile library size among owners.
+	Top1PctGames float64
+	// Top1PctValueUSD is the 99th-percentile account value among owners.
+	Top1PctValueUSD float64
+	// Over5HoursDaily counts users averaging > 5 hours/day in the
+	// two-week window, and its population share.
+	Over5HoursDaily     int
+	Over5HoursDailyFrac float64
+	// PopulationAtOnePct is 1 % of the population size — the cohort the
+	// paper says "should be studied in more depth".
+	PopulationAtOnePct int
+}
+
+// Section10Addiction computes the §10.2 cutoffs.
+func Section10Addiction(v *Vectors) AddictionResult {
+	res := AddictionResult{PopulationAtOnePct: len(v.TwoWkH) / 100}
+	daily := make([]float64, len(v.TwoWkH))
+	for i, h := range v.TwoWkH {
+		daily[i] = h / 14
+		if daily[i] > 5 {
+			res.Over5HoursDaily++
+		}
+	}
+	res.Top1PctDailyHours = stats.Percentile(daily, 99)
+	res.Top1PctGames = stats.Percentile(nonZero(v.Games), 99)
+	res.Top1PctValueUSD = stats.Percentile(nonZero(v.ValueD), 99)
+	if len(daily) > 0 {
+		res.Over5HoursDailyFrac = float64(res.Over5HoursDaily) / float64(len(daily))
+	}
+	return res
+}
+
+// Anomaly is one account flagged by the §3.2-style validation pass, with
+// the behaviour that triggered the flag. The paper's authors manually
+// inspected all accounts with extreme behaviours to confirm they were
+// real players rather than test accounts; this audit regenerates that
+// inspection list from a snapshot.
+type Anomaly struct {
+	SteamID uint64
+	Kind    string
+	Detail  string
+}
+
+// AnomalyAudit carries the audit results grouped by kind.
+type AnomalyAudit struct {
+	// BigLibraryNeverPlayed: >= 500 games, zero playtime (paper found 29).
+	BigLibraryNeverPlayed []Anomaly
+	// NearMaxTwoWeek: 80-90 % of the 336-hour two-week bound (§6.1's
+	// idlers, 0.01 % of users).
+	NearMaxTwoWeek []Anomaly
+	// CapPinnedFriends: exactly at a 250/300 friend cap (Fig 2's dips).
+	CapPinnedFriends []Anomaly
+	// TopCollectors: the largest libraries with their played fraction
+	// (the paper's top collector owned 90.3 % of the catalog and had
+	// played 34.5 % of it).
+	TopCollectors []Anomaly
+}
+
+// Total returns the number of flagged accounts.
+func (a AnomalyAudit) Total() int {
+	return len(a.BigLibraryNeverPlayed) + len(a.NearMaxTwoWeek) +
+		len(a.CapPinnedFriends) + len(a.TopCollectors)
+}
+
+// Section3Anomalies regenerates the §3.2 manual-validation list.
+func Section3Anomalies(v *Vectors, topCollectors int) AnomalyAudit {
+	var audit AnomalyAudit
+	type collector struct {
+		idx   int
+		games int
+	}
+	var collectors []collector
+	for i := range v.Snap.Users {
+		u := &v.Snap.Users[i]
+		games := len(u.Games)
+		if games >= 500 && v.TotalH[i] == 0 {
+			audit.BigLibraryNeverPlayed = append(audit.BigLibraryNeverPlayed, Anomaly{
+				SteamID: u.SteamID, Kind: "big-library-never-played",
+				Detail: itoa(games) + " games, zero minutes played",
+			})
+		}
+		if h := v.TwoWkH[i]; h >= 0.8*336 && h <= 0.9*336 {
+			audit.NearMaxTwoWeek = append(audit.NearMaxTwoWeek, Anomaly{
+				SteamID: u.SteamID, Kind: "near-max-two-week",
+				Detail: formatHours(h) + " of 336 possible hours",
+			})
+		}
+		if d := int(v.Friends[i]); d == 250 || d == 300 {
+			audit.CapPinnedFriends = append(audit.CapPinnedFriends, Anomaly{
+				SteamID: u.SteamID, Kind: "cap-pinned-friends",
+				Detail: itoa(d) + " friends (at a cap)",
+			})
+		}
+		if games > 0 {
+			collectors = append(collectors, collector{idx: i, games: games})
+		}
+	}
+	sort.Slice(collectors, func(a, b int) bool { return collectors[a].games > collectors[b].games })
+	if topCollectors > len(collectors) {
+		topCollectors = len(collectors)
+	}
+	for _, c := range collectors[:topCollectors] {
+		u := &v.Snap.Users[c.idx]
+		played := 0
+		for _, g := range u.Games {
+			if g.TotalMinutes > 0 {
+				played++
+			}
+		}
+		pct := 0
+		if c.games > 0 {
+			pct = played * 100 / c.games
+		}
+		audit.TopCollectors = append(audit.TopCollectors, Anomaly{
+			SteamID: u.SteamID, Kind: "top-collector",
+			Detail: itoa(c.games) + " games owned, " + itoa(pct) + "% ever played",
+		})
+	}
+	return audit
+}
+
+func formatHours(h float64) string {
+	whole := int(h)
+	return itoa(whole) + "h"
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"sort"
+
+	"steamstudy/internal/stats"
+)
+
+// SnapshotComparison carries the §8 first-vs-second snapshot findings:
+// the tail inflates dramatically while the 80th percentile barely moves.
+type SnapshotComparison struct {
+	// Games owned.
+	MaxGamesFirst, MaxGamesSecond int
+	P80GamesFirst, P80GamesSecond float64
+	// Account market value (dollars).
+	MaxValueFirst, MaxValueSecond float64
+	P80ValueFirst, P80ValueSecond float64
+	// Growth ratios (second / first).
+	TailGamesGrowth float64
+	P80GamesGrowth  float64
+	TailValueGrowth float64
+	P80ValueGrowth  float64
+}
+
+// Section8Evolution reproduces the §8 comparison between two snapshots of
+// the same population.
+func Section8Evolution(first, second *Vectors) SnapshotComparison {
+	var c SnapshotComparison
+	for _, g := range first.Games {
+		if int(g) > c.MaxGamesFirst {
+			c.MaxGamesFirst = int(g)
+		}
+	}
+	for _, g := range second.Games {
+		if int(g) > c.MaxGamesSecond {
+			c.MaxGamesSecond = int(g)
+		}
+	}
+	for _, v := range first.ValueD {
+		if v > c.MaxValueFirst {
+			c.MaxValueFirst = v
+		}
+	}
+	for _, v := range second.ValueD {
+		if v > c.MaxValueSecond {
+			c.MaxValueSecond = v
+		}
+	}
+	c.P80GamesFirst = stats.Percentile(nonZero(first.Games), 80)
+	c.P80GamesSecond = stats.Percentile(nonZero(second.Games), 80)
+	c.P80ValueFirst = stats.Percentile(nonZero(first.ValueD), 80)
+	c.P80ValueSecond = stats.Percentile(nonZero(second.ValueD), 80)
+	if c.MaxGamesFirst > 0 {
+		c.TailGamesGrowth = float64(c.MaxGamesSecond) / float64(c.MaxGamesFirst)
+	}
+	if c.P80GamesFirst > 0 {
+		c.P80GamesGrowth = c.P80GamesSecond / c.P80GamesFirst
+	}
+	if c.MaxValueFirst > 0 {
+		c.TailValueGrowth = c.MaxValueSecond / c.MaxValueFirst
+	}
+	if c.P80ValueFirst > 0 {
+		c.P80ValueGrowth = c.P80ValueSecond / c.P80ValueFirst
+	}
+	return c
+}
+
+// WeekMatrixResult carries Fig 12: per-day playtime for a sample of users
+// over one week, ordered by their day-one playtime.
+type WeekMatrixResult struct {
+	// Minutes[d][k] is the minutes played on day d by the k-th user of
+	// the day-one ordering.
+	Minutes [7][]int32
+	Users   int
+	// DayOneRankPersistence is the Spearman correlation between users'
+	// day-one and rest-of-week playtime — the "heavy hitters stay heavy"
+	// gradient of Fig 12.
+	DayOneRankPersistence float64
+	// SwitchedOnFrac is the fraction of users idle on day one who played
+	// later in the week — the paper's "playtime is not a characteristic
+	// unique to a singular group" finding.
+	SwitchedOnFrac float64
+}
+
+// Figure12WeekMatrix reproduces Fig 12 from per-user week series. The
+// series provider abstracts the data source (the simulator synthesizes
+// them; a real crawl would sample daily).
+func Figure12WeekMatrix(userIdxs []int, series func(userIdx int) [7]int32) WeekMatrixResult {
+	var rows [][7]int32
+	for _, u := range userIdxs {
+		w := series(u)
+		active := false
+		for _, m := range w {
+			if m > 0 {
+				active = true
+				break
+			}
+		}
+		if active {
+			rows = append(rows, w)
+		}
+	}
+	// Order by day-one playtime, as the figure does.
+	sort.Slice(rows, func(a, b int) bool { return rows[a][0] < rows[b][0] })
+	res := WeekMatrixResult{Users: len(rows)}
+	for d := 0; d < 7; d++ {
+		res.Minutes[d] = make([]int32, len(rows))
+		for k, r := range rows {
+			res.Minutes[d][k] = r[d]
+		}
+	}
+	var day1, rest []float64
+	idleDay1, switched := 0, 0
+	for _, r := range rows {
+		var restSum int32
+		for d := 1; d < 7; d++ {
+			restSum += r[d]
+		}
+		day1 = append(day1, float64(r[0]))
+		rest = append(rest, float64(restSum))
+		if r[0] == 0 {
+			idleDay1++
+			if restSum > 0 {
+				switched++
+			}
+		}
+	}
+	res.DayOneRankPersistence = stats.Spearman(day1, rest)
+	if idleDay1 > 0 {
+		res.SwitchedOnFrac = float64(switched) / float64(idleDay1)
+	}
+	return res
+}

@@ -1,0 +1,451 @@
+// Package apiserver serves a synthetic universe over HTTP speaking the
+// Steam Web API wire format, so the crawler exercises the same code paths
+// a crawl of the real service would: API-key auth, per-key rate limits
+// with 429 responses, the 100-profile batch endpoint, per-user endpoints,
+// the storefront, and optional fault injection for resilience tests.
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"steamstudy/internal/ratelimit"
+	"steamstudy/internal/simworld"
+	"steamstudy/internal/steamapi"
+	"steamstudy/internal/steamid"
+)
+
+// Config configures the simulated service.
+type Config struct {
+	// APIKeys lists accepted keys; empty means no auth required.
+	APIKeys []string
+	// RatePerSecond and Burst bound each key's request rate
+	// (0 disables limiting).
+	RatePerSecond float64
+	Burst         int
+	// FaultRate injects HTTP 500s on roughly this fraction of requests
+	// (deterministic sequence, for crawler retry tests).
+	FaultRate float64
+}
+
+// Metrics counts server activity (atomic; safe to read live).
+type Metrics struct {
+	Requests     atomic.Int64
+	RateLimited  atomic.Int64
+	Unauthorized atomic.Int64
+	Faults       atomic.Int64
+	NotFound     atomic.Int64
+}
+
+// Server implements http.Handler for the simulated Steam Web API.
+type Server struct {
+	cfg Config
+	u   *simworld.Universe
+
+	byID    map[steamid.ID]int32 // steamid -> user index
+	byAppID map[uint32]int32     // appid -> game index
+	groupID map[uint64]int32     // gid -> group index
+
+	mu       sync.Mutex
+	limiters map[string]*ratelimit.Limiter
+	faultSeq uint64
+
+	adjOnce sync.Once
+	adj     [][]adjEntry
+
+	Metrics Metrics
+
+	mux *http.ServeMux
+}
+
+// New builds a server over the universe.
+func New(u *simworld.Universe, cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		u:        u,
+		byID:     make(map[steamid.ID]int32, len(u.Users)),
+		byAppID:  make(map[uint32]int32, len(u.Games)),
+		groupID:  make(map[uint64]int32, len(u.Groups)),
+		limiters: make(map[string]*ratelimit.Limiter),
+	}
+	for i := range u.Users {
+		s.byID[u.Users[i].ID] = int32(i)
+	}
+	for i := range u.Games {
+		s.byAppID[u.Games[i].AppID] = int32(i)
+	}
+	for i := range u.Groups {
+		s.groupID[u.Groups[i].ID] = int32(i)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ISteamUser/GetPlayerSummaries/v0002/", s.wrap(s.handlePlayerSummaries))
+	mux.HandleFunc("/ISteamUser/GetFriendList/v0001/", s.wrap(s.handleFriendList))
+	mux.HandleFunc("/IPlayerService/GetOwnedGames/v0001/", s.wrap(s.handleOwnedGames))
+	mux.HandleFunc("/ISteamUser/GetUserGroupList/v0001/", s.wrap(s.handleUserGroupList))
+	mux.HandleFunc("/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/", s.wrap(s.handleAchievements))
+	mux.HandleFunc("/ISteamApps/GetAppList/v0002/", s.wrap(s.handleAppList))
+	mux.HandleFunc("/store/appdetails", s.wrap(s.handleAppDetails))
+	mux.HandleFunc("/community/group", s.wrap(s.handleGroupPage))
+	mux.HandleFunc("/ISteamUserStats/GetPlayerAchievements/v0001/", s.wrap(s.handlePlayerAchievements))
+	s.mux = mux
+	return s
+}
+
+// handlePlayerAchievements serves per-player achievement unlocks — the
+// §9 future-work endpoint (the 2016 API exposed only global percentages).
+func (s *Server) handlePlayerAchievements(w http.ResponseWriter, r *http.Request) {
+	idx, ok := s.userFor(w, r)
+	if !ok {
+		return
+	}
+	raw := r.URL.Query().Get("appid")
+	appID, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid appid")
+		return
+	}
+	gi, ok := s.byAppID[uint32(appID)]
+	if !ok {
+		s.Metrics.NotFound.Add(1)
+		writeError(w, http.StatusNotFound, "no such app")
+		return
+	}
+	unlocked := s.u.PlayerAchievements(int(idx), int(gi))
+	var resp steamapi.PlayerAchievementsResponse
+	resp.PlayerStats.SteamID = s.u.Users[idx].ID.String()
+	resp.PlayerStats.GameName = s.u.Games[gi].Name
+	resp.PlayerStats.Success = true
+	for k, a := range s.u.Games[gi].Achievements {
+		achieved := 0
+		if k < unlocked {
+			achieved = 1
+		}
+		resp.PlayerStats.Achievements = append(resp.PlayerStats.Achievements,
+			steamapi.PlayerAchievement{APIName: a.Name, Achieved: achieved})
+	}
+	writeJSON(w, resp)
+}
+
+// handleGroupPage mimics the community group page the paper's authors
+// inspected manually to type the top-250 groups (§4.2): name, member
+// count, and the page text from which the category is inferred.
+func (s *Server) handleGroupPage(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("gid")
+	gid, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid gid")
+		return
+	}
+	gi, ok := s.groupID[gid]
+	if !ok {
+		s.Metrics.NotFound.Add(1)
+		writeError(w, http.StatusNotFound, "no such group")
+		return
+	}
+	g := &s.u.Groups[gi]
+	writeJSON(w, steamapi.GroupPage{
+		GID:         raw,
+		Name:        g.Name,
+		Summary:     fmt.Sprintf("A %s community on Steam.", g.Type),
+		MemberCount: len(g.Members),
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// wrap applies auth, rate limiting and fault injection around a handler.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.Metrics.Requests.Add(1)
+		key := r.URL.Query().Get("key")
+		if len(s.cfg.APIKeys) > 0 && !s.validKey(key) {
+			s.Metrics.Unauthorized.Add(1)
+			writeError(w, http.StatusUnauthorized, "invalid API key")
+			return
+		}
+		if s.cfg.RatePerSecond > 0 {
+			if !s.limiterFor(key).Allow() {
+				s.Metrics.RateLimited.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+		}
+		if s.cfg.FaultRate > 0 && s.nextFault() {
+			s.Metrics.Faults.Add(1)
+			writeError(w, http.StatusInternalServerError, "injected fault")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) validKey(key string) bool {
+	for _, k := range s.cfg.APIKeys {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) limiterFor(key string) *ratelimit.Limiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.limiters[key]
+	if !ok {
+		burst := s.cfg.Burst
+		if burst <= 0 {
+			burst = int(s.cfg.RatePerSecond) + 1
+		}
+		l = ratelimit.New(s.cfg.RatePerSecond, burst)
+		s.limiters[key] = l
+	}
+	return l
+}
+
+// nextFault deterministically spaces faults at 1/FaultRate requests, which
+// keeps retry tests reproducible without sharing an RNG across requests.
+func (s *Server) nextFault() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faultSeq++
+	period := uint64(1 / s.cfg.FaultRate)
+	if period == 0 {
+		period = 1
+	}
+	return s.faultSeq%period == 0
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(steamapi.ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// userFor resolves the steamid query parameter; writes the error response
+// itself when resolution fails.
+func (s *Server) userFor(w http.ResponseWriter, r *http.Request) (int32, bool) {
+	raw := r.URL.Query().Get("steamid")
+	id, err := steamid.Parse(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid steamid")
+		return 0, false
+	}
+	idx, ok := s.byID[id]
+	if !ok {
+		s.Metrics.NotFound.Add(1)
+		writeError(w, http.StatusNotFound, "no such account")
+		return 0, false
+	}
+	return idx, true
+}
+
+func (s *Server) handlePlayerSummaries(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("steamids")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "steamids required")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > steamapi.MaxSummariesPerCall {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("at most %d steamids per call", steamapi.MaxSummariesPerCall))
+		return
+	}
+	var resp steamapi.PlayerSummariesResponse
+	for _, p := range parts {
+		id, err := steamid.Parse(strings.TrimSpace(p))
+		if err != nil {
+			continue // invalid IDs are silently skipped, like the real API
+		}
+		idx, ok := s.byID[id]
+		if !ok {
+			continue // unassigned IDs simply do not appear
+		}
+		user := &s.u.Users[idx]
+		ps := steamapi.PlayerSummary{
+			SteamID:        user.ID.String(),
+			PersonaName:    fmt.Sprintf("player_%d", user.ID.AccountID()),
+			ProfileURL:     "https://steamcommunity.com/profiles/" + user.ID.String(),
+			TimeCreated:    user.Created,
+			LocCountryCode: user.Country,
+			LocCityID:      user.City,
+		}
+		resp.Response.Players = append(resp.Response.Players, ps)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleFriendList(w http.ResponseWriter, r *http.Request) {
+	idx, ok := s.userFor(w, r)
+	if !ok {
+		return
+	}
+	var resp steamapi.FriendListResponse
+	resp.FriendsList.Friends = []steamapi.Friend{}
+	// The CSR index is not stored server-side; scanning the edge list per
+	// request would be quadratic over a crawl, so the adjacency is built
+	// lazily once.
+	for _, f := range s.adjacency()[idx] {
+		resp.FriendsList.Friends = append(resp.FriendsList.Friends, steamapi.Friend{
+			SteamID:      s.u.Users[f.other].ID.String(),
+			Relationship: "friend",
+			FriendSince:  f.since,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+type adjEntry struct {
+	other int32
+	since int64
+}
+
+func (s *Server) adjacency() [][]adjEntry {
+	s.adjOnce.Do(func() {
+		adj := make([][]adjEntry, len(s.u.Users))
+		for _, f := range s.u.Friendships {
+			adj[f.A] = append(adj[f.A], adjEntry{other: f.B, since: f.Since})
+			adj[f.B] = append(adj[f.B], adjEntry{other: f.A, since: f.Since})
+		}
+		s.adj = adj
+	})
+	return s.adj
+}
+
+func (s *Server) handleOwnedGames(w http.ResponseWriter, r *http.Request) {
+	idx, ok := s.userFor(w, r)
+	if !ok {
+		return
+	}
+	user := &s.u.Users[idx]
+	var resp steamapi.OwnedGamesResponse
+	resp.Response.GameCount = len(user.Library)
+	resp.Response.Games = make([]steamapi.OwnedGame, 0, len(user.Library))
+	for _, g := range user.Library {
+		resp.Response.Games = append(resp.Response.Games, steamapi.OwnedGame{
+			AppID:           s.u.Games[g.GameIdx].AppID,
+			PlaytimeForever: g.TotalMinutes,
+			Playtime2Weeks:  g.TwoWeekMinutes,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleUserGroupList(w http.ResponseWriter, r *http.Request) {
+	idx, ok := s.userFor(w, r)
+	if !ok {
+		return
+	}
+	user := &s.u.Users[idx]
+	var resp steamapi.UserGroupListResponse
+	resp.Response.Success = true
+	resp.Response.Groups = make([]steamapi.UserGroup, 0, len(user.Groups))
+	for _, g := range user.Groups {
+		resp.Response.Groups = append(resp.Response.Groups, steamapi.UserGroup{
+			GID: strconv.FormatUint(s.u.Groups[g].ID, 10),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAchievements(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("gameid")
+	appID, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid gameid")
+		return
+	}
+	gi, ok := s.byAppID[uint32(appID)]
+	if !ok {
+		s.Metrics.NotFound.Add(1)
+		writeError(w, http.StatusNotFound, "no such app")
+		return
+	}
+	var resp steamapi.AchievementPercentagesResponse
+	resp.AchievementPercentages.Achievements = []steamapi.AchievementPercentage{}
+	for _, a := range s.u.Games[gi].Achievements {
+		resp.AchievementPercentages.Achievements = append(
+			resp.AchievementPercentages.Achievements,
+			steamapi.AchievementPercentage{Name: a.Name, Percent: a.GlobalPercent},
+		)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAppList(w http.ResponseWriter, r *http.Request) {
+	var resp steamapi.AppListResponse
+	resp.AppList.Apps = make([]steamapi.App, 0, len(s.u.Games))
+	for i := range s.u.Games {
+		resp.AppList.Apps = append(resp.AppList.Apps, steamapi.App{
+			AppID: s.u.Games[i].AppID,
+			Name:  s.u.Games[i].Name,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAppDetails(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("appids")
+	appID, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid appids")
+		return
+	}
+	resp := steamapi.AppDetailsResponse{}
+	gi, ok := s.byAppID[uint32(appID)]
+	if !ok {
+		resp[raw] = steamapi.AppDetailsEntry{Success: false}
+		writeJSON(w, resp)
+		return
+	}
+	g := &s.u.Games[gi]
+	d := &steamapi.AppDetails{
+		Type:        g.Type.String(),
+		Name:        g.Name,
+		IsFree:      g.PriceCents == 0,
+		Developers:  []string{g.Developer},
+		ReleaseYear: g.ReleaseYear,
+	}
+	for b, name := range simworld.GenreNames {
+		if g.Genres.Has(simworld.Genre(1 << b)) {
+			d.Genres = append(d.Genres, struct {
+				ID          string `json:"id"`
+				Description string `json:"description"`
+			}{ID: strconv.Itoa(b + 1), Description: name})
+		}
+	}
+	if g.Multiplayer {
+		d.Categories = append(d.Categories, struct {
+			ID          int    `json:"id"`
+			Description string `json:"description"`
+		}{ID: steamapi.CategoryMultiplayer, Description: "Multi-player"})
+	}
+	if g.PriceCents > 0 {
+		d.PriceOverview = &struct {
+			Currency string `json:"currency"`
+			Final    int64  `json:"final"`
+		}{Currency: "USD", Final: g.PriceCents}
+	}
+	if g.Metacritic > 0 {
+		d.Metacritic = &struct {
+			Score int `json:"score"`
+		}{Score: g.Metacritic}
+	}
+	resp[raw] = steamapi.AppDetailsEntry{Success: true, Data: d}
+	writeJSON(w, resp)
+}

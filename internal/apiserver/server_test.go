@@ -1,0 +1,351 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"steamstudy/internal/simworld"
+	"steamstudy/internal/steamapi"
+)
+
+var (
+	testOnce sync.Once
+	testU    *simworld.Universe
+)
+
+func universe(t *testing.T) *simworld.Universe {
+	t.Helper()
+	testOnce.Do(func() {
+		cfg := simworld.DefaultConfig(3000)
+		cfg.CatalogSize = 300
+		testU = simworld.MustGenerate(cfg, 99)
+	})
+	return testU
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(universe(t), cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestPlayerSummariesBatch(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	ids := make([]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		ids = append(ids, u.Users[i].ID.String())
+	}
+	var resp steamapi.PlayerSummariesResponse
+	code := get(t, ts.URL+"/ISteamUser/GetPlayerSummaries/v0002/?steamids="+strings.Join(ids, ","), &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Response.Players) != 100 {
+		t.Fatalf("got %d players, want 100", len(resp.Response.Players))
+	}
+	if resp.Response.Players[0].SteamID != u.Users[0].ID.String() {
+		t.Fatal("wrong steamid in summary")
+	}
+	if resp.Response.Players[0].TimeCreated != u.Users[0].Created {
+		t.Fatal("wrong creation time")
+	}
+}
+
+func TestPlayerSummariesRejectsOversizedBatch(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	ids := make([]string, 0, 101)
+	for i := 0; i < 101; i++ {
+		ids = append(ids, u.Users[i].ID.String())
+	}
+	code := get(t, ts.URL+"/ISteamUser/GetPlayerSummaries/v0002/?steamids="+strings.Join(ids, ","), nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", code)
+	}
+}
+
+func TestPlayerSummariesSkipsUnassignedIDs(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	// An ID between assigned ones that the density gaps skipped, plus a
+	// valid one.
+	bogus := fmt.Sprintf("%d", uint64(u.Users[len(u.Users)-1].ID)+12345)
+	var resp steamapi.PlayerSummariesResponse
+	get(t, ts.URL+"/ISteamUser/GetPlayerSummaries/v0002/?steamids="+bogus+","+u.Users[5].ID.String(), &resp)
+	if len(resp.Response.Players) != 1 {
+		t.Fatalf("got %d players, want 1 (unassigned skipped)", len(resp.Response.Players))
+	}
+}
+
+func TestFriendListMatchesUniverse(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	adj := u.Adjacency()
+	// Pick a user with friends.
+	var target int
+	for i := range adj {
+		if len(adj[i]) > 2 {
+			target = i
+			break
+		}
+	}
+	var resp steamapi.FriendListResponse
+	code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid="+u.Users[target].ID.String(), &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.FriendsList.Friends) != len(adj[target]) {
+		t.Fatalf("friend count %d, want %d", len(resp.FriendsList.Friends), len(adj[target]))
+	}
+	want := map[string]bool{}
+	for _, f := range adj[target] {
+		want[u.Users[f].ID.String()] = true
+	}
+	for _, f := range resp.FriendsList.Friends {
+		if !want[f.SteamID] {
+			t.Fatalf("unexpected friend %s", f.SteamID)
+		}
+		if f.Relationship != "friend" {
+			t.Fatalf("relationship %q", f.Relationship)
+		}
+		if f.FriendSince <= 0 {
+			t.Fatal("missing friend_since timestamp")
+		}
+	}
+}
+
+func TestOwnedGamesMatchesUniverse(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	var target int
+	for i := range u.Users {
+		if len(u.Users[i].Library) > 3 {
+			target = i
+			break
+		}
+	}
+	var resp steamapi.OwnedGamesResponse
+	get(t, ts.URL+"/IPlayerService/GetOwnedGames/v0001/?steamid="+u.Users[target].ID.String(), &resp)
+	if resp.Response.GameCount != len(u.Users[target].Library) {
+		t.Fatalf("game_count %d, want %d", resp.Response.GameCount, len(u.Users[target].Library))
+	}
+	var totalAPI int64
+	for _, g := range resp.Response.Games {
+		totalAPI += g.PlaytimeForever
+	}
+	if totalAPI != u.Users[target].TotalMinutes {
+		t.Fatalf("playtime sum %d, want %d", totalAPI, u.Users[target].TotalMinutes)
+	}
+}
+
+func TestUserGroupList(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	var target int
+	for i := range u.Users {
+		if len(u.Users[i].Groups) > 0 {
+			target = i
+			break
+		}
+	}
+	var resp steamapi.UserGroupListResponse
+	get(t, ts.URL+"/ISteamUser/GetUserGroupList/v0001/?steamid="+u.Users[target].ID.String(), &resp)
+	if !resp.Response.Success {
+		t.Fatal("success flag false")
+	}
+	if len(resp.Response.Groups) != len(u.Users[target].Groups) {
+		t.Fatalf("group count %d, want %d", len(resp.Response.Groups), len(u.Users[target].Groups))
+	}
+}
+
+func TestUnknownUser404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid=99976561197960265728", nil)
+	if code != http.StatusBadRequest && code != http.StatusNotFound {
+		t.Fatalf("status %d for bogus user", code)
+	}
+}
+
+func TestAppListAndDetails(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	var apps steamapi.AppListResponse
+	get(t, ts.URL+"/ISteamApps/GetAppList/v0002/", &apps)
+	if len(apps.AppList.Apps) != len(u.Games) {
+		t.Fatalf("app list has %d entries, want %d", len(apps.AppList.Apps), len(u.Games))
+	}
+	appID := apps.AppList.Apps[0].AppID
+	var details steamapi.AppDetailsResponse
+	get(t, fmt.Sprintf("%s/store/appdetails?appids=%d", ts.URL, appID), &details)
+	entry, ok := details[fmt.Sprint(appID)]
+	if !ok || !entry.Success || entry.Data == nil {
+		t.Fatalf("appdetails entry missing: %+v", details)
+	}
+	if entry.Data.Name != u.Games[0].Name {
+		t.Fatalf("name %q, want %q", entry.Data.Name, u.Games[0].Name)
+	}
+	if len(entry.Data.Genres) == 0 {
+		t.Fatal("no genres in appdetails")
+	}
+	// Price consistency.
+	if u.Games[0].PriceCents == 0 {
+		if !entry.Data.IsFree {
+			t.Fatal("free game not marked is_free")
+		}
+	} else if entry.Data.PriceOverview == nil || entry.Data.PriceOverview.Final != u.Games[0].PriceCents {
+		t.Fatal("price mismatch")
+	}
+}
+
+func TestAppDetailsUnknownApp(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var details steamapi.AppDetailsResponse
+	get(t, ts.URL+"/store/appdetails?appids=999999999", &details)
+	if entry := details["999999999"]; entry.Success {
+		t.Fatal("unknown app reported success")
+	}
+}
+
+func TestAchievementsEndpoint(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	var withAch *simworld.Game
+	for i := range u.Games {
+		if len(u.Games[i].Achievements) > 0 {
+			withAch = &u.Games[i]
+			break
+		}
+	}
+	if withAch == nil {
+		t.Skip("universe has no achievements")
+	}
+	var resp steamapi.AchievementPercentagesResponse
+	get(t, fmt.Sprintf("%s/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/?gameid=%d", ts.URL, withAch.AppID), &resp)
+	if len(resp.AchievementPercentages.Achievements) != len(withAch.Achievements) {
+		t.Fatalf("achievement count %d, want %d",
+			len(resp.AchievementPercentages.Achievements), len(withAch.Achievements))
+	}
+}
+
+func TestAPIKeyEnforcement(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{APIKeys: []string{"SECRET"}})
+	id := u.Users[0].ID.String()
+	if code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid="+id, nil); code != http.StatusUnauthorized {
+		t.Fatalf("missing key status %d, want 401", code)
+	}
+	if code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid="+id+"&key=WRONG", nil); code != http.StatusUnauthorized {
+		t.Fatalf("wrong key status %d, want 401", code)
+	}
+	if code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid="+id+"&key=SECRET", nil); code != http.StatusOK {
+		t.Fatalf("valid key status %d, want 200", code)
+	}
+}
+
+func TestRateLimiting429(t *testing.T) {
+	u := universe(t)
+	s, ts := newTestServer(t, Config{RatePerSecond: 1, Burst: 3})
+	id := u.Users[0].ID.String()
+	got429 := false
+	for i := 0; i < 10; i++ {
+		code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid="+id, nil)
+		if code == http.StatusTooManyRequests {
+			got429 = true
+		}
+	}
+	if !got429 {
+		t.Fatal("no 429 despite exceeding the limit")
+	}
+	if s.Metrics.RateLimited.Load() == 0 {
+		t.Fatal("rate-limit metric not incremented")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	u := universe(t)
+	s, ts := newTestServer(t, Config{FaultRate: 0.25})
+	id := u.Users[0].ID.String()
+	faults := 0
+	for i := 0; i < 40; i++ {
+		if code := get(t, ts.URL+"/ISteamUser/GetFriendList/v0001/?steamid="+id, nil); code == http.StatusInternalServerError {
+			faults++
+		}
+	}
+	if faults != 10 {
+		t.Fatalf("got %d faults in 40 requests at rate 0.25, want exactly 10 (deterministic spacing)", faults)
+	}
+	if s.Metrics.Faults.Load() != 10 {
+		t.Fatalf("fault metric = %d", s.Metrics.Faults.Load())
+	}
+}
+
+func TestPlayerAchievementsEndpoint(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+	// Find a user with a played game that offers achievements.
+	var uid, app string
+	var want int
+	for i := range u.Users {
+		for _, og := range u.Users[i].Library {
+			if og.TotalMinutes > 0 && len(u.Games[og.GameIdx].Achievements) > 0 {
+				uid = u.Users[i].ID.String()
+				app = fmt.Sprint(u.Games[og.GameIdx].AppID)
+				want = u.PlayerAchievements(i, int(og.GameIdx))
+				break
+			}
+		}
+		if uid != "" {
+			break
+		}
+	}
+	if uid == "" {
+		t.Skip("no played achievement games in this universe")
+	}
+	var resp steamapi.PlayerAchievementsResponse
+	code := get(t, ts.URL+"/ISteamUserStats/GetPlayerAchievements/v0001/?steamid="+uid+"&appid="+app, &resp)
+	if code != 200 || !resp.PlayerStats.Success {
+		t.Fatalf("status %d, success %v", code, resp.PlayerStats.Success)
+	}
+	got := 0
+	prev := 1
+	for _, a := range resp.PlayerStats.Achievements {
+		got += a.Achieved
+		if a.Achieved > prev {
+			t.Fatal("unlocks not monotone in difficulty order")
+		}
+		prev = a.Achieved
+	}
+	if got != want {
+		t.Fatalf("endpoint reports %d unlocks, universe says %d", got, want)
+	}
+	// Bad appid and unknown app.
+	if code := get(t, ts.URL+"/ISteamUserStats/GetPlayerAchievements/v0001/?steamid="+uid+"&appid=zzz", nil); code != 400 {
+		t.Fatalf("bad appid status %d", code)
+	}
+	if code := get(t, ts.URL+"/ISteamUserStats/GetPlayerAchievements/v0001/?steamid="+uid+"&appid=999999999", nil); code != 404 {
+		t.Fatalf("unknown app status %d", code)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Users != 100000 || o.Seed != 1 || o.CatalogSize != 6156 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.WeekSampleFrac != 0.005 || len(o.Years) != 5 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	// Explicit values survive.
+	o = Options{Users: 5, Seed: 9, CatalogSize: 7}.withDefaults()
+	if o.Users != 5 || o.Seed != 9 || o.CatalogSize != 7 {
+		t.Fatalf("explicit values overridden: %+v", o)
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{Users: 5}); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+}
+
+func TestRunAllOrderCoversRegistry(t *testing.T) {
+	// Every registered experiment must appear in the RunAll order; a
+	// registry addition without a RunAll slot would silently hide it.
+	s, err := New(Options{Users: 1000, CatalogSize: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		if !strings.Contains(buf.String(), e.ID+" — ") {
+			t.Errorf("experiment %s missing from RunAll output", e.ID)
+		}
+	}
+}
+
+func TestExperimentLookup(t *testing.T) {
+	if lookup("T3") == nil {
+		t.Fatal("T3 not found")
+	}
+	if lookup("nope") != nil {
+		t.Fatal("bogus experiment found")
+	}
+}
+
+func TestRobustnessSweep(t *testing.T) {
+	sweep, err := RobustnessSweep(Options{Users: 1500, CatalogSize: 150}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 9 {
+		t.Fatalf("sweep has %d stats", len(sweep))
+	}
+	for _, s := range sweep {
+		if len(s.Values) != 2 {
+			t.Fatalf("stat %q has %d values", s.Name, len(s.Values))
+		}
+		if s.StdDev < 0 {
+			t.Fatalf("stat %q negative sd", s.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderSweep(&buf, []int64{1, 2}, sweep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "friends p50") {
+		t.Fatal("render missing statistic rows")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"steamstudy/internal/apiserver"
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/simworld"
+)
+
+// ServerOptions configure the Steam Web API simulator.
+type ServerOptions struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// APIKeys lists accepted keys (empty disables auth).
+	APIKeys []string
+	// RatePerSecond / Burst bound each key's request rate (0 = unlimited).
+	RatePerSecond float64
+	Burst         int
+	// FaultRate injects 500s on this fraction of requests.
+	FaultRate float64
+}
+
+// APIServer is a running Steam Web API simulator.
+type APIServer struct {
+	// BaseURL is the root the crawler should target.
+	BaseURL string
+	srv     *http.Server
+	lis     net.Listener
+}
+
+// Serve starts the API simulator over the study's universe. Close it with
+// Shutdown.
+func (s *Study) Serve(opts ServerOptions) (*APIServer, error) {
+	if s.universe == nil {
+		return nil, fmt.Errorf("steamstudy: serving requires a generated universe")
+	}
+	return ServeUniverse(s.universe, opts)
+}
+
+// ServeUniverse starts the API simulator over any universe.
+func ServeUniverse(u *simworld.Universe, opts ServerOptions) (*APIServer, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	handler := apiserver.New(u, apiserver.Config{
+		APIKeys:       opts.APIKeys,
+		RatePerSecond: opts.RatePerSecond,
+		Burst:         opts.Burst,
+		FaultRate:     opts.FaultRate,
+	})
+	lis, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("steamstudy: listening on %s: %w", opts.Addr, err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(lis)
+	return &APIServer{
+		BaseURL: "http://" + lis.Addr().String(),
+		srv:     srv,
+		lis:     lis,
+	}, nil
+}
+
+// Shutdown stops the server.
+func (a *APIServer) Shutdown(ctx context.Context) error {
+	return a.srv.Shutdown(ctx)
+}
+
+// CrawlOptions configure a crawl through the facade.
+type CrawlOptions struct {
+	BaseURL string
+	APIKey  string
+	// RatePerSecond is the crawler's self-imposed budget (§3.1: ~85 % of
+	// the server allowance).
+	RatePerSecond float64
+	Workers       int
+	MaxAccounts   int
+	// CheckpointPath enables resumable crawls.
+	CheckpointPath string
+	// Timeout bounds the whole crawl (0 = none).
+	Timeout time.Duration
+	// Logf receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Crawl runs the paper's §3.1 methodology against a server and returns
+// the assembled snapshot.
+func Crawl(opts CrawlOptions) (*dataset.Snapshot, error) {
+	c := crawler.New(crawler.Config{
+		BaseURL:        opts.BaseURL,
+		APIKey:         opts.APIKey,
+		RatePerSecond:  opts.RatePerSecond,
+		Workers:        opts.Workers,
+		MaxAccounts:    opts.MaxAccounts,
+		CheckpointPath: opts.CheckpointPath,
+		Logf:           opts.Logf,
+	})
+	ctx := context.Background()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	return c.Run(ctx)
+}
+
+// SaveSnapshot persists a study's snapshot (format by extension: .gob,
+// .gob.gz, .jsonl, .jsonl.gz).
+func (s *Study) SaveSnapshot(path string) error { return s.snap.Save(path) }
+
+// LoadSnapshot reads a snapshot saved by SaveSnapshot or the crawler
+// tools and wraps it in a Study.
+func LoadSnapshot(path string) (*Study, error) {
+	snap, err := dataset.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromSnapshot(snap), nil
+}

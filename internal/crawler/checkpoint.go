@@ -1,0 +1,62 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"steamstudy/internal/dataset"
+)
+
+// checkpoint is the resumable phase-2 state: the accounts fully detailed
+// so far. The paper's phase 2 spanned six months of wall-clock time; a
+// crawl at that scale must survive restarts.
+type checkpoint struct {
+	Users []dataset.UserRecord
+}
+
+// saveCheckpoint writes atomically (temp file + rename) so an interrupted
+// write never corrupts an existing checkpoint.
+func saveCheckpoint(path string, users []dataset.UserRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("crawler: checkpoint: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := gob.NewEncoder(bw).Encode(checkpoint{Users: users}); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("crawler: checkpoint encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoint returns nil (and no error) when no checkpoint exists.
+func loadCheckpoint(path string) (*checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("crawler: checkpoint open: %w", err)
+	}
+	defer f.Close()
+	cp := &checkpoint{}
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(cp); err != nil {
+		return nil, fmt.Errorf("crawler: checkpoint decode: %w", err)
+	}
+	return cp, nil
+}

@@ -1,0 +1,145 @@
+// Package crawler implements the paper's data-collection methodology
+// (§3.1) against any server speaking the Steam Web API wire format:
+//
+//	phase 1 — exhaustive ID-space sweep with 100-profile batches, stopping
+//	          when the sweep runs past the youngest account;
+//	phase 2 — per-account friend lists, libraries with playtimes, and
+//	          group memberships, fanned out over a worker pool;
+//	phase 3 — the catalog via the app index and storefront appdetails;
+//	phase 4 — per-game global achievement percentages (§9);
+//	phase 5 — community group pages for categorization (§4.2).
+//
+// The crawler self-throttles to a configurable fraction of the server's
+// allowance (the paper used 85 %), retries transient failures with
+// exponential backoff, honors Retry-After on 429s, and checkpoints for
+// resumable multi-session crawls (the paper's phase 2 ran for six months).
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"steamstudy/internal/ratelimit"
+)
+
+// client is the rate-limited, retrying HTTP client shared by all phases.
+type client struct {
+	base    string
+	key     string
+	http    *http.Client
+	limiter *ratelimit.Limiter
+	retries int
+	backoff time.Duration
+	metrics *Metrics
+}
+
+// errNotFound marks a 404 — the resource legitimately does not exist
+// (unassigned SteamID, private profile); not retryable.
+type errNotFound struct{ url string }
+
+func (e errNotFound) Error() string { return "not found: " + e.url }
+
+// IsNotFound reports whether err marks a 404.
+func IsNotFound(err error) bool {
+	_, ok := err.(errNotFound)
+	return ok
+}
+
+// getJSON fetches path with params, decodes JSON into out, and handles
+// rate limiting, 429 Retry-After, and transient-error retries.
+func (c *client) getJSON(ctx context.Context, path string, params url.Values, out any) error {
+	if c.key != "" {
+		params.Set("key", c.key)
+	}
+	u := c.base + path + "?" + params.Encode()
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err := c.limiter.Wait(ctx); err != nil {
+			return err
+		}
+		c.metrics.Requests.Add(1)
+		resp, err := c.http.Get(u)
+		if err != nil {
+			lastErr = err
+			c.metrics.Errors.Add(1)
+			if sleepErr := sleepCtx(ctx, c.backoffFor(attempt)); sleepErr != nil {
+				return sleepErr
+			}
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("crawler: decoding %s: %w", u, err)
+			}
+			return nil
+		case resp.StatusCode == http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return errNotFound{url: u}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			c.metrics.RateLimited.Add(1)
+			wait := c.backoffFor(attempt)
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("crawler: rate limited at %s", u)
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+			// A 429 does not consume a retry attempt: it is the limiter
+			// doing its job, not a failure.
+			attempt--
+		case resp.StatusCode >= 500:
+			c.metrics.Errors.Add(1)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("crawler: server error %d at %s", resp.StatusCode, u)
+			if err := sleepCtx(ctx, c.backoffFor(attempt)); err != nil {
+				return err
+			}
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("crawler: unexpected status %d at %s", resp.StatusCode, u)
+		}
+	}
+	return fmt.Errorf("crawler: retries exhausted: %w", lastErr)
+}
+
+// backoffFor returns the exponential backoff with jitter for an attempt.
+func (c *client) backoffFor(attempt int) time.Duration {
+	d := c.backoff << uint(attempt)
+	if d <= 0 {
+		d = c.backoff
+	}
+	// Up to 25 % jitter decorrelates concurrent workers.
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,193 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"steamstudy/internal/ratelimit"
+)
+
+func newTestClient(base string) (*client, *Metrics) {
+	m := &Metrics{}
+	return &client{
+		base:    base,
+		http:    &http.Client{Timeout: 5 * time.Second},
+		limiter: ratelimit.New(100000, 1000),
+		retries: 3,
+		backoff: time.Millisecond,
+		metrics: m,
+	}, m
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+	c, m := newTestClient(ts.URL)
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ok"] != "yes" {
+		t.Fatalf("decoded %v", out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("made %d calls, want 3 (two retries)", calls.Load())
+	}
+	if m.Errors.Load() != 2 {
+		t.Fatalf("error metric %d", m.Errors.Load())
+	}
+}
+
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err == nil {
+		t.Fatal("persistent 500s did not error")
+	}
+}
+
+func TestClientNotFoundIsTerminal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	var out map[string]string
+	err := c.getJSON(context.Background(), "/x", url.Values{}, &out)
+	if !IsNotFound(err) {
+		t.Fatalf("error %v is not a not-found", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 was retried: %d calls", calls.Load())
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+	c, m := newTestClient(ts.URL)
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if m.RateLimited.Load() != 1 {
+		t.Fatalf("rate-limited metric %d", m.RateLimited.Load())
+	}
+}
+
+func TestClient429DoesNotConsumeRetries(t *testing.T) {
+	// Many 429s followed by success must still succeed even with a
+	// minimal retry budget — backpressure is not failure.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 8 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	c.retries = 1
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err != nil {
+		t.Fatalf("429 storm consumed the retry budget: %v", err)
+	}
+}
+
+func TestClientAPIKeyAttached(t *testing.T) {
+	var gotKey atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotKey.Store(r.URL.Query().Get("key"))
+		json.NewEncoder(w).Encode(map[string]string{})
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	c.key = "SEKRIT"
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{"a": {"b"}}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if gotKey.Load() != "SEKRIT" {
+		t.Fatalf("key not attached: %v", gotKey.Load())
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError) // force retry loops
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	c.backoff = time.Hour // the cancel must interrupt the backoff sleep
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	var out map[string]string
+	if err := c.getJSON(ctx, "/x", url.Values{}, &out); err == nil {
+		t.Fatal("cancelled request succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestBackoffGrows(t *testing.T) {
+	c, _ := newTestClient("http://unused")
+	c.backoff = 10 * time.Millisecond
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 4; attempt++ {
+		d := c.backoffFor(attempt)
+		base := c.backoff << uint(attempt)
+		if d < base || d > base+base/4+time.Millisecond {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v+25%%]", attempt, d, base, base)
+		}
+		if base <= prevMax {
+			t.Fatal("backoff base not growing")
+		}
+		prevMax = base
+	}
+}
+
+func TestClientMalformedJSON(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("this is not json"))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/steamapi"
+	"steamstudy/internal/steamid"
+)
+
+// Snowball runs a Becker/Blackburn-style crawl (§2.2 of the paper): start
+// from seed accounts and traverse friend lists breadth-first, never
+// sweeping the ID space. The paper argues this sampling is biased —
+// "users with fewer friends are less likely to be crawled" and isolated
+// accounts are never reached at all — which exhaustive sweeping avoids.
+// This method exists to reproduce that comparison: run both crawls
+// against the same universe and compare the degree distributions.
+//
+// The returned snapshot contains the reached accounts with their profiles
+// and friend lists (the data the prior studies collected). maxUsers
+// bounds the frontier (0 = until exhaustion of the reachable component).
+func (c *Crawler) Snowball(ctx context.Context, seeds []steamid.ID, maxUsers int) (*dataset.Snapshot, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("crawler: snowball needs at least one seed")
+	}
+	snap := &dataset.Snapshot{}
+	visited := make(map[uint64]bool)
+	var queue []uint64
+	for _, s := range seeds {
+		id := uint64(s)
+		if !visited[id] {
+			visited[id] = true
+			queue = append(queue, id)
+		}
+	}
+
+	// profiles fetched in batches as the frontier grows.
+	profile := make(map[uint64]steamapi.PlayerSummary)
+	fetchProfiles := func(ids []uint64) error {
+		for start := 0; start < len(ids); start += steamapi.MaxSummariesPerCall {
+			end := start + steamapi.MaxSummariesPerCall
+			if end > len(ids) {
+				end = len(ids)
+			}
+			parts := make([]string, 0, end-start)
+			for _, id := range ids[start:end] {
+				parts = append(parts, strconv.FormatUint(id, 10))
+			}
+			var resp steamapi.PlayerSummariesResponse
+			params := url.Values{"steamids": {strings.Join(parts, ",")}}
+			if err := c.client.getJSON(ctx, "/ISteamUser/GetPlayerSummaries/v0002/", params, &resp); err != nil {
+				return err
+			}
+			for _, p := range resp.Response.Players {
+				id, err := strconv.ParseUint(p.SteamID, 10, 64)
+				if err == nil {
+					profile[id] = p
+				}
+			}
+		}
+		return nil
+	}
+	if err := fetchProfiles(queue); err != nil {
+		return nil, fmt.Errorf("crawler: snowball seeds: %w", err)
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		if maxUsers > 0 && len(snap.Users) >= maxUsers {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		id := queue[qi]
+		p, ok := profile[id]
+		if !ok {
+			continue // seed that does not resolve to an account
+		}
+		rec := dataset.UserRecord{
+			SteamID: id,
+			Created: p.TimeCreated,
+			Country: p.LocCountryCode,
+			City:    p.LocCityID,
+		}
+		var friends steamapi.FriendListResponse
+		params := url.Values{"steamid": {strconv.FormatUint(id, 10)}}
+		if err := c.client.getJSON(ctx, "/ISteamUser/GetFriendList/v0001/", params, &friends); err != nil {
+			if !IsNotFound(err) {
+				return nil, err
+			}
+		}
+		var newIDs []uint64
+		for _, f := range friends.FriendsList.Friends {
+			fid, err := strconv.ParseUint(f.SteamID, 10, 64)
+			if err != nil {
+				continue
+			}
+			rec.Friends = append(rec.Friends, dataset.FriendRecord{SteamID: fid, Since: f.FriendSince})
+			if !visited[fid] {
+				visited[fid] = true
+				queue = append(queue, fid)
+				newIDs = append(newIDs, fid)
+			}
+		}
+		if len(newIDs) > 0 {
+			if err := fetchProfiles(newIDs); err != nil {
+				return nil, err
+			}
+		}
+		snap.Users = append(snap.Users, rec)
+		c.Metrics.UsersDone.Add(1)
+	}
+	sort.Slice(snap.Users, func(a, b int) bool { return snap.Users[a].SteamID < snap.Users[b].SteamID })
+	return snap, nil
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"strconv"
+
+	"steamstudy/internal/simworld"
+)
+
+// FromUniverse extracts the ground-truth snapshot of a synthetic universe,
+// bypassing the API/crawler path. Analyses accept either this or a crawled
+// snapshot; the crawler integration tests assert the two are identical.
+func FromUniverse(u *simworld.Universe) *Snapshot {
+	s := &Snapshot{CollectedAt: u.CollectedAt}
+
+	s.Games = make([]GameRecord, len(u.Games))
+	for i := range u.Games {
+		g := &u.Games[i]
+		rec := GameRecord{
+			AppID:       g.AppID,
+			Name:        g.Name,
+			Type:        g.Type.String(),
+			Genres:      g.Genres.Names(),
+			Multiplayer: g.Multiplayer,
+			PriceCents:  g.PriceCents,
+			Metacritic:  g.Metacritic,
+			ReleaseYear: g.ReleaseYear,
+			Developer:   g.Developer,
+		}
+		for _, a := range g.Achievements {
+			rec.Achievements = append(rec.Achievements, AchievementRecord{
+				Name: a.Name, Percent: a.GlobalPercent,
+			})
+		}
+		s.Games[i] = rec
+	}
+
+	adj := u.Adjacency()
+	// Edge timestamps, addressable per pair.
+	since := make(map[uint64]int64, len(u.Friendships))
+	for _, f := range u.Friendships {
+		since[edgeKey(f.A, f.B)] = f.Since
+	}
+
+	s.Users = make([]UserRecord, len(u.Users))
+	for i := range u.Users {
+		user := &u.Users[i]
+		rec := UserRecord{
+			SteamID: uint64(user.ID),
+			Created: user.Created,
+			Country: user.Country,
+			City:    user.City,
+		}
+		for _, j := range adj[i] {
+			rec.Friends = append(rec.Friends, FriendRecord{
+				SteamID: uint64(u.Users[j].ID),
+				Since:   since[edgeKey(int32(i), j)],
+			})
+		}
+		for _, g := range user.Library {
+			rec.Games = append(rec.Games, OwnershipRecord{
+				AppID:          u.Games[g.GameIdx].AppID,
+				TotalMinutes:   g.TotalMinutes,
+				TwoWeekMinutes: g.TwoWeekMinutes,
+			})
+		}
+		for _, g := range user.Groups {
+			rec.Groups = append(rec.Groups, u.Groups[g].ID)
+		}
+		s.Users[i] = rec
+	}
+
+	s.Groups = make([]GroupRecord, len(u.Groups))
+	for i := range u.Groups {
+		g := &u.Groups[i]
+		rec := GroupRecord{
+			GID:  g.ID,
+			Name: g.Name,
+			Type: g.Type.String(),
+		}
+		for _, m := range g.Members {
+			rec.Members = append(rec.Members, uint64(u.Users[m].ID))
+		}
+		s.Groups[i] = rec
+	}
+	return s
+}
+
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(uint32(b))
+}
+
+// GroupTypeNames lists the Table 2 type labels in display order, exposed
+// for report rendering without importing simworld.
+var GroupTypeNames = []string{
+	simworld.GroupGameServer.String(),
+	simworld.GroupSingleGame.String(),
+	simworld.GroupGamingCommunity.String(),
+	simworld.GroupSpecialInterest.String(),
+	simworld.GroupSteam.String(),
+	simworld.GroupPublisher.String(),
+}
+
+// GenreNames lists the genre labels in display order.
+var GenreNames = func() []string {
+	out := make([]string, len(simworld.GenreNames))
+	copy(out, simworld.GenreNames[:])
+	return out
+}()
+
+// FormatGID renders a group ID the way the API does.
+func FormatGID(gid uint64) string { return strconv.FormatUint(gid, 10) }

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Save writes the snapshot to path. The format is selected by extension:
+// ".gob" / ".gob.gz" for the compact binary form, ".jsonl" / ".jsonl.gz"
+// for a line-oriented JSON export (one record per line with a type tag),
+// matching the "full dataset available for download" spirit of §3.1.
+func (s *Snapshot) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var encErr error
+	switch {
+	case strings.Contains(path, ".jsonl"):
+		encErr = s.writeJSONL(bw)
+	default:
+		encErr = gob.NewEncoder(bw).Encode(s)
+	}
+	if encErr != nil {
+		return fmt.Errorf("dataset: encoding %s: %w", path, encErr)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// Load reads a snapshot written by Save.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: gzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	s := &Snapshot{}
+	if strings.Contains(path, ".jsonl") {
+		if err := s.readJSONL(br); err != nil {
+			return nil, fmt.Errorf("dataset: decoding %s: %w", path, err)
+		}
+		return s, nil
+	}
+	if err := gob.NewDecoder(br).Decode(s); err != nil {
+		return nil, fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// jsonlLine is the tagged union for the JSONL export.
+type jsonlLine struct {
+	Kind        string       `json:"kind"`
+	CollectedAt int64        `json:"collected_at,omitempty"`
+	User        *UserRecord  `json:"user,omitempty"`
+	Game        *GameRecord  `json:"game,omitempty"`
+	Group       *GroupRecord `json:"group,omitempty"`
+}
+
+func (s *Snapshot) writeJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonlLine{Kind: "header", CollectedAt: s.CollectedAt}); err != nil {
+		return err
+	}
+	for i := range s.Games {
+		if err := enc.Encode(jsonlLine{Kind: "game", Game: &s.Games[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range s.Users {
+		if err := enc.Encode(jsonlLine{Kind: "user", User: &s.Users[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range s.Groups {
+		if err := enc.Encode(jsonlLine{Kind: "group", Group: &s.Groups[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Snapshot) readJSONL(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	for {
+		var line jsonlLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch line.Kind {
+		case "header":
+			s.CollectedAt = line.CollectedAt
+		case "game":
+			s.Games = append(s.Games, *line.Game)
+		case "user":
+			s.Users = append(s.Users, *line.User)
+		case "group":
+			s.Groups = append(s.Groups, *line.Group)
+		default:
+			return fmt.Errorf("unknown record kind %q", line.Kind)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package dists
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"steamstudy/internal/randx"
+)
+
+func TestPowerLawPDFIntegratesToOne(t *testing.T) {
+	p := PowerLaw{Alpha: 2.5, Xmin: 2}
+	// Integrate pdf numerically in log space.
+	sum := 0.0
+	const n = 100000
+	lo, hi := math.Log(2.0), math.Log(2.0)+25
+	h := (hi - lo) / n
+	for i := 0; i <= n; i++ {
+		u := lo + float64(i)*h
+		x := math.Exp(u)
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * p.PDF(x) * x
+	}
+	if got := sum * h; math.Abs(got-1) > 1e-4 {
+		t.Fatalf("power-law pdf integrates to %v", got)
+	}
+}
+
+func TestPowerLawQuantileInvertsCDF(t *testing.T) {
+	p := PowerLaw{Alpha: 1.8, Xmin: 1}
+	err := quick.Check(func(uRaw float64) bool {
+		u := math.Abs(math.Mod(uRaw, 1))
+		if u >= 0.999999 {
+			return true
+		}
+		x := p.Quantile(u)
+		return math.Abs(p.CDF(x)-u) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerLawRecoversAlpha(t *testing.T) {
+	r := randx.New(101)
+	const trueAlpha, xmin = 2.4, 3.0
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = r.Pareto(trueAlpha, xmin)
+	}
+	fit := FitPowerLaw(data, xmin)
+	if math.Abs(fit.Alpha-trueAlpha) > 0.03 {
+		t.Fatalf("fit alpha %v, want %v", fit.Alpha, trueAlpha)
+	}
+}
+
+func TestFitDiscretePowerLawRecoversAlpha(t *testing.T) {
+	r := randx.New(102)
+	const trueAlpha = 2.7
+	// Exact inverse-CDF sampler as the oracle (the randx sampler uses the
+	// Clauset continuous approximation, which is biased at kmin=1).
+	p := NewDiscretePowerLaw(trueAlpha, 1)
+	const tableSize = 1 << 18
+	cdf := make([]float64, tableSize)
+	for k := 1; k <= tableSize; k++ {
+		cdf[k-1] = p.CDF(float64(k))
+	}
+	sample := func() float64 {
+		u := r.Float64()
+		lo, hi := 0, tableSize-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return float64(lo + 1)
+	}
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = sample()
+	}
+	fit := FitDiscretePowerLaw(data, 1)
+	if math.Abs(fit.Alpha-trueAlpha) > 0.05 {
+		t.Fatalf("discrete fit alpha %v, want %v", fit.Alpha, trueAlpha)
+	}
+}
+
+func TestDiscretePowerLawCDFBounds(t *testing.T) {
+	p := NewDiscretePowerLaw(2.5, 1)
+	prev := 0.0
+	for k := 1; k <= 1000; k *= 2 {
+		c := p.CDF(float64(k))
+		if c < prev || c < 0 || c > 1 {
+			t.Fatalf("discrete CDF not monotone in [0,1] at k=%d: %v after %v", k, c, prev)
+		}
+		prev = c
+	}
+	if p.CDF(1e9) < 0.999999 {
+		t.Fatalf("discrete CDF does not approach 1: %v", p.CDF(1e9))
+	}
+}
+
+func TestFitLognormalFullRecovers(t *testing.T) {
+	r := randx.New(103)
+	const mu, sigma = 1.7, 0.9
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = r.Lognormal(mu, sigma)
+	}
+	fit := FitLognormalFull(data)
+	if math.Abs(fit.Mu-mu) > 0.02 || math.Abs(fit.Sigma-sigma) > 0.02 {
+		t.Fatalf("lognormal fit (%v, %v), want (%v, %v)", fit.Mu, fit.Sigma, mu, sigma)
+	}
+}
+
+func TestFitLognormalTailRecovers(t *testing.T) {
+	r := randx.New(104)
+	const mu, sigma, xmin = 1.0, 1.2, 5.0
+	var data []float64
+	for len(data) < 20000 {
+		x := r.Lognormal(mu, sigma)
+		if x >= xmin {
+			data = append(data, x)
+		}
+	}
+	fit := FitLognormalTail(data, xmin)
+	if math.Abs(fit.Mu-mu) > 0.15 || math.Abs(fit.Sigma-sigma) > 0.1 {
+		t.Fatalf("truncated lognormal fit (%v, %v), want (%v, %v)", fit.Mu, fit.Sigma, mu, sigma)
+	}
+}
+
+func TestLognormalTailCDFQuantileRoundTrip(t *testing.T) {
+	l := NewLognormal(2, 1.1, 4)
+	for _, q := range []float64{0.01, 0.3, 0.5, 0.9, 0.99} {
+		x := l.Quantile(q)
+		if x < 4 {
+			t.Fatalf("tail quantile below xmin: %v", x)
+		}
+		if back := l.CDF(x); math.Abs(back-q) > 1e-8 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", q, back)
+		}
+	}
+}
+
+func TestTruncatedPowerLawNormalization(t *testing.T) {
+	tp := NewTruncatedPowerLaw(1.8, 0.05, 1)
+	// Numerically integrate the pdf.
+	sum := 0.0
+	const n = 200000
+	lo, hi := 0.0, 12.0 // ln x range: 1 .. e^12
+	h := (hi - lo) / n
+	for i := 0; i <= n; i++ {
+		x := math.Exp(lo + float64(i)*h)
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * math.Exp(tp.LogPDF(x)) * x
+	}
+	if got := sum * h; math.Abs(got-1) > 1e-3 {
+		t.Fatalf("truncated power-law pdf integrates to %v", got)
+	}
+}
+
+func TestTruncatedPowerLawCDFMonotone(t *testing.T) {
+	tp := NewTruncatedPowerLaw(2.0, 0.01, 1)
+	prev := -1.0
+	for x := 1.0; x < 1e4; x *= 1.5 {
+		c := tp.CDF(x)
+		if c < prev-1e-12 || c < 0 || c > 1 {
+			t.Fatalf("TPL CDF not monotone at %v: %v after %v", x, c, prev)
+		}
+		prev = c
+	}
+	if tp.CDF(1e6) < 0.9999 {
+		t.Fatalf("TPL CDF does not approach 1: %v", tp.CDF(1e6))
+	}
+}
+
+func TestFitTruncatedPowerLawRecovers(t *testing.T) {
+	r := randx.New(105)
+	const alpha, lambda, xmin = 1.7, 0.02, 1.0
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = r.TruncatedPowerLaw(alpha, lambda, xmin)
+	}
+	fit := FitTruncatedPowerLaw(data, xmin)
+	if math.Abs(fit.Alpha-alpha) > 0.15 {
+		t.Fatalf("TPL fit alpha %v, want %v", fit.Alpha, alpha)
+	}
+	if fit.Lambda < lambda/3 || fit.Lambda > lambda*3 {
+		t.Fatalf("TPL fit lambda %v, want ~%v", fit.Lambda, lambda)
+	}
+}
+
+func TestExponentialFitAndRoundTrip(t *testing.T) {
+	r := randx.New(106)
+	const lambda, xmin = 0.25, 2.0
+	data := make([]float64, 40000)
+	for i := range data {
+		data[i] = xmin + r.ExpFloat64()/lambda
+	}
+	fit := FitExponentialTail(data, xmin)
+	if math.Abs(fit.Lambda-lambda) > 0.01 {
+		t.Fatalf("exponential fit lambda %v, want %v", fit.Lambda, lambda)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95} {
+		x := fit.Quantile(q)
+		if math.Abs(fit.CDF(x)-q) > 1e-10 {
+			t.Fatalf("exponential quantile round trip failed at %v", q)
+		}
+	}
+}
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// The KS distance of a sample against its own empirical quantiles
+	// should be small; against a badly wrong model, large.
+	r := randx.New(107)
+	p := PowerLaw{Alpha: 2.2, Xmin: 1}
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = r.Pareto(2.2, 1)
+	}
+	sorted := SortedCopy(data)
+	good := KSStatistic(sorted, p.CDF)
+	bad := KSStatistic(sorted, PowerLaw{Alpha: 4.5, Xmin: 1}.CDF)
+	if good > 0.02 {
+		t.Fatalf("KS for true model too large: %v", good)
+	}
+	if bad < 5*good {
+		t.Fatalf("KS did not separate models: good=%v bad=%v", good, bad)
+	}
+}
+
+func TestQuantileSplinePassesThroughAnchors(t *testing.T) {
+	anchors := []Anchor{{0.5, 4}, {0.8, 15}, {0.9, 29}, {0.95, 50}, {0.99, 122}}
+	q, err := NewQuantileSpline(1, anchors, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range anchors {
+		if got := q.Quantile(a.P); math.Abs(got-a.V) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", a.P, got, a.V)
+		}
+	}
+	if q.Quantile(0) != 1 {
+		t.Fatalf("Quantile(0) = %v, want min 1", q.Quantile(0))
+	}
+}
+
+func TestQuantileSplineMonotone(t *testing.T) {
+	q := MustQuantileSpline(1, []Anchor{{0.5, 4}, {0.9, 29}, {0.99, 122}}, 1.9, 0)
+	prev := 0.0
+	for u := 0.0; u < 0.999999; u += 0.001 {
+		v := q.Quantile(u)
+		if v < prev {
+			t.Fatalf("spline not monotone at %v: %v < %v", u, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantileSplineTailIsPareto(t *testing.T) {
+	q := MustQuantileSpline(1, []Anchor{{0.99, 100}}, 3.0, 0)
+	// Beyond p=0.99 the tail is Pareto with alpha=3:
+	// Q(u) = 100 * (0.01/(1-u))^(1/2)
+	u := 0.999
+	want := 100 * math.Pow(0.01/(1-u), 0.5)
+	if got := q.Quantile(u); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Pareto tail Quantile(%v) = %v, want %v", u, got, want)
+	}
+}
+
+func TestQuantileSplineMaxValueCap(t *testing.T) {
+	q := MustQuantileSpline(1, []Anchor{{0.9, 50}}, 1.5, 1000)
+	if got := q.Quantile(1 - 1e-15); got > 1000 {
+		t.Fatalf("cap not applied: %v", got)
+	}
+}
+
+func TestQuantileSplineCDFInverts(t *testing.T) {
+	q := MustQuantileSpline(1, []Anchor{{0.5, 4}, {0.9, 29}, {0.99, 122}}, 2.2, 0)
+	for _, u := range []float64{0.1, 0.5, 0.77, 0.95, 0.999} {
+		x := q.Quantile(u)
+		if back := q.CDF(x); math.Abs(back-u) > 1e-6 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", u, back)
+		}
+	}
+}
+
+func TestQuantileSplineRejectsBadAnchors(t *testing.T) {
+	if _, err := NewQuantileSpline(1, nil, 2, 0); err == nil {
+		t.Fatal("empty anchors accepted")
+	}
+	if _, err := NewQuantileSpline(1, []Anchor{{0.5, 4}, {0.4, 5}}, 2, 0); err == nil {
+		t.Fatal("non-ascending probabilities accepted")
+	}
+	if _, err := NewQuantileSpline(1, []Anchor{{0.5, 4}, {0.6, 3}}, 2, 0); err == nil {
+		t.Fatal("decreasing values accepted")
+	}
+	if _, err := NewQuantileSpline(1, []Anchor{{0.5, 4}}, 1.0, 0); err == nil {
+		t.Fatal("tail alpha <= 1 accepted")
+	}
+	if _, err := NewQuantileSpline(0, []Anchor{{0.5, 4}}, 2, 0); err == nil {
+		t.Fatal("non-positive min accepted")
+	}
+}
+
+func TestZeroInflatedQuantile(t *testing.T) {
+	tail := MustQuantileSpline(1, []Anchor{{0.5, 10}}, 2, 0)
+	z := ZeroInflated{ZeroFrac: 0.8, Tail: tail}
+	if z.Quantile(0.5) != 0 {
+		t.Fatal("expected zero below the zero mass")
+	}
+	if got := z.Quantile(0.9); math.Abs(got-10) > 1e-9 {
+		// u=0.9 maps to tail-u (0.9-0.8)/0.2 = 0.5 -> anchor value 10.
+		t.Fatalf("tail quantile = %v, want 10", got)
+	}
+	full := ZeroInflated{ZeroFrac: 1, Tail: tail}
+	if full.Quantile(0.999) != 0 {
+		t.Fatal("fully zero-inflated distribution returned nonzero")
+	}
+}

@@ -1,0 +1,125 @@
+package dists
+
+import (
+	"math"
+)
+
+// Lognormal is the lognormal distribution; when used as a TailDist it is
+// conditioned on x >= Xmin (the form the fitter compares against other
+// families on the same tail).
+type Lognormal struct {
+	Mu    float64 // mean of ln X
+	Sigma float64 // stddev of ln X
+	Xmin  float64 // left truncation point (0 for the full distribution)
+
+	logCCDFXmin float64 // cached ln P(X >= Xmin) under the untruncated law
+}
+
+// NewLognormal constructs a (possibly tail-conditioned) lognormal.
+func NewLognormal(mu, sigma, xmin float64) Lognormal {
+	l := Lognormal{Mu: mu, Sigma: sigma, Xmin: xmin}
+	l.logCCDFXmin = math.Log(l.ccdfFull(xmin))
+	return l
+}
+
+// Name implements TailDist.
+func (l Lognormal) Name() string { return "lognormal" }
+
+// NumParams implements TailDist.
+func (l Lognormal) NumParams() int { return 2 }
+
+// cdfFull is the untruncated lognormal CDF.
+func (l Lognormal) cdfFull(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// ccdfFull is the untruncated complementary CDF.
+func (l Lognormal) ccdfFull(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// LogPDF implements TailDist: the log density conditional on x >= Xmin.
+func (l Lognormal) LogPDF(x float64) float64 {
+	if x < l.Xmin || x <= 0 {
+		return math.Inf(-1)
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	logPDF := -math.Log(x*l.Sigma*math.Sqrt(2*math.Pi)) - z*z/2
+	return logPDF - l.logCCDFXmin
+}
+
+// CDF implements TailDist: the conditional CDF on [Xmin, ∞).
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= l.Xmin {
+		return 0
+	}
+	cXmin := l.cdfFull(l.Xmin)
+	denom := 1 - cXmin
+	if denom <= 0 {
+		return 1
+	}
+	return (l.cdfFull(x) - cXmin) / denom
+}
+
+// Quantile returns the conditional quantile of the tail distribution.
+func (l Lognormal) Quantile(q float64) float64 {
+	cXmin := l.cdfFull(l.Xmin)
+	p := cXmin + q*(1-cXmin)
+	return math.Exp(l.Mu + l.Sigma*NormalQuantile(p))
+}
+
+// QuantileFull returns the untruncated lognormal quantile.
+func (l Lognormal) QuantileFull(q float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*NormalQuantile(q))
+}
+
+// FitLognormalFull computes the closed-form MLE on untruncated data
+// (every x must be > 0).
+func FitLognormalFull(data []float64) Lognormal {
+	n := float64(len(data))
+	sum := 0.0
+	for _, x := range data {
+		sum += math.Log(x)
+	}
+	mu := sum / n
+	ss := 0.0
+	for _, x := range data {
+		d := math.Log(x) - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / n)
+	if sigma <= 0 {
+		sigma = 1e-9
+	}
+	return NewLognormal(mu, sigma, 0)
+}
+
+// FitLognormalTail computes the MLE of a lognormal conditioned on
+// x >= xmin, via Nelder–Mead on (mu, log sigma). The truncated likelihood
+// has no closed form. Initialized from the untruncated MLE.
+func FitLognormalTail(tail []float64, xmin float64) Lognormal {
+	init := FitLognormalFull(tail)
+	negLL := func(p []float64) float64 {
+		mu := p[0]
+		sigma := math.Exp(p[1])
+		l := NewLognormal(mu, sigma, xmin)
+		ll := 0.0
+		for _, x := range tail {
+			ll += l.LogPDF(x)
+		}
+		if math.IsNaN(ll) || math.IsInf(ll, 0) {
+			return math.MaxFloat64
+		}
+		return -ll
+	}
+	x0 := []float64{init.Mu, math.Log(init.Sigma)}
+	best, _ := NelderMead(negLL, x0, []float64{0.5, 0.3}, 400)
+	return NewLognormal(best[0], math.Exp(best[1]), xmin)
+}

@@ -1,0 +1,156 @@
+package dists
+
+import "math"
+
+// GoldenSection minimizes f over [lo, hi] to the given x-tolerance and
+// returns the minimizing x. f must be unimodal on the interval for the
+// result to be the global minimum.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// NelderMead minimizes f starting from x0 with the given initial step sizes.
+// It returns the best point found and its value. Dimension is len(x0);
+// maxIter bounds function evaluations roughly (each iteration costs 1-4
+// evaluations). The implementation is the standard simplex method with
+// adaptive restart disabled — adequate for the 2-parameter MLE problems in
+// this repository.
+func NelderMead(f func([]float64) float64, x0, step []float64, maxIter int) ([]float64, float64) {
+	n := len(x0)
+	// Build initial simplex of n+1 points.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range pts {
+		p := make([]float64, n)
+		copy(p, x0)
+		if i > 0 {
+			p[i-1] += step[i-1]
+		}
+		pts[i] = p
+		vals[i] = f(p)
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Order: find best, worst, second-worst.
+		best, worst, second := 0, 0, 0
+		for i := 1; i <= n; i++ {
+			if vals[i] < vals[best] {
+				best = i
+			}
+			if vals[i] > vals[worst] {
+				worst = i
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if i != worst && vals[i] > vals[second] {
+				second = i
+			}
+		}
+		if second == worst {
+			for i := 0; i <= n; i++ {
+				if i != worst {
+					second = i
+					break
+				}
+			}
+			for i := 0; i <= n; i++ {
+				if i != worst && vals[i] > vals[second] {
+					second = i
+				}
+			}
+		}
+		// Convergence: simplex value spread.
+		if math.Abs(vals[worst]-vals[best]) < 1e-10*(math.Abs(vals[best])+1e-10) {
+			break
+		}
+		// Centroid of all but worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
+		for i := 0; i <= n; i++ {
+			if i == worst {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				centroid[j] += pts[i][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+		// Reflect.
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-pts[worst][j])
+		}
+		fr := f(xr)
+		switch {
+		case fr < vals[best]:
+			// Expand.
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+			}
+			if fe := f(xe); fe < fr {
+				copy(pts[worst], xe)
+				vals[worst] = fe
+			} else {
+				copy(pts[worst], xr)
+				vals[worst] = fr
+			}
+		case fr < vals[second]:
+			copy(pts[worst], xr)
+			vals[worst] = fr
+		default:
+			// Contract.
+			for j := 0; j < n; j++ {
+				xc[j] = centroid[j] + rho*(pts[worst][j]-centroid[j])
+			}
+			if fc := f(xc); fc < vals[worst] {
+				copy(pts[worst], xc)
+				vals[worst] = fc
+			} else {
+				// Shrink toward best.
+				for i := 0; i <= n; i++ {
+					if i == best {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						pts[i][j] = pts[best][j] + sigma*(pts[i][j]-pts[best][j])
+					}
+					vals[i] = f(pts[i])
+				}
+			}
+		}
+	}
+	best := 0
+	for i := 1; i <= n; i++ {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	return pts[best], vals[best]
+}

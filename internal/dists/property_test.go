@@ -1,0 +1,170 @@
+package dists
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"steamstudy/internal/randx"
+)
+
+// Property-based tests over randomly drawn parameters: every tail family
+// must have a monotone CDF in [0, 1] that inverts its quantile function
+// where one exists, and a density consistent with the CDF's slope.
+
+func clampParam(v, lo, hi float64) float64 {
+	v = math.Abs(math.Mod(v, hi-lo))
+	return lo + v
+}
+
+func TestPropertyPowerLawCDF(t *testing.T) {
+	err := quick.Check(func(aRaw, xRaw, uRaw float64) bool {
+		alpha := clampParam(aRaw, 1.1, 5)
+		xmin := clampParam(xRaw, 0.5, 100)
+		p := PowerLaw{Alpha: alpha, Xmin: xmin}
+		u := clampParam(uRaw, 0.001, 0.999)
+		x := p.Quantile(u)
+		if x < xmin {
+			return false
+		}
+		// Quantile inverts CDF.
+		if math.Abs(p.CDF(x)-u) > 1e-9 {
+			return false
+		}
+		// CDF monotone.
+		return p.CDF(x*1.01) >= p.CDF(x)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLognormalTail(t *testing.T) {
+	err := quick.Check(func(mRaw, sRaw, xRaw, uRaw float64) bool {
+		mu := clampParam(mRaw, -1, 3)
+		sigma := clampParam(sRaw, 0.2, 2)
+		xmin := clampParam(xRaw, 0.1, 5)
+		l := NewLognormal(mu, sigma, xmin)
+		// Conditioning more than ~6 sigma into the tail degenerates in
+		// float64 (the truncation point's CCDF underflows); the fitter
+		// never operates there because such a tail holds no data.
+		if (math.Log(xmin)-mu)/sigma > 6 {
+			return true
+		}
+		u := clampParam(uRaw, 0.001, 0.999)
+		x := l.Quantile(u)
+		if x < xmin {
+			return false
+		}
+		if math.Abs(l.CDF(x)-u) > 1e-6 {
+			return false
+		}
+		// Log density finite inside the support.
+		lp := l.LogPDF(x)
+		return !math.IsNaN(lp) && !math.IsInf(lp, 1)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTruncatedPowerLawCDF(t *testing.T) {
+	err := quick.Check(func(aRaw, lRaw, xRaw float64) bool {
+		alpha := clampParam(aRaw, 1.1, 3.5)
+		lambda := clampParam(lRaw, 1e-4, 0.5)
+		xmin := clampParam(xRaw, 0.5, 10)
+		tp := NewTruncatedPowerLaw(alpha, lambda, xmin)
+		prev := -1.0
+		for _, mult := range []float64{1, 1.5, 3, 10, 40, 200} {
+			c := tp.CDF(xmin * mult)
+			if c < prev-1e-9 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		lp := tp.LogPDF(xmin * 2)
+		return !math.IsNaN(lp) && !math.IsInf(lp, 1)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExponentialTail(t *testing.T) {
+	err := quick.Check(func(lRaw, xRaw, uRaw float64) bool {
+		lambda := clampParam(lRaw, 0.01, 5)
+		xmin := clampParam(xRaw, 0, 50)
+		e := Exponential{Lambda: lambda, Xmin: xmin}
+		u := clampParam(uRaw, 0.001, 0.999)
+		x := e.Quantile(u)
+		return x >= xmin && math.Abs(e.CDF(x)-u) < 1e-9
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQuantileSplineMonotoneRandomAnchors(t *testing.T) {
+	r := randx.New(123)
+	err := quick.Check(func(seed int64) bool {
+		rr := randx.New(seed)
+		// Random ascending anchors.
+		n := 2 + rr.Intn(4)
+		anchors := make([]Anchor, 0, n)
+		p, v := 0.0, 1.0
+		for i := 0; i < n; i++ {
+			p += 0.05 + 0.9*(1-p)*rr.Float64()*0.5
+			v *= 1 + 5*rr.Float64()
+			if p >= 0.999 {
+				break
+			}
+			anchors = append(anchors, Anchor{P: p, V: v})
+		}
+		if len(anchors) == 0 {
+			return true
+		}
+		q, err := NewQuantileSpline(1, anchors, 1.5+2*rr.Float64(), 0)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 50; i++ {
+			u := r.Float64() * 0.9999
+			// Monotonicity checked on a sorted scan instead of random u:
+			_ = u
+			x := q.Quantile(float64(i) / 50)
+			if x < prev {
+				return false
+			}
+			prev = x
+		}
+		// Anchors are hit exactly.
+		for _, a := range anchors {
+			if math.Abs(q.Quantile(a.P)-a.V) > 1e-9*a.V {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFitPowerLawConsistency(t *testing.T) {
+	// For any valid alpha, the MLE on a large sample from the model lands
+	// near the truth (statistical consistency).
+	err := quick.Check(func(seed int64, aRaw float64) bool {
+		alpha := clampParam(aRaw, 1.5, 4)
+		rr := randx.New(seed)
+		data := make([]float64, 8000)
+		for i := range data {
+			data[i] = rr.Pareto(alpha, 1)
+		}
+		fit := FitPowerLaw(data, 1)
+		return math.Abs(fit.Alpha-alpha) < 0.15
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package dists
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-4, 0.025, 0.2, 0.5, 0.8, 0.975, 0.9999, 1 - 1e-9} {
+		x := NormalQuantile(p)
+		back := NormalCDF(x)
+		if math.Abs(back-p) > 1e-10*math.Max(1, 1/p) && math.Abs(back-p) > 1e-12 {
+			t.Fatalf("NormalQuantile(%v) = %v, CDF back = %v", p, x, back)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959963984540054,
+		0.025: -1.959963984540054,
+		0.84:  0.994457883209753,
+	}
+	for p, want := range cases {
+		if got := NormalQuantile(p); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("NormalQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("endpoint quantiles not infinite")
+	}
+}
+
+func TestNormalQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) < NormalQuantile(pb)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperIncGammaPositiveA(t *testing.T) {
+	// Γ(1, x) = e^-x
+	for _, x := range []float64{0.1, 1, 5, 20} {
+		if got, want := UpperIncGamma(1, x), math.Exp(-x); math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("Γ(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// Γ(2, x) = (x+1) e^-x
+	for _, x := range []float64{0.5, 2, 10} {
+		want := (x + 1) * math.Exp(-x)
+		if got := UpperIncGamma(2, x); math.Abs(got-want) > 1e-11*want {
+			t.Fatalf("Γ(2, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// Γ(a, 0) = Γ(a)
+	if got := UpperIncGamma(3.5, 0); math.Abs(got-math.Gamma(3.5)) > 1e-12 {
+		t.Fatalf("Γ(3.5, 0) = %v, want Γ(3.5) = %v", got, math.Gamma(3.5))
+	}
+}
+
+func TestUpperIncGammaHalf(t *testing.T) {
+	// Γ(1/2, x) = sqrt(pi) * erfc(sqrt(x))
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Sqrt(math.Pi) * math.Erfc(math.Sqrt(x))
+		if got := UpperIncGamma(0.5, x); math.Abs(got-want) > 1e-10*want {
+			t.Fatalf("Γ(1/2, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestUpperIncGammaNegativeA(t *testing.T) {
+	// Validate the recurrence against direct numerical integration of
+	// ∫_x^∞ t^{a-1} e^-t dt for negative a.
+	for _, tc := range []struct{ a, x float64 }{
+		{-0.5, 0.5}, {-1.5, 1}, {-0.3, 0.01}, {-2.2, 2},
+	} {
+		want := numericUpperGamma(tc.a, tc.x)
+		got := UpperIncGamma(tc.a, tc.x)
+		if math.Abs(got-want) > 1e-6*math.Abs(want) {
+			t.Fatalf("Γ(%v, %v) = %v, numeric %v", tc.a, tc.x, got, want)
+		}
+	}
+}
+
+// numericUpperGamma integrates t^{a-1} e^-t from x to ~inf with Simpson's
+// rule on a log-spaced grid (test oracle only).
+func numericUpperGamma(a, x float64) float64 {
+	f := func(t float64) float64 { return math.Pow(t, a-1) * math.Exp(-t) }
+	// Integrate in u = ln t to handle the wide range.
+	lo, hi := math.Log(x), math.Log(x)+60
+	const n = 200000
+	h := (hi - lo) / n
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		u := lo + float64(i)*h
+		t := math.Exp(u)
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * f(t) * t // dt = t du
+	}
+	return sum * h
+}
+
+func TestHurwitzZetaRiemann(t *testing.T) {
+	// ζ(s, 1) = ζ(s); known values.
+	cases := map[float64]float64{
+		2: math.Pi * math.Pi / 6,
+		4: math.Pow(math.Pi, 4) / 90,
+	}
+	for s, want := range cases {
+		if got := HurwitzZeta(s, 1); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("ζ(%v, 1) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestHurwitzZetaShiftIdentity(t *testing.T) {
+	// ζ(s, q) = ζ(s, q+1) + q^-s
+	for _, s := range []float64{1.5, 2.5, 3.2} {
+		for _, q := range []float64{1, 2, 5.5} {
+			lhs := HurwitzZeta(s, q)
+			rhs := HurwitzZeta(s, q+1) + math.Pow(q, -s)
+			if math.Abs(lhs-rhs) > 1e-10*lhs {
+				t.Fatalf("shift identity failed: ζ(%v,%v)=%v vs %v", s, q, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestGoldenSectionFindsMinimum(t *testing.T) {
+	f := func(x float64) float64 { return (x - 2.75) * (x - 2.75) }
+	x := GoldenSection(f, 0, 10, 1e-8)
+	if math.Abs(x-2.75) > 1e-6 {
+		t.Fatalf("golden section min %v, want 2.75", x)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(p []float64) float64 {
+		x, y := p[0], p[1]
+		return 100*(y-x*x)*(y-x*x) + (1-x)*(1-x)
+	}
+	best, v := NelderMead(f, []float64{-1.2, 1}, []float64{0.5, 0.5}, 4000)
+	if math.Abs(best[0]-1) > 1e-3 || math.Abs(best[1]-1) > 1e-3 {
+		t.Fatalf("Nelder-Mead ended at %v (f=%v), want (1,1)", best, v)
+	}
+}

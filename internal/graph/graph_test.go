@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"steamstudy/internal/randx"
+	"steamstudy/internal/stats"
+)
+
+func ts(year int, month time.Month) int64 {
+	return time.Date(year, month, 15, 0, 0, 0, 0, time.UTC).Unix()
+}
+
+func triangleGraph() *Graph {
+	return Build(4, []Edge{
+		{A: 0, B: 1, Since: ts(2009, 1)},
+		{A: 1, B: 2, Since: ts(2010, 6)},
+		{A: 0, B: 2, Since: ts(2011, 3)},
+	})
+}
+
+func TestBuildDegreesAndNeighbors(t *testing.T) {
+	g := triangleGraph()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	wantDeg := []int{2, 2, 2, 0}
+	for i, d := range g.Degrees() {
+		if d != wantDeg[i] {
+			t.Fatalf("degree[%d] = %d, want %d", i, d, wantDeg[i])
+		}
+	}
+	ns := g.Neighbors(0)
+	seen := map[int32]bool{}
+	for _, u := range ns {
+		seen[u] = true
+	}
+	if !seen[1] || !seen[2] || len(ns) != 2 {
+		t.Fatalf("neighbors(0) = %v", ns)
+	}
+	if len(g.Neighbors(3)) != 0 {
+		t.Fatal("isolated node has neighbors")
+	}
+}
+
+func TestDegreesAtCutoff(t *testing.T) {
+	g := triangleGraph()
+	deg := g.DegreesAt(ts(2010, 1))
+	// Only the 2009 edge exists before 2010-01.
+	if deg[0] != 1 || deg[1] != 1 || deg[2] != 0 {
+		t.Fatalf("DegreesAt = %v", deg)
+	}
+	all := g.DegreesAt(ts(2012, 1))
+	if all[0] != 2 || all[1] != 2 || all[2] != 2 {
+		t.Fatalf("DegreesAt(after all) = %v", all)
+	}
+}
+
+func TestDegreesAdded(t *testing.T) {
+	g := triangleGraph()
+	deg := g.DegreesAdded(ts(2010, 1), ts(2011, 1))
+	// Only the 2010 edge is inside the window.
+	if deg[1] != 1 || deg[2] != 1 || deg[0] != 0 {
+		t.Fatalf("DegreesAdded = %v", deg)
+	}
+}
+
+func TestEvolutionMonotone(t *testing.T) {
+	g := triangleGraph()
+	created := []int64{ts(2008, 10), ts(2008, 12), ts(2010, 2), ts(2012, 5)}
+	pts := g.Evolution(created, ts(2008, 9), ts(2012, 12))
+	if len(pts) < 12 {
+		t.Fatalf("too few evolution points: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Users < pts[i-1].Users || pts[i].Friendships < pts[i-1].Friendships {
+			t.Fatal("evolution series not monotone")
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Users != 4 || last.Friendships != 3 {
+		t.Fatalf("final cumulative point = %+v", last)
+	}
+}
+
+func TestEvolutionExcludesPreWindowEdges(t *testing.T) {
+	g := Build(2, []Edge{{A: 0, B: 1, Since: ts(2005, 6)}})
+	pts := g.Evolution([]int64{ts(2004, 1), ts(2004, 2)}, ts(2008, 9), ts(2009, 9))
+	for _, p := range pts {
+		if p.Friendships != 0 {
+			t.Fatal("pre-2008 edge counted despite the timestamp-recording cutoff")
+		}
+	}
+}
+
+func TestNeighborAverages(t *testing.T) {
+	g := triangleGraph()
+	attr := []float64{10, 20, 30, 99}
+	own, nbr := g.NeighborAverages(attr, 1)
+	if len(own) != 3 {
+		t.Fatalf("expected 3 connected nodes, got %d", len(own))
+	}
+	// Node 0's neighbors are 1 and 2: average 25.
+	found := false
+	for i := range own {
+		if own[i] == 10 && math.Abs(nbr[i]-25) < 1e-12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("node 0 neighbor average missing: own=%v nbr=%v", own, nbr)
+	}
+	own5, _ := g.NeighborAverages(attr, 5)
+	if len(own5) != 0 {
+		t.Fatal("minDegree filter ignored")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := Build(6, []Edge{
+		{A: 0, B: 1}, {A: 1, B: 2}, {A: 3, B: 4},
+	})
+	labels, sizes := g.Components()
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("triangle chain not one component")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatal("pair component mislabeled")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("isolated node joined a component")
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 6 {
+		t.Fatalf("component sizes sum to %d", total)
+	}
+	size, share := g.LargestComponent()
+	if size != 3 {
+		t.Fatalf("largest component size %d", size)
+	}
+	if math.Abs(share-3.0/5.0) > 1e-12 {
+		t.Fatalf("largest component share %v", share)
+	}
+}
+
+func TestComponentsLargeChainNoStackOverflow(t *testing.T) {
+	const n = 200000
+	edges := make([]Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = Edge{A: int32(i), B: int32(i + 1)}
+	}
+	g := Build(n, edges)
+	_, sizes := g.Components()
+	if len(sizes) != 1 || sizes[0] != n {
+		t.Fatalf("chain components wrong: %v components", len(sizes))
+	}
+}
+
+func TestDegreeAssortativitySigns(t *testing.T) {
+	// Assortative graph: two cliques of distinct sizes.
+	var edges []Edge
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, Edge{A: i, B: j})
+		}
+	}
+	edges = append(edges, Edge{A: 6, B: 7}, Edge{A: 8, B: 9})
+	g := Build(10, edges)
+	if r := g.DegreeAssortativity(); r < 0.8 {
+		t.Fatalf("clique-plus-pairs assortativity = %v, want strongly positive", r)
+	}
+	// Star graph: perfectly disassortative.
+	var star []Edge
+	for i := int32(1); i <= 8; i++ {
+		star = append(star, Edge{A: 0, B: i})
+	}
+	if r := Build(9, star).DegreeAssortativity(); r > -0.9 {
+		t.Fatalf("star assortativity = %v, want ~-1", r)
+	}
+	if r := Build(2, nil).DegreeAssortativity(); r != 0 {
+		t.Fatalf("empty graph assortativity = %v", r)
+	}
+}
+
+func TestHomophilousWiringDetectedEndToEnd(t *testing.T) {
+	// Synthetic homophilous graph: nodes sorted by attribute, edges to
+	// nearby ranks. NeighborAverages + Spearman must detect it strongly.
+	r := randx.New(5)
+	const n = 5000
+	attr := make([]float64, n)
+	for i := range attr {
+		attr[i] = float64(i) + r.NormFloat64() // monotone-ish attribute
+	}
+	var edges []Edge
+	seen := map[[2]int32]bool{}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			j := i + 1 + r.Intn(50)
+			if j >= n {
+				continue
+			}
+			key := [2]int32{int32(i), int32(j)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			edges = append(edges, Edge{A: int32(i), B: int32(j)})
+		}
+	}
+	g := Build(n, edges)
+	own, nbr := g.NeighborAverages(attr, 1)
+	if rho := stats.Spearman(own, nbr); rho < 0.9 {
+		t.Fatalf("homophily on rank-local graph = %v, want > 0.9", rho)
+	}
+}
+
+func TestSmallWorldDetectsStructure(t *testing.T) {
+	r := randx.New(7)
+	const n = 3000
+	// A ring lattice with k=6 neighbors plus a few shortcuts: the classic
+	// Watts-Strogatz small-world construction.
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 3; d++ {
+			edges = append(edges, Edge{A: int32(i), B: int32((i + d) % n)})
+		}
+	}
+	for i := 0; i < n/5; i++ {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		if a != b {
+			edges = append(edges, Edge{A: a, B: b})
+		}
+	}
+	g := Build(n, edges)
+	sw := g.SmallWorld(1, 1000, 12)
+	if sw.Clustering < 0.3 {
+		t.Fatalf("lattice clustering %v, want >= 0.3 (C=0.6 for a k=6 ring)", sw.Clustering)
+	}
+	if sw.Clustering < 20*sw.RandomClustering {
+		t.Fatalf("clustering %v not far above random %v", sw.Clustering, sw.RandomClustering)
+	}
+	if !sw.IsSmallWorld() {
+		t.Fatalf("ring-with-shortcuts not detected as small world: %+v", sw)
+	}
+	if sw.LargestComponentShare < 0.99 {
+		t.Fatalf("giant component share %v", sw.LargestComponentShare)
+	}
+}
+
+func TestSmallWorldRandomGraphIsNotClustered(t *testing.T) {
+	r := randx.New(9)
+	const n = 3000
+	var edges []Edge
+	seen := map[[2]int32]bool{}
+	for len(edges) < 3*n {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int32{a, b}] {
+			continue
+		}
+		seen[[2]int32{a, b}] = true
+		edges = append(edges, Edge{A: a, B: b})
+	}
+	g := Build(n, edges)
+	sw := g.SmallWorld(1, 1000, 12)
+	// An Erdos-Renyi graph's clustering matches the k/N expectation.
+	if sw.Clustering > 10*sw.RandomClustering {
+		t.Fatalf("random graph clustering %v suspiciously high vs %v", sw.Clustering, sw.RandomClustering)
+	}
+}
+
+func TestSmallWorldEmptyGraph(t *testing.T) {
+	g := Build(10, nil)
+	sw := g.SmallWorld(1, 100, 4)
+	if sw.Clustering != 0 || sw.AvgPathLength != 0 {
+		t.Fatalf("empty graph stats: %+v", sw)
+	}
+}

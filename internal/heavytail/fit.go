@@ -1,0 +1,197 @@
+// Package heavytail reimplements, in Go, the subset of the Python
+// `powerlaw 1.3` package (Alstott et al. 2014) that the paper's Appendix
+// relies on: maximum-likelihood fits of power-law, lognormal, truncated
+// power-law and exponential tails; the Clauset-style xmin selection by
+// Kolmogorov–Smirnov minimization; normalized (Vuong) log-likelihood-ratio
+// tests between candidate families; and the paper's four-way
+// classification rule (heavy-tailed / long-tailed / lognormal / truncated
+// power law), which is what produces Table 4.
+package heavytail
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"steamstudy/internal/dists"
+)
+
+// Options configures a Fit.
+type Options struct {
+	// Discrete selects the discrete power-law likelihood (Hurwitz-zeta
+	// normalized) for count data such as friends or games owned. The
+	// alternative families use the standard continuous approximation, as
+	// the Python package does for its default comparisons.
+	Discrete bool
+	// FixedXmin pins xmin instead of scanning (0 = scan).
+	FixedXmin float64
+	// MaxXminCandidates caps the number of distinct values scanned as
+	// xmin candidates; candidates are thinned evenly. Default 80.
+	MaxXminCandidates int
+	// MinTail is the minimum number of tail points an xmin candidate must
+	// retain. Default 100 (or half the data if smaller).
+	MinTail int
+	// MaxFitSamples caps the number of tail points used for the iterative
+	// (lognormal, truncated power-law) MLEs; the tail is evenly thinned
+	// beyond it. The closed-form fits and the KS scan always use all
+	// points. Default 30000.
+	MaxFitSamples int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxXminCandidates <= 0 {
+		o.MaxXminCandidates = 80
+	}
+	if o.MinTail <= 0 {
+		o.MinTail = 100
+	}
+	if o.MinTail > n/2 && n >= 4 {
+		o.MinTail = n / 2
+	}
+	if o.MaxFitSamples <= 0 {
+		o.MaxFitSamples = 30000
+	}
+	return o
+}
+
+// Fit holds the fitted candidate families on a common tail x >= Xmin.
+type Fit struct {
+	// Sorted is the full input, ascending.
+	Sorted []float64
+	// Tail is the subset with x >= Xmin (aliases Sorted's backing array).
+	Tail []float64
+	// Xmin is the selected (or fixed) tail threshold.
+	Xmin float64
+	// KS is the Kolmogorov–Smirnov distance of the power-law fit at Xmin.
+	KS float64
+	// Discrete records which power-law likelihood was used.
+	Discrete bool
+
+	// PowerLaw is the continuous power-law fit (always populated; it is
+	// the reference model for the comparison tests).
+	PowerLaw dists.PowerLaw
+	// DiscretePL is the discrete power law (populated when Discrete).
+	DiscretePL dists.DiscretePowerLaw
+	// Lognormal is the tail-conditional lognormal fit.
+	Lognormal dists.Lognormal
+	// TruncatedPL is the power-law-with-cutoff fit.
+	TruncatedPL dists.TruncatedPowerLaw
+	// Exponential is the shifted-exponential fit.
+	Exponential dists.Exponential
+}
+
+// New fits all candidate families to data (which must contain at least a
+// handful of positive values). Zeros and negatives are dropped, matching
+// the paper's treatment (its distributions are of users with non-zero
+// attribute values).
+func New(data []float64, opts Options) (*Fit, error) {
+	pos := make([]float64, 0, len(data))
+	for _, x := range data {
+		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) < 10 {
+		return nil, fmt.Errorf("heavytail: need at least 10 positive values, have %d", len(pos))
+	}
+	sort.Float64s(pos)
+	opts = opts.withDefaults(len(pos))
+
+	f := &Fit{Sorted: pos, Discrete: opts.Discrete}
+	if opts.FixedXmin > 0 {
+		f.Xmin = opts.FixedXmin
+	} else {
+		f.Xmin = scanXmin(pos, opts)
+	}
+	i := sort.SearchFloat64s(pos, f.Xmin)
+	f.Tail = pos[i:]
+	if len(f.Tail) < 5 {
+		return nil, fmt.Errorf("heavytail: tail above xmin=%v has only %d points", f.Xmin, len(f.Tail))
+	}
+
+	f.PowerLaw = dists.FitPowerLaw(f.Tail, f.Xmin)
+	f.KS = dists.KSStatistic(f.Tail, f.PowerLaw.CDF)
+	if opts.Discrete {
+		f.DiscretePL = dists.FitDiscretePowerLaw(f.Tail, f.Xmin)
+	}
+	fitSample := thin(f.Tail, opts.MaxFitSamples)
+	f.Lognormal = dists.FitLognormalTail(fitSample, f.Xmin)
+	f.TruncatedPL = dists.FitTruncatedPowerLaw(fitSample, f.Xmin)
+	f.Exponential = dists.FitExponentialTail(f.Tail, f.Xmin)
+	return f, nil
+}
+
+// scanXmin selects the xmin minimizing the KS distance of the power-law
+// MLE fit, per Clauset et al. (2009).
+func scanXmin(sorted []float64, opts Options) float64 {
+	// Candidate xmins: distinct values leaving at least MinTail points.
+	lastIdx := len(sorted) - opts.MinTail
+	if lastIdx < 1 {
+		lastIdx = 1
+	}
+	var candidates []float64
+	prev := math.NaN()
+	for i := 0; i < lastIdx; i++ {
+		if sorted[i] != prev {
+			candidates = append(candidates, sorted[i])
+			prev = sorted[i]
+		}
+	}
+	if len(candidates) == 0 {
+		return sorted[0]
+	}
+	if len(candidates) > opts.MaxXminCandidates {
+		thinned := make([]float64, 0, opts.MaxXminCandidates)
+		step := float64(len(candidates)) / float64(opts.MaxXminCandidates)
+		for i := 0; i < opts.MaxXminCandidates; i++ {
+			thinned = append(thinned, candidates[int(float64(i)*step)])
+		}
+		candidates = thinned
+	}
+	bestXmin, bestKS := candidates[0], math.Inf(1)
+	for _, xmin := range candidates {
+		i := sort.SearchFloat64s(sorted, xmin)
+		tail := sorted[i:]
+		if len(tail) < opts.MinTail {
+			break
+		}
+		pl := dists.FitPowerLaw(tail, xmin)
+		ks := dists.KSStatistic(tail, pl.CDF)
+		if ks < bestKS {
+			bestKS = ks
+			bestXmin = xmin
+		}
+	}
+	return bestXmin
+}
+
+// thin returns xs reduced to at most max entries by even striding
+// (keeping first and last), preserving the sorted order.
+func thin(xs []float64, max int) []float64 {
+	if len(xs) <= max {
+		return xs
+	}
+	out := make([]float64, 0, max)
+	step := float64(len(xs)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, xs[int(float64(i)*step+0.5)])
+	}
+	return out
+}
+
+// powerLawDist returns the power-law model used in comparisons: the
+// discrete likelihood when requested, continuous otherwise.
+func (f *Fit) powerLawDist() dists.TailDist {
+	if f.Discrete {
+		return f.DiscretePL
+	}
+	return f.PowerLaw
+}
+
+// Alpha returns the fitted power-law exponent (discrete when applicable).
+func (f *Fit) Alpha() float64 {
+	if f.Discrete {
+		return f.DiscretePL.Alpha
+	}
+	return f.PowerLaw.Alpha
+}

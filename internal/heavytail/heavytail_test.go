@@ -1,0 +1,343 @@
+package heavytail
+
+import (
+	"math"
+	"testing"
+
+	"steamstudy/internal/dists"
+	"steamstudy/internal/randx"
+)
+
+func genPareto(seed int64, n int, alpha, xmin float64) []float64 {
+	r := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Pareto(alpha, xmin)
+	}
+	return out
+}
+
+func genLognormal(seed int64, n int, mu, sigma float64) []float64 {
+	r := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Lognormal(mu, sigma)
+	}
+	return out
+}
+
+func genTPL(seed int64, n int, alpha, lambda, xmin float64) []float64 {
+	r := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.TruncatedPowerLaw(alpha, lambda, xmin)
+	}
+	return out
+}
+
+func genExponential(seed int64, n int, lambda, xmin float64) []float64 {
+	r := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = xmin + r.ExpFloat64()/lambda
+	}
+	return out
+}
+
+func TestFitRejectsTinyInput(t *testing.T) {
+	if _, err := New([]float64{1, 2, 3}, Options{}); err == nil {
+		t.Fatal("fit accepted tiny input")
+	}
+}
+
+func TestFitDropsNonPositive(t *testing.T) {
+	data := append(genPareto(1, 2000, 2.5, 1), 0, -5, math.NaN(), math.Inf(1))
+	f, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range f.Sorted {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("invalid value survived: %v", x)
+		}
+	}
+}
+
+func TestFitRecoversAlphaWithXminScan(t *testing.T) {
+	// Data: noise below 5, clean power law above.
+	r := randx.New(2)
+	var data []float64
+	for i := 0; i < 5000; i++ {
+		data = append(data, 0.5+4.5*r.Float64()) // uniform noise < 5
+	}
+	for i := 0; i < 20000; i++ {
+		data = append(data, r.Pareto(2.3, 5))
+	}
+	f, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Xmin < 3 || f.Xmin > 8 {
+		t.Fatalf("xmin scan picked %v, want ~5", f.Xmin)
+	}
+	if math.Abs(f.PowerLaw.Alpha-2.3) > 0.1 {
+		t.Fatalf("alpha %v, want 2.3", f.PowerLaw.Alpha)
+	}
+}
+
+func TestFixedXminHonored(t *testing.T) {
+	data := genPareto(3, 5000, 2.0, 1)
+	f, err := New(data, Options{FixedXmin: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Xmin != 2.5 {
+		t.Fatalf("fixed xmin ignored: %v", f.Xmin)
+	}
+	for _, x := range f.Tail {
+		if x < 2.5 {
+			t.Fatalf("tail contains %v below fixed xmin", x)
+		}
+	}
+}
+
+func TestCompareFavorsTrueModelPareto(t *testing.T) {
+	data := genPareto(4, 30000, 2.2, 1)
+	f, err := New(data, Options{FixedXmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := f.CompareAll()
+	if !(cs.PLvsExp.R > 0 && cs.PLvsExp.P < 0.05) {
+		t.Fatalf("power law did not beat exponential on Pareto data: %+v", cs.PLvsExp)
+	}
+	// Against lognormal the pure power law should not lose significantly.
+	if cs.PLvsLN.P < 0.05 && cs.PLvsLN.R < 0 {
+		t.Fatalf("lognormal beat power law on Pareto data: %+v", cs.PLvsLN)
+	}
+}
+
+func TestCompareFavorsLognormalOnLognormalData(t *testing.T) {
+	// Pin xmin low so the fit sees the lognormal body; with a scanned
+	// xmin the extreme tail of a lognormal is locally power-law-like
+	// (the classic Clauset caveat) and the test loses power.
+	data := genLognormal(5, 40000, 1.0, 2.0)
+	res, err := ClassifyData(data, Options{FixedXmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Comparisons
+	if !(cs.PLvsLN.R < 0 && cs.PLvsLN.P < 0.05) {
+		t.Fatalf("power law not rejected against lognormal on LN data: %+v", cs.PLvsLN)
+	}
+	if res.Class != LognormalClass && res.Class != LongTailed {
+		t.Fatalf("lognormal data classified as %v", res.Class)
+	}
+}
+
+func TestClassifyTruncatedPowerLawData(t *testing.T) {
+	data := genTPL(6, 60000, 1.6, 0.01, 1)
+	res, err := ClassifyData(data, Options{FixedXmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != TruncatedPowerLawClass && res.Class != LongTailed {
+		t.Fatalf("TPL data classified as %v (comparisons %+v)", res.Class, res.Comparisons)
+	}
+	if !(res.Comparisons.TPLvsPL.R > 0 && res.Comparisons.TPLvsPL.P < 0.05) {
+		t.Fatalf("nested test failed to detect cutoff: %+v", res.Comparisons.TPLvsPL)
+	}
+}
+
+func TestClassifyExponentialDataNotHeavy(t *testing.T) {
+	data := genExponential(7, 30000, 0.5, 1)
+	res, err := ClassifyData(data, Options{FixedXmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != NotHeavyTailed {
+		t.Fatalf("exponential data classified as %v", res.Class)
+	}
+}
+
+func TestClassifyMatchesPaperRuleTable(t *testing.T) {
+	// Synthetic comparison sets reproducing the decision rows discussed in
+	// the paper's Appendix.
+	sig := func(r float64) Comparison { return Comparison{R: r, P: 1e-10} }
+	insig := func(r float64) Comparison { return Comparison{R: r, P: 0.5} }
+
+	cases := []struct {
+		name string
+		cs   ComparisonSet
+		want Class
+	}{
+		{"two-week playtime row", ComparisonSet{
+			PLvsExp: sig(28049), PLvsLN: sig(-1678), TPLvsPL: sig(2172), TPLvsLN: sig(493),
+		}, TruncatedPowerLawClass},
+		{"total playtime row", ComparisonSet{
+			PLvsExp: sig(455501), PLvsLN: sig(-22961), TPLvsPL: sig(18402), TPLvsLN: sig(-4559),
+		}, LognormalClass},
+		{"account market value row", ComparisonSet{
+			PLvsExp: sig(7422), PLvsLN: sig(-49.5), TPLvsPL: sig(50.4), TPLvsLN: insig(0.9),
+		}, LongTailed},
+		{"group size row", ComparisonSet{
+			PLvsExp: sig(3381), PLvsLN: insig(-0.967),
+			TPLvsPL: Comparison{R: 2.097, P: 0.041}, TPLvsLN: insig(1.129),
+		}, HeavyTailed},
+		{"exponential gate", ComparisonSet{
+			PLvsExp: insig(100), PLvsLN: sig(-10), TPLvsPL: sig(5), TPLvsLN: sig(3),
+		}, NotHeavyTailed},
+		{"pure power law", ComparisonSet{
+			PLvsExp: sig(1000), PLvsLN: sig(12), TPLvsPL: insig(0.2), TPLvsLN: sig(5),
+		}, PowerLawClass},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.cs); got != tc.want {
+			t.Errorf("%s: classified %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		NotHeavyTailed:         "not heavy-tailed",
+		HeavyTailed:            "Heavy-tailed",
+		LongTailed:             "Long-tailed",
+		LognormalClass:         "Lognormal",
+		TruncatedPowerLawClass: "Truncated power law",
+		PowerLawClass:          "Power law",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestFavors(t *testing.T) {
+	if (Comparison{R: 5, P: 0.01}).Favors(0.05) != 1 {
+		t.Fatal("significant positive R should favor first")
+	}
+	if (Comparison{R: -5, P: 0.01}).Favors(0.05) != -1 {
+		t.Fatal("significant negative R should favor second")
+	}
+	if (Comparison{R: 5, P: 0.5}).Favors(0.05) != 0 {
+		t.Fatal("insignificant comparison should be inconclusive")
+	}
+}
+
+func TestCompareEmptyTail(t *testing.T) {
+	c := Compare(nil, dists.PowerLaw{Alpha: 2, Xmin: 1}, dists.Exponential{Lambda: 1, Xmin: 1})
+	if c.P != 1 || c.R != 0 {
+		t.Fatalf("empty-tail comparison = %+v", c)
+	}
+}
+
+func TestCompareIdenticalModels(t *testing.T) {
+	pl := dists.PowerLaw{Alpha: 2.5, Xmin: 1}
+	data := genPareto(8, 1000, 2.5, 1)
+	c := Compare(data, pl, pl)
+	if c.R != 0 || c.P != 1 {
+		t.Fatalf("identical models comparison = %+v", c)
+	}
+}
+
+func TestDiscreteFitOnCountData(t *testing.T) {
+	r := randx.New(9)
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = float64(r.DiscretePowerLaw(2.5, 1))
+	}
+	f, err := New(data, Options{Discrete: true, FixedXmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DiscretePL.Alpha < 2.0 || f.DiscretePL.Alpha > 3.0 {
+		t.Fatalf("discrete alpha %v out of range", f.DiscretePL.Alpha)
+	}
+	if f.Alpha() != f.DiscretePL.Alpha {
+		t.Fatal("Alpha() should return the discrete exponent when Discrete")
+	}
+	cs := f.CompareAll()
+	if !(cs.PLvsExp.R > 0 && cs.PLvsExp.P < 0.05) {
+		t.Fatalf("discrete power law lost to exponential: %+v", cs.PLvsExp)
+	}
+}
+
+func TestThin(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	th := thin(xs, 100)
+	if len(th) != 100 {
+		t.Fatalf("thin length %d", len(th))
+	}
+	if th[0] != 0 || th[len(th)-1] != 999 {
+		t.Fatalf("thin endpoints %v, %v", th[0], th[len(th)-1])
+	}
+	for i := 1; i < len(th); i++ {
+		if th[i] < th[i-1] {
+			t.Fatal("thin broke ordering")
+		}
+	}
+	same := thin(xs[:50], 100)
+	if len(same) != 50 {
+		t.Fatal("thin should be identity when under the cap")
+	}
+}
+
+func TestPowerLawGoFAcceptsTrueModel(t *testing.T) {
+	data := genPareto(50, 5000, 2.3, 1)
+	f, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gof := PowerLawGoF(f, 60, 7)
+	// Data drawn from a genuine power law should not be rejected.
+	if gof.P < 0.1 {
+		t.Fatalf("true power law rejected: p = %v (observed KS %v)", gof.P, gof.ObservedKS)
+	}
+	if gof.Bootstraps != 60 {
+		t.Fatalf("bootstraps = %d", gof.Bootstraps)
+	}
+}
+
+func TestPowerLawGoFRejectsWrongModel(t *testing.T) {
+	// Strongly curved lognormal data fit with a forced low xmin: the
+	// power law fits badly and the bootstrap should reject it.
+	data := genLognormal(51, 5000, 2.0, 0.5)
+	f, err := New(data, Options{FixedXmin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gof := PowerLawGoF(f, 60, 7)
+	if gof.P > 0.1 {
+		t.Fatalf("badly fitting power law not rejected: p = %v", gof.P)
+	}
+}
+
+func TestPowerLawGoFDeterministic(t *testing.T) {
+	data := genPareto(52, 2000, 2.0, 1)
+	f, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := PowerLawGoF(f, 30, 3)
+	b := PowerLawGoF(f, 30, 3)
+	if a.P != b.P {
+		t.Fatalf("bootstrap not deterministic: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// Known constant: c(0.05) ≈ 1.358.
+	got := KSCriticalValue(100, 0.05)
+	want := 1.3581015157406195 / 10
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("KS critical = %v, want %v", got, want)
+	}
+	if !math.IsInf(KSCriticalValue(0, 0.05), 1) {
+		t.Fatal("zero-n critical value not infinite")
+	}
+}

@@ -1,0 +1,84 @@
+package randx
+
+// Alias implements Walker's alias method for O(1) sampling from an arbitrary
+// discrete distribution. It is used for popularity-weighted game selection,
+// where millions of draws are made against a fixed weight vector.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table from the given non-negative weights.
+// Weights need not be normalized. Panics if all weights are zero or the
+// slice is empty.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("randx: NewAlias with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("randx: NewAlias with negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("randx: NewAlias with all-zero weights")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: p_i * n.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		// Only reachable through floating-point drift; treat as certain.
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a
+}
+
+// Sample draws an index distributed according to the weights.
+func (a *Alias) Sample(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// N returns the number of categories.
+func (a *Alias) N() int { return len(a.prob) }

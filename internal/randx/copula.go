@@ -1,0 +1,141 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Copula draws vectors of correlated uniforms through a Gaussian copula.
+// The simulator uses it to give each synthetic user a joint draw of
+// (friends, games owned, playtime, ...) whose Spearman rank correlations
+// match the matrix published in §7 of the paper, while each marginal is
+// shaped independently by its quantile function. Spearman correlation is
+// invariant under the monotone marginal transforms, so calibrating the
+// latent Gaussian correlation calibrates the final rank correlations
+// exactly (in expectation).
+type Copula struct {
+	dim  int
+	chol []float64 // lower-triangular Cholesky factor, row-major dim x dim
+}
+
+// SpearmanToPearson converts a target Spearman rank correlation into the
+// Pearson correlation the latent Gaussian must carry:
+// r = 2 sin(pi * rho / 6).
+func SpearmanToPearson(rho float64) float64 {
+	return 2 * math.Sin(math.Pi*rho/6)
+}
+
+// PearsonToSpearman is the inverse of SpearmanToPearson.
+func PearsonToSpearman(r float64) float64 {
+	return 6 / math.Pi * math.Asin(r/2)
+}
+
+// NewCopula builds a Gaussian copula from a symmetric Spearman correlation
+// matrix (row-major, dim x dim, unit diagonal). If the implied Pearson
+// matrix is not positive definite it is repaired by ridging the diagonal,
+// which slightly shrinks all correlations toward zero; the repair amount is
+// returned so callers can assert it stays negligible.
+func NewCopula(dim int, spearman []float64) (*Copula, float64, error) {
+	if len(spearman) != dim*dim {
+		return nil, 0, fmt.Errorf("randx: copula matrix must be %d x %d", dim, dim)
+	}
+	pearson := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			if i == j {
+				pearson[i*dim+j] = 1
+				continue
+			}
+			s := spearman[i*dim+j]
+			if s != spearman[j*dim+i] {
+				return nil, 0, fmt.Errorf("randx: copula matrix not symmetric at (%d, %d)", i, j)
+			}
+			if s <= -1 || s >= 1 {
+				return nil, 0, fmt.Errorf("randx: correlation out of range at (%d, %d): %v", i, j, s)
+			}
+			pearson[i*dim+j] = SpearmanToPearson(s)
+		}
+	}
+	ridge := 0.0
+	for {
+		chol, ok := cholesky(dim, pearson, ridge)
+		if ok {
+			return &Copula{dim: dim, chol: chol}, ridge, nil
+		}
+		if ridge == 0 {
+			ridge = 1e-6
+		} else {
+			ridge *= 2
+		}
+		if ridge > 1.0 {
+			return nil, ridge, fmt.Errorf("randx: correlation matrix too far from positive definite")
+		}
+	}
+}
+
+// cholesky computes the lower Cholesky factor of m + ridge*I (with the
+// result rescaled so the diagonal of the implied covariance is 1). Returns
+// ok=false if the matrix is not positive definite.
+func cholesky(dim int, m []float64, ridge float64) ([]float64, bool) {
+	a := make([]float64, dim*dim)
+	scale := 1 / (1 + ridge)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			v := m[i*dim+j] * scale
+			if i == j {
+				v = 1
+			}
+			a[i*dim+j] = v
+		}
+	}
+	l := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*dim+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*dim+k] * l[j*dim+k]
+			}
+			if i == j {
+				if sum <= 1e-12 {
+					return nil, false
+				}
+				l[i*dim+i] = math.Sqrt(sum)
+			} else {
+				l[i*dim+j] = sum / l[j*dim+j]
+			}
+		}
+	}
+	return l, true
+}
+
+// Dim returns the copula dimensionality.
+func (c *Copula) Dim() int { return c.dim }
+
+// Sample fills z with correlated standard normals and u with the
+// corresponding uniforms Phi(z). Both slices must have length Dim().
+// Scratch-free: allocates nothing.
+func (c *Copula) Sample(r *RNG, z, u []float64) {
+	if len(z) != c.dim || len(u) != c.dim {
+		panic("randx: copula sample buffers have wrong length")
+	}
+	// Draw iid normals into u as scratch, then mix through the Cholesky
+	// factor into z.
+	for i := 0; i < c.dim; i++ {
+		u[i] = r.NormFloat64()
+	}
+	for i := c.dim - 1; i >= 0; i-- {
+		sum := 0.0
+		for k := 0; k <= i; k++ {
+			sum += c.chol[i*c.dim+k] * u[k]
+		}
+		z[i] = sum
+	}
+	for i := 0; i < c.dim; i++ {
+		u[i] = NormalCDF(z[i])
+	}
+}
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

@@ -1,0 +1,163 @@
+package randx
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSpearmanPearsonRoundTrip(t *testing.T) {
+	for _, rho := range []float64{-0.9, -0.5, 0, 0.3, 0.77, 0.95} {
+		r := SpearmanToPearson(rho)
+		back := PearsonToSpearman(r)
+		if math.Abs(back-rho) > 1e-12 {
+			t.Fatalf("round trip %v -> %v -> %v", rho, r, back)
+		}
+	}
+}
+
+func TestCopulaRejectsBadInput(t *testing.T) {
+	if _, _, err := NewCopula(2, []float64{1, 0.5, 0.4, 1}); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, _, err := NewCopula(2, []float64{1, 1.5, 1.5, 1}); err == nil {
+		t.Fatal("out-of-range correlation accepted")
+	}
+	if _, _, err := NewCopula(3, []float64{1, 0, 0, 1}); err == nil {
+		t.Fatal("wrong-size matrix accepted")
+	}
+}
+
+// sampleSpearman estimates Spearman rho between two columns of copula draws.
+func sampleSpearman(t *testing.T, c *Copula, n, i, j int) float64 {
+	t.Helper()
+	r := New(99)
+	xi := make([]float64, n)
+	xj := make([]float64, n)
+	z := make([]float64, c.Dim())
+	u := make([]float64, c.Dim())
+	for k := 0; k < n; k++ {
+		c.Sample(r, z, u)
+		xi[k] = u[i]
+		xj[k] = u[j]
+	}
+	return spearmanLocal(xi, xj)
+}
+
+// spearmanLocal is a minimal rank correlation for test use only (no ties in
+// continuous copula output).
+func spearmanLocal(x, y []float64) float64 {
+	rx := ranksLocal(x)
+	ry := ranksLocal(y)
+	n := float64(len(x))
+	var sx, sy, sxy, sxx, syy float64
+	for i := range rx {
+		sx += rx[i]
+		sy += ry[i]
+	}
+	mx, my := sx/n, sy/n
+	for i := range rx {
+		dx, dy := rx[i]-mx, ry[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func ranksLocal(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, len(x))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}
+
+func TestCopulaAchievesTargetSpearman(t *testing.T) {
+	target := 0.77
+	m := []float64{
+		1, target,
+		target, 1,
+	}
+	c, ridge, err := NewCopula(2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridge != 0 {
+		t.Fatalf("unexpected ridge %v for a 2x2 PD matrix", ridge)
+	}
+	got := sampleSpearman(t, c, 20000, 0, 1)
+	if math.Abs(got-target) > 0.02 {
+		t.Fatalf("sampled Spearman %v, want %v", got, target)
+	}
+}
+
+func TestCopulaMarginalsUniform(t *testing.T) {
+	m := []float64{
+		1, 0.5, 0.2,
+		0.5, 1, 0.1,
+		0.2, 0.1, 1,
+	}
+	c, _, err := NewCopula(3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(77)
+	z := make([]float64, 3)
+	u := make([]float64, 3)
+	const n = 50000
+	sums := make([]float64, 3)
+	for k := 0; k < n; k++ {
+		c.Sample(r, z, u)
+		for d := 0; d < 3; d++ {
+			if u[d] <= 0 || u[d] >= 1 {
+				t.Fatalf("uniform out of (0,1): %v", u[d])
+			}
+			sums[d] += u[d]
+		}
+	}
+	for d, s := range sums {
+		if mean := s / n; math.Abs(mean-0.5) > 0.01 {
+			t.Fatalf("copula marginal %d mean %v", d, mean)
+		}
+	}
+}
+
+func TestCopulaRepairsNearSingular(t *testing.T) {
+	// Three variables each pairwise-correlated 0.99 against variable 0 but
+	// weakly with each other: not positive definite as a Pearson matrix.
+	m := []float64{
+		1, 0.99, 0.99,
+		0.99, 1, 0.5,
+		0.99, 0.5, 1,
+	}
+	c, ridge, err := NewCopula(3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridge == 0 {
+		t.Fatal("expected a ridge repair for a non-PD matrix")
+	}
+	if c == nil {
+		t.Fatal("nil copula after repair")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0:     0.5,
+		1.96:  0.9750021048517795,
+		-1.96: 0.0249978951482205,
+		3:     0.9986501019683699,
+	}
+	for x, want := range cases {
+		if got := NormalCDF(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("NormalCDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

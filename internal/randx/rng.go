@@ -1,0 +1,203 @@
+// Package randx provides a deterministic, splittable random number
+// generator and the samplers used to synthesize the Steam universe.
+//
+// Determinism is a hard requirement for this reproduction: every table and
+// figure must be regenerable bit-for-bit from a single seed, and tests pin
+// seeds to assert calibration targets. The generator is xoshiro256**,
+// seeded through splitmix64 so that correlated seeds (0, 1, 2, ...) still
+// produce decorrelated streams. Child streams are derived with Split, which
+// hashes a label into the parent state, so independent subsystems (users,
+// games, friendships, ...) can consume randomness in any order without
+// perturbing each other.
+package randx
+
+import (
+	"math"
+)
+
+// RNG is a deterministic pseudo-random number generator (xoshiro256**).
+// It is NOT safe for concurrent use; derive per-goroutine streams with
+// Split instead of sharing one RNG.
+type RNG struct {
+	s [4]uint64
+
+	// cached spare normal deviate for NormFloat64 (Marsaglia polar method).
+	haveSpare bool
+	spare     float64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output. It is used
+// only for seeding, per the xoshiro authors' recommendation.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns an RNG seeded from seed. Distinct seeds, including adjacent
+// integers, yield statistically independent streams.
+func New(seed int64) *RNG {
+	r := &RNG{}
+	x := uint64(seed)
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// A state of all zeros is invalid for xoshiro; splitmix64 cannot emit
+	// four zeros in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child stream identified by label. The parent
+// is not advanced, so the set of child streams is a pure function of
+// (parent seed, label).
+func (r *RNG) Split(label string) *RNG {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	c := &RNG{}
+	x := r.s[0] ^ h
+	for i := range c.s {
+		c.s[i] = splitmix64(&x) ^ r.s[i]
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = h | 1
+	}
+	return c
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly 0, which is
+// convenient as input to quantile functions that diverge at the endpoints.
+func (r *RNG) Float64Open() float64 {
+	for {
+		f := r.Float64()
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("randx: Uint64n with zero n")
+	}
+	// Lemire's method with rejection for exact uniformity.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal deviate (Marsaglia polar method,
+// with one cached spare per pair).
+func (r *RNG) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential deviate with rate 1 (mean 1).
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,239 @@
+package randx
+
+import (
+	"math"
+)
+
+// Lognormal returns a lognormal deviate with the given log-mean and
+// log-standard-deviation: exp(mu + sigma*Z).
+func (r *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto returns a continuous power-law (Pareto) deviate with density
+// p(x) ∝ x^-alpha for x >= xmin. Requires alpha > 1.
+func (r *RNG) Pareto(alpha, xmin float64) float64 {
+	if alpha <= 1 {
+		panic("randx: Pareto requires alpha > 1")
+	}
+	u := r.Float64Open()
+	return xmin * math.Pow(u, -1/(alpha-1))
+}
+
+// BoundedPareto returns a Pareto deviate truncated to [xmin, xmax] by
+// inverse-CDF sampling of the truncated distribution (no rejection loop).
+func (r *RNG) BoundedPareto(alpha, xmin, xmax float64) float64 {
+	if xmax <= xmin {
+		return xmin
+	}
+	if alpha == 1 {
+		// p(x) ∝ 1/x: quantile is geometric interpolation.
+		u := r.Float64()
+		return xmin * math.Pow(xmax/xmin, u)
+	}
+	a1 := 1 - alpha
+	lo := math.Pow(xmin, a1)
+	hi := math.Pow(xmax, a1)
+	u := r.Float64()
+	return math.Pow(lo+u*(hi-lo), 1/a1)
+}
+
+// TruncatedPowerLaw returns a deviate with density p(x) ∝ x^-alpha e^-lambda*x
+// for x >= xmin (a power law with exponential cutoff). Sampling is by
+// rejection from a pure power law with acceptance probability
+// exp(-lambda (x - xmin)), which is exact and efficient when
+// lambda*xmin is small. Requires alpha > 1, lambda >= 0.
+func (r *RNG) TruncatedPowerLaw(alpha, lambda, xmin float64) float64 {
+	if lambda <= 0 {
+		return r.Pareto(alpha, xmin)
+	}
+	for {
+		x := r.Pareto(alpha, xmin)
+		if r.Float64() < math.Exp(-lambda*(x-xmin)) {
+			return x
+		}
+	}
+}
+
+// DiscretePowerLaw returns an integer deviate k >= kmin with P(k) ∝ k^-alpha,
+// using the continuous-approximation method of Clauset et al. (2009),
+// appendix D: round a continuous Pareto shifted by 1/2.
+func (r *RNG) DiscretePowerLaw(alpha float64, kmin int) int {
+	x := r.Pareto(alpha, float64(kmin)-0.5)
+	return int(math.Floor(x + 0.5))
+}
+
+// Poisson returns a Poisson deviate with the given mean. Uses Knuth's
+// multiplication method for small means and the PTRS transformed-rejection
+// method is not needed at the scales used here; for large means a normal
+// approximation with continuity correction is used.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation, adequate for mean >= 30.
+	k := int(math.Floor(mean + math.Sqrt(mean)*r.NormFloat64() + 0.5))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Geometric returns a geometric deviate counting failures before the first
+// success with success probability p (support {0, 1, 2, ...}).
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("randx: Geometric requires p in (0, 1]")
+	}
+	u := r.Float64Open()
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Laplace returns a Laplace (double exponential) deviate with location 0 and
+// the given scale.
+func (r *RNG) Laplace(scale float64) float64 {
+	u := r.Float64() - 0.5
+	if u >= 0 {
+		return -scale * math.Log(1-2*u)
+	}
+	return scale * math.Log(1+2*u)
+}
+
+// Binomial returns a binomial deviate with n trials and success probability p.
+// Direct simulation for small n, normal approximation for large n.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Floor(mean + sd*r.NormFloat64() + 0.5))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Dirichlet fills out with a draw from a symmetric Dirichlet distribution of
+// concentration alpha over len(out) categories. out sums to 1.
+func (r *RNG) Dirichlet(alpha float64, out []float64) {
+	sum := 0.0
+	for i := range out {
+		g := r.Gamma(alpha)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Gamma returns a gamma deviate with the given shape and unit scale, using
+// the Marsaglia–Tsang squeeze method (with the shape<1 boost).
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("randx: Gamma requires shape > 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := r.Float64Open()
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Zipf returns an integer in [0, n) with P(k) ∝ (k+1)^-s, sampled by
+// bisection on a precomputed CDF held by the ZipfSampler. For one-off draws
+// without a sampler, use NewZipf.
+type ZipfSampler struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(n int, s float64) *ZipfSampler {
+	if n <= 0 {
+		panic("randx: NewZipf requires n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &ZipfSampler{cdf: cdf}
+}
+
+// Sample draws a rank in [0, n).
+func (z *ZipfSampler) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *ZipfSampler) N() int { return len(z.cdf) }

@@ -1,0 +1,275 @@
+package randx
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestLognormalMedian(t *testing.T) {
+	r := New(20)
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Lognormal(math.Log(10), 1.2)
+	}
+	sort.Float64s(xs)
+	med := xs[n/2]
+	if med < 9 || med > 11 {
+		t.Fatalf("lognormal median %v, want ~10", med)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(21)
+	const n = 200000
+	alpha, xmin := 2.5, 1.0
+	over2, over4 := 0, 0
+	for i := 0; i < n; i++ {
+		x := r.Pareto(alpha, xmin)
+		if x < xmin {
+			t.Fatalf("Pareto deviate %v below xmin", x)
+		}
+		if x > 2 {
+			over2++
+		}
+		if x > 4 {
+			over4++
+		}
+	}
+	// CCDF(x) = (x/xmin)^-(alpha-1) = x^-1.5
+	p2 := float64(over2) / n
+	p4 := float64(over4) / n
+	if math.Abs(p2-math.Pow(2, -1.5)) > 0.01 {
+		t.Fatalf("P(X>2) = %v, want %v", p2, math.Pow(2, -1.5))
+	}
+	if math.Abs(p4-math.Pow(4, -1.5)) > 0.01 {
+		t.Fatalf("P(X>4) = %v, want %v", p4, math.Pow(4, -1.5))
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	r := New(22)
+	for i := 0; i < 10000; i++ {
+		x := r.BoundedPareto(2.0, 1, 100)
+		if x < 1 || x > 100 {
+			t.Fatalf("BoundedPareto out of range: %v", x)
+		}
+	}
+	// Degenerate bound collapses to xmin.
+	if x := r.BoundedPareto(2.0, 5, 5); x != 5 {
+		t.Fatalf("degenerate BoundedPareto = %v, want 5", x)
+	}
+}
+
+func TestTruncatedPowerLawThinnerThanPareto(t *testing.T) {
+	r := New(23)
+	const n = 50000
+	overTPL, overPL := 0, 0
+	for i := 0; i < n; i++ {
+		if r.TruncatedPowerLaw(1.8, 0.05, 1) > 30 {
+			overTPL++
+		}
+		if r.Pareto(1.8, 1) > 30 {
+			overPL++
+		}
+	}
+	if overTPL >= overPL {
+		t.Fatalf("truncated tail (%d) not thinner than pure power law (%d)", overTPL, overPL)
+	}
+}
+
+func TestTruncatedPowerLawZeroLambda(t *testing.T) {
+	a := New(24)
+	b := New(24)
+	for i := 0; i < 100; i++ {
+		x := a.TruncatedPowerLaw(2.2, 0, 3)
+		y := b.Pareto(2.2, 3)
+		if x != y {
+			t.Fatal("lambda=0 should reduce to Pareto draw-for-draw")
+		}
+	}
+}
+
+func TestDiscretePowerLawSupport(t *testing.T) {
+	r := New(25)
+	for i := 0; i < 20000; i++ {
+		k := r.DiscretePowerLaw(2.5, 1)
+		if k < 1 {
+			t.Fatalf("discrete power law below kmin: %d", k)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(26)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(27)
+	const n, p = 100000, 0.25
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	want := (1 - p) / p // mean of failures-counting geometric
+	got := float64(sum) / n
+	if math.Abs(got-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want %v", p, got, want)
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	r := New(28)
+	const n = 100000
+	pos, sum := 0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Laplace(2)
+		if x > 0 {
+			pos++
+		}
+		sum += math.Abs(x)
+	}
+	if frac := float64(pos) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Laplace positive fraction %v", frac)
+	}
+	// E|X| = scale
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Laplace mean abs %v, want 2", mean)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(29)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {200, 0.1}, {1000, 0.9}} {
+		const draws = 20000
+		sum := 0
+		for i := 0; i < draws; i++ {
+			k := r.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Binomial out of range: %d", k)
+			}
+			sum += k
+		}
+		want := float64(tc.n) * tc.p
+		got := float64(sum) / draws
+		if math.Abs(got-want) > 0.03*want+0.2 {
+			t.Fatalf("Binomial(%d,%v) mean %v, want %v", tc.n, tc.p, got, want)
+		}
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(30)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		got := sum / n
+		if math.Abs(got-shape) > 0.05*shape+0.02 {
+			t.Fatalf("Gamma(%v) mean %v", shape, got)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(31)
+	out := make([]float64, 8)
+	for i := 0; i < 100; i++ {
+		r.Dirichlet(0.7, out)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				t.Fatalf("negative Dirichlet component %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sum %v", sum)
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := New(32)
+	z := NewZipf(100, 1.0)
+	const n = 200000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Rank 0 should be ~2x rank 1 under s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("Zipf rank0/rank1 ratio %v, want ~2", ratio)
+	}
+	if counts[99] >= counts[0] {
+		t.Fatal("Zipf tail rank as popular as head")
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(33)
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	if a.N() != 4 {
+		t.Fatalf("alias N = %d", a.N())
+	}
+	const n = 400000
+	counts := make([]int, 4)
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > 5*math.Sqrt(want) {
+			t.Fatalf("alias bucket %d count %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasSingleBucket(t *testing.T) {
+	a := NewAlias([]float64{5})
+	r := New(34)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-bucket alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAlias(%s) did not panic", name)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}

@@ -1,0 +1,124 @@
+// Package ratelimit implements a token-bucket rate limiter used on both
+// sides of the crawl: the API server enforces the Steam Web API's limits,
+// and the crawler voluntarily throttles itself to 85 % of the allowance,
+// as the paper describes in §3.1.
+package ratelimit
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter is a thread-safe token bucket: Rate tokens per second refill a
+// bucket of capacity Burst; each permitted action consumes one token.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	// sleeper lets tests fake the clock on Wait.
+	sleeper func(ctx context.Context, d time.Duration) error
+}
+
+// New creates a limiter with the given sustained rate (tokens/second) and
+// burst capacity. The bucket starts full. Panics on non-positive rate or
+// burst.
+func New(rate float64, burst int) *Limiter {
+	if rate <= 0 || burst <= 0 {
+		panic("ratelimit: rate and burst must be positive")
+	}
+	l := &Limiter{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+		sleeper: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+	l.last = l.now()
+	return l
+}
+
+// NewWithClock creates a limiter with an injected clock and instantaneous
+// sleeps (for deterministic tests).
+func NewWithClock(rate float64, burst int, clock func() time.Time) *Limiter {
+	l := New(rate, burst)
+	l.now = clock
+	l.last = clock()
+	l.sleeper = func(context.Context, time.Duration) error { return nil }
+	return l
+}
+
+// refillLocked advances the bucket to the current time.
+func (l *Limiter) refillLocked() {
+	now := l.now()
+	elapsed := now.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.tokens += elapsed * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+	}
+}
+
+// Allow consumes one token if available and reports whether it did.
+func (l *Limiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Wait blocks until a token is available or the context is done. It
+// reserves its token before sleeping, so concurrent waiters are served
+// fairly and the sustained rate is respected.
+func (l *Limiter) Wait(ctx context.Context) error {
+	l.mu.Lock()
+	l.refillLocked()
+	l.tokens--
+	var wait time.Duration
+	if l.tokens < 0 {
+		// The bucket is in debt: this caller's token arrives after the
+		// debt is repaid.
+		wait = time.Duration(-l.tokens / l.rate * float64(time.Second))
+	}
+	l.mu.Unlock()
+	if wait <= 0 {
+		return nil
+	}
+	if err := l.sleeper(ctx, wait); err != nil {
+		// The reservation is abandoned; return the token.
+		l.mu.Lock()
+		l.tokens++
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Tokens returns the current token count (for tests and metrics).
+func (l *Limiter) Tokens() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	return l.tokens
+}
+
+// Rate returns the sustained rate in tokens per second.
+func (l *Limiter) Rate() float64 { return l.rate }

@@ -1,0 +1,159 @@
+package ratelimit
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAllowBurstThenDeny(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l := NewWithClock(10, 5, clock.now)
+	for i := 0; i < 5; i++ {
+		if !l.Allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("token allowed beyond burst")
+	}
+}
+
+func TestRefill(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l := NewWithClock(10, 5, clock.now)
+	for i := 0; i < 5; i++ {
+		l.Allow()
+	}
+	clock.advance(300 * time.Millisecond) // 3 tokens
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if l.Allow() {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("allowed %d after refill, want 3", allowed)
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l := NewWithClock(100, 3, clock.now)
+	clock.advance(time.Hour)
+	if tok := l.Tokens(); tok > 3 {
+		t.Fatalf("bucket overfilled: %v", tok)
+	}
+}
+
+func TestWaitConservesRate(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l := NewWithClock(10, 1, clock.now)
+	// With a fake sleeper (instant), Wait should still account debt:
+	// issuing 21 tokens from a 1-burst bucket drives tokens to -20.
+	for i := 0; i < 21; i++ {
+		if err := l.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tok := l.Tokens(); tok > -19 {
+		t.Fatalf("token debt not accounted: %v", tok)
+	}
+	// After 2 simulated seconds the debt is repaid.
+	clock.advance(2 * time.Second)
+	if tok := l.Tokens(); tok < 0 {
+		t.Fatalf("debt not repaid after refill window: %v", tok)
+	}
+}
+
+func TestWaitContextCancelReturnsToken(t *testing.T) {
+	l := New(0.001, 1) // extremely slow refill, real clock
+	if err := l.Wait(context.Background()); err != nil {
+		t.Fatal(err) // consumes the single burst token instantly
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := l.Tokens()
+	if err := l.Wait(ctx); err == nil {
+		t.Fatal("Wait did not observe cancellation")
+	}
+	after := l.Tokens()
+	if after < before-0.01 {
+		t.Fatalf("cancelled Wait leaked a token: %v -> %v", before, after)
+	}
+}
+
+func TestWaitRealClockThroughput(t *testing.T) {
+	l := New(200, 1)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := l.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 20 tokens at 200/s from a 1-burst bucket needs >= ~95ms.
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("rate not enforced: 20 tokens in %v", elapsed)
+	}
+}
+
+func TestConcurrentAllowNoOverissue(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l := NewWithClock(1, 100, clock.now)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	granted := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if l.Allow() {
+					mu.Lock()
+					granted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if granted > 100 {
+		t.Fatalf("over-issued %d tokens from a 100-burst bucket", granted)
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		rate  float64
+		burst int
+	}{{0, 1}, {-1, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v, %d) did not panic", tc.rate, tc.burst)
+				}
+			}()
+			New(tc.rate, tc.burst)
+		}()
+	}
+}

@@ -1,0 +1,314 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"steamstudy/internal/analysis"
+	"steamstudy/internal/graph"
+	"steamstudy/internal/stats"
+)
+
+// Paper-value constants quoted inline next to reproduced numbers, so every
+// rendered table carries its own paper-vs-measured comparison.
+
+// Table1 renders the reported-country breakdown beside Table 1's values.
+func Table1(w io.Writer, t analysis.CountryTable) error {
+	fmt.Fprintf(w, "Table 1 — reported-country breakdown (%.1f%% of users report; paper: 10.7%%)\n",
+		t.ReportFraction*100)
+	rows := make([][]string, 0, len(t.Rows)+1)
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Rank), r.Country, fmt.Sprintf("%.2f%%", r.Percent),
+		})
+	}
+	rows = append(rows, []string{"", fmt.Sprintf("Other (%d)", t.OtherCount),
+		fmt.Sprintf("%.2f%%", t.OtherPercent)})
+	return Table(w, []string{"Rank", "Country", "Percent"}, rows)
+}
+
+// Table2 renders the top-group type mix beside Table 2's values.
+func Table2(w io.Writer, rows []analysis.GroupTypeRow) error {
+	fmt.Fprintln(w, "Table 2 — types of the largest groups"+
+		" (paper: Game Server 45.6%, Single Game 20.4%, Community 17.2%,"+
+		" Special Interest 14.0%, Steam 1.6%, Publisher 1.2%)")
+	out := make([][]string, 0, len(rows))
+	total := 0
+	for _, r := range rows {
+		out = append(out, []string{r.Type, fmt.Sprint(r.Count), fmt.Sprintf("%.1f%%", r.Percent)})
+		total += r.Count
+	}
+	out = append(out, []string{"Total", fmt.Sprint(total), "100.0%"})
+	return Table(w, []string{"Group Type", "Count", "Percent"}, out)
+}
+
+// Table3 renders the percentile table beside Table 3's values.
+func Table3(w io.Writer, rows []analysis.PercentileRow) error {
+	fmt.Fprintln(w, "Table 3 — percentiles of gamer attributes (paper values in DESIGN.md §4)")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Attribute, F(r.P50), F(r.P80), F(r.P90), F(r.P95), F(r.P99),
+		})
+	}
+	return Table(w, []string{"Attribute", "50th", "80th", "90th", "95th", "99th"}, out)
+}
+
+// Table4 renders the classification table in the Appendix layout.
+func Table4(w io.Writer, rows []analysis.ClassificationRow) error {
+	fmt.Fprintln(w, "Table 4 — heavy-tail classification (R/p per comparison, as in the Appendix)")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		if r.Err != "" {
+			out = append(out, []string{r.Distribution, "-", "-", "-", "-", "error: " + r.Err})
+			continue
+		}
+		fmtCmp := func(R, P float64) string { return fmt.Sprintf("%.1f/%.2g", R, P) }
+		class := r.Class.String()
+		if r.LowResolution {
+			class += " (low resolution)"
+		}
+		out = append(out, []string{
+			r.Distribution,
+			fmtCmp(r.Comparisons.PLvsExp.R, r.Comparisons.PLvsExp.P),
+			fmtCmp(r.Comparisons.PLvsLN.R, r.Comparisons.PLvsLN.P),
+			fmtCmp(r.Comparisons.TPLvsPL.R, r.Comparisons.TPLvsPL.P),
+			fmtCmp(r.Comparisons.TPLvsLN.R, r.Comparisons.TPLvsLN.P),
+			class,
+		})
+	}
+	return Table(w, []string{
+		"Distribution", "PL vs exp", "PL vs LN", "TPL vs PL", "TPL vs LN", "Classification",
+	}, out)
+}
+
+// Figure1Evolution renders Fig 1 as two cumulative series.
+func Figure1Evolution(w io.Writer, pts []graph.EvolutionPoint) error {
+	fmt.Fprintln(w, "Figure 1 — evolution of the friendship graph (cumulative, monthly)")
+	var users, friends []Point
+	for i, p := range pts {
+		x := float64(i)
+		users = append(users, Point{X: x, Y: float64(p.Users)})
+		friends = append(friends, Point{X: x, Y: float64(p.Friendships)})
+	}
+	if err := Plot(w, [][]Point{users, friends}, PlotOptions{
+		Height: 16, Title: "  * users    + friendships", XLabel: "months since Sep 2008",
+	}); err != nil {
+		return err
+	}
+	last := pts[len(pts)-1]
+	_, err := fmt.Fprintf(w, "final: %d users, %d friendships (timestamped window)\n",
+		last.Users, last.Friendships)
+	return err
+}
+
+// Figure2 renders the degree distributions on log-log axes.
+func Figure2(w io.Writer, series []analysis.DegreeSeries, dips analysis.CapDipStats) error {
+	fmt.Fprintln(w, "Figure 2 — friend-count distributions (log-log)")
+	var plots [][]Point
+	var legend string
+	for i, s := range series {
+		var pts []Point
+		for k, v := range s.Hist {
+			pts = append(pts, Point{X: float64(k), Y: float64(v)})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		plots = append(plots, pts)
+		legend += fmt.Sprintf("  %c %s", "*+ox#@%&"[i%8], s.Label)
+	}
+	fmt.Fprintln(w, legend)
+	if err := Plot(w, plots, PlotOptions{LogX: true, LogY: true, Height: 18, XLabel: "friends"}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "cap dips: %d users at 240-250 friends, %d above 250, %d above 300 (paper: sharp drops past the caps)\n",
+		dips.At240to250, dips.Above250, dips.Above300)
+	return err
+}
+
+// Figure3 renders the group game-diversity histogram.
+func Figure3(w io.Writer, res analysis.Figure3Result) error {
+	fmt.Fprintf(w, "Figure 3 — distinct games played by group members (%d groups; log-log)\n",
+		res.GroupsConsidered)
+	var pts []Point
+	for _, p := range res.Histogram {
+		pts = append(pts, Point{X: float64(p.DistinctGames), Y: float64(p.Groups)})
+	}
+	if err := Plot(w, [][]Point{pts}, PlotOptions{LogX: true, LogY: true, Height: 14, XLabel: "distinct games"}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "focused groups (>=90%% playtime on one game): %d (%.2f%%; paper: 4.97%%)\n",
+		res.FocusedGroups, res.FocusedFraction*100)
+	return err
+}
+
+// Figure4 renders the ownership distributions.
+func Figure4(w io.Writer, res analysis.OwnershipResult) error {
+	fmt.Fprintln(w, "Figure 4 — game ownership (log-log; * owned, + played)")
+	toPts := func(h map[int]int) []Point {
+		var pts []Point
+		for k, v := range h {
+			pts = append(pts, Point{X: float64(k), Y: float64(v)})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		return pts
+	}
+	if err := Plot(w, [][]Point{toPts(res.OwnedHist), toPts(res.PlayedHist)},
+		PlotOptions{LogX: true, LogY: true, Height: 16, XLabel: "games"}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"80th percentiles: %s owned / %s played (paper: 10 / 7); uptick band owners: %d; big never-played libraries: %d (paper: 29)\n",
+		F(res.OwnedP80), F(res.PlayedP80), res.UptickOwners, res.NeverPlayedBigLibraries)
+	return err
+}
+
+// Figure5 renders ownership by genre.
+func Figure5(w io.Writer, rows []analysis.GenreOwnershipRow) error {
+	fmt.Fprintln(w, "Figure 5 — ownership by genre (# owned; parenthesized: unplayed share; paper: Action 41.49% unplayed)")
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = fmt.Sprintf("%s (%.0f%% unplayed)", r.Genre, r.UnplayedFrac*100)
+		values[i] = float64(r.Owned)
+	}
+	return Bars(w, labels, values, 48)
+}
+
+// Figure6 renders the playtime CDFs and Pareto shares.
+func Figure6(w io.Writer, res analysis.PlaytimeCDFResult) error {
+	fmt.Fprintln(w, "Figure 6 — CDF of total (*) and two-week (+) playtime (hours, log x)")
+	toPts := func(c []stats.CDFPoint) []Point {
+		var pts []Point
+		for _, p := range c {
+			if p.X > 0 {
+				pts = append(pts, Point{X: p.X, Y: p.P})
+			}
+		}
+		return thinPts(pts, 400)
+	}
+	if err := Plot(w, [][]Point{toPts(res.TotalCDF), toPts(res.TwoWeekCDF)},
+		PlotOptions{LogX: true, Height: 14, XLabel: "hours"}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"top 20%% of players hold %.1f%% of playtime (paper: 82.4%%); top 10%% of users hold %.1f%% of two-week playtime (paper: 93.0%%); %.1f%% of users idle over two weeks (paper: >80%%)\n",
+		res.Top20TotalShare*100, res.Top10TwoWeekShare*100, res.ZeroTwoWeekFrac*100)
+	return err
+}
+
+// Figure7 renders the nonzero two-week distribution.
+func Figure7(w io.Writer, res analysis.TwoWeekResult) error {
+	fmt.Fprintln(w, "Figure 7 — non-zero two-week playtime (log-log density)")
+	var pts []Point
+	for _, b := range res.Bins {
+		pts = append(pts, Point{X: b.Center, Y: b.Density})
+	}
+	if err := Plot(w, [][]Point{pts}, PlotOptions{LogX: true, LogY: true, Height: 14, XLabel: "hours"}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "80th percentile %.2f h (paper: 32.05 h); max %.1f h (bound 336 h); near-max idlers: %.4f%% of users (paper: 0.01%%)\n",
+		res.P80, res.Max, res.NearMaxFrac*100)
+	return err
+}
+
+// Figure8 renders the market value distribution.
+func Figure8(w io.Writer, res analysis.MarketValueResult) error {
+	fmt.Fprintln(w, "Figure 8 — account market value (log-log density)")
+	var pts []Point
+	for _, b := range res.Bins {
+		pts = append(pts, Point{X: b.Center, Y: b.Density})
+	}
+	if err := Plot(w, [][]Point{pts}, PlotOptions{LogX: true, LogY: true, Height: 14, XLabel: "dollars"}); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "80th percentile %s (paper: $150.88); max %s (paper: $24,315.40); top 20%% hold %.0f%% of value (paper: 73%%)\n",
+		USD(res.P80), USD(res.Max), res.Top20ValueShare*100)
+	return err
+}
+
+// Figure9 renders per-genre playtime and value shares.
+func Figure9(w io.Writer, rows []analysis.GenreExpenditureRow) error {
+	fmt.Fprintln(w, "Figure 9 — playtime and market value by genre (paper: Action 49.24% of playtime, 51.88% of value)")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Genre,
+			fmt.Sprintf("%.0f h", r.PlaytimeHours),
+			Pct(r.PlaytimeShare),
+			USD(r.ValueUSD),
+			Pct(r.ValueShare),
+		})
+	}
+	return Table(w, []string{"Genre", "Playtime", "Share", "Value", "Share"}, out)
+}
+
+// Figure10 renders the multiplayer split.
+func Figure10(w io.Writer, res analysis.MultiplayerShareResult) error {
+	fmt.Fprintln(w, "Figure 10 — multiplayer vs single-player playtime")
+	if err := Bars(w, []string{
+		"multiplayer catalog share",
+		"multiplayer share of total playtime",
+		"multiplayer share of two-week playtime",
+	}, []float64{res.CatalogShare, res.TotalShare, res.TwoWeekShare}, 48); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "paper: 48.7%% of games, 57.7%% of total and 67.7%% of two-week playtime; users fully multiplayer in their fortnight: %.1f%%\n",
+		res.UsersOnlyMultiplayerTwoWeek*100)
+	return err
+}
+
+// Figure11 renders the homophily correlations and scatter.
+func Figure11(w io.Writer, rows []analysis.HomophilyRow, own, nbr []float64) error {
+	fmt.Fprintln(w, "Figure 11 / §7 — homophily: own attribute vs friends' average")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Attribute, fmt.Sprintf("%.3f", r.Rho), r.Strength, fmt.Sprint(r.Pairs)})
+	}
+	if err := Table(w, []string{"Attribute", "rho", "Strength", "Pairs"}, out); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "market value vs friends' average market value (paper rho=0.77):")
+	var pts []Point
+	for i := range own {
+		pts = append(pts, Point{X: own[i], Y: nbr[i]})
+	}
+	return Plot(w, [][]Point{pts}, PlotOptions{LogX: true, LogY: true, Height: 14, XLabel: "own value ($)"})
+}
+
+// Figure12 renders the week matrix as a shade plot.
+func Figure12(w io.Writer, res analysis.WeekMatrixResult) error {
+	fmt.Fprintf(w, "Figure 12 — one week of daily playtime for a user sample (%d active users; darker = more play)\n", res.Users)
+	if res.Users == 0 {
+		_, err := fmt.Fprintln(w, "(no active users in the sample at this population scale)")
+		return err
+	}
+	rows := make([][]float64, 7)
+	labels := make([]string, 7)
+	for d := 0; d < 7; d++ {
+		rows[d] = make([]float64, len(res.Minutes[d]))
+		for k, m := range res.Minutes[d] {
+			rows[d][k] = float64(m) / (24 * 60)
+		}
+		labels[d] = fmt.Sprintf("day %d", d+1)
+	}
+	if err := ShadeMatrix(w, rows, labels, 72); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "day-one rank persistence rho=%.2f; %.0f%% of day-one-idle users played later in the week\n",
+		res.DayOneRankPersistence, res.SwitchedOnFrac*100)
+	return err
+}
+
+// thinPts downsamples a point series for plotting.
+func thinPts(pts []Point, max int) []Point {
+	if len(pts) <= max {
+		return pts
+	}
+	out := make([]Point, 0, max)
+	step := float64(len(pts)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, pts[int(float64(i)*step)])
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+// Package report renders analysis results as aligned text tables, ASCII
+// plots (log-log scatter, CDF curves, bar charts, the Fig 12 shade
+// matrix), and CSV series for external plotting. The steamstudy command
+// uses it to print the paper's tables and figures; each renderer takes an
+// io.Writer so tests can assert on the output.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes an aligned ASCII table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes headers plus rows as CSV.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Point is one (x, y) plot coordinate.
+type Point struct{ X, Y float64 }
+
+// PlotOptions configure the ASCII scatter/line plot.
+type PlotOptions struct {
+	Width, Height int
+	LogX, LogY    bool
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+func (o PlotOptions) withDefaults() PlotOptions {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+// Plot renders one or more series as an ASCII scatter plot; each series
+// gets its own glyph (*, +, o, x, ...).
+func Plot(w io.Writer, series [][]Point, opts PlotOptions) error {
+	opts = opts.withDefaults()
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if opts.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if opts.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	any := false
+	for _, s := range series {
+		for _, p := range s {
+			if opts.LogX && p.X <= 0 || opts.LogY && p.Y <= 0 {
+				continue
+			}
+			x, y := tx(p.X), ty(p.Y)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			any = true
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s {
+			if opts.LogX && p.X <= 0 || opts.LogY && p.Y <= 0 {
+				continue
+			}
+			cx := int((tx(p.X) - minX) / (maxX - minX) * float64(opts.Width-1))
+			cy := int((ty(p.Y) - minY) / (maxY - minY) * float64(opts.Height-1))
+			row := opts.Height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	if opts.Title != "" {
+		if _, err := fmt.Fprintln(w, opts.Title); err != nil {
+			return err
+		}
+	}
+	yLo, yHi := minY, maxY
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = axisLabel(yHi, opts.LogY)
+		case opts.Height - 1:
+			label = axisLabel(yLo, opts.LogY)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-*s%s\n", "",
+		opts.Width-len(axisLabel(maxX, opts.LogX)), axisLabel(minX, opts.LogX), axisLabel(maxX, opts.LogX))
+	if err != nil {
+		return err
+	}
+	if opts.XLabel != "" {
+		if _, err := fmt.Fprintf(w, "%10s  %s\n", "", opts.XLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func axisLabel(v float64, isLog bool) string {
+	if isLog {
+		v = math.Pow(10, v)
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Bars renders a horizontal bar chart with proportional widths.
+func Bars(w io.Writer, labels []string, values []float64, width int) error {
+	if width <= 0 {
+		width = 50
+	}
+	maxV, maxL := 0.0, 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		if _, err := fmt.Fprintf(w, "%-*s |%s %s\n",
+			maxL, labels[i], strings.Repeat("#", n), axisLabel(v, false)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shadeRamp maps an intensity in [0, 1] to a display character, dark to
+// light like the paper's Fig 12 (here: heavier play = denser glyph).
+var shadeRamp = []byte(" .:-=+*#%@")
+
+// ShadeMatrix renders rows of intensities in [0, 1] as a shaded matrix;
+// values outside [0,1] are clamped. Each row is downsampled to width
+// columns by averaging.
+func ShadeMatrix(w io.Writer, rows [][]float64, rowLabels []string, width int) error {
+	if width <= 0 {
+		width = 72
+	}
+	for r, row := range rows {
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			if len(row) == 0 {
+				line[c] = shadeRamp[0]
+				continue
+			}
+			lo := c * len(row) / width
+			hi := (c + 1) * len(row) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > len(row) {
+				hi = len(row)
+				if lo >= hi {
+					lo = hi - 1
+				}
+			}
+			sum := 0.0
+			for k := lo; k < hi; k++ {
+				sum += clamp01(row[k])
+			}
+			avg := sum / float64(hi-lo)
+			idx := int(avg * float64(len(shadeRamp)-1))
+			line[c] = shadeRamp[idx]
+		}
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s|\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", frac*100) }
+
+// USD formats dollars.
+func USD(v float64) string { return fmt.Sprintf("$%.2f", v) }

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"Name", "Value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22222"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count %d: %q", len(lines), buf.String())
+	}
+	// The separator is as wide as the widest cell per column.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("a-much-longer-name"))) {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "22222") {
+		t.Fatalf("value missing: %q", lines[3])
+	}
+}
+
+func TestCSVQuotesAndRows(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{{"1", "has,comma"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"has,comma\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV output %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []Point{{1, 1}, {10, 100}, {100, 10000}}
+	err := Plot(&buf, [][]Point{pts}, PlotOptions{LogX: true, LogY: true, Width: 40, Height: 10, Title: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("title missing")
+	}
+	if strings.Count(out, "*") != 3 {
+		t.Fatalf("expected 3 glyphs, output:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, [][]Point{{}}, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+	// Log axes drop non-positive points; all-non-positive means no data.
+	buf.Reset()
+	if err := Plot(&buf, [][]Point{{{X: -1, Y: 2}}}, PlotOptions{LogX: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("non-positive log points not dropped")
+	}
+	// A single point (degenerate range) must not panic.
+	buf.Reset()
+	if err := Plot(&buf, [][]Point{{{X: 5, Y: 5}}}, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarsProportional(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, []string{"a", "b"}, []float64{10, 5}, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if strings.Count(lines[0], "#") != 20 {
+		t.Fatalf("max bar not full width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+}
+
+func TestShadeMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]float64{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+	}
+	if err := ShadeMatrix(&buf, rows, []string{"lo", "hi"}, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.Contains(lines[0], "        ") {
+		t.Fatalf("zero row not blank: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "@@@@@@@@") {
+		t.Fatalf("full row not dense: %q", lines[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		0.05:    "0.0500",
+		1234.5:  "1234",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Fatalf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if Pct(0.824) != "82.40%" {
+		t.Fatalf("Pct = %q", Pct(0.824))
+	}
+	if USD(150.88) != "$150.88" {
+		t.Fatalf("USD = %q", USD(150.88))
+	}
+}
+
+func TestThinPts(t *testing.T) {
+	pts := make([]Point, 1000)
+	for i := range pts {
+		pts[i] = Point{X: float64(i), Y: float64(i)}
+	}
+	th := thinPts(pts, 100)
+	if len(th) != 100 {
+		t.Fatalf("thinned to %d", len(th))
+	}
+	if th[0].X != 0 || th[99].X != 999 {
+		t.Fatalf("endpoints lost: %v %v", th[0], th[99])
+	}
+	same := thinPts(pts[:50], 100)
+	if len(same) != 50 {
+		t.Fatal("under-cap series modified")
+	}
+}
+
+func TestShadeMatrixEmptyRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ShadeMatrix(&buf, [][]float64{{}, {0.5}}, []string{"a", "b"}, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", buf.String())
+	}
+}

@@ -1,0 +1,289 @@
+package simworld
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"steamstudy/internal/randx"
+)
+
+// catalogState carries catalog-derived lookup structures used by later
+// generation stages.
+type catalogState struct {
+	games []Game
+	// popularity holds the raw ownership weight of every game.
+	popularity []float64
+	// tiltedPickers sample games with the per-user price tilt applied;
+	// tier i corresponds to tilt tiltLevels[i].
+	tiltedPickers []*randx.Alias
+	tiltLevels    []float64
+	// multiplayerIdx marks multiplayer games for the playtime split.
+	multiplayer []bool
+}
+
+// tiltTiers quantizes the per-user price preference into a small number of
+// precomputed alias tables (sampling with a continuous tilt would require
+// one table per user).
+const tiltTiers = 5
+
+// generateCatalog builds the product catalog: genre labels with the Fig 5
+// mix, lognormal prices, the §6.2 multiplayer share, quality-driven
+// popularity, and §9 achievement lists.
+func generateCatalog(cfg Config, rng *randx.RNG) *catalogState {
+	n := cfg.CatalogSize
+	st := &catalogState{
+		games:       make([]Game, n),
+		popularity:  make([]float64, n),
+		multiplayer: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		g := &st.games[i]
+		g.AppID = uint32(10 + i*10) // Steam AppIDs are sparse multiples of 10
+		g.Name = fmt.Sprintf("Game %05d", i)
+		g.Type = productTypeFor(rng)
+		g.ReleaseYear = 2003 + rng.Intn(11)
+		g.Developer = fmt.Sprintf("Studio %03d", rng.Intn(1201)) // paper: 1,201 publishers
+		g.Quality = rng.NormFloat64()
+
+		// Genre labels: independent Bernoulli per genre at the configured
+		// catalog fraction; ensure at least one label.
+		for _, spec := range cfg.Genres {
+			if rng.Bool(spec.CatalogFrac) {
+				g.Genres |= spec.Genre
+			}
+		}
+		if g.Genres == 0 {
+			spec := cfg.Genres[rng.Intn(len(cfg.Genres))]
+			g.Genres |= spec.Genre
+		}
+
+		g.Multiplayer = rng.Bool(cfg.MultiplayerFrac)
+		st.multiplayer[i] = g.Multiplayer
+
+		// Price: free-to-play titles are 0; others lognormal, rounded to
+		// the storefront's .99 convention, capped.
+		if g.Genres.Has(GenreFreeToPlay) || rng.Bool(cfg.FreeFrac) {
+			g.PriceCents = 0
+			g.Genres |= GenreFreeToPlay
+		} else {
+			dollars := math.Exp(cfg.PriceMeanLog + cfg.PriceSigmaLog*rng.NormFloat64())
+			if dollars > cfg.PriceMax {
+				dollars = cfg.PriceMax
+			}
+			whole := math.Floor(dollars)
+			if whole < 1 {
+				whole = 1
+			}
+			g.PriceCents = int64(whole)*100 - 1 // x.99 pricing
+		}
+
+		if rng.Bool(0.45) {
+			g.Metacritic = clampInt(int(72+10*g.Quality+6*rng.NormFloat64()), 20, 98)
+		}
+	}
+
+	// Popularity: Zipf over quality rank, boosted per genre, so the most
+	// owned genres match Fig 5 (Action far ahead, then Strategy, Indie).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return st.games[order[a]].Quality > st.games[order[b]].Quality
+	})
+	for rank, idx := range order {
+		w := math.Pow(float64(rank+1), -cfg.PopularityZipf)
+		boost := 1.0
+		for _, spec := range cfg.Genres {
+			if st.games[idx].Genres.Has(spec.Genre) {
+				boost *= spec.PopularityBoost
+			}
+		}
+		st.popularity[idx] = w * boost
+	}
+
+	generateAchievements(cfg, rng, st)
+
+	// Precompute tilted alias pickers: weight^tilt applied to price.
+	st.tiltLevels = make([]float64, tiltTiers)
+	st.tiltedPickers = make([]*randx.Alias, tiltTiers)
+	for t := 0; t < tiltTiers; t++ {
+		// Tilts spread across ±2.5: a wide spread of per-user average
+		// price is what decouples account market value from raw library
+		// size (the paper's value homophily ρ=.77 far exceeds its
+		// games-owned homophily ρ=.45, which requires this decoupling).
+		tilt := (float64(t)/(tiltTiers-1)*2 - 1) * 2.0
+		st.tiltLevels[t] = tilt
+		weights := make([]float64, n)
+		for i := range weights {
+			price := float64(st.games[i].PriceCents)/100 + 2 // +2 keeps free games samplable
+			weights[i] = st.popularity[i] * math.Exp(tilt*math.Log(price))
+		}
+		st.tiltedPickers[t] = randx.NewAlias(weights)
+	}
+	return st
+}
+
+func productTypeFor(rng *randx.RNG) ProductType {
+	// The paper's 6,156 "products" include non-game entries; keep a small
+	// share of DLC/demo/video items (they carry genres and prices too).
+	u := rng.Float64()
+	switch {
+	case u < 0.86:
+		return ProductGame
+	case u < 0.94:
+		return ProductDLC
+	case u < 0.98:
+		return ProductDemo
+	default:
+		return ProductVideo
+	}
+}
+
+// generateAchievements fills each game's achievement list per §9: ~22 % of
+// games offer none; counts are lognormal (mode 12, median 24, mean 33)
+// with a popularity loading inside the 1-90 band — bigger games invest in
+// more achievements — which produces the paper's moderate correlation
+// between achievements offered and cumulative playtime; a small "spam"
+// population offers 90+ (up to 1,629) achievements on unpopular titles.
+func generateAchievements(cfg Config, rng *randx.RNG, st *catalogState) {
+	// Standardize log-popularity: the loading operates on a z-score so
+	// the count marginal stays centered regardless of catalog size.
+	var mean, sd float64
+	logw := make([]float64, len(st.games))
+	for i, w := range st.popularity {
+		logw[i] = math.Log(w)
+		mean += logw[i]
+	}
+	mean /= float64(len(logw))
+	for _, lw := range logw {
+		d := lw - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(logw)))
+	if sd == 0 {
+		sd = 1
+	}
+	for i := range st.games {
+		g := &st.games[i]
+		if g.Type != ProductGame {
+			continue
+		}
+		zPop := (logw[i] - mean) / sd
+		var count int
+		switch {
+		case rng.Bool(cfg.AchievementsNoneFrac):
+			count = 0
+		case rng.Bool(cfg.AchievementSpamFrac):
+			// Achievement-spam titles: many achievements, low quality.
+			count = 91 + int(rng.BoundedPareto(1.6, 1, float64(cfg.AchievementsMax-90)))
+			if count > cfg.AchievementsMax {
+				count = cfg.AchievementsMax
+			}
+			g.Quality -= 1.2 // these are low-effort titles
+		default:
+			scale := 1.0
+			for _, spec := range cfg.Genres {
+				if g.Genres.Has(spec.Genre) {
+					scale *= spec.AchievementScale
+				}
+			}
+			mu := cfg.AchievementsMedLog + cfg.AchievementsQualityB*zPop + math.Log(scale)
+			count = int(math.Exp(mu + cfg.AchievementsSigmaLog*rng.NormFloat64()))
+			// Ordinary games stay in the 1-90 band (only spam titles go
+			// beyond). Redraw rather than clamp: clamping would pile an
+			// artificial mode at 90.
+			for tries := 0; count > 90 && tries < 6; tries++ {
+				count = int(math.Exp(mu + cfg.AchievementsSigmaLog*rng.NormFloat64()))
+			}
+			if count > 90 {
+				count = 12 + rng.Intn(60)
+			}
+			if count < 1 {
+				count = 1
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		g.Achievements = makeAchievementList(cfg, rng, g, count)
+	}
+}
+
+// makeAchievementList builds count achievements whose global completion
+// percentages decay from easy story beats to rare completionist goals,
+// scaled so the game's average matches its genre target (§9).
+func makeAchievementList(cfg Config, rng *randx.RNG, g *Game, count int) []Achievement {
+	target := completionTarget(cfg, rng, g)
+	achs := make([]Achievement, count)
+	// Raw decaying curve: the k-th achievement is completed by a fraction
+	// that decays geometrically with noise.
+	raw := make([]float64, count)
+	sum := 0.0
+	for k := range raw {
+		base := math.Exp(-2.8 * float64(k) / float64(count))
+		raw[k] = base * math.Exp(0.35*rng.NormFloat64())
+		sum += raw[k]
+	}
+	scale := target * float64(count) / sum
+	for k := range achs {
+		pct := raw[k] * scale
+		if pct > 97 {
+			pct = 97
+		}
+		if pct < 0.1 {
+			pct = 0.1
+		}
+		achs[k] = Achievement{
+			Name:          fmt.Sprintf("ACH_%s_%03d", achievementSlug(g), k),
+			GlobalPercent: math.Round(pct*10) / 10,
+		}
+	}
+	return achs
+}
+
+// completionTarget draws the game's average completion percentage: genre
+// base (Adventure 19 %, Strategy 11 %, ...) with multiplicative noise whose
+// mode sits near 5 % while the mean stays at the genre level — the §9
+// mode/median/mean ordering caused by achievement hunters.
+func completionTarget(cfg Config, rng *randx.RNG, g *Game) float64 {
+	base, n := 0.0, 0
+	for _, spec := range cfg.Genres {
+		if g.Genres.Has(spec.Genre) {
+			base += spec.AvgCompletion
+			n++
+		}
+	}
+	if n == 0 {
+		base = 13
+	} else {
+		base /= float64(n)
+	}
+	// Lognormal with sigma chosen so mode ≈ 5 % when the mean is ~13 %:
+	// mode = mean·e^{-3σ²/2}; σ=0.8 gives mode/mean ≈ 0.38.
+	sigma := 0.8 * (1 + cfg.CompletionSigma*(rng.Float64()-0.5))
+	mu := math.Log(base) - sigma*sigma/2
+	v := math.Exp(mu + sigma*rng.NormFloat64())
+	if v > 60 {
+		v = 60
+	}
+	if v < 0.5 {
+		v = 0.5
+	}
+	return v
+}
+
+func achievementSlug(g *Game) string {
+	return fmt.Sprintf("%d", g.AppID)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,434 @@
+package simworld
+
+import (
+	"fmt"
+
+	"steamstudy/internal/dists"
+)
+
+// Marginal calibrates one user attribute: a point mass at zero (dead or
+// disengaged accounts) plus a spliced quantile function through the
+// paper's published percentiles with a Pareto tail.
+type Marginal struct {
+	// ZeroFrac is the fraction of users with attribute exactly zero.
+	ZeroFrac float64
+	// Min is the smallest nonzero value.
+	Min float64
+	// Anchors are (probability-within-nonzero, value) calibration points,
+	// ascending.
+	Anchors []dists.Anchor
+	// TailAlpha is the Pareto exponent beyond the last anchor.
+	TailAlpha float64
+	// Max caps the tail (0 = uncapped).
+	Max float64
+}
+
+// build compiles the marginal into its quantile function.
+func (m Marginal) build() (dists.ZeroInflated, error) {
+	q, err := dists.NewQuantileSpline(m.Min, m.Anchors, m.TailAlpha, m.Max)
+	if err != nil {
+		return dists.ZeroInflated{}, err
+	}
+	return dists.ZeroInflated{ZeroFrac: m.ZeroFrac, Tail: q}, nil
+}
+
+// GenreSpec calibrates one genre's catalog share and behaviour.
+type GenreSpec struct {
+	Genre Genre
+	// CatalogFrac is the fraction of catalog products carrying the label
+	// (labels overlap; Action is 38.1 % per §5).
+	CatalogFrac float64
+	// PopularityBoost multiplies the popularity weight of games with this
+	// label, steering ownership and playtime shares (Figs 5, 9).
+	PopularityBoost float64
+	// UnplayedFrac is the probability an owned game of this genre is never
+	// played (Fig 5: 41.49 % for Action, 28.86 % Strategy, ...).
+	UnplayedFrac float64
+	// AvgCompletion is the mean achievement completion percentage for the
+	// genre (§9: Adventure 19 %, Strategy 11 %).
+	AvgCompletion float64
+	// AchievementScale scales how many achievements games of this genre
+	// offer (§9: Strategy offers few).
+	AchievementScale float64
+}
+
+// SocialWeights are the loadings of the wiring latent on the realized
+// attribute z-scores (plus independent noise). The "Value" component is a
+// proxy for account market value (library size combined with price
+// preference), since the actual value is only known after ownership
+// assignment.
+type SocialWeights struct {
+	Value   float64
+	Friends float64
+	Total   float64
+	TwoWeek float64
+	Groups  float64
+	Noise   float64
+}
+
+// CountrySpec is one Table 1 row.
+type CountrySpec struct {
+	Code string
+	// Frac is the share among users who report a country.
+	Frac float64
+}
+
+// Config holds every calibration parameter of the synthetic universe.
+// DefaultConfig returns values tuned to the paper; tests assert the tuning.
+type Config struct {
+	// Users is the population size (the paper's 108.7 M, scaled).
+	Users int
+	// CatalogSize is the number of storefront products (paper: 6,156).
+	CatalogSize int
+
+	// Marginals for the five copula-driven attributes.
+	Friends    Marginal
+	GamesOwned Marginal
+	Groups     Marginal
+	// TotalPlay is lifetime playtime in minutes.
+	TotalPlay Marginal
+	// TwoWeekPlay is the rolling two-week playtime in minutes (max 20160).
+	TwoWeekPlay Marginal
+
+	// Spearman is the target rank-correlation matrix over the copula
+	// dimensions [friends, games, groups, total, twoweek, social, price].
+	// Only the upper triangle is read; it is mirrored automatically.
+	Spearman [copulaDim][copulaDim]float64
+
+	// HomophilyNoise is the Laplace scale, as a fraction of the stub-array
+	// length, used when pairing friendship stubs: smaller values produce
+	// stronger homophily.
+	HomophilyNoise float64
+	// SocialWeights combine the realized attribute z-scores into the
+	// friendship-wiring key; they control the Fig 11 homophily ordering
+	// (value strongest at ρ=.77, friends .62, playtime .61, games .45).
+	SocialWeights SocialWeights
+	// DomesticWiringFrac is the share of each user's friendships wired
+	// within their latent country (§4.1: 69.66 % of reported-country
+	// friendships are domestic).
+	DomesticWiringFrac float64
+
+	// FacebookLinkedFrac is the share of accounts with the 300-friend cap.
+	FacebookLinkedFrac float64
+	// BadgeLevelP is the geometric parameter for badge levels (each level
+	// is +5 friend slots).
+	BadgeLevelP float64
+
+	// CollectorFrac is the share of collector accounts; CollectorUptick
+	// is the [lo, hi] library-size band of the §5 anomaly (1268-1290).
+	CollectorFrac         float64
+	CollectorUptickLo     int
+	CollectorUptickHi     int
+	CollectorUptickShare  float64 // share of collectors inside the band
+	CollectorMedianGames  float64
+	CollectorPlayedFrac   float64 // fraction of a collector's library ever played
+	IdlerFrac             float64 // §6.1 two-week maximizers
+	AchievementHunterFrac float64
+	ValveEmployeeFrac     float64
+
+	// CountryReportFrac and CityReportFrac are the §2.1/§4.1 shares of
+	// users reporting location (10.7 % and 4.0 %).
+	CountryReportFrac float64
+	CityReportFrac    float64
+	// Countries is the Table 1 mix among reporters; OtherCountries is the
+	// number of synthetic "long tail" countries sharing OtherFrac.
+	Countries      []CountrySpec
+	OtherCountries int
+	OtherFrac      float64
+	// CitiesPerCountry is the number of cities per country for the city
+	// locality statistic (§4.1: 79.84 % of friendships span cities).
+	CitiesPerCountry int
+
+	// Genres is the catalog genre mix.
+	Genres []GenreSpec
+	// MultiplayerFrac is the share of games with a multiplayer component
+	// (§6.2: 48.7 %).
+	MultiplayerFrac float64
+	// MultiplayerTotalBoost and MultiplayerTwoWeekBoost tilt playtime
+	// allocation toward multiplayer titles to reproduce the §6.2 shares
+	// (57.7 % of total and 67.7 % of two-week playtime multiplayer-only).
+	MultiplayerTotalBoost   float64
+	MultiplayerTwoWeekBoost float64
+
+	// PriceMeanLog/PriceSigmaLog parametrize the lognormal storefront
+	// price model (dollars); PriceMax caps it.
+	PriceMeanLog  float64
+	PriceSigmaLog float64
+	PriceMax      float64
+	// FreeFrac is the share of free-to-play (price 0) products.
+	FreeFrac float64
+	// PopularityZipf is the exponent of game popularity by quality rank.
+	// (The per-user price-preference tilt that decouples market value from
+	// raw library size — needed for the Fig 11 homophily ordering — is
+	// quantized into fixed tiers; see catalog.go tiltTiers.)
+	PopularityZipf float64
+
+	// Groups settings.
+	GroupsPerUserRatio float64 // paper: 3.0M groups / 108.7M users
+	GroupSizeAlpha     float64 // Pareto exponent of group sizes
+	GroupFocusProb     float64 // probability a focal-game group member owns the focal game
+	// Top250Mix is the Table 2 type mix for the largest groups.
+	Top250Mix map[GroupType]float64
+	// SmallGroupMix is the type mix for the remaining groups.
+	SmallGroupMix map[GroupType]float64
+
+	// Achievements settings (§9).
+	AchievementsNoneFrac float64 // games offering zero achievements
+	AchievementsMedLog   float64 // lognormal median (log) of offered counts
+	AchievementsSigmaLog float64
+	AchievementsQualityB float64 // loading of log-popularity on offered counts (drives the 1-90 correlation)
+	AchievementSpamFrac  float64 // low-quality games with 90+ achievements
+	AchievementsMax      int     // hard cap (paper: 1629)
+	CompletionSigma      float64 // spread of per-game average completion
+
+	// UserGrowthRate is the exponential account-growth rate per year used
+	// for creation dates (Fig 1).
+	UserGrowthRate float64
+	// FriendDelayMeanDays is the mean delay from joint presence to
+	// befriending, shaping the Fig 1 friendship curve.
+	FriendDelayMeanDays float64
+}
+
+// copulaDim indexes the latent copula dimensions.
+const (
+	dimFriends = iota
+	dimGames
+	dimGroups
+	dimTotal
+	dimTwoWeek
+	dimSocial
+	dimPrice
+	copulaDim
+)
+
+// DefaultConfig returns the calibration used throughout the repository;
+// the values are tuned so the generated universe reproduces the paper's
+// Table 3 percentiles, §6 shares, §7 correlations and Fig 5/9/10 genre
+// structure (see the calibration tests).
+func DefaultConfig(users int) Config {
+	c := Config{
+		Users:       users,
+		CatalogSize: 6156,
+
+		// The paper's aggregate totals (196.37 M friendships, 384.3 M owned
+		// games, 81.3 M memberships over 108.7 M accounts) force large
+		// zero masses: Table 3's nonzero medians are only consistent with
+		// the totals if the percentile rows describe users with a nonzero
+		// attribute. The zero fractions below reconcile both.
+		Friends: Marginal{
+			ZeroFrac: 0.71, // mean degree over all accounts ≈ 3.6
+			Min:      1,
+			Anchors: []dists.Anchor{
+				{P: 0.50, V: 4}, {P: 0.80, V: 15}, {P: 0.90, V: 29},
+				{P: 0.95, V: 50}, {P: 0.99, V: 122},
+			},
+			TailAlpha: 2.6,
+			Max:       1500, // caps are applied separately per user
+		},
+		GamesOwned: Marginal{
+			ZeroFrac: 0.66, // mean library over all accounts ≈ 3.5
+			Min:      1,
+			Anchors: []dists.Anchor{
+				{P: 0.50, V: 4}, {P: 0.80, V: 10}, {P: 0.90, V: 21},
+				{P: 0.95, V: 39}, {P: 0.99, V: 115},
+			},
+			TailAlpha: 2.15,
+			Max:       2200,
+		},
+		Groups: Marginal{
+			ZeroFrac: 0.88, // mean memberships over all accounts ≈ 0.75
+			Min:      1,
+			Anchors: []dists.Anchor{
+				{P: 0.50, V: 2}, {P: 0.80, V: 7}, {P: 0.90, V: 13},
+				{P: 0.95, V: 22}, {P: 0.99, V: 62},
+			},
+			TailAlpha: 2.4,
+			Max:       3000,
+		},
+		// TotalPlay.ZeroFrac is the fraction of game OWNERS who never
+		// played (owners-who-played ≈ 88 %, cf. Fig 4's owned-vs-played
+		// gap); the anchors are Table 3's playtime row, which describes
+		// users with playtime.
+		TotalPlay: Marginal{
+			ZeroFrac: 0.12,
+			Min:      1,
+			Anchors: []dists.Anchor{
+				{P: 0.50, V: 34 * 60},
+				{P: 0.80, V: 336.4 * 60},
+				{P: 0.90, V: 739.8 * 60},
+				{P: 0.95, V: 1233.9 * 60},
+				{P: 0.99, V: 2660.1 * 60},
+			},
+			TailAlpha: 2.9,
+			Max:       10 * 365 * 24 * 60, // ten years of minutes
+		},
+		// TwoWeekPlay.ZeroFrac is the fraction of PLAYERS idle in the
+		// crawl fortnight, chosen so that over all accounts ~80.6 % report
+		// zero (§6.1). The anchors place Table 3's over-all percentiles
+		// (p90 = 8.7 h, etc.) and Fig 7's nonzero 80th (32.05 h) at their
+		// within-nonzero positions.
+		TwoWeekPlay: Marginal{
+			ZeroFrac: 0.352,
+			Min:      1,
+			Anchors: []dists.Anchor{
+				{P: (0.90 - 0.806) / 0.194, V: 8.7 * 60},
+				{P: (0.95 - 0.806) / 0.194, V: 25.5 * 60},
+				{P: 0.80, V: 32.05 * 60},
+				{P: (0.99 - 0.806) / 0.194, V: 70.8 * 60},
+			},
+			TailAlpha: 2.8,
+			Max:       14 * 24 * 60, // 336 hours
+		},
+
+		HomophilyNoise:     0.003,
+		DomesticWiringFrac: 0.93,
+		SocialWeights: SocialWeights{
+			Value:   0.75,
+			Friends: 0.52,
+			Total:   0.36,
+			TwoWeek: 0.08,
+			Groups:  0.08,
+			Noise:   0.18,
+		},
+
+		FacebookLinkedFrac: 0.08,
+		BadgeLevelP:        0.55,
+
+		CollectorFrac:         0.0004,
+		CollectorUptickLo:     1268,
+		CollectorUptickHi:     1290,
+		CollectorUptickShare:  0.22,
+		CollectorMedianGames:  600,
+		CollectorPlayedFrac:   0.25,
+		IdlerFrac:             0.0001,
+		AchievementHunterFrac: 0.01,
+		ValveEmployeeFrac:     0.00002,
+
+		CountryReportFrac: 0.107,
+		CityReportFrac:    0.040,
+		Countries: []CountrySpec{
+			{"US", 0.2021}, {"RU", 0.1018}, {"DE", 0.0756}, {"GB", 0.0522},
+			{"FR", 0.0519}, {"BR", 0.0395}, {"CA", 0.0381}, {"PL", 0.0320},
+			{"AU", 0.0290}, {"SE", 0.0234},
+		},
+		OtherCountries:   226,
+		OtherFrac:        0.3544,
+		CitiesPerCountry: 40,
+
+		Genres: []GenreSpec{
+			{GenreAction, 0.381, 1.65, 0.4149, 14, 1.0},
+			{GenreStrategy, 0.180, 1.10, 0.2886, 11, 0.55},
+			{GenreIndie, 0.280, 0.85, 0.3230, 14, 1.1},
+			{GenreRPG, 0.120, 1.05, 0.2426, 15, 1.2},
+			{GenreAdventure, 0.160, 0.90, 0.3000, 19, 1.0},
+			{GenreSimulation, 0.110, 0.80, 0.3100, 13, 0.9},
+			{GenreCasual, 0.140, 0.70, 0.3300, 16, 0.8},
+			{GenreRacing, 0.050, 0.75, 0.3000, 13, 0.9},
+			{GenreSports, 0.040, 0.80, 0.2900, 12, 0.9},
+			{GenreFreeToPlay, 0.060, 1.80, 0.3500, 12, 0.7},
+			{GenreMMO, 0.030, 1.40, 0.2800, 10, 0.8},
+		},
+		MultiplayerFrac:         0.487,
+		MultiplayerTotalBoost:   2.4,
+		MultiplayerTwoWeekBoost: 4.5,
+
+		PriceMeanLog:   2.20, // median ≈ $9.03
+		PriceSigmaLog:  0.80,
+		PriceMax:       79.99,
+		FreeFrac:       0.06,
+		PopularityZipf: 1.05,
+
+		GroupsPerUserRatio: 0.0276,
+		GroupSizeAlpha:     1.85,
+		GroupFocusProb:     0.70,
+		Top250Mix: map[GroupType]float64{
+			GroupGameServer:      0.456,
+			GroupSingleGame:      0.204,
+			GroupGamingCommunity: 0.172,
+			GroupSpecialInterest: 0.140,
+			GroupSteam:           0.016,
+			GroupPublisher:       0.012,
+		},
+		SmallGroupMix: map[GroupType]float64{
+			GroupGameServer:      0.18,
+			GroupSingleGame:      0.34,
+			GroupGamingCommunity: 0.22,
+			GroupSpecialInterest: 0.24,
+			GroupSteam:           0.002,
+			GroupPublisher:       0.018,
+		},
+
+		AchievementsNoneFrac: 0.22,
+		AchievementsMedLog:   3.26, // recentered so the realized median ≈ 24 after the quality loading
+		AchievementsSigmaLog: 0.62,
+		AchievementsQualityB: 0.55,
+		AchievementSpamFrac:  0.012,
+		AchievementsMax:      1629,
+		CompletionSigma:      0.45,
+
+		UserGrowthRate:      0.42,
+		FriendDelayMeanDays: 420,
+	}
+	// §7 target Spearman correlations (upper triangle; unlisted pairs 0).
+	set := func(i, j int, rho float64) {
+		c.Spearman[i][j] = rho
+		c.Spearman[j][i] = rho
+	}
+	// Latent targets are deliberately ABOVE the paper's §7 values: the
+	// zero-inflated marginals tie large blocks of users at zero, which
+	// attenuates measured Spearman by roughly sqrt of the nonzero
+	// fractions. These latents are tuned so the measured correlations on
+	// the generated population land at the published numbers (asserted by
+	// the calibration tests).
+	set(dimFriends, dimGames, 0.63)
+	set(dimFriends, dimGroups, 0.60)
+	set(dimFriends, dimTotal, 0.35)
+	set(dimFriends, dimTwoWeek, 0.30)
+	set(dimGames, dimGroups, 0.45)
+	set(dimGames, dimTotal, 0.35)
+	set(dimGames, dimTwoWeek, 0.50)
+	set(dimGroups, dimTotal, 0.25)
+	set(dimGroups, dimTwoWeek, 0.20)
+	set(dimTotal, dimTwoWeek, 0.93)
+	set(dimGames, dimPrice, 0.20)
+	set(dimTotal, dimPrice, 0.15)
+	// The social wiring key is NOT a copula dimension (its row stays
+	// zero): it is computed from the realized attribute ranks with the
+	// SocialWeights below, which escapes the positive-definiteness
+	// ceiling on how strongly one latent can load on many attributes.
+	for i := 0; i < copulaDim; i++ {
+		c.Spearman[i][i] = 1
+	}
+	return c
+}
+
+// Validate checks the configuration for structural errors.
+func (c Config) Validate() error {
+	if c.Users < 100 {
+		return fmt.Errorf("simworld: need at least 100 users, have %d", c.Users)
+	}
+	if c.CatalogSize < 10 {
+		return fmt.Errorf("simworld: need at least 10 catalog products, have %d", c.CatalogSize)
+	}
+	for name, m := range map[string]Marginal{
+		"friends": c.Friends, "games": c.GamesOwned, "groups": c.Groups,
+		"total": c.TotalPlay, "twoweek": c.TwoWeekPlay,
+	} {
+		if m.ZeroFrac < 0 || m.ZeroFrac >= 1 {
+			return fmt.Errorf("simworld: %s zero fraction %v out of [0,1)", name, m.ZeroFrac)
+		}
+		if _, err := m.build(); err != nil {
+			return fmt.Errorf("simworld: %s marginal: %v", name, err)
+		}
+	}
+	if c.MultiplayerFrac < 0 || c.MultiplayerFrac > 1 {
+		return fmt.Errorf("simworld: multiplayer fraction %v out of range", c.MultiplayerFrac)
+	}
+	if len(c.Genres) == 0 {
+		return fmt.Errorf("simworld: no genres configured")
+	}
+	if c.HomophilyNoise <= 0 {
+		return fmt.Errorf("simworld: homophily noise must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package simworld
+
+import (
+	"sort"
+
+	"steamstudy/internal/randx"
+)
+
+// generateFriendships wires the friendship graph. The wiring must deliver,
+// simultaneously:
+//
+//   - the Fig 2 degree distribution (the copula's friend-count marginal),
+//     with the 250/300 cap dips;
+//   - the §7/Fig 11 homophily: neighbors are similar in popularity, money
+//     spent, playtime and games owned — achieved by pairing friendship
+//     "stubs" sorted along the social latent with small Laplace-distributed
+//     rank noise, a degree-preserving proximity matching;
+//   - the §4.1 locality: ~70 % of friendships are domestic — achieved by
+//     wiring a configurable share of each user's stubs within their latent
+//     country (sorted by city, then social score, so city locality emerges
+//     too);
+//   - Fig 1's growth curves, via edge timestamps drawn from the users'
+//     join dates plus an exponential befriending delay.
+func generateFriendships(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
+	n := len(u.Users)
+	wrng := rng.Split("friend-wiring")
+	trng := rng.Split("friend-times")
+
+	// Cap degrees by the §4.1 policies. The clamp concentrates the tail
+	// mass at exactly the cap, producing the Fig 2 dips above 250.
+	degrees := make([]int, n)
+	for i := 0; i < n; i++ {
+		d := st.friendTarget[i]
+		if cap := u.Users[i].FriendCap(); d > cap {
+			d = cap
+		}
+		degrees[i] = d
+	}
+
+	seen := make(map[uint64]struct{}, n*4)
+	var edges []Friendship
+	emit := func(a, b int32) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := uint64(a)<<32 | uint64(uint32(b))
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Friendship{A: a, B: b})
+		return true
+	}
+
+	// Split stubs into a domestic and a global share.
+	domestic := make([]int, n)
+	global := make([]int, n)
+	for i, d := range degrees {
+		dd := int(float64(d)*cfg.DomesticWiringFrac + wrng.Float64())
+		if dd > d {
+			dd = d
+		}
+		domestic[i] = dd
+		global[i] = d - dd
+	}
+
+	// Pass 1: per-country wiring ordered by the social latent. City
+	// locality needs no third pass: city assignment partially tracks the
+	// social latent (users.go), so rank-local domestic pairs often share
+	// a city.
+	countryUsers := make(map[int16][]int32)
+	for i := 0; i < n; i++ {
+		if domestic[i] > 0 {
+			c := st.country[i]
+			countryUsers[c] = append(countryUsers[c], int32(i))
+		}
+	}
+	countries := make([]int16, 0, len(countryUsers))
+	for c := range countryUsers {
+		countries = append(countries, c)
+	}
+	sort.Slice(countries, func(a, b int) bool { return countries[a] < countries[b] })
+	paired := make([]int, n) // per-user edges actually created
+	domRem := make([]int, n)
+	copy(domRem, domestic)
+	for _, c := range countries {
+		members := countryUsers[c]
+		sort.Slice(members, func(a, b int) bool {
+			return st.social[members[a]] < st.social[members[b]]
+		})
+		// Several rounds with widening windows: duplicate-edge drops are
+		// retried domestically before any stub rolls over to the global
+		// pass, keeping the §4.1 domestic share intact.
+		for round := 0; round < 3; round++ {
+			rem := 0
+			for _, m := range members {
+				rem += domRem[m]
+			}
+			if rem < 2 {
+				break
+			}
+			wirePairs(wrng, members, domRem, cfg.HomophilyNoise*float64(round*3+1), func(a, b int32) bool {
+				if emit(a, b) {
+					paired[a]++
+					paired[b]++
+					domRem[a]--
+					domRem[b]--
+					if debugWireStats != nil {
+						debugWireStats.Pass1++
+					}
+					return true
+				}
+				return false
+			})
+		}
+	}
+
+	// Pass 2: global wiring over the social order with whatever stubs
+	// remain (the global share plus any domestic stubs the local pass
+	// could not pair).
+	remaining := make([]int, n)
+	order := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		// Pass 1 pairs at most domestic[i] edges, so this is the global
+		// share plus any domestic stubs the local pass could not place.
+		if r := degrees[i] - paired[i]; r > 0 {
+			remaining[i] = r
+			order = append(order, int32(i))
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return st.social[order[a]] < st.social[order[b]] })
+	wirePairs(wrng, order, remaining, cfg.HomophilyNoise, func(a, b int32) bool {
+		if emit(a, b) {
+			paired[a]++
+			paired[b]++
+			if debugWireStats != nil {
+				debugWireStats.Pass2++
+			}
+			return true
+		}
+		return false
+	})
+
+	// Repair pass: proximity matching drops stubs to self-pairs and
+	// duplicate edges, which would crush the degree tail (a 122-friend
+	// user loses far more stubs than a 2-friend user). Re-wire the
+	// deficit with random pairing until the residual is negligible.
+	repairEmit := func(a, b int32) bool {
+		if emit(a, b) {
+			paired[a]++
+			paired[b]++
+			if debugWireStats != nil {
+				debugWireStats.Repair++
+			}
+			return true
+		}
+		return false
+	}
+	for round := 0; round < 6; round++ {
+		deficitCount := make([]int, n)
+		var deficitUsers []int32
+		total := 0
+		for i := 0; i < n; i++ {
+			if d := degrees[i] - paired[i]; d > 0 {
+				deficitCount[i] = d
+				deficitUsers = append(deficitUsers, int32(i))
+				total += d
+			}
+		}
+		if total < 2 {
+			break
+		}
+		before := len(edges)
+		if round < 3 {
+			// Domestic, homophilous repair: proximity-match the deficit
+			// stubs ordered by (country, social latent), widening the
+			// window each round.
+			sort.Slice(deficitUsers, func(a, b int) bool {
+				ua, ub := deficitUsers[a], deficitUsers[b]
+				if st.country[ua] != st.country[ub] {
+					return st.country[ua] < st.country[ub]
+				}
+				return st.social[ua] < st.social[ub]
+			})
+			wirePairs(wrng, deficitUsers, deficitCount, cfg.HomophilyNoise*float64(round+1), repairEmit)
+		} else {
+			// Random matching to drain whatever is left.
+			var stubsLeft []int32
+			for _, i := range deficitUsers {
+				for d := 0; d < deficitCount[i]; d++ {
+					stubsLeft = append(stubsLeft, i)
+				}
+			}
+			wrng.Shuffle(len(stubsLeft), func(i, j int) {
+				stubsLeft[i], stubsLeft[j] = stubsLeft[j], stubsLeft[i]
+			})
+			for i := 0; i+1 < len(stubsLeft); i += 2 {
+				repairEmit(stubsLeft[i], stubsLeft[i+1])
+			}
+		}
+		if len(edges) == before {
+			break
+		}
+	}
+
+	// Timestamps: befriending happens after both accounts exist, with an
+	// exponential delay, clamped into the observation window.
+	for i := range edges {
+		e := &edges[i]
+		start := u.Users[e.A].Created
+		if c := u.Users[e.B].Created; c > start {
+			start = c
+		}
+		delay := int64(trng.ExpFloat64() * cfg.FriendDelayMeanDays * 24 * 3600)
+		ts := start + delay
+		if ts > u.CollectedAt {
+			// Befriending would postdate the crawl: place it uniformly
+			// within the feasible window instead.
+			window := u.CollectedAt - start
+			if window <= 0 {
+				window = 1
+			}
+			ts = start + trng.Int63()%window
+		}
+		e.Since = ts
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].Since < edges[b].Since })
+	u.Friendships = edges
+}
+
+// wirePairs performs degree-preserving proximity matching: each user in
+// ordered contributes stubs[user] stubs laid out in order; every stub gets
+// a key equal to its position plus Laplace noise of scale
+// noiseFrac*len(stubs); stubs are re-sorted by key and adjacent stubs of
+// distinct users are paired. Smaller noise keeps partners closer in the
+// given order (stronger homophily). Self-pairs are skipped (one stub is
+// dropped); duplicate pairs are the caller's concern.
+func wirePairs(rng *randx.RNG, ordered []int32, stubs []int, noiseFrac float64, emit func(a, b int32) bool) {
+	total := 0
+	for _, uidx := range ordered {
+		total += stubs[uidx]
+	}
+	if total < 2 {
+		return
+	}
+	type stub struct {
+		user int32
+		key  float64
+	}
+	all := make([]stub, 0, total)
+	pos := 0
+	scale := noiseFrac * float64(total)
+	if scale < 12 {
+		// Floor the window: with near-zero noise, pairing degenerates to
+		// adjacent stubs and interleaved users pair with each other
+		// repeatedly — every repeat is a duplicate edge that gets dropped.
+		scale = 12
+	}
+	for _, uidx := range ordered {
+		// High-degree users need a wider partner window than the base
+		// noise: their own stubs occupy a contiguous block, and pairing
+		// within a narrow window would produce mostly duplicate edges
+		// (which are dropped, crushing the degree tail).
+		s := scale
+		if widened := 4 * float64(stubs[uidx]); widened > s {
+			s = widened
+		}
+		for k := 0; k < stubs[uidx]; k++ {
+			all = append(all, stub{user: uidx, key: float64(pos) + rng.Laplace(s)})
+			pos++
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].key < all[b].key })
+	// Queue drain: consecutive stubs of the same user accumulate and are
+	// paired one-by-one with the following distinct-user stubs, so a
+	// high-degree user whose stubs cluster in key space still receives
+	// its full degree from its nearest neighbours in the ordering.
+	var qUser int32
+	qCount := 0
+	for _, s := range all {
+		if qCount == 0 {
+			qUser, qCount = s.user, 1
+			continue
+		}
+		if s.user == qUser {
+			qCount++
+			continue
+		}
+		ok := emit(qUser, s.user)
+		qCount--
+		if !ok && qCount == 0 {
+			// The queued stub was wasted on a duplicate edge; reuse the
+			// current stub so it still gets a chance to pair.
+			qUser, qCount = s.user, 1
+		}
+	}
+}

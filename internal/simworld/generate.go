@@ -1,0 +1,73 @@
+package simworld
+
+import (
+	"steamstudy/internal/randx"
+)
+
+// Generate synthesizes a complete universe from the configuration and
+// seed. Generation is fully deterministic in (cfg, seed) and proceeds
+// bottom-up: catalog, users (copula attribute draws), friendships,
+// ownership/playtimes, groups.
+func Generate(cfg Config, seed int64) (*Universe, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.New(seed)
+	u := &Universe{
+		Seed:        seed,
+		Config:      cfg,
+		CollectedAt: FirstSnapshotEnd,
+	}
+	cat := generateCatalog(cfg, rng.Split("catalog"))
+	u.Games = cat.games
+	st, err := generateUsers(cfg, rng, cat, u)
+	if err != nil {
+		return nil, err
+	}
+	generateFriendships(cfg, rng, st, u)
+	generateOwnership(cfg, rng, st, u)
+	generateGroups(cfg, rng, st, u)
+	return u, nil
+}
+
+// MustGenerate is Generate that panics on error; for tests and examples
+// with known-good configurations.
+func MustGenerate(cfg Config, seed int64) *Universe {
+	u, err := Generate(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// TotalFriendships returns the number of bidirectional friendship edges.
+func (u *Universe) TotalFriendships() int { return len(u.Friendships) }
+
+// Stats returns quick aggregate counts for logging.
+type UniverseStats struct {
+	Users       int
+	Games       int
+	Groups      int
+	Friendships int
+	Memberships int
+	OwnedGames  int64
+	TotalYears  float64
+	ValueTotal  float64
+}
+
+// Stats computes headline aggregates (the §1 bullet numbers, scaled).
+func (u *Universe) Stats() UniverseStats {
+	s := UniverseStats{
+		Users:       len(u.Users),
+		Games:       len(u.Games),
+		Groups:      len(u.Groups),
+		Friendships: len(u.Friendships),
+	}
+	for i := range u.Users {
+		s.OwnedGames += int64(len(u.Users[i].Library))
+		s.Memberships += len(u.Users[i].Groups)
+		s.TotalYears += float64(u.Users[i].TotalMinutes) / (60 * 24 * 365.25)
+		s.ValueTotal += float64(u.Users[i].ValueCents) / 100
+	}
+	return s
+}

@@ -1,0 +1,316 @@
+// Package simworld synthesizes a complete Steam-like universe whose
+// statistical structure is calibrated to the measurements published in
+// "Condensing Steam" (IMC 2016): marginal distributions pass through the
+// paper's Table 3 percentiles, Spearman correlations follow §7 via a
+// Gaussian copula, friendships form homophilously with the 250/300 caps of
+// Fig 2, the catalog carries the genre mix of Fig 5, and special
+// sub-populations (collectors, idlers, achievement hunters) reproduce the
+// anomalies the paper calls out. The real 2013 snapshot is unobtainable;
+// this generator is the documented substitution for it (see DESIGN.md §2).
+package simworld
+
+import (
+	"time"
+
+	"steamstudy/internal/steamid"
+)
+
+// Genre is a bitmask of the Steam store genre labels used in the paper's
+// Figures 5 and 9.
+type Genre uint16
+
+const (
+	GenreAction Genre = 1 << iota
+	GenreStrategy
+	GenreIndie
+	GenreRPG
+	GenreAdventure
+	GenreSimulation
+	GenreCasual
+	GenreRacing
+	GenreSports
+	GenreFreeToPlay
+	GenreMMO
+	genreCount = 11
+)
+
+// GenreNames lists the display names in bit order.
+var GenreNames = [genreCount]string{
+	"Action", "Strategy", "Indie", "RPG", "Adventure",
+	"Simulation", "Casual", "Racing", "Sports", "Free to Play", "MMO",
+}
+
+// Has reports whether the genre mask includes g.
+func (m Genre) Has(g Genre) bool { return m&g != 0 }
+
+// Names returns the display names of all set genres.
+func (m Genre) Names() []string {
+	var out []string
+	for i := 0; i < genreCount; i++ {
+		if m&(1<<i) != 0 {
+			out = append(out, GenreNames[i])
+		}
+	}
+	return out
+}
+
+// ProductType is the storefront product classification (§3.1 mentions
+// games, trailers, demos, etc.).
+type ProductType uint8
+
+const (
+	ProductGame ProductType = iota
+	ProductDLC
+	ProductDemo
+	ProductVideo
+)
+
+// String returns the storefront type label.
+func (p ProductType) String() string {
+	switch p {
+	case ProductGame:
+		return "game"
+	case ProductDLC:
+		return "dlc"
+	case ProductDemo:
+		return "demo"
+	case ProductVideo:
+		return "video"
+	default:
+		return "unknown"
+	}
+}
+
+// Achievement is one in-game achievement with its global completion
+// percentage among owners (the only per-achievement statistic the Steam
+// API exposes, per §9).
+type Achievement struct {
+	Name          string
+	GlobalPercent float64
+}
+
+// Game is one catalog product.
+type Game struct {
+	AppID       uint32
+	Name        string
+	Type        ProductType
+	Genres      Genre
+	Multiplayer bool
+	// PriceCents is the current storefront price (the paper's market-value
+	// approximation uses current prices).
+	PriceCents int64
+	// Quality is the latent quality score driving popularity and, within
+	// the 1-90 band, achievement counts (§9's moderate correlation).
+	Quality float64
+	// Metacritic is the review score (0 = unrated).
+	Metacritic int
+	// ReleaseYear is the storefront release year.
+	ReleaseYear int
+	Developer   string
+	// Achievements offered by the game (may be empty).
+	Achievements []Achievement
+}
+
+// AvgCompletion returns the mean global completion percentage across the
+// game's achievements (0 when none are offered).
+func (g *Game) AvgCompletion() float64 {
+	if len(g.Achievements) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range g.Achievements {
+		sum += a.GlobalPercent
+	}
+	return sum / float64(len(g.Achievements))
+}
+
+// OwnedGame links a user to a catalog entry with the playtime statistics
+// the Web API reports: lifetime minutes and the rolling two-week minutes.
+type OwnedGame struct {
+	GameIdx        int32
+	TotalMinutes   int64
+	TwoWeekMinutes int32
+}
+
+// PersonaFlags mark the special sub-populations the paper identifies.
+type PersonaFlags uint8
+
+const (
+	// PersonaCollector acquires games far beyond its playtime (Fig 4/8
+	// upticks; the invite-only big-library groups of §5).
+	PersonaCollector PersonaFlags = 1 << iota
+	// PersonaIdler leaves games running to rack up two-week playtime near
+	// the 336-hour maximum (§6.1, 0.01 % of users).
+	PersonaIdler
+	// PersonaAchievementHunter aggressively completes achievements,
+	// skewing mean completion above the median (§9).
+	PersonaAchievementHunter
+	// PersonaFacebookLinked raises the friend cap from 250 to 300 (§4.1).
+	PersonaFacebookLinked
+	// PersonaValveEmployee marks the cosmetic Valve flag (§3.2).
+	PersonaValveEmployee
+)
+
+// Has reports whether the flag set includes f.
+func (p PersonaFlags) Has(f PersonaFlags) bool { return p&f != 0 }
+
+// User is one Steam account.
+type User struct {
+	ID steamid.ID
+	// Created is the account creation time (Unix seconds).
+	Created int64
+	// Country is the self-reported country code ("" for the ~89.3 % who
+	// do not report one).
+	Country string
+	// City is the self-reported city ("" for the ~96 % who do not).
+	City string
+	// Persona flags mark special sub-populations.
+	Persona PersonaFlags
+	// BadgeLevel is the Steam level; each level adds five friend slots.
+	BadgeLevel uint8
+
+	// Library is the owned-games list with playtimes.
+	Library []OwnedGame
+	// Groups are indexes into Universe.Groups.
+	Groups []int32
+
+	// TotalMinutes and TwoWeekMinutes cache the library sums.
+	TotalMinutes   int64
+	TwoWeekMinutes int64
+	// ValueCents caches the current market value of the library.
+	ValueCents int64
+}
+
+// FriendCap returns the maximum number of friends this account may have
+// under the §4.1 policies.
+func (u *User) FriendCap() int {
+	cap := 250
+	if u.Persona.Has(PersonaFacebookLinked) {
+		cap = 300
+	}
+	return cap + 5*int(u.BadgeLevel)
+}
+
+// GamesOwned returns the library size.
+func (u *User) GamesOwned() int { return len(u.Library) }
+
+// GamesPlayed returns the number of library entries with nonzero total
+// playtime.
+func (u *User) GamesPlayed() int {
+	n := 0
+	for _, g := range u.Library {
+		if g.TotalMinutes > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupType is the §4.2 manual categorization, which the generator
+// assigns explicitly so the Table 2 analysis can recover it from data.
+type GroupType uint8
+
+const (
+	GroupGameServer GroupType = iota
+	GroupSingleGame
+	GroupGamingCommunity
+	GroupSpecialInterest
+	GroupSteam
+	GroupPublisher
+	groupTypeCount
+)
+
+// String returns the Table 2 label.
+func (t GroupType) String() string {
+	switch t {
+	case GroupGameServer:
+		return "Game Server"
+	case GroupSingleGame:
+		return "Single Game"
+	case GroupGamingCommunity:
+		return "Gaming Community"
+	case GroupSpecialInterest:
+		return "Special Interest"
+	case GroupSteam:
+		return "Steam"
+	case GroupPublisher:
+		return "Publisher"
+	default:
+		return "unknown"
+	}
+}
+
+// Group is one Steam community group.
+type Group struct {
+	ID   uint64
+	Name string
+	Type GroupType
+	// FocalGame is the game a Single Game / Game Server group organizes
+	// around (-1 for none).
+	FocalGame int32
+	// Members are user indexes.
+	Members []int32
+}
+
+// Friendship is one bidirectional edge with its formation time
+// (Unix seconds; timestamps before September 2008 were not recorded by
+// Steam, which the analysis accounts for, but the generator always knows
+// the true time).
+type Friendship struct {
+	A, B  int32
+	Since int64
+}
+
+// Universe is a complete synthetic Steam snapshot.
+type Universe struct {
+	Seed   int64
+	Config Config
+
+	Users  []User
+	Games  []Game
+	Groups []Group
+	// Friendships is the global edge list (A < B).
+	Friendships []Friendship
+
+	// CollectedAt is the nominal end-of-crawl time.
+	CollectedAt int64
+}
+
+// FriendCounts returns the degree of every user.
+func (u *Universe) FriendCounts() []int {
+	deg := make([]int, len(u.Users))
+	for _, f := range u.Friendships {
+		deg[f.A]++
+		deg[f.B]++
+	}
+	return deg
+}
+
+// Adjacency returns per-user neighbor lists built from the edge list.
+func (u *Universe) Adjacency() [][]int32 {
+	deg := u.FriendCounts()
+	adj := make([][]int32, len(u.Users))
+	for i, d := range deg {
+		adj[i] = make([]int32, 0, d)
+	}
+	for _, f := range u.Friendships {
+		adj[f.A] = append(adj[f.A], f.B)
+		adj[f.B] = append(adj[f.B], f.A)
+	}
+	return adj
+}
+
+// TimeRange constants for the synthetic history.
+var (
+	// SteamLaunch is the service start (2003-09-12).
+	SteamLaunch = time.Date(2003, 9, 12, 0, 0, 0, 0, time.UTC).Unix()
+	// FriendTimestampsFrom is when Steam began recording friendship
+	// timestamps (September 2008, per §4.1).
+	FriendTimestampsFrom = time.Date(2008, 9, 1, 0, 0, 0, 0, time.UTC).Unix()
+	// FirstSnapshotEnd is the nominal end of the first crawl
+	// (2013-11-05, per §3.1).
+	FirstSnapshotEnd = time.Date(2013, 11, 5, 0, 0, 0, 0, time.UTC).Unix()
+	// SecondSnapshotEnd is the nominal end of the second crawl
+	// (2014-10-03, per §8).
+	SecondSnapshotEnd = time.Date(2014, 10, 3, 0, 0, 0, 0, time.UTC).Unix()
+)

@@ -1,0 +1,109 @@
+package simworld
+
+import (
+	"math"
+
+	"steamstudy/internal/randx"
+)
+
+// Per-player achievement statistics. The paper's §9 closes with: "Further
+// assessment of the existence and nature of the achievement hunter group
+// requires access to individual players' achievement statistics instead
+// of aggregations" — the API only exposed global completion percentages.
+// The simulator has no such restriction, so this file implements that
+// future work: per-player unlock counts consistent with the global
+// percentages, with the achievement-hunter persona materialized as an
+// explicit completion boost.
+
+// PlayerAchievements returns how many of a game's achievements the user
+// has unlocked. Deterministic in (universe seed, user, game), so the API
+// server can answer GetPlayerAchievements queries without storing
+// per-(user, game) state.
+//
+// The model: the k-th achievement of a game is completed by its published
+// global fraction of owners; an individual owner's unlock probability
+// scales with how much of the game they played relative to other owners
+// (more playtime, more unlocks) and is boosted for achievement hunters,
+// who complete close to everything they touch. Unlocks are monotone in
+// the achievement index: a player who has the rare 10th achievement also
+// has the easier ones before it, matching how games gate progression.
+func (u *Universe) PlayerAchievements(userIdx int, gameIdx int) int {
+	user := &u.Users[userIdx]
+	game := &u.Games[gameIdx]
+	n := len(game.Achievements)
+	if n == 0 {
+		return 0
+	}
+	var owned *OwnedGame
+	for k := range user.Library {
+		if int(user.Library[k].GameIdx) == gameIdx {
+			owned = &user.Library[k]
+			break
+		}
+	}
+	if owned == nil || owned.TotalMinutes == 0 {
+		return 0
+	}
+	rng := randx.New(u.Seed).Split("player-ach").
+		Split(user.ID.String()).Split(game.Name)
+
+	// Engagement factor: playtime on this game relative to a nominal
+	// completion budget (~25 hours); saturates at 3x. The normalization
+	// keeps the population mean boost near 1, so per-player unlock rates
+	// stay consistent with the published global completion percentages.
+	engagement := math.Min(3, float64(owned.TotalMinutes)/(25*60))
+	boost := (0.35 + engagement) / 0.6
+	hunter := user.Persona.Has(PersonaAchievementHunter)
+	// Walk the list in difficulty order; stop at the first locked one.
+	unlocked := 0
+	for _, a := range game.Achievements {
+		p := a.GlobalPercent / 100 * boost
+		if hunter {
+			// Hunters grind past rarity: each next achievement falls with
+			// near-constant probability regardless of how few owners have
+			// it ("I like to go for achievements just to elongate the
+			// game", §9).
+			p = 0.97
+		}
+		if p > 0.995 {
+			p = 0.995
+		}
+		if !rng.Bool(p) {
+			break
+		}
+		unlocked++
+	}
+	return unlocked
+}
+
+// PlayerCompletionRates returns, for every (user, owned-and-played game)
+// pair in a uniform user sample, the player's completion fraction of that
+// game's achievement list. This is the §9 future-work measurement: its
+// distribution is what separates achievement hunters (a mass near 1.0)
+// from ordinary players (mass near the global averages).
+func (u *Universe) PlayerCompletionRates(sampleFrac float64) (rates []float64, hunterRates []float64) {
+	step := 1
+	if sampleFrac > 0 && sampleFrac < 1 {
+		step = int(1 / sampleFrac)
+	}
+	for i := 0; i < len(u.Users); i += step {
+		user := &u.Users[i]
+		hunter := user.Persona.Has(PersonaAchievementHunter)
+		for _, og := range user.Library {
+			if og.TotalMinutes == 0 {
+				continue
+			}
+			n := len(u.Games[og.GameIdx].Achievements)
+			if n == 0 {
+				continue
+			}
+			got := u.PlayerAchievements(i, int(og.GameIdx))
+			rate := float64(got) / float64(n)
+			rates = append(rates, rate)
+			if hunter {
+				hunterRates = append(hunterRates, rate)
+			}
+		}
+	}
+	return rates, hunterRates
+}

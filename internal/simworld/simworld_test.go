@@ -1,0 +1,489 @@
+package simworld
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig(users int) Config {
+	cfg := DefaultConfig(users)
+	cfg.CatalogSize = 400
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig(2000)
+	a := MustGenerate(cfg, 5)
+	b := MustGenerate(cfg, 5)
+	if len(a.Users) != len(b.Users) || len(a.Friendships) != len(b.Friendships) {
+		t.Fatal("same seed produced different universe sizes")
+	}
+	for i := range a.Users {
+		ua, ub := &a.Users[i], &b.Users[i]
+		if ua.ID != ub.ID || ua.TotalMinutes != ub.TotalMinutes ||
+			ua.ValueCents != ub.ValueCents || len(ua.Library) != len(ub.Library) {
+			t.Fatalf("user %d differs between identical generations", i)
+		}
+	}
+	for i := range a.Friendships {
+		if a.Friendships[i] != b.Friendships[i] {
+			t.Fatalf("friendship %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := smallConfig(2000)
+	a := MustGenerate(cfg, 1)
+	b := MustGenerate(cfg, 2)
+	if len(a.Friendships) == len(b.Friendships) && len(a.Friendships) > 0 {
+		same := true
+		for i := range a.Friendships {
+			if a.Friendships[i] != b.Friendships[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical friendship lists")
+		}
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	cfg := DefaultConfig(10) // below the minimum population
+	if _, err := Generate(cfg, 1); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+	cfg = DefaultConfig(1000)
+	cfg.Friends.ZeroFrac = 1.5
+	if _, err := Generate(cfg, 1); err == nil {
+		t.Fatal("invalid zero fraction accepted")
+	}
+	cfg = DefaultConfig(1000)
+	cfg.HomophilyNoise = 0
+	if _, err := Generate(cfg, 1); err == nil {
+		t.Fatal("zero homophily noise accepted")
+	}
+}
+
+func TestUniverseInvariants(t *testing.T) {
+	u := MustGenerate(smallConfig(3000), 11)
+
+	// Friendships: valid endpoints, no self-loops, no duplicates, sorted
+	// by timestamp, timestamps within the observation window.
+	seen := map[[2]int32]bool{}
+	var prev int64
+	for _, f := range u.Friendships {
+		if f.A == f.B {
+			t.Fatal("self-loop friendship")
+		}
+		if f.A < 0 || int(f.A) >= len(u.Users) || f.B < 0 || int(f.B) >= len(u.Users) {
+			t.Fatal("friendship endpoint out of range")
+		}
+		key := [2]int32{f.A, f.B}
+		if seen[key] {
+			t.Fatal("duplicate friendship")
+		}
+		seen[key] = true
+		if f.Since < prev {
+			t.Fatal("friendships not sorted by timestamp")
+		}
+		prev = f.Since
+		if f.Since > u.CollectedAt {
+			t.Fatal("friendship created after the crawl")
+		}
+		// Edges cannot predate both accounts.
+		created := u.Users[f.A].Created
+		if c := u.Users[f.B].Created; c > created {
+			created = c
+		}
+		if f.Since < created {
+			t.Fatal("friendship predates one of its accounts")
+		}
+	}
+
+	for i := range u.Users {
+		user := &u.Users[i]
+		// Playtime caches match the library.
+		var tot, tw int64
+		gameSeen := map[int32]bool{}
+		for _, g := range user.Library {
+			if g.GameIdx < 0 || int(g.GameIdx) >= len(u.Games) {
+				t.Fatal("library game index out of range")
+			}
+			if gameSeen[g.GameIdx] {
+				t.Fatal("duplicate game in library")
+			}
+			gameSeen[g.GameIdx] = true
+			if g.TotalMinutes < 0 || g.TwoWeekMinutes < 0 {
+				t.Fatal("negative playtime")
+			}
+			if int64(g.TwoWeekMinutes) > g.TotalMinutes {
+				t.Fatal("two-week playtime exceeds lifetime playtime")
+			}
+			tot += g.TotalMinutes
+			tw += int64(g.TwoWeekMinutes)
+		}
+		if tot != user.TotalMinutes || tw != user.TwoWeekMinutes {
+			t.Fatalf("user %d playtime caches stale: %d/%d vs %d/%d",
+				i, user.TotalMinutes, user.TwoWeekMinutes, tot, tw)
+		}
+		// Value cache matches prices.
+		var val int64
+		for _, g := range user.Library {
+			val += u.Games[g.GameIdx].PriceCents
+		}
+		if val != user.ValueCents {
+			t.Fatalf("user %d value cache stale", i)
+		}
+		// Two-week playtime bounded by 336 hours.
+		if user.TwoWeekMinutes > 14*24*60 {
+			t.Fatalf("user %d two-week playtime %d exceeds the physical bound", i, user.TwoWeekMinutes)
+		}
+		if user.Created < SteamLaunch || user.Created > u.CollectedAt {
+			t.Fatalf("user %d creation time out of range", i)
+		}
+	}
+
+	// IDs are strictly increasing (sequential assignment).
+	for i := 1; i < len(u.Users); i++ {
+		if u.Users[i].ID <= u.Users[i-1].ID {
+			t.Fatal("user IDs not strictly increasing")
+		}
+		if u.Users[i].Created < u.Users[i-1].Created {
+			t.Fatal("creation times not aligned with ID order")
+		}
+	}
+
+	// Group memberships are consistent in both directions.
+	for gi := range u.Groups {
+		for _, m := range u.Groups[gi].Members {
+			found := false
+			for _, g := range u.Users[m].Groups {
+				if int(g) == gi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("group %d lists member %d, but the user does not list the group", gi, m)
+			}
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	u := MustGenerate(smallConfig(2000), 13)
+	adj := u.Adjacency()
+	deg := u.FriendCounts()
+	for i := range adj {
+		if len(adj[i]) != deg[i] {
+			t.Fatalf("degree mismatch for user %d", i)
+		}
+		for _, j := range adj[i] {
+			found := false
+			for _, back := range adj[j] {
+				if int(back) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d -> %d", i, j)
+			}
+		}
+	}
+}
+
+func TestWeekSeriesProperties(t *testing.T) {
+	u := MustGenerate(smallConfig(3000), 17)
+	// Deterministic per user.
+	for i := 0; i < 50; i++ {
+		a := u.WeekSeries(i)
+		b := u.WeekSeries(i)
+		if a != b {
+			t.Fatalf("week series for user %d not deterministic", i)
+		}
+		for d, m := range a {
+			if m < 0 || m > 24*60 {
+				t.Fatalf("user %d day %d minutes %d out of range", i, d, m)
+			}
+		}
+	}
+	// Engaged users play more across the week than idle ones, on average.
+	var activeSum, idleSum, activeN, idleN float64
+	for i := range u.Users {
+		w := u.WeekSeries(i)
+		tot := 0
+		for _, m := range w {
+			tot += int(m)
+		}
+		if u.Users[i].TwoWeekMinutes > 600 {
+			activeSum += float64(tot)
+			activeN++
+		} else if u.Users[i].TwoWeekMinutes == 0 {
+			idleSum += float64(tot)
+			idleN++
+		}
+	}
+	if activeN == 0 || idleN == 0 {
+		t.Skip("population too small for the engagement comparison")
+	}
+	if activeSum/activeN <= idleSum/idleN {
+		t.Fatalf("active users do not out-play idle users over the week: %v vs %v",
+			activeSum/activeN, idleSum/idleN)
+	}
+}
+
+func TestSampleWeekUsers(t *testing.T) {
+	u := MustGenerate(smallConfig(4000), 19)
+	sample := u.SampleWeekUsers(0.005)
+	want := len(u.Users) / 200
+	if len(sample) < want || len(sample) > want+1 {
+		t.Fatalf("0.5%% sample has %d users, want ~%d", len(sample), want)
+	}
+	// Ordered by lifetime playtime.
+	for i := 1; i < len(sample); i++ {
+		if u.Users[sample[i]].TotalMinutes < u.Users[sample[i-1]].TotalMinutes {
+			t.Fatal("week sample not ordered by lifetime playtime")
+		}
+	}
+	// Degenerate frac falls back to the default.
+	if got := u.SampleWeekUsers(0); len(got) != len(sample) {
+		t.Fatal("zero frac did not fall back to 0.5%")
+	}
+}
+
+func TestEvolveSecondSnapshot(t *testing.T) {
+	cfg := DefaultConfig(5000)
+	cfg.CatalogSize = 3000 // headroom so the largest library can still grow
+	u := MustGenerate(cfg, 23)
+	v := Evolve(u)
+
+	if v.CollectedAt != SecondSnapshotEnd {
+		t.Fatal("second snapshot timestamp wrong")
+	}
+	// The first snapshot is untouched.
+	for i := range u.Users {
+		var tot int64
+		for _, g := range u.Users[i].Library {
+			tot += g.TotalMinutes
+		}
+		if tot != u.Users[i].TotalMinutes {
+			t.Fatal("Evolve mutated the source universe")
+		}
+	}
+
+	var grewLib, shrankLib, grewVal int
+	var maxBefore, maxAfter int
+	for i := range v.Users {
+		b, a := len(u.Users[i].Library), len(v.Users[i].Library)
+		if a > b {
+			grewLib++
+		}
+		if a < b {
+			shrankLib++
+		}
+		if v.Users[i].ValueCents > u.Users[i].ValueCents {
+			grewVal++
+		}
+		if v.Users[i].ValueCents < u.Users[i].ValueCents {
+			t.Fatal("account value shrank: games cannot be un-owned")
+		}
+		if v.Users[i].TotalMinutes < u.Users[i].TotalMinutes {
+			t.Fatal("lifetime playtime shrank")
+		}
+		if b > maxBefore {
+			maxBefore = b
+		}
+		if a > maxAfter {
+			maxAfter = a
+		}
+	}
+	if shrankLib > 0 {
+		t.Fatalf("%d libraries shrank", shrankLib)
+	}
+	if grewLib == 0 || grewVal == 0 {
+		t.Fatal("no growth between snapshots")
+	}
+	// §8: the tail inflates much faster than the 80th percentile.
+	if maxAfter <= maxBefore {
+		t.Fatalf("top library did not grow: %d -> %d", maxBefore, maxAfter)
+	}
+	growthTop := float64(maxAfter) / float64(maxBefore)
+	if growthTop < 1.2 {
+		t.Fatalf("top library grew only %.2fx; §8 reports ~1.8x", growthTop)
+	}
+}
+
+func TestGenreBitmask(t *testing.T) {
+	m := GenreAction | GenreRPG
+	if !m.Has(GenreAction) || !m.Has(GenreRPG) || m.Has(GenreStrategy) {
+		t.Fatal("genre bitmask broken")
+	}
+	names := m.Names()
+	if len(names) != 2 || names[0] != "Action" || names[1] != "RPG" {
+		t.Fatalf("genre names = %v", names)
+	}
+}
+
+func TestFriendCapPolicy(t *testing.T) {
+	u := User{}
+	if u.FriendCap() != 250 {
+		t.Fatalf("base cap = %d", u.FriendCap())
+	}
+	u.Persona |= PersonaFacebookLinked
+	if u.FriendCap() != 300 {
+		t.Fatalf("facebook cap = %d", u.FriendCap())
+	}
+	u.BadgeLevel = 10
+	if u.FriendCap() != 350 {
+		t.Fatalf("badge cap = %d", u.FriendCap())
+	}
+}
+
+func TestGroupTypeStrings(t *testing.T) {
+	want := map[GroupType]string{
+		GroupGameServer:      "Game Server",
+		GroupSingleGame:      "Single Game",
+		GroupGamingCommunity: "Gaming Community",
+		GroupSpecialInterest: "Special Interest",
+		GroupSteam:           "Steam",
+		GroupPublisher:       "Publisher",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Fatalf("GroupType(%d) = %q, want %q", ty, ty.String(), s)
+		}
+	}
+}
+
+func TestQuickWeekSeriesBounds(t *testing.T) {
+	u := MustGenerate(smallConfig(1000), 29)
+	err := quick.Check(func(raw uint16) bool {
+		i := int(raw) % len(u.Users)
+		w := u.WeekSeries(i)
+		for _, m := range w {
+			if m < 0 || m > 24*60 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAchievementsStructure(t *testing.T) {
+	u := MustGenerate(smallConfig(2000), 31)
+	none, some, spam := 0, 0, 0
+	for i := range u.Games {
+		g := &u.Games[i]
+		if g.Type != ProductGame {
+			continue
+		}
+		switch n := len(g.Achievements); {
+		case n == 0:
+			none++
+		case n > 90:
+			spam++
+		default:
+			some++
+		}
+		for _, a := range g.Achievements {
+			if a.GlobalPercent <= 0 || a.GlobalPercent > 100 {
+				t.Fatalf("achievement percent out of range: %v", a.GlobalPercent)
+			}
+		}
+		if len(g.Achievements) > 1629 {
+			t.Fatalf("achievement count %d exceeds the paper's maximum", len(g.Achievements))
+		}
+	}
+	if none == 0 || some == 0 {
+		t.Fatalf("achievement mix degenerate: none=%d some=%d spam=%d", none, some, spam)
+	}
+}
+
+func TestPlayerAchievementsProperties(t *testing.T) {
+	u := MustGenerate(smallConfig(3000), 41)
+	for i := 0; i < 300; i++ {
+		user := &u.Users[i]
+		for _, og := range user.Library {
+			got := u.PlayerAchievements(i, int(og.GameIdx))
+			n := len(u.Games[og.GameIdx].Achievements)
+			if got < 0 || got > n {
+				t.Fatalf("unlocks %d outside [0, %d]", got, n)
+			}
+			if og.TotalMinutes == 0 && got != 0 {
+				t.Fatal("unplayed game has unlocks")
+			}
+			// Deterministic.
+			if again := u.PlayerAchievements(i, int(og.GameIdx)); again != got {
+				t.Fatal("PlayerAchievements not deterministic")
+			}
+		}
+		// A game the user does not own yields zero.
+		if u.PlayerAchievements(i, 0) != 0 {
+			owned := false
+			for _, og := range user.Library {
+				if og.GameIdx == 0 {
+					owned = true
+				}
+			}
+			if !owned {
+				t.Fatal("unowned game has unlocks")
+			}
+		}
+	}
+}
+
+func TestPlayerCompletionRatesHunterSeparation(t *testing.T) {
+	cfg := DefaultConfig(20000)
+	cfg.CatalogSize = 1500
+	u := MustGenerate(cfg, 43)
+	all, hunters := u.PlayerCompletionRates(0.2)
+	if len(all) == 0 {
+		t.Fatal("no completion observations")
+	}
+	if len(hunters) == 0 {
+		t.Skip("no hunters in this sample")
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(hunters) < 3*mean(all) {
+		t.Fatalf("hunter mean %.3f not well above overall %.3f", mean(hunters), mean(all))
+	}
+	for _, r := range all {
+		if r < 0 || r > 1 {
+			t.Fatalf("completion rate %v outside [0,1]", r)
+		}
+	}
+}
+
+func TestWiringPhaseShares(t *testing.T) {
+	// The domestic pass must place the overwhelming majority of edges
+	// (DomesticWiringFrac = 0.93 by default); the repair pass exists only
+	// to absorb duplicate-edge losses and should stay a small minority.
+	debugWireStats = &WireStats{}
+	defer func() { debugWireStats = nil }()
+	MustGenerate(smallConfig(5000), 61)
+	total := debugWireStats.Pass1 + debugWireStats.Pass2 + debugWireStats.Repair
+	if total == 0 {
+		t.Fatal("no edges recorded")
+	}
+	p1 := float64(debugWireStats.Pass1) / float64(total)
+	repair := float64(debugWireStats.Repair) / float64(total)
+	if p1 < 0.5 {
+		t.Fatalf("domestic pass produced only %.0f%% of edges", p1*100)
+	}
+	if repair > 0.35 {
+		t.Fatalf("repair pass produced %.0f%% of edges; wiring efficiency regressed", repair*100)
+	}
+}

@@ -1,0 +1,10 @@
+package simworld
+
+// debugWireStats is set by tests to capture wiring pass efficiency.
+var debugWireStats *WireStats
+
+// WireStats counts edges created per wiring phase.
+type WireStats struct {
+	Pass1, Pass2, Repair int
+	SameCountryP1        int
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Bin is one histogram bin over [Lo, Hi) with Count entries. Center is the
+// geometric mean of the edges for log bins, the arithmetic mean otherwise.
+type Bin struct {
+	Lo, Hi float64
+	Center float64
+	Count  int
+	// Density is Count normalized by total count and bin width, suitable
+	// for plotting against a pdf.
+	Density float64
+}
+
+// LogBins builds a logarithmically binned histogram of the strictly
+// positive entries of xs with the given number of bins per decade. This
+// is the standard presentation for the paper's long-tailed "distribution
+// of X" figures (Figs 2, 4, 7, 8): linear binning undersamples the tail.
+func LogBins(xs []float64, binsPerDecade int) []Bin {
+	if binsPerDecade <= 0 {
+		binsPerDecade = 10
+	}
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	sort.Float64s(pos)
+	lo := pos[0]
+	hi := pos[len(pos)-1]
+	if lo == hi {
+		return []Bin{{Lo: lo, Hi: hi, Center: lo, Count: len(pos), Density: 1}}
+	}
+	logLo := math.Floor(math.Log10(lo) * float64(binsPerDecade))
+	logHi := math.Ceil(math.Log10(hi)*float64(binsPerDecade)) + 1
+	nBins := int(logHi - logLo)
+	bins := make([]Bin, nBins)
+	for i := range bins {
+		l := math.Pow(10, (logLo+float64(i))/float64(binsPerDecade))
+		h := math.Pow(10, (logLo+float64(i+1))/float64(binsPerDecade))
+		bins[i].Lo = l
+		bins[i].Hi = h
+		bins[i].Center = math.Sqrt(l * h)
+	}
+	total := len(pos)
+	j := 0
+	for _, x := range pos {
+		for j < nBins-1 && x >= bins[j].Hi {
+			j++
+		}
+		bins[j].Count++
+	}
+	out := bins[:0]
+	for _, b := range bins {
+		if b.Count == 0 {
+			continue
+		}
+		b.Density = float64(b.Count) / (float64(total) * (b.Hi - b.Lo))
+		out = append(out, b)
+	}
+	return out
+}
+
+// IntHistogram counts occurrences of each integer value of xs (values are
+// truncated toward zero). Used for exact per-value plots such as the
+// friend-count distribution where the 250/300 cap dips must be visible at
+// single-value resolution.
+func IntHistogram(xs []float64) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		h[int(x)]++
+	}
+	return h
+}
+
+// CCDF returns the complementary CDF P(X >= x) evaluated at every distinct
+// value of xs, ascending in x. (The ">= x" convention keeps the first
+// point at probability 1, matching the log-log CCDF plots in the
+// measurement literature.)
+func CCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CDFPoint
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(len(sorted)-i) / n})
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the fractional (mid) ranks of xs, averaging tied values —
+// the tie treatment required for Spearman correlation on count data such
+// as friends owned, where ties are pervasive. Ranks are 1-based.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j).
+		avg := (float64(i+1) + float64(j)) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson product-moment correlation of x and y.
+// Returns NaN if either input is constant or the lengths differ.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns Spearman's rank correlation ρ of x and y with tie
+// correction (Pearson correlation of mid-ranks). This is the statistic
+// the paper uses for every correlation it reports.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// CorrelationStrength maps |ρ| to the verbal scale the paper uses in §7:
+// very weak, weak, moderate, strong, very strong.
+func CorrelationStrength(rho float64) string {
+	a := math.Abs(rho)
+	switch {
+	case a < 0.20:
+		return "very weak"
+	case a < 0.40:
+		return "weak"
+	case a < 0.60:
+		return "moderate"
+	case a < 0.80:
+		return "strong"
+	default:
+		return "very strong"
+	}
+}
+
+// SpearmanSubset computes Spearman ρ over only the pairs whose x value
+// lies in [lo, hi] — used for the paper's achievement analysis, which
+// reports the correlation restricted to games offering 1-90 achievements.
+func SpearmanSubset(x, y []float64, lo, hi float64) float64 {
+	var xs, ys []float64
+	for i := range x {
+		if x[i] >= lo && x[i] <= hi {
+			xs = append(xs, x[i])
+			ys = append(ys, y[i])
+		}
+	}
+	return Spearman(xs, ys)
+}

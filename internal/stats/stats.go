@@ -1,0 +1,285 @@
+// Package stats provides the descriptive statistics the paper reports:
+// percentiles (Table 3), Spearman rank correlations (§7, §9), CDF/CCDF
+// series (Figs 6-8), logarithmic histogram binning (Figs 2, 4, 7, 8), and
+// concentration shares ("top 20 % of users account for 82.4 % of playtime").
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using the
+// linear-interpolation definition (type 7, the numpy/Excel default).
+// xs need not be sorted; it is not modified. Returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile for already-sorted input, avoiding the
+// copy and sort. The slice must be ascending.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	h := p / 100 * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Percentiles evaluates several percentiles with a single sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = PercentileSorted(sorted, p)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs using Kahan compensation, so totals over
+// millions of playtime minutes stay exact.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mode returns the most frequent value of an integer-valued sample
+// (ties broken toward the smaller value). The paper reports modes for
+// achievement counts and completion rates.
+func Mode(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	counts := make(map[float64]int, len(xs)/4+1)
+	for _, x := range xs {
+		counts[x]++
+	}
+	best, bestN := math.Inf(1), -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// Summary bundles the descriptive statistics used across the report.
+type Summary struct {
+	N      int
+	Sum    float64
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	P80    float64
+	P90    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary in one pass plus one sort.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Median, s.Min, s.Max, s.StdDev = nan, nan, nan, nan, nan
+		s.P80, s.P90, s.P95, s.P99 = nan, nan, nan, nan
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Sum = Sum(sorted)
+	s.Mean = s.Sum / float64(len(sorted))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = PercentileSorted(sorted, 50)
+	s.P80 = PercentileSorted(sorted, 80)
+	s.P90 = PercentileSorted(sorted, 90)
+	s.P95 = PercentileSorted(sorted, 95)
+	s.P99 = PercentileSorted(sorted, 99)
+	ss := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(sorted)))
+	return s
+}
+
+// TopShare returns the fraction of the total of xs contributed by the top
+// frac (by value) of the entries — e.g. TopShare(playtimes, 0.20) answers
+// "the top 20 % of users account for what share of total playtime?".
+func TopShare(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	total := Sum(sorted)
+	if total == 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(sorted))))
+	if k <= 0 {
+		return 0
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	top := Sum(sorted[len(sorted)-k:])
+	return top / total
+}
+
+// Gini returns the Gini coefficient of the (non-negative) sample, a scalar
+// measure of the concentration the paper describes via Pareto shares.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	total := Sum(sorted)
+	if total == 0 {
+		return 0
+	}
+	var cum float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+	}
+	return 2*cum/(float64(n)*total) - (float64(n)+1)/float64(n)
+}
+
+// ZeroFraction returns the fraction of entries equal to zero.
+func ZeroFraction(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	z := 0
+	for _, x := range xs {
+		if x == 0 {
+			z++
+		}
+	}
+	return float64(z) / float64(len(xs))
+}
+
+// NonZero returns the subset of xs that is strictly positive.
+func NonZero(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CDFPoint is one (x, P(X <= x)) coordinate of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// EmpiricalCDF returns the empirical CDF of xs evaluated at every distinct
+// value, ascending.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CDFPoint
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// LorenzCurve returns points of the Lorenz curve (population share p,
+// value share L(p)) at k+1 evenly spaced population shares; used for the
+// Fig 6 concentration view.
+func LorenzCurve(xs []float64, k int) []CDFPoint {
+	if len(xs) == 0 || k <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	total := Sum(sorted)
+	out := make([]CDFPoint, 0, k+1)
+	cum := 0.0
+	next := 0
+	for i := 0; i <= k; i++ {
+		p := float64(i) / float64(k)
+		target := int(p * float64(len(sorted)))
+		for next < target {
+			cum += sorted[next]
+			next++
+		}
+		share := 0.0
+		if total > 0 {
+			share = cum / total
+		}
+		out = append(out, CDFPoint{X: p, P: share})
+	}
+	return out
+}

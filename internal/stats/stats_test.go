@@ -1,0 +1,340 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"steamstudy/internal/randx"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := map[float64]float64{
+		0:   1,
+		50:  5.5,
+		100: 10,
+		25:  3.25,
+		90:  9.1,
+	}
+	for p, want := range cases {
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileSingleAndEmpty(t *testing.T) {
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Fatalf("single-element percentile = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentilesMatchesSingle(t *testing.T) {
+	r := randx.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	multi := Percentiles(xs, 50, 80, 90, 95, 99)
+	for i, p := range []float64{50, 80, 90, 95, 99} {
+		if single := Percentile(xs, p); single != multi[i] {
+			t.Fatalf("Percentiles mismatch at %v: %v vs %v", p, multi[i], single)
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	r := randx.New(2)
+	err := quick.Check(func(seed uint32) bool {
+		rr := randx.New(int64(seed))
+		n := rr.Intn(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		p := r.Float64() * 100
+		v := Percentile(xs, p)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return v >= min && v <= max
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumKahan(t *testing.T) {
+	// 1 + 1e-16 * 1e16 should not lose the small terms.
+	xs := make([]float64, 1e4+1)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e-12
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Kahan sum %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("bad summary bounds: %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean %v, want 5", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Fatalf("stddev %v, want 2", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+}
+
+func TestModeTiesAndValues(t *testing.T) {
+	if got := Mode([]float64{1, 2, 2, 3, 3}); got != 2 {
+		t.Fatalf("Mode tie-break = %v, want 2", got)
+	}
+	if got := Mode([]float64{12, 12, 24, 5}); got != 12 {
+		t.Fatalf("Mode = %v, want 12", got)
+	}
+	if !math.IsNaN(Mode(nil)) {
+		t.Fatal("empty mode not NaN")
+	}
+}
+
+func TestTopShareParetoRule(t *testing.T) {
+	// In a population where one of five users holds 80 of 100 units, the
+	// top 20% share is 0.8 exactly.
+	xs := []float64{5, 5, 5, 5, 80}
+	if got := TopShare(xs, 0.20); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("TopShare = %v, want 0.8", got)
+	}
+	if got := TopShare(xs, 1.0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TopShare(1.0) = %v", got)
+	}
+	if got := TopShare([]float64{0, 0}, 0.5); got != 0 {
+		t.Fatalf("TopShare of zeros = %v", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Fatalf("Gini of equal values = %v, want 0", g)
+	}
+	// One person owns everything among n=4: G = (n-1)/n = 0.75.
+	if g := Gini([]float64{0, 0, 0, 10}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("Gini of total concentration = %v, want 0.75", g)
+	}
+}
+
+func TestZeroFractionAndNonZero(t *testing.T) {
+	xs := []float64{0, 1, 0, 2, 0}
+	if zf := ZeroFraction(xs); math.Abs(zf-0.6) > 1e-12 {
+		t.Fatalf("ZeroFraction = %v", zf)
+	}
+	nz := NonZero(xs)
+	if len(nz) != 2 || nz[0] != 1 || nz[1] != 2 {
+		t.Fatalf("NonZero = %v", nz)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	ranks := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if math.Abs(ranks[i]-want[i]) > 1e-12 {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 100, 1000, 10000, 100000}
+	if rho := Spearman(x, y); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("Spearman of monotone data = %v", rho)
+	}
+	yRev := []float64{5, 4, 3, 2, 1}
+	if rho := Spearman(x, yRev); math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("Spearman of reversed data = %v", rho)
+	}
+}
+
+func TestSpearmanInvariantUnderMonotoneTransform(t *testing.T) {
+	r := randx.New(3)
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+		y[i] = 0.7*x[i] + 0.3*r.NormFloat64()
+	}
+	before := Spearman(x, y)
+	// exp is monotone: rank correlation must be unchanged.
+	yexp := make([]float64, n)
+	for i := range y {
+		yexp[i] = math.Exp(y[i])
+	}
+	after := Spearman(x, yexp)
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatalf("Spearman changed under monotone transform: %v vs %v", before, after)
+	}
+}
+
+func TestSpearmanIndependentNearZero(t *testing.T) {
+	r := randx.New(4)
+	n := 5000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+	}
+	if rho := Spearman(x, y); math.Abs(rho) > 0.05 {
+		t.Fatalf("Spearman of independent data = %v", rho)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Fatal("Pearson of constant x not NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Fatal("Pearson of single point not NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1, 2, 3})) {
+		t.Fatal("Pearson of mismatched lengths not NaN")
+	}
+}
+
+func TestCorrelationStrengthScale(t *testing.T) {
+	cases := map[float64]string{
+		0.09:  "very weak",
+		0.34:  "weak",
+		0.45:  "moderate",
+		0.77:  "strong",
+		-0.85: "very strong",
+	}
+	for rho, want := range cases {
+		if got := CorrelationStrength(rho); got != want {
+			t.Fatalf("CorrelationStrength(%v) = %q, want %q", rho, got, want)
+		}
+	}
+}
+
+func TestSpearmanSubset(t *testing.T) {
+	x := []float64{1, 2, 3, 100, 200}
+	y := []float64{1, 2, 3, -50, -100}
+	full := Spearman(x, y)
+	sub := SpearmanSubset(x, y, 0, 10)
+	if math.Abs(sub-1) > 1e-12 {
+		t.Fatalf("subset Spearman = %v, want 1", sub)
+	}
+	if full >= sub {
+		t.Fatalf("full Spearman %v should be below subset %v", full, sub)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	pts := EmpiricalCDF([]float64{1, 1, 2, 4})
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {4, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCCDFStartsAtOne(t *testing.T) {
+	pts := CCDF([]float64{3, 1, 2, 2})
+	if pts[0].X != 1 || pts[0].P != 1 {
+		t.Fatalf("CCDF first point = %v", pts[0])
+	}
+	if last := pts[len(pts)-1]; last.X != 3 || math.Abs(last.P-0.25) > 1e-12 {
+		t.Fatalf("CCDF last point = %v", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P > pts[i-1].P {
+			t.Fatal("CCDF not non-increasing")
+		}
+	}
+}
+
+func TestLogBinsConservesCount(t *testing.T) {
+	r := randx.New(5)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Pareto(2.0, 1)
+	}
+	bins := LogBins(xs, 5)
+	total := 0
+	for _, b := range bins {
+		if b.Lo >= b.Hi {
+			t.Fatalf("degenerate bin %+v", b)
+		}
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Fatalf("binned count %d, want %d", total, len(xs))
+	}
+}
+
+func TestLogBinsSkipsNonPositive(t *testing.T) {
+	bins := LogBins([]float64{0, -1, 10, 100}, 2)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Fatalf("non-positive values not skipped: count %d", total)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := IntHistogram([]float64{1, 1, 2, 250, 250, 250})
+	if h[1] != 2 || h[2] != 1 || h[250] != 3 {
+		t.Fatalf("IntHistogram = %v", h)
+	}
+}
+
+func TestLorenzCurveEndpoints(t *testing.T) {
+	pts := LorenzCurve([]float64{1, 2, 3, 4}, 4)
+	if pts[0].X != 0 || pts[0].P != 0 {
+		t.Fatalf("Lorenz start = %v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.X != 1 || math.Abs(last.P-1) > 1e-12 {
+		t.Fatalf("Lorenz end = %v", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Fatal("Lorenz curve not monotone")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package steamapi defines the JSON wire format of the subset of the
+// Steam Web API and storefront endpoints the paper's crawl used (§3.1):
+//
+//   - ISteamUser/GetPlayerSummaries/v0002 — profiles, up to 100 per call
+//   - ISteamUser/GetFriendList/v0001      — friendships with timestamps
+//   - IPlayerService/GetOwnedGames/v0001  — libraries with playtimes
+//   - ISteamUser/GetUserGroupList/v0001   — group memberships
+//   - ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002 (§9)
+//   - ISteamApps/GetAppList/v0002         — the "unpublicized" app index
+//   - storefront appdetails                — genres, price, type (Big
+//     Picture traffic in the paper; a JSON storefront here)
+//
+// The shapes mirror the real API closely enough that a client written
+// against these types would need only a base-URL change to crawl the real
+// service.
+package steamapi
+
+// PlayerSummary is one profile in a GetPlayerSummaries response.
+type PlayerSummary struct {
+	SteamID     string `json:"steamid"`
+	PersonaName string `json:"personaname"`
+	ProfileURL  string `json:"profileurl"`
+	TimeCreated int64  `json:"timecreated"`
+	// PersonaState 0 = offline; the simulator reports everyone offline.
+	PersonaState int `json:"personastate"`
+	// LocCountryCode and LocCityID are present only for users who
+	// self-report a location (10.7 % / 4.0 % per the paper).
+	LocCountryCode string `json:"loccountrycode,omitempty"`
+	LocCityID      string `json:"loccityid,omitempty"`
+}
+
+// PlayerSummariesResponse is the GetPlayerSummaries envelope.
+type PlayerSummariesResponse struct {
+	Response struct {
+		Players []PlayerSummary `json:"players"`
+	} `json:"response"`
+}
+
+// Friend is one entry of a GetFriendList response.
+type Friend struct {
+	SteamID      string `json:"steamid"`
+	Relationship string `json:"relationship"`
+	FriendSince  int64  `json:"friend_since"`
+}
+
+// FriendListResponse is the GetFriendList envelope.
+type FriendListResponse struct {
+	FriendsList struct {
+		Friends []Friend `json:"friends"`
+	} `json:"friendslist"`
+}
+
+// OwnedGame is one entry of a GetOwnedGames response. Playtimes are in
+// minutes, exactly as the real API reports them.
+type OwnedGame struct {
+	AppID           uint32 `json:"appid"`
+	PlaytimeForever int64  `json:"playtime_forever"`
+	Playtime2Weeks  int32  `json:"playtime_2weeks,omitempty"`
+}
+
+// OwnedGamesResponse is the GetOwnedGames envelope.
+type OwnedGamesResponse struct {
+	Response struct {
+		GameCount int         `json:"game_count"`
+		Games     []OwnedGame `json:"games"`
+	} `json:"response"`
+}
+
+// UserGroup is one entry of a GetUserGroupList response.
+type UserGroup struct {
+	GID string `json:"gid"`
+}
+
+// UserGroupListResponse is the GetUserGroupList envelope.
+type UserGroupListResponse struct {
+	Response struct {
+		Success bool        `json:"success"`
+		Groups  []UserGroup `json:"groups"`
+	} `json:"response"`
+}
+
+// AchievementPercentage is one global completion entry (§9).
+type AchievementPercentage struct {
+	Name    string  `json:"name"`
+	Percent float64 `json:"percent"`
+}
+
+// AchievementPercentagesResponse is the
+// GetGlobalAchievementPercentagesForApp envelope.
+type AchievementPercentagesResponse struct {
+	AchievementPercentages struct {
+		Achievements []AchievementPercentage `json:"achievements"`
+	} `json:"achievementpercentages"`
+}
+
+// App is one entry of the GetAppList index.
+type App struct {
+	AppID uint32 `json:"appid"`
+	Name  string `json:"name"`
+}
+
+// AppListResponse is the GetAppList envelope.
+type AppListResponse struct {
+	AppList struct {
+		Apps []App `json:"apps"`
+	} `json:"applist"`
+}
+
+// AppDetails is the storefront data for one product.
+type AppDetails struct {
+	Type        string   `json:"type"`
+	Name        string   `json:"name"`
+	IsFree      bool     `json:"is_free"`
+	Developers  []string `json:"developers"`
+	ReleaseYear int      `json:"release_year"`
+	Genres      []struct {
+		ID          string `json:"id"`
+		Description string `json:"description"`
+	} `json:"genres"`
+	Categories []struct {
+		ID          int    `json:"id"`
+		Description string `json:"description"`
+	} `json:"categories"`
+	PriceOverview *struct {
+		Currency string `json:"currency"`
+		Final    int64  `json:"final"` // cents
+	} `json:"price_overview,omitempty"`
+	Metacritic *struct {
+		Score int `json:"score"`
+	} `json:"metacritic,omitempty"`
+}
+
+// AppDetailsEntry wraps AppDetails with the storefront success flag.
+type AppDetailsEntry struct {
+	Success bool        `json:"success"`
+	Data    *AppDetails `json:"data,omitempty"`
+}
+
+// AppDetailsResponse maps appid (as a decimal string) to its entry,
+// mirroring the storefront's odd top-level-keyed-by-appid shape.
+type AppDetailsResponse map[string]AppDetailsEntry
+
+// CategoryMultiplayer is the storefront category id that marks a
+// multiplayer component.
+const CategoryMultiplayer = 1
+
+// PlayerAchievement is one entry of a GetPlayerAchievements response.
+type PlayerAchievement struct {
+	APIName  string `json:"apiname"`
+	Achieved int    `json:"achieved"`
+}
+
+// PlayerAchievementsResponse is the GetPlayerAchievements envelope — the
+// §9 "individual players' achievement statistics" the real 2016 API did
+// not expose for bulk collection; the simulator implements it as the
+// paper's stated future work.
+type PlayerAchievementsResponse struct {
+	PlayerStats struct {
+		SteamID      string              `json:"steamid"`
+		GameName     string              `json:"gameName"`
+		Achievements []PlayerAchievement `json:"achievements"`
+		Success      bool                `json:"success"`
+	} `json:"playerstats"`
+}
+
+// GroupPage is the community group page the crawler fetches to categorize
+// groups — the §4.2 "manual investigation of group pages" step, which the
+// analysis automates by classifying the page text.
+type GroupPage struct {
+	GID         string `json:"gid"`
+	Name        string `json:"name"`
+	Summary     string `json:"summary"`
+	MemberCount int    `json:"member_count"`
+}
+
+// ErrorResponse is the body returned with non-200 statuses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// MaxSummariesPerCall is the profile batch limit (§3.1: "up to 100 user
+// profiles at once").
+const MaxSummariesPerCall = 100

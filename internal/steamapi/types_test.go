@@ -1,0 +1,68 @@
+package steamapi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPlayerSummariesWireShape(t *testing.T) {
+	// A real-world-shaped payload must decode into our types.
+	payload := `{"response":{"players":[{"steamid":"76561197961965701",
+		"personaname":"gabe","profileurl":"https://steamcommunity.com/profiles/76561197961965701",
+		"timecreated":1063378262,"personastate":0,"loccountrycode":"US"}]}}`
+	var resp PlayerSummariesResponse
+	if err := json.Unmarshal([]byte(payload), &resp); err != nil {
+		t.Fatal(err)
+	}
+	p := resp.Response.Players[0]
+	if p.SteamID != "76561197961965701" || p.LocCountryCode != "US" || p.TimeCreated != 1063378262 {
+		t.Fatalf("decoded %+v", p)
+	}
+}
+
+func TestOwnedGamesOmitsZeroTwoWeek(t *testing.T) {
+	g := OwnedGame{AppID: 10, PlaytimeForever: 120}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"appid":10,"playtime_forever":120}` {
+		t.Fatalf("zero playtime_2weeks not omitted: %s", b)
+	}
+}
+
+func TestAppDetailsRoundTrip(t *testing.T) {
+	payload := `{"10":{"success":true,"data":{"type":"game","name":"Counter-Strike",
+		"is_free":false,"developers":["Valve"],"release_year":2000,
+		"genres":[{"id":"1","description":"Action"}],
+		"categories":[{"id":1,"description":"Multi-player"}],
+		"price_overview":{"currency":"USD","final":999},
+		"metacritic":{"score":88}}}}`
+	var resp AppDetailsResponse
+	if err := json.Unmarshal([]byte(payload), &resp); err != nil {
+		t.Fatal(err)
+	}
+	entry := resp["10"]
+	if !entry.Success || entry.Data == nil {
+		t.Fatal("entry not decoded")
+	}
+	d := entry.Data
+	if d.Name != "Counter-Strike" || d.PriceOverview.Final != 999 || d.Metacritic.Score != 88 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if d.Categories[0].ID != CategoryMultiplayer {
+		t.Fatal("multiplayer category wrong")
+	}
+}
+
+func TestFriendListDecode(t *testing.T) {
+	payload := `{"friendslist":{"friends":[{"steamid":"76561197960265729",
+		"relationship":"friend","friend_since":1234567890}]}}`
+	var resp FriendListResponse
+	if err := json.Unmarshal([]byte(payload), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.FriendsList.Friends[0].FriendSince != 1234567890 {
+		t.Fatal("friend_since lost")
+	}
+}

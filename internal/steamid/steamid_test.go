@@ -1,0 +1,102 @@
+package steamid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleID(t *testing.T) {
+	// The paper's example: STEAM_0:1:849986 <-> 76561197961965701.
+	id, err := ParseSteam2("STEAM_0:1:849986")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.String() != "76561197961965701" {
+		t.Fatalf("STEAM_0:1:849986 -> %s, want 76561197961965701", id)
+	}
+	if id.Steam2() != "STEAM_0:1:849986" {
+		t.Fatalf("round trip gave %s", id.Steam2())
+	}
+}
+
+func TestBaseID(t *testing.T) {
+	id := FromAccountID(0)
+	if uint64(id) != Base {
+		t.Fatalf("account 0 -> %d, want %d", id, Base)
+	}
+	if id.AccountID() != 0 {
+		t.Fatalf("AccountID of base = %d", id.AccountID())
+	}
+	if !id.Valid() {
+		t.Fatal("base ID reported invalid")
+	}
+	if ID(Base - 1).Valid() {
+		t.Fatal("pre-base ID reported valid")
+	}
+}
+
+func TestBijectionProperty(t *testing.T) {
+	err := quick.Check(func(acct uint32) bool {
+		id := FromAccountID(acct)
+		if id.AccountID() != acct {
+			return false
+		}
+		back, err := ParseSteam2(id.Steam2())
+		return err == nil && back == id
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDecimal(t *testing.T) {
+	id, err := Parse("76561197961965701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.AccountID() != 849986*2+1 {
+		t.Fatalf("account ID = %d", id.AccountID())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "abc", "STEAM_", "STEAM_0:1", "STEAM_2:1:5", "STEAM_0:2:5",
+		"STEAM_0:1:99999999999", "123",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseSteam2UniverseOne(t *testing.T) {
+	a, err := ParseSteam2("STEAM_0:0:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSteam2("STEAM_1:0:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("universe 0 and 1 should map to the same account")
+	}
+}
+
+func TestDensityModel(t *testing.T) {
+	m := DefaultDensity
+	if d := m.DensityAt(0.1); d != 0.45 {
+		t.Fatalf("sparse density = %v", d)
+	}
+	if d := m.DensityAt(0.5); d != 0.93 {
+		t.Fatalf("dense density = %v", d)
+	}
+	// Expected accounts over a range and its inverse agree.
+	width := uint64(1_000_000)
+	exp := m.ExpectedAccounts(width)
+	back := m.RangeForAccounts(exp)
+	if diff := int64(back) - int64(width); diff > 2 || diff < -2 {
+		t.Fatalf("RangeForAccounts(ExpectedAccounts(%d)) = %d", width, back)
+	}
+}
