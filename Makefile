@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race verify chaos fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: everything builds, all tests pass, and the
+# test suite is race-clean.
+verify: build test race
+
+# chaos runs only the end-to-end fault-injection suite: a full crawl under
+# an aggressive fault profile with simulated process deaths, plus the
+# circuit-breaker and journal-discipline assertions.
+chaos:
+	$(GO) test ./internal/crawler -run 'TestChaos' -v
+
+fmt:
+	gofmt -l -w cmd internal
+
+vet:
+	$(GO) vet ./...

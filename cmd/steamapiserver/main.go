@@ -13,6 +13,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"context"
 	"net"
@@ -33,9 +34,45 @@ func main() {
 		rate    = flag.Float64("rate", 0, "per-key request rate limit (0 = unlimited)")
 		burst   = flag.Int("burst", 0, "rate-limit burst")
 		keys    = flag.String("keys", "", "comma-separated accepted API keys (empty = no auth)")
-		fault   = flag.Float64("fault", 0, "inject HTTP 500s on this fraction of requests")
+		fault   = flag.Float64("fault", 0, "inject HTTP 500s on this fraction of requests (legacy deterministic spacing)")
+
+		fault500       = flag.Float64("fault-500", 0, "probability of an injected HTTP 500 per request")
+		fault503       = flag.Float64("fault-503", 0, "probability of an injected HTTP 503 + Retry-After per request")
+		faultReset     = flag.Float64("fault-reset", 0, "probability of a dropped connection per request")
+		faultStall     = flag.Float64("fault-stall", 0, "probability of a stalled (late) response per request")
+		faultTrunc     = flag.Float64("fault-truncate", 0, "probability of a truncated body per request")
+		faultBadJSON   = flag.Float64("fault-malformed", 0, "probability of a non-JSON 200 body per request")
+		faultWrongJSON = flag.Float64("fault-wrong-json", 0, "probability of a valid-but-wrong-shape JSON body per request")
+		faultSeed      = flag.Int64("fault-seed", 1, "seed for the deterministic fault sequence")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After advertised on injected 503s")
+		stallFor       = flag.Duration("stall-for", 2*time.Second, "delay applied by stall faults")
+		outageEvery    = flag.Int("outage-every", 0, "schedule an outage window after every N requests (0 disables)")
+		outageLen      = flag.Int("outage-len", 1, "requests rejected per outage window")
 	)
 	flag.Parse()
+
+	spec := apiserver.FaultSpec{
+		Error500:      *fault500,
+		Unavail503:    *fault503,
+		ConnReset:     *faultReset,
+		Stall:         *faultStall,
+		Truncate:      *faultTrunc,
+		MalformedJSON: *faultBadJSON,
+		WrongJSON:     *faultWrongJSON,
+		RetryAfter:    *retryAfter,
+		StallFor:      *stallFor,
+	}
+	var profile *apiserver.FaultProfile
+	if spec.Error500+spec.Unavail503+spec.ConnReset+spec.Stall+
+		spec.Truncate+spec.MalformedJSON+spec.WrongJSON > 0 || *outageEvery > 0 {
+		profile = &apiserver.FaultProfile{
+			Seed:             *faultSeed,
+			Default:          spec,
+			OutageEvery:      *outageEvery,
+			OutageLen:        *outageLen,
+			OutageRetryAfter: *retryAfter,
+		}
+	}
 
 	cfg := simworld.DefaultConfig(*users)
 	cfg.CatalogSize = *catalog
@@ -56,6 +93,7 @@ func main() {
 		RatePerSecond: *rate,
 		Burst:         *burst,
 		FaultRate:     *fault,
+		Faults:        profile,
 	})
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -72,7 +110,6 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintf(os.Stderr, "shutting down: served %d requests (%d rate-limited, %d faults)\n",
-		handler.Metrics.Requests.Load(), handler.Metrics.RateLimited.Load(), handler.Metrics.Faults.Load())
+	fmt.Fprintf(os.Stderr, "shutting down: %s\n", handler.Metrics.Snapshot())
 	srv.Shutdown(context.Background())
 }

@@ -25,23 +25,35 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("steamcrawl: ")
 	var (
-		baseURL    = flag.String("url", "http://127.0.0.1:8080", "API base URL")
-		key        = flag.String("key", "", "API key")
-		rate       = flag.Float64("rate", 5000, "self-imposed requests/second budget (paper: 85% of the allowance)")
-		workers    = flag.Int("workers", 16, "phase-2 worker pool size")
-		maxUsers   = flag.Int("max", 0, "cap the crawl at this many accounts (0 = exhaustive)")
-		checkpoint = flag.String("checkpoint", "", "checkpoint path for resumable crawls")
-		out        = flag.String("out", "crawl.gob.gz", "snapshot output path")
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "API base URL")
+		key         = flag.String("key", "", "API key")
+		rate        = flag.Float64("rate", 5000, "self-imposed requests/second budget (paper: 85% of the allowance)")
+		workers     = flag.Int("workers", 16, "phase-2 worker pool size")
+		maxUsers    = flag.Int("max", 0, "cap the crawl at this many accounts (0 = exhaustive)")
+		checkpoint  = flag.String("checkpoint", "", "journal directory for resumable crawls")
+		reqTimeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+		maxBackoff  = flag.Duration("max-backoff", 30*time.Second, "exponential-backoff clamp")
+		brThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that open an endpoint's circuit breaker (negative disables)")
+		brCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+		noAdaptive  = flag.Bool("no-adaptive", false, "disable AIMD adaptive throttling and pin the rate")
+		progress    = flag.Duration("progress", 30*time.Second, "interval between progress/health lines (negative disables)")
+		out         = flag.String("out", "crawl.gob.gz", "snapshot output path")
 	)
 	flag.Parse()
 
 	c := crawler.New(crawler.Config{
-		BaseURL:        *baseURL,
-		APIKey:         *key,
-		RatePerSecond:  *rate,
-		Workers:        *workers,
-		MaxAccounts:    *maxUsers,
-		CheckpointPath: *checkpoint,
+		BaseURL:                 *baseURL,
+		APIKey:                  *key,
+		RatePerSecond:           *rate,
+		Workers:                 *workers,
+		MaxAccounts:             *maxUsers,
+		CheckpointPath:          *checkpoint,
+		RequestTimeout:          *reqTimeout,
+		MaxBackoff:              *maxBackoff,
+		BreakerThreshold:        *brThreshold,
+		BreakerCooldown:         *brCooldown,
+		DisableAdaptiveThrottle: *noAdaptive,
+		ProgressEvery:           *progress,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "steamcrawl: "+format+"\n", args...)
 		},
@@ -62,11 +74,12 @@ func main() {
 		log.Fatalf("crawl failed after %v: %v (checkpoint, if enabled, allows resuming)", time.Since(start), err)
 	}
 	t := snap.Totals()
+	m := c.Metrics.Snapshot()
 	fmt.Fprintf(os.Stderr,
-		"crawl complete in %v: %d users, %d games, %d groups, %d friendships, %d requests (%d rate-limited, %d errors)\n",
+		"crawl complete in %v: %d users, %d games, %d groups, %d friendships, %d requests (%d rate-limited, %d errors, %d retries, %d breaker opens)\n",
 		time.Since(start).Round(time.Millisecond),
 		t.Users, t.Games, t.Groups, t.Friendships,
-		c.Metrics.Requests.Load(), c.Metrics.RateLimited.Load(), c.Metrics.Errors.Load())
+		m.Requests, m.RateLimited, m.Errors, m.Retries, m.BreakerOpens)
 	if profile := c.DensityProfile(10); profile != nil {
 		fmt.Fprintf(os.Stderr, "ID-space density by decile (§3.1):")
 		for _, d := range profile {

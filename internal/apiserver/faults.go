@@ -1,0 +1,265 @@
+package apiserver
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FaultClass identifies one injectable failure mode. The taxonomy models
+// everything a six-month crawl of a flaky public API observes: hard
+// errors, backpressure, dropped connections, stalls, torn responses, and
+// payloads that are broken — or worse, well-formed but wrong.
+type FaultClass int
+
+const (
+	// FaultNone means the request is served normally.
+	FaultNone FaultClass = iota
+	// Fault500 answers with HTTP 500.
+	Fault500
+	// Fault503 answers with HTTP 503 plus a Retry-After header.
+	Fault503
+	// FaultReset hijacks the connection and closes it without a response
+	// (the client sees a reset/EOF mid-request).
+	FaultReset
+	// FaultStall delays the response by the configured duration before
+	// serving it normally — long enough to trip a per-request timeout.
+	FaultStall
+	// FaultTruncate serves the real response but cuts the body in half
+	// while declaring the full Content-Length, so the client sees an
+	// unexpected EOF mid-body.
+	FaultTruncate
+	// FaultMalformedJSON serves HTTP 200 with a body that is not JSON.
+	FaultMalformedJSON
+	// FaultWrongJSON serves HTTP 200 with valid JSON of the wrong shape —
+	// the nastiest class, caught only by strict decoding.
+	FaultWrongJSON
+	// FaultOutage is a 503 issued because the service is inside a
+	// scheduled outage window.
+	FaultOutage
+)
+
+// String names the class for logs and test failures.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case Fault500:
+		return "500"
+	case Fault503:
+		return "503"
+	case FaultReset:
+		return "reset"
+	case FaultStall:
+		return "stall"
+	case FaultTruncate:
+		return "truncate"
+	case FaultMalformedJSON:
+		return "malformed-json"
+	case FaultWrongJSON:
+		return "wrong-json"
+	case FaultOutage:
+		return "outage"
+	}
+	return fmt.Sprintf("FaultClass(%d)", int(c))
+}
+
+// FaultSpec gives the per-request injection probability of each fault
+// class for one endpoint. Probabilities are independent slices of a
+// single uniform draw, so their sum must stay ≤ 1.
+type FaultSpec struct {
+	Error500      float64 // HTTP 500
+	Unavail503    float64 // HTTP 503 + Retry-After
+	ConnReset     float64 // hijack + close, no response
+	Stall         float64 // delay StallFor before responding
+	Truncate      float64 // full Content-Length, half the body
+	MalformedJSON float64 // HTTP 200, non-JSON body
+	WrongJSON     float64 // HTTP 200, valid JSON, wrong shape
+
+	// RetryAfter is advertised on injected 503s (default 1s).
+	RetryAfter time.Duration
+	// StallFor is the FaultStall delay (default 2s).
+	StallFor time.Duration
+}
+
+func (s FaultSpec) total() float64 {
+	return s.Error500 + s.Unavail503 + s.ConnReset + s.Stall +
+		s.Truncate + s.MalformedJSON + s.WrongJSON
+}
+
+// FaultProfile composes per-endpoint fault rates with scheduled outage
+// windows. All randomness flows from a single seeded RNG, so a serial
+// request stream reproduces the exact same fault sequence every run.
+type FaultProfile struct {
+	// Seed drives the deterministic RNG (0 behaves like 1).
+	Seed int64
+	// Default applies to every endpoint without an explicit entry.
+	Default FaultSpec
+	// Endpoints overrides Default per mux pattern (the full registered
+	// path, e.g. "/ISteamUser/GetFriendList/v0001/").
+	Endpoints map[string]FaultSpec
+	// OutageEvery schedules an outage window after every N non-outage
+	// requests (0 disables outages).
+	OutageEvery int
+	// OutageLen is how many consecutive requests each window rejects
+	// with 503 (default 1 when OutageEvery is set).
+	OutageLen int
+	// OutageRetryAfter is advertised during outage windows (default 1s).
+	OutageRetryAfter time.Duration
+}
+
+// faultInjector is the runtime state behind a FaultProfile.
+type faultInjector struct {
+	mu          sync.Mutex
+	p           FaultProfile
+	rng         *rand.Rand
+	sinceOutage int
+	outageLeft  int
+}
+
+func newFaultInjector(p FaultProfile) *faultInjector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if p.OutageEvery > 0 && p.OutageLen <= 0 {
+		p.OutageLen = 1
+	}
+	return &faultInjector{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// decide draws the fault (if any) for the next request on endpoint.
+// Exactly one uniform draw is consumed per non-outage request, so the
+// sequence of decisions depends only on the seed and the request order.
+func (fi *faultInjector) decide(endpoint string) (FaultClass, FaultSpec) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	spec, ok := fi.p.Endpoints[endpoint]
+	if !ok {
+		spec = fi.p.Default
+	}
+	if spec.RetryAfter <= 0 {
+		spec.RetryAfter = time.Second
+	}
+	if spec.StallFor <= 0 {
+		spec.StallFor = 2 * time.Second
+	}
+	if fi.outageLeft > 0 {
+		fi.outageLeft--
+		if fi.p.OutageRetryAfter > 0 {
+			spec.RetryAfter = fi.p.OutageRetryAfter
+		}
+		return FaultOutage, spec
+	}
+	if fi.p.OutageEvery > 0 {
+		fi.sinceOutage++
+		if fi.sinceOutage >= fi.p.OutageEvery {
+			fi.sinceOutage = 0
+			fi.outageLeft = fi.p.OutageLen - 1
+			if fi.p.OutageRetryAfter > 0 {
+				spec.RetryAfter = fi.p.OutageRetryAfter
+			}
+			return FaultOutage, spec
+		}
+	}
+	u := fi.rng.Float64()
+	for _, c := range []struct {
+		class FaultClass
+		p     float64
+	}{
+		{Fault500, spec.Error500},
+		{Fault503, spec.Unavail503},
+		{FaultReset, spec.ConnReset},
+		{FaultStall, spec.Stall},
+		{FaultTruncate, spec.Truncate},
+		{FaultMalformedJSON, spec.MalformedJSON},
+		{FaultWrongJSON, spec.WrongJSON},
+	} {
+		if u < c.p {
+			return c.class, spec
+		}
+		u -= c.p
+	}
+	return FaultNone, spec
+}
+
+// inject executes the decided fault. It returns true when the fault fully
+// handled the request; FaultStall returns false after its delay so the
+// wrapped handler still serves the (late) response.
+func (s *Server) inject(w http.ResponseWriter, r *http.Request, class FaultClass, spec FaultSpec, h http.HandlerFunc) bool {
+	switch class {
+	case Fault500:
+		s.Metrics.Faults500.Add(1)
+		writeError(w, http.StatusInternalServerError, "injected fault")
+	case Fault503, FaultOutage:
+		if class == FaultOutage {
+			s.Metrics.OutageDrops.Add(1)
+		} else {
+			s.Metrics.Faults503.Add(1)
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(spec.RetryAfter/time.Second)))
+		writeError(w, http.StatusServiceUnavailable, "service unavailable")
+	case FaultReset:
+		s.Metrics.Resets.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			// Fall back to a bare 500 if the writer cannot be hijacked.
+			writeError(w, http.StatusInternalServerError, "injected fault")
+			return true
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			return true
+		}
+		// SO_LINGER 0 turns the close into a TCP RST where supported; a
+		// plain close (FIN before any response bytes) is equivalent from
+		// the client's point of view.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		conn.Close()
+	case FaultStall:
+		s.Metrics.Stalls.Add(1)
+		select {
+		case <-time.After(spec.StallFor):
+		case <-r.Context().Done():
+			// The client gave up; no point serving the body.
+			return true
+		}
+		return false
+	case FaultTruncate:
+		s.Metrics.Truncations.Add(1)
+		rec := httptest.NewRecorder()
+		h(rec, r)
+		body := rec.Body.Bytes()
+		for k, v := range rec.Header() {
+			w.Header()[k] = v
+		}
+		// Declare the full length, deliver half: the handler returns with
+		// the response short, so net/http closes the connection and the
+		// client sees an unexpected EOF mid-body.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(rec.Code)
+		w.Write(body[:len(body)/2])
+	case FaultMalformedJSON:
+		s.Metrics.Malformed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"response":{"players":[{"steamid":`))
+	case FaultWrongJSON:
+		s.Metrics.WrongJSON.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		// Valid JSON, wrong shape. The unknown field appears both at the
+		// top level (caught when decoding struct envelopes) and inside the
+		// value (caught when decoding map envelopes whose values are
+		// structs), so strict clients reject it on every endpoint.
+		w.Write([]byte(`{"glitch":{"glitch":true}}`))
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,291 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"steamstudy/internal/steamapi"
+)
+
+// faultTestURL returns a friend-list request for a real user.
+func faultTestURL(t *testing.T, base string) string {
+	t.Helper()
+	return base + "/ISteamUser/GetFriendList/v0001/?steamid=" + universe(t).Users[0].ID.String()
+}
+
+// alwaysProfile injects the given class on every request.
+func alwaysProfile(class FaultClass) *FaultProfile {
+	spec := FaultSpec{RetryAfter: time.Second, StallFor: 50 * time.Millisecond}
+	switch class {
+	case Fault500:
+		spec.Error500 = 1
+	case Fault503:
+		spec.Unavail503 = 1
+	case FaultReset:
+		spec.ConnReset = 1
+	case FaultStall:
+		spec.Stall = 1
+	case FaultTruncate:
+		spec.Truncate = 1
+	case FaultMalformedJSON:
+		spec.MalformedJSON = 1
+	case FaultWrongJSON:
+		spec.WrongJSON = 1
+	}
+	return &FaultProfile{Seed: 7, Default: spec}
+}
+
+func TestFault500(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: alwaysProfile(Fault500)})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if s.Metrics.Faults500.Load() != 1 || s.Metrics.Faults.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFault503CarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: alwaysProfile(Fault503)})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", ra)
+	}
+	if s.Metrics.Faults503.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFaultConnReset(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: alwaysProfile(FaultReset)})
+	_, err := http.Get(faultTestURL(t, ts.URL))
+	if err == nil {
+		t.Fatal("hijacked+closed connection produced a response")
+	}
+	if s.Metrics.Resets.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFaultStallTripsClientTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: &FaultProfile{
+		Seed:    7,
+		Default: FaultSpec{Stall: 1, StallFor: 2 * time.Second},
+	}})
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(faultTestURL(t, ts.URL))
+	if err == nil {
+		t.Fatal("stalled response beat a 50ms client timeout")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("client timeout did not interrupt the stall")
+	}
+	if s.Metrics.Stalls.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFaultStallEventuallyServes(t *testing.T) {
+	// A patient client gets the real (late) response: stall is latency,
+	// not loss.
+	_, ts := newTestServer(t, Config{Faults: &FaultProfile{
+		Seed:    7,
+		Default: FaultSpec{Stall: 1, StallFor: 20 * time.Millisecond},
+	}})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out steamapi.FriendListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("stalled-but-served response undecodable: %v", err)
+	}
+}
+
+func TestFaultTruncatedBody(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: alwaysProfile(FaultTruncate)})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with torn body", resp.StatusCode)
+	}
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("truncated body read to completion without error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") {
+		t.Fatalf("unexpected truncation error: %v", err)
+	}
+	if s.Metrics.Truncations.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFaultMalformedJSON(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: alwaysProfile(FaultMalformedJSON)})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out steamapi.FriendListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err == nil {
+		t.Fatal("malformed JSON decoded cleanly")
+	}
+	if s.Metrics.Malformed.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFaultWrongJSONRejectedByStrictDecoding(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: alwaysProfile(FaultWrongJSON)})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// It IS valid JSON — a lenient decode accepts it silently ...
+	var lenient steamapi.FriendListResponse
+	if err := json.Unmarshal(body, &lenient); err != nil {
+		t.Fatalf("wrong-JSON body is not even valid JSON: %v", err)
+	}
+	// ... which is exactly the trap: only strict decoding catches it, on
+	// struct envelopes and map envelopes alike.
+	strict := json.NewDecoder(strings.NewReader(string(body)))
+	strict.DisallowUnknownFields()
+	if err := strict.Decode(&lenient); err == nil {
+		t.Fatal("strict decode accepted wrong-shaped JSON (struct envelope)")
+	}
+	strict = json.NewDecoder(strings.NewReader(string(body)))
+	strict.DisallowUnknownFields()
+	var asMap steamapi.AppDetailsResponse
+	if err := strict.Decode(&asMap); err == nil {
+		t.Fatal("strict decode accepted wrong-shaped JSON (map envelope)")
+	}
+	if s.Metrics.WrongJSON.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}
+
+func TestFaultOutageWindow(t *testing.T) {
+	s, ts := newTestServer(t, Config{Faults: &FaultProfile{
+		Seed:        7,
+		OutageEvery: 5,
+		OutageLen:   3,
+	}})
+	u := faultTestURL(t, ts.URL)
+	var statuses []int
+	for i := 0; i < 16; i++ {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+	}
+	// Every 5th healthy request opens a 3-request 503 window:
+	// 4×200, 3×503, 4×200, 3×503, 2×200.
+	want := []int{200, 200, 200, 200, 503, 503, 503, 200, 200, 200, 200, 503, 503, 503, 200, 200}
+	for i, st := range statuses {
+		if st != want[i] {
+			t.Fatalf("request %d: status %d, want %d (full sequence %v)", i, st, want[i], statuses)
+		}
+	}
+	if s.Metrics.OutageDrops.Load() != 6 {
+		t.Fatalf("outage drops %d, want 6", s.Metrics.OutageDrops.Load())
+	}
+}
+
+func TestFaultProfileDeterministic(t *testing.T) {
+	// The same seed must yield the identical fault sequence on a serial
+	// request stream — chaos tests reproduce exactly.
+	run := func() []int {
+		_, ts := newTestServer(t, Config{Faults: &FaultProfile{
+			Seed:    42,
+			Default: FaultSpec{Error500: 0.3, Unavail503: 0.2},
+		}})
+		u := faultTestURL(t, ts.URL)
+		var out []int
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			out = append(out, resp.StatusCode)
+		}
+		return out
+	}
+	a, b := run(), run()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %d vs %d — fault sequence not reproducible", i, a[i], b[i])
+		}
+		if a[i] != 200 {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("profile injected no faults in 40 requests at combined rate 0.5")
+	}
+}
+
+func TestFaultPerEndpointOverride(t *testing.T) {
+	// Storefront is broken, user endpoints are healthy.
+	s, ts := newTestServer(t, Config{Faults: &FaultProfile{
+		Seed: 7,
+		Endpoints: map[string]FaultSpec{
+			"/store/appdetails": {Error500: 1},
+		},
+	}})
+	resp, err := http.Get(faultTestURL(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy endpoint got status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/store/appdetails?appids=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("overridden endpoint got status %d, want 500", resp.StatusCode)
+	}
+	if s.Metrics.Faults500.Load() != 1 {
+		t.Fatalf("metrics: %+v", s.Metrics.Snapshot())
+	}
+}

@@ -29,8 +29,14 @@ type Config struct {
 	RatePerSecond float64
 	Burst         int
 	// FaultRate injects HTTP 500s on roughly this fraction of requests
-	// (deterministic sequence, for crawler retry tests).
+	// (deterministic evenly-spaced sequence, for crawler retry tests).
+	// For anything richer use Faults.
 	FaultRate float64
+	// Faults composes per-endpoint fault rates across the full taxonomy
+	// (500s, 503s, resets, stalls, truncations, bad JSON) plus scheduled
+	// outage windows, all from one seeded RNG. May be combined with
+	// FaultRate; the flat 500s are checked first.
+	Faults *FaultProfile
 }
 
 // Metrics counts server activity (atomic; safe to read live).
@@ -38,8 +44,62 @@ type Metrics struct {
 	Requests     atomic.Int64
 	RateLimited  atomic.Int64
 	Unauthorized atomic.Int64
-	Faults       atomic.Int64
+	Faults       atomic.Int64 // total injected faults of every class
 	NotFound     atomic.Int64
+
+	// Per-class fault counters (all also counted in Faults).
+	Faults500   atomic.Int64
+	Faults503   atomic.Int64
+	Resets      atomic.Int64
+	Stalls      atomic.Int64
+	Truncations atomic.Int64
+	Malformed   atomic.Int64
+	WrongJSON   atomic.Int64
+	OutageDrops atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics at one instant.
+type MetricsSnapshot struct {
+	Requests     int64
+	RateLimited  int64
+	Unauthorized int64
+	Faults       int64
+	NotFound     int64
+	Faults500    int64
+	Faults503    int64
+	Resets       int64
+	Stalls       int64
+	Truncations  int64
+	Malformed    int64
+	WrongJSON    int64
+	OutageDrops  int64
+}
+
+// Snapshot copies every counter at one instant, for logging and tests.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:     m.Requests.Load(),
+		RateLimited:  m.RateLimited.Load(),
+		Unauthorized: m.Unauthorized.Load(),
+		Faults:       m.Faults.Load(),
+		NotFound:     m.NotFound.Load(),
+		Faults500:    m.Faults500.Load(),
+		Faults503:    m.Faults503.Load(),
+		Resets:       m.Resets.Load(),
+		Stalls:       m.Stalls.Load(),
+		Truncations:  m.Truncations.Load(),
+		Malformed:    m.Malformed.Load(),
+		WrongJSON:    m.WrongJSON.Load(),
+		OutageDrops:  m.OutageDrops.Load(),
+	}
+}
+
+// String renders the snapshot as a one-line health summary.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("requests=%d 429=%d 401=%d 404=%d faults=%d (500=%d 503=%d reset=%d stall=%d trunc=%d badjson=%d wrongjson=%d outage=%d)",
+		s.Requests, s.RateLimited, s.Unauthorized, s.NotFound, s.Faults,
+		s.Faults500, s.Faults503, s.Resets, s.Stalls, s.Truncations,
+		s.Malformed, s.WrongJSON, s.OutageDrops)
 }
 
 // Server implements http.Handler for the simulated Steam Web API.
@@ -54,6 +114,7 @@ type Server struct {
 	mu       sync.Mutex
 	limiters map[string]*ratelimit.Limiter
 	faultSeq uint64
+	faults   *faultInjector
 
 	adjOnce sync.Once
 	adj     [][]adjEntry
@@ -82,16 +143,23 @@ func New(u *simworld.Universe, cfg Config) *Server {
 	for i := range u.Groups {
 		s.groupID[u.Groups[i].ID] = int32(i)
 	}
+	if cfg.Faults != nil {
+		s.faults = newFaultInjector(*cfg.Faults)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ISteamUser/GetPlayerSummaries/v0002/", s.wrap(s.handlePlayerSummaries))
-	mux.HandleFunc("/ISteamUser/GetFriendList/v0001/", s.wrap(s.handleFriendList))
-	mux.HandleFunc("/IPlayerService/GetOwnedGames/v0001/", s.wrap(s.handleOwnedGames))
-	mux.HandleFunc("/ISteamUser/GetUserGroupList/v0001/", s.wrap(s.handleUserGroupList))
-	mux.HandleFunc("/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/", s.wrap(s.handleAchievements))
-	mux.HandleFunc("/ISteamApps/GetAppList/v0002/", s.wrap(s.handleAppList))
-	mux.HandleFunc("/store/appdetails", s.wrap(s.handleAppDetails))
-	mux.HandleFunc("/community/group", s.wrap(s.handleGroupPage))
-	mux.HandleFunc("/ISteamUserStats/GetPlayerAchievements/v0001/", s.wrap(s.handlePlayerAchievements))
+	for pattern, h := range map[string]http.HandlerFunc{
+		"/ISteamUser/GetPlayerSummaries/v0002/":                         s.handlePlayerSummaries,
+		"/ISteamUser/GetFriendList/v0001/":                              s.handleFriendList,
+		"/IPlayerService/GetOwnedGames/v0001/":                          s.handleOwnedGames,
+		"/ISteamUser/GetUserGroupList/v0001/":                           s.handleUserGroupList,
+		"/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/": s.handleAchievements,
+		"/ISteamApps/GetAppList/v0002/":                                 s.handleAppList,
+		"/store/appdetails":                                             s.handleAppDetails,
+		"/community/group":                                              s.handleGroupPage,
+		"/ISteamUserStats/GetPlayerAchievements/v0001/":                 s.handlePlayerAchievements,
+	} {
+		mux.HandleFunc(pattern, s.wrap(pattern, h))
+	}
 	s.mux = mux
 	return s
 }
@@ -162,7 +230,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // wrap applies auth, rate limiting and fault injection around a handler.
-func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+func (s *Server) wrap(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.Metrics.Requests.Add(1)
 		key := r.URL.Query().Get("key")
@@ -183,6 +251,14 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFu
 			s.Metrics.Faults.Add(1)
 			writeError(w, http.StatusInternalServerError, "injected fault")
 			return
+		}
+		if s.faults != nil {
+			if class, spec := s.faults.decide(pattern); class != FaultNone {
+				s.Metrics.Faults.Add(1)
+				if s.inject(w, r, class, spec, h) {
+					return
+				}
+			}
 		}
 		h(w, r)
 	}

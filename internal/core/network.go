@@ -24,6 +24,9 @@ type ServerOptions struct {
 	Burst         int
 	// FaultRate injects 500s on this fraction of requests.
 	FaultRate float64
+	// Faults composes per-endpoint fault injection and outage windows for
+	// chaos testing (see apiserver.FaultProfile).
+	Faults *apiserver.FaultProfile
 }
 
 // APIServer is a running Steam Web API simulator.
@@ -53,6 +56,7 @@ func ServeUniverse(u *simworld.Universe, opts ServerOptions) (*APIServer, error)
 		RatePerSecond: opts.RatePerSecond,
 		Burst:         opts.Burst,
 		FaultRate:     opts.FaultRate,
+		Faults:        opts.Faults,
 	})
 	lis, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -81,10 +85,22 @@ type CrawlOptions struct {
 	RatePerSecond float64
 	Workers       int
 	MaxAccounts   int
-	// CheckpointPath enables resumable crawls.
+	// CheckpointPath names a journal directory enabling resumable crawls.
 	CheckpointPath string
 	// Timeout bounds the whole crawl (0 = none).
 	Timeout time.Duration
+	// RequestTimeout bounds each HTTP attempt (0 = crawler default).
+	RequestTimeout time.Duration
+	// MaxBackoff clamps the retry backoff (0 = crawler default).
+	MaxBackoff time.Duration
+	// BreakerThreshold opens an endpoint's circuit breaker after this many
+	// consecutive failures (0 = crawler default; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker wait before a half-open probe.
+	BreakerCooldown time.Duration
+	// DisableAdaptiveThrottle pins the request rate instead of letting the
+	// AIMD controller move it under 429/503 pressure.
+	DisableAdaptiveThrottle bool
 	// Logf receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -93,13 +109,18 @@ type CrawlOptions struct {
 // the assembled snapshot.
 func Crawl(opts CrawlOptions) (*dataset.Snapshot, error) {
 	c := crawler.New(crawler.Config{
-		BaseURL:        opts.BaseURL,
-		APIKey:         opts.APIKey,
-		RatePerSecond:  opts.RatePerSecond,
-		Workers:        opts.Workers,
-		MaxAccounts:    opts.MaxAccounts,
-		CheckpointPath: opts.CheckpointPath,
-		Logf:           opts.Logf,
+		BaseURL:                 opts.BaseURL,
+		APIKey:                  opts.APIKey,
+		RatePerSecond:           opts.RatePerSecond,
+		Workers:                 opts.Workers,
+		MaxAccounts:             opts.MaxAccounts,
+		CheckpointPath:          opts.CheckpointPath,
+		RequestTimeout:          opts.RequestTimeout,
+		MaxBackoff:              opts.MaxBackoff,
+		BreakerThreshold:        opts.BreakerThreshold,
+		BreakerCooldown:         opts.BreakerCooldown,
+		DisableAdaptiveThrottle: opts.DisableAdaptiveThrottle,
+		Logf:                    opts.Logf,
 	})
 	ctx := context.Background()
 	if opts.Timeout > 0 {

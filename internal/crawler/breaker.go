@@ -1,0 +1,193 @@
+package crawler
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through; consecutive failures are
+	// counted toward the open threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for logs and metrics lines.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker protects one endpoint class. A burst of consecutive failures
+// (an outage window, a dead backend) opens it; while open, callers wait
+// out the cooldown instead of burning their retry budgets against a host
+// that is down; a single half-open probe then decides whether the class
+// has recovered.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	metrics   *Metrics
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// allow reports whether a request may proceed now; when it may not, it
+// returns how long the caller should wait before asking again.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.metrics.BreakerHalfOpens.Add(1)
+		return true, 0
+	default: // BreakerHalfOpen
+		if b.probing {
+			// One probe is already in flight; poll for its outcome.
+			wait := b.cooldown / 4
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+			return false, wait
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.metrics.BreakerCloses.Add(1)
+	}
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.metrics.BreakerOpens.Add(1)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.metrics.BreakerOpens.Add(1)
+		}
+	}
+}
+
+// State returns the current state (for metrics and tests).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerSet shares one breaker per endpoint class, so an outage on the
+// user-data endpoints does not gate the storefront and vice versa.
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	metrics   *Metrics
+
+	mu  sync.Mutex
+	set map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration, m *Metrics) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		metrics:   m,
+		set:       make(map[string]*breaker),
+	}
+}
+
+// endpointClass maps a request path to its breaker key: the API interface
+// (first path segment), so e.g. all ISteamUser endpoints share fate.
+func endpointClass(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func (s *breakerSet) breakerFor(class string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.set[class]
+	if !ok {
+		b = &breaker{
+			threshold: s.threshold,
+			cooldown:  s.cooldown,
+			now:       time.Now,
+			metrics:   s.metrics,
+		}
+		s.set[class] = b
+	}
+	return b
+}
+
+// acquire blocks until the class's breaker admits a request (or ctx ends).
+func (s *breakerSet) acquire(ctx context.Context, class string) (*breaker, error) {
+	b := s.breakerFor(class)
+	for {
+		ok, wait := b.allow()
+		if ok {
+			return b, nil
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// States snapshots every class's state, for the progress log.
+func (s *breakerSet) States() map[string]BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerState, len(s.set))
+	for class, b := range s.set {
+		out[class] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock, *Metrics) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	m := &Metrics{}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: clk.now, metrics: m}, clk, m
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, m := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.onFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after %d failures (threshold 3)", b.State(), 2)
+	}
+	b.onFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after hitting the threshold", b.State())
+	}
+	if m.BreakerOpens.Load() != 1 {
+		t.Fatalf("opens metric %d", m.BreakerOpens.Load())
+	}
+	if ok, wait := b.allow(); ok || wait <= 0 {
+		t.Fatalf("open breaker admitted a request (ok=%v wait=%v)", ok, wait)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Second)
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk, m := newTestBreaker(1, time.Second)
+	b.onFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker not open after one failure")
+	}
+	clk.advance(1100 * time.Millisecond)
+	ok, _ := b.allow()
+	if !ok || b.State() != BreakerHalfOpen {
+		t.Fatalf("cooldown elapsed but no probe admitted (ok=%v state=%v)", ok, b.State())
+	}
+	// A second caller must NOT slip in beside the probe.
+	if ok2, _ := b.allow(); ok2 {
+		t.Fatal("second request admitted during half-open probe")
+	}
+	b.onSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe", b.State())
+	}
+	if m.BreakerHalfOpens.Load() != 1 || m.BreakerCloses.Load() != 1 {
+		t.Fatalf("half-opens=%d closes=%d", m.BreakerHalfOpens.Load(), m.BreakerCloses.Load())
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk, m := newTestBreaker(1, time.Second)
+	b.onFailure()
+	clk.advance(1100 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	b.onFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe", b.State())
+	}
+	if m.BreakerOpens.Load() != 2 {
+		t.Fatalf("opens metric %d, want 2 (initial + re-open)", m.BreakerOpens.Load())
+	}
+	// The fresh cooldown starts from the failed probe.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("second cooldown did not admit a probe")
+	}
+}
+
+func TestBreakerSetSharesPerClass(t *testing.T) {
+	s := newBreakerSet(1, time.Hour, &Metrics{})
+	s.breakerFor("ISteamUser").onFailure()
+	if s.breakerFor("ISteamUser").State() != BreakerOpen {
+		t.Fatal("class breaker not shared")
+	}
+	if s.breakerFor("store").State() != BreakerClosed {
+		t.Fatal("failure on one class opened another")
+	}
+	states := s.States()
+	if states["ISteamUser"] != BreakerOpen || states["store"] != BreakerClosed {
+		t.Fatalf("states %v", states)
+	}
+	// acquire on the open class blocks until ctx expires; on the healthy
+	// class it returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := s.acquire(ctx, "ISteamUser"); err == nil {
+		t.Fatal("acquire on an hour-long open breaker returned early")
+	}
+	if _, err := s.acquire(context.Background(), "store"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointClass(t *testing.T) {
+	cases := map[string]string{
+		"/ISteamUser/GetFriendList/v0001/":     "ISteamUser",
+		"/IPlayerService/GetOwnedGames/v0001/": "IPlayerService",
+		"/store/appdetails":                    "store",
+		"/community/group":                     "community",
+		"store":                                "store",
+	}
+	for path, want := range cases {
+		if got := endpointClass(path); got != want {
+			t.Fatalf("endpointClass(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -10,12 +10,16 @@
 //	phase 5 — community group pages for categorization (§4.2).
 //
 // The crawler self-throttles to a configurable fraction of the server's
-// allowance (the paper used 85 %), retries transient failures with
-// exponential backoff, honors Retry-After on 429s, and checkpoints for
-// resumable multi-session crawls (the paper's phase 2 ran for six months).
+// allowance (the paper used 85 %) with AIMD backoff under 429/503
+// pressure, binds every request to its context with a per-request
+// timeout, retries transient failures with clamped exponential backoff,
+// honors Retry-After on 429 and 503, gates each endpoint class behind a
+// circuit breaker, and journals completed work so multi-month crawls (the
+// paper's phase 2 ran for six months) resume losslessly after a crash.
 package crawler
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -31,13 +35,59 @@ import (
 
 // client is the rate-limited, retrying HTTP client shared by all phases.
 type client struct {
-	base    string
-	key     string
-	http    *http.Client
+	base       string
+	key        string
+	http       *http.Client
+	limiter    *ratelimit.Limiter
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	reqTimeout time.Duration
+	metrics    *Metrics
+	breakers   *breakerSet // nil disables circuit breaking
+	aimd       *aimd       // nil disables adaptive throttling
+}
+
+// aimd is the additive-increase/multiplicative-decrease throttle: 429s
+// and 503s halve the request rate; every success nudges it back toward
+// the configured target (the paper's 85 % budget).
+type aimd struct {
 	limiter *ratelimit.Limiter
-	retries int
-	backoff time.Duration
+	target  float64
+	min     float64
+	step    float64
 	metrics *Metrics
+}
+
+func newAIMD(l *ratelimit.Limiter, target float64, m *Metrics) *aimd {
+	return &aimd{
+		limiter: l,
+		target:  target,
+		min:     1,
+		step:    target / 100,
+		metrics: m,
+	}
+}
+
+func (a *aimd) onBackpressure() {
+	r := a.limiter.Rate() / 2
+	if r < a.min {
+		r = a.min
+	}
+	a.limiter.SetRate(r)
+	a.metrics.ThrottleDowns.Add(1)
+}
+
+func (a *aimd) onSuccess() {
+	r := a.limiter.Rate()
+	if r >= a.target {
+		return
+	}
+	r += a.step
+	if r > a.target {
+		r = a.target
+	}
+	a.limiter.SetRate(r)
 }
 
 // errNotFound marks a 404 — the resource legitimately does not exist
@@ -52,50 +102,139 @@ func IsNotFound(err error) bool {
 	return ok
 }
 
+// fetchResult is one HTTP attempt, with the body fully read.
+type fetchResult struct {
+	status        int
+	body          []byte
+	retryAfter    time.Duration
+	hasRetryAfter bool // distinguishes "Retry-After: 0" from absent
+}
+
+// fetch performs one context-bound attempt with the per-request timeout.
+// Reading the body to completion happens inside the timeout, so stalls
+// and truncations surface here as errors.
+func (c *client) fetch(ctx context.Context, u string) (fetchResult, error) {
+	if c.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fetchResult{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fetchResult{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// Truncated or reset mid-body: transport-level failure.
+		return fetchResult{}, err
+	}
+	res := fetchResult{status: resp.StatusCode, body: body}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			res.retryAfter = time.Duration(secs) * time.Second
+			res.hasRetryAfter = true
+		}
+	}
+	return res, nil
+}
+
+// decodeStrict unmarshals body into out, rejecting unknown fields — the
+// defense against valid-but-wrong JSON: a payload whose shape does not
+// match the endpoint's schema fails decoding and is retried instead of
+// being silently accepted as an empty response.
+func decodeStrict(body []byte, out any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return err
+	}
+	return nil
+}
+
 // getJSON fetches path with params, decodes JSON into out, and handles
-// rate limiting, 429 Retry-After, and transient-error retries.
+// rate limiting, Retry-After backpressure, circuit breaking, adaptive
+// throttling, and transient-error retries.
 func (c *client) getJSON(ctx context.Context, path string, params url.Values, out any) error {
 	if c.key != "" {
 		params.Set("key", c.key)
 	}
 	u := c.base + path + "?" + params.Encode()
+	class := endpointClass(path)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if err := c.limiter.Wait(ctx); err != nil {
 			return err
 		}
+		var br *breaker
+		if c.breakers != nil {
+			var err error
+			if br, err = c.breakers.acquire(ctx, class); err != nil {
+				return err
+			}
+		}
 		c.metrics.Requests.Add(1)
-		resp, err := c.http.Get(u)
+		if attempt > 0 {
+			c.metrics.Retries.Add(1)
+		}
+		res, err := c.fetch(ctx, u)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			lastErr = err
 			c.metrics.Errors.Add(1)
+			if br != nil {
+				br.onFailure()
+			}
 			if sleepErr := sleepCtx(ctx, c.backoffFor(attempt)); sleepErr != nil {
 				return sleepErr
 			}
 			continue
 		}
 		switch {
-		case resp.StatusCode == http.StatusOK:
-			err := json.NewDecoder(resp.Body).Decode(out)
-			resp.Body.Close()
-			if err != nil {
-				return fmt.Errorf("crawler: decoding %s: %w", u, err)
+		case res.status == http.StatusOK:
+			if err := decodeStrict(res.body, out); err != nil {
+				// Malformed or wrong-shaped payload: the server is
+				// misbehaving, so this counts against the breaker and is
+				// retried like any transient fault.
+				lastErr = fmt.Errorf("crawler: decoding %s: %w", u, err)
+				c.metrics.Errors.Add(1)
+				c.metrics.DecodeErrors.Add(1)
+				if br != nil {
+					br.onFailure()
+				}
+				if sleepErr := sleepCtx(ctx, c.backoffFor(attempt)); sleepErr != nil {
+					return sleepErr
+				}
+				continue
+			}
+			if br != nil {
+				br.onSuccess()
+			}
+			if c.aimd != nil {
+				c.aimd.onSuccess()
 			}
 			return nil
-		case resp.StatusCode == http.StatusNotFound:
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			return errNotFound{url: u}
-		case resp.StatusCode == http.StatusTooManyRequests:
-			c.metrics.RateLimited.Add(1)
-			wait := c.backoffFor(attempt)
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil {
-					wait = time.Duration(secs) * time.Second
-				}
+		case res.status == http.StatusNotFound:
+			// The server answered authoritatively; it is healthy.
+			if br != nil {
+				br.onSuccess()
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			return errNotFound{url: u}
+		case res.status == http.StatusTooManyRequests:
+			c.metrics.RateLimited.Add(1)
+			if c.aimd != nil {
+				c.aimd.onBackpressure()
+			}
+			wait := c.backoffFor(attempt)
+			if res.hasRetryAfter {
+				wait = res.retryAfter
+			}
 			lastErr = fmt.Errorf("crawler: rate limited at %s", u)
 			if err := sleepCtx(ctx, wait); err != nil {
 				return err
@@ -103,28 +242,61 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 			// A 429 does not consume a retry attempt: it is the limiter
 			// doing its job, not a failure.
 			attempt--
-		case resp.StatusCode >= 500:
+		case res.status == http.StatusServiceUnavailable:
 			c.metrics.Errors.Add(1)
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			lastErr = fmt.Errorf("crawler: server error %d at %s", resp.StatusCode, u)
+			c.metrics.Unavailable.Add(1)
+			if c.aimd != nil {
+				c.aimd.onBackpressure()
+			}
+			if br != nil {
+				br.onFailure()
+			}
+			wait := c.backoffFor(attempt)
+			lastErr = fmt.Errorf("crawler: service unavailable at %s", u)
+			if res.hasRetryAfter {
+				// Honor Retry-After on 503 exactly like on 429: the server
+				// told us when to come back, so waiting it out is
+				// backpressure, not a spent retry.
+				wait = res.retryAfter
+				attempt--
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+		case res.status >= 500:
+			c.metrics.Errors.Add(1)
+			if br != nil {
+				br.onFailure()
+			}
+			lastErr = fmt.Errorf("crawler: server error %d at %s", res.status, u)
 			if err := sleepCtx(ctx, c.backoffFor(attempt)); err != nil {
 				return err
 			}
 		default:
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			return fmt.Errorf("crawler: unexpected status %d at %s", resp.StatusCode, u)
+			return fmt.Errorf("crawler: unexpected status %d at %s", res.status, u)
 		}
 	}
 	return fmt.Errorf("crawler: retries exhausted: %w", lastErr)
 }
 
-// backoffFor returns the exponential backoff with jitter for an attempt.
+// backoffFor returns the exponential backoff with jitter for an attempt,
+// clamped to maxBackoff so large attempt counts neither overflow the
+// shift nor produce multi-hour sleeps.
 func (c *client) backoffFor(attempt int) time.Duration {
-	d := c.backoff << uint(attempt)
-	if d <= 0 {
-		d = c.backoff
+	max := c.maxBackoff
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := c.backoff
+	for i := 0; i < attempt; i++ {
+		d <<= 1
+		if d <= 0 || d >= max { // overflow or cap reached
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
 	}
 	// Up to 25 % jitter decorrelates concurrent workers.
 	return d + time.Duration(rand.Int63n(int64(d)/4+1))

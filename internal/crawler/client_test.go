@@ -180,6 +180,156 @@ func TestBackoffGrows(t *testing.T) {
 	}
 }
 
+func TestClientBindsRequestContext(t *testing.T) {
+	// Regression: requests must carry the caller's context so a cancel
+	// aborts the in-flight HTTP exchange, not just the retry loop. The
+	// handler blocks until the request context is torn down.
+	released := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		close(released)
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	c.http = &http.Client{} // no client-wide timeout to hide behind
+	c.retries = 0
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	var out map[string]string
+	err := c.getJSON(ctx, "/x", url.Values{}, &out)
+	if err == nil {
+		t.Fatal("cancelled in-flight request succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not abort the in-flight request")
+	}
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler never saw the cancellation")
+	}
+}
+
+func TestClientPerRequestTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL)
+	c.http = &http.Client{}
+	c.reqTimeout = 50 * time.Millisecond
+	c.retries = 0
+	start := time.Now()
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err == nil {
+		t.Fatal("stalled response beat the per-request timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("per-request timeout did not fire")
+	}
+}
+
+func TestBackoffClampedNoOverflow(t *testing.T) {
+	c, _ := newTestClient("http://unused")
+	c.backoff = 100 * time.Millisecond
+	c.maxBackoff = 2 * time.Second
+	for _, attempt := range []int{5, 30, 64, 1000} {
+		d := c.backoffFor(attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: backoff %v overflowed", attempt, d)
+		}
+		if d > c.maxBackoff+c.maxBackoff/4 {
+			t.Fatalf("attempt %d: backoff %v exceeds clamp %v", attempt, d, c.maxBackoff)
+		}
+	}
+	// Zero maxBackoff falls back to a sane default rather than clamping
+	// everything to zero.
+	c.maxBackoff = 0
+	if d := c.backoffFor(50); d <= 0 || d > 40*time.Second {
+		t.Fatalf("default clamp produced %v", d)
+	}
+}
+
+func TestClientRetryAfterOn503(t *testing.T) {
+	// A 503 carrying Retry-After is scheduled backpressure, not a spent
+	// retry: even a zero-retry client rides out a short outage.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+	c, m := newTestClient(ts.URL)
+	c.retries = 0
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err != nil {
+		t.Fatalf("503+Retry-After consumed the retry budget: %v", err)
+	}
+	if m.Unavailable.Load() != 3 {
+		t.Fatalf("unavailable metric %d, want 3", m.Unavailable.Load())
+	}
+}
+
+func TestAIMDThrottle(t *testing.T) {
+	l := ratelimit.New(80, 80)
+	a := newAIMD(l, 80, &Metrics{})
+	a.onBackpressure()
+	if r := l.Rate(); r != 40 {
+		t.Fatalf("rate %v after one backpressure event, want 40", r)
+	}
+	for i := 0; i < 10; i++ {
+		a.onBackpressure()
+	}
+	if r := l.Rate(); r != 1 {
+		t.Fatalf("rate %v did not floor at 1", r)
+	}
+	for i := 0; i < 1000; i++ {
+		a.onSuccess()
+	}
+	if r := l.Rate(); r != 80 {
+		t.Fatalf("rate %v did not recover to the 80 target", r)
+	}
+}
+
+func TestClientAIMDBackpressureHalvesRate(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+	c, m := newTestClient(ts.URL)
+	l := ratelimit.New(100, 100)
+	c.limiter = l
+	c.aimd = newAIMD(l, 100, m)
+	var out map[string]string
+	if err := c.getJSON(context.Background(), "/x", url.Values{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if m.ThrottleDowns.Load() != 1 {
+		t.Fatalf("throttle-down metric %d", m.ThrottleDowns.Load())
+	}
+	// One halving then one additive step back up.
+	if r := l.Rate(); r <= 50 || r >= 100 {
+		t.Fatalf("rate %v after 429 then success, want between 50 and 100", r)
+	}
+}
+
 func TestClientMalformedJSON(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("this is not json"))

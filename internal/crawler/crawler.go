@@ -26,7 +26,8 @@ type Config struct {
 	APIKey string
 	// RatePerSecond is the crawler's self-imposed call budget; per §3.1
 	// set this to ~85 % of the server's allowance. Zero means a generous
-	// local default.
+	// local default. Under 429/503 pressure the AIMD throttle backs off
+	// from this rate and recovers toward it.
 	RatePerSecond float64
 	// Burst is the limiter burst (defaults to RatePerSecond).
 	Burst int
@@ -36,6 +37,21 @@ type Config struct {
 	MaxRetries int
 	// RetryBackoff is the initial backoff (default 100ms).
 	RetryBackoff time.Duration
+	// MaxBackoff clamps the exponential backoff (default 30s).
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each HTTP attempt, so stalled responses fail
+	// fast and are retried (default 15s).
+	RequestTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint class's circuit breaker (default 5; negative disables
+	// circuit breaking).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects requests before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// DisableAdaptiveThrottle turns off the AIMD rate controller and pins
+	// the limiter at RatePerSecond.
+	DisableAdaptiveThrottle bool
 	// StartID begins the sweep (defaults to the public base ID).
 	StartID steamid.ID
 	// EmptyBatchLimit ends phase 1 after this many consecutive all-empty
@@ -44,11 +60,17 @@ type Config struct {
 	EmptyBatchLimit int
 	// MaxAccounts optionally caps the crawl (0 = exhaustive).
 	MaxAccounts int
-	// CheckpointPath enables resumable crawls when non-empty.
+	// CheckpointPath names a journal directory enabling resumable crawls
+	// when non-empty. Every completed unit of phases 2–5 is appended to
+	// the journal as it finishes, so a crawl killed at any instant
+	// resumes losslessly.
 	CheckpointPath string
-	// CheckpointEvery controls how often phase 2 checkpoints (default
-	// 2000 accounts).
-	CheckpointEvery int
+	// SegmentMaxBytes rotates journal segments at this size (default
+	// 4 MiB).
+	SegmentMaxBytes int64
+	// ProgressEvery emits a one-line health summary through Logf at this
+	// interval during Run (default 30s; negative disables).
+	ProgressEvery time.Duration
 	// Logf receives progress lines (nil disables logging).
 	Logf func(format string, args ...any)
 }
@@ -69,14 +91,32 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 100 * time.Millisecond
 	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.MaxBackoff < c.RetryBackoff {
+		c.MaxBackoff = c.RetryBackoff
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.StartID == 0 {
 		c.StartID = steamid.ID(steamid.Base)
 	}
 	if c.EmptyBatchLimit <= 0 {
 		c.EmptyBatchLimit = 20
 	}
-	if c.CheckpointEvery <= 0 {
-		c.CheckpointEvery = 2000
+	if c.SegmentMaxBytes <= 0 {
+		c.SegmentMaxBytes = defaultSegmentBytes
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 30 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -86,11 +126,62 @@ func (c Config) withDefaults() Config {
 
 // Metrics counts crawl activity (atomics, safe to read live).
 type Metrics struct {
-	Requests    atomic.Int64
-	Errors      atomic.Int64
-	RateLimited atomic.Int64
-	Profiles    atomic.Int64
-	UsersDone   atomic.Int64
+	Requests     atomic.Int64
+	Errors       atomic.Int64
+	RateLimited  atomic.Int64
+	Unavailable  atomic.Int64 // 503 responses
+	Retries      atomic.Int64
+	DecodeErrors atomic.Int64
+
+	Profiles  atomic.Int64
+	UsersDone atomic.Int64
+
+	BreakerOpens     atomic.Int64
+	BreakerHalfOpens atomic.Int64
+	BreakerCloses    atomic.Int64
+
+	ThrottleDowns atomic.Int64 // AIMD multiplicative decreases
+
+	JournalRecords  atomic.Int64
+	JournalSegments atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics at one instant.
+type MetricsSnapshot struct {
+	Requests         int64
+	Errors           int64
+	RateLimited      int64
+	Unavailable      int64
+	Retries          int64
+	DecodeErrors     int64
+	Profiles         int64
+	UsersDone        int64
+	BreakerOpens     int64
+	BreakerHalfOpens int64
+	BreakerCloses    int64
+	ThrottleDowns    int64
+	JournalRecords   int64
+	JournalSegments  int64
+}
+
+// Snapshot copies every counter at one instant, for logging and tests.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:         m.Requests.Load(),
+		Errors:           m.Errors.Load(),
+		RateLimited:      m.RateLimited.Load(),
+		Unavailable:      m.Unavailable.Load(),
+		Retries:          m.Retries.Load(),
+		DecodeErrors:     m.DecodeErrors.Load(),
+		Profiles:         m.Profiles.Load(),
+		UsersDone:        m.UsersDone.Load(),
+		BreakerOpens:     m.BreakerOpens.Load(),
+		BreakerHalfOpens: m.BreakerHalfOpens.Load(),
+		BreakerCloses:    m.BreakerCloses.Load(),
+		ThrottleDowns:    m.ThrottleDowns.Load(),
+		JournalRecords:   m.JournalRecords.Load(),
+		JournalSegments:  m.JournalSegments.Load(),
+	}
 }
 
 // Crawler drives a full crawl.
@@ -116,68 +207,198 @@ type batchDensity struct {
 func New(cfg Config) *Crawler {
 	cfg = cfg.withDefaults()
 	c := &Crawler{cfg: cfg}
+	limiter := ratelimit.New(cfg.RatePerSecond, cfg.Burst)
 	c.client = &client{
-		base:    strings.TrimSuffix(cfg.BaseURL, "/"),
-		key:     cfg.APIKey,
-		http:    &http.Client{Timeout: 30 * time.Second},
-		limiter: ratelimit.New(cfg.RatePerSecond, cfg.Burst),
-		retries: cfg.MaxRetries,
-		backoff: cfg.RetryBackoff,
-		metrics: &c.Metrics,
+		base:       strings.TrimSuffix(cfg.BaseURL, "/"),
+		key:        cfg.APIKey,
+		http:       &http.Client{},
+		limiter:    limiter,
+		retries:    cfg.MaxRetries,
+		backoff:    cfg.RetryBackoff,
+		maxBackoff: cfg.MaxBackoff,
+		reqTimeout: cfg.RequestTimeout,
+		metrics:    &c.Metrics,
+	}
+	if cfg.BreakerThreshold > 0 {
+		c.client.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, &c.Metrics)
+	}
+	if !cfg.DisableAdaptiveThrottle {
+		c.client.aimd = newAIMD(limiter, cfg.RatePerSecond, &c.Metrics)
 	}
 	return c
 }
 
-// Run executes all crawl phases and assembles the snapshot.
+// BreakerStates snapshots each endpoint class's breaker state (empty when
+// circuit breaking is disabled).
+func (c *Crawler) BreakerStates() map[string]BreakerState {
+	if c.client.breakers == nil {
+		return nil
+	}
+	return c.client.breakers.States()
+}
+
+// Rate returns the limiter's current requests/second (the AIMD throttle
+// moves it below the configured budget under pressure).
+func (c *Crawler) Rate() float64 { return c.client.limiter.Rate() }
+
+// Run executes all crawl phases and assembles the snapshot. With a
+// journal configured, each phase skips work the journal already holds and
+// appends new work as it completes, so Run after a crash resumes exactly
+// where the dead process stopped.
 func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 	snap := &dataset.Snapshot{CollectedAt: time.Now().Unix()}
 
-	// Resume from a checkpoint when configured.
-	var done map[uint64]bool
+	var (
+		jr *journal
+		st *crawlState
+	)
 	if c.cfg.CheckpointPath != "" {
-		if cp, err := loadCheckpoint(c.cfg.CheckpointPath); err == nil && cp != nil {
-			snap.Users = cp.Users
-			done = make(map[uint64]bool, len(cp.Users))
-			for i := range cp.Users {
-				done[cp.Users[i].SteamID] = true
+		var err error
+		jr, st, err = openJournal(c.cfg.CheckpointPath, c.cfg.SegmentMaxBytes, &c.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: journal: %w", err)
+		}
+		defer jr.Close()
+		if len(st.users) > 0 || st.phaseDone[2] {
+			c.cfg.Logf("resuming from journal: %d users, %d games, %d achievement sets, %d groups replayed",
+				len(st.users), len(st.games), len(st.achDone), len(st.groups))
+		}
+	} else {
+		st = newCrawlState()
+	}
+
+	stopProgress := c.startProgress(ctx, jr)
+	defer stopProgress()
+
+	snap.Users = st.users
+
+	// Phases 1+2: profile sweep and per-account detail. Both are skipped
+	// when the journal says phase 2 finished — resuming a later phase
+	// must not redo the six-month part.
+	if !st.phaseDone[2] {
+		done := make(map[uint64]bool, len(st.users))
+		for i := range st.users {
+			done[st.users[i].SteamID] = true
+		}
+
+		// Phase 1: exhaustive profile sweep.
+		profiles, err := c.sweepProfiles(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: phase 1 (profiles): %w", err)
+		}
+		c.cfg.Logf("phase 1 complete: %d accounts found", len(profiles))
+
+		// Phase 2: per-account friends, games, groups.
+		if err := c.fetchAccounts(ctx, snap, profiles, done, jr); err != nil {
+			return nil, fmt.Errorf("crawler: phase 2 (accounts): %w", err)
+		}
+		if jr != nil {
+			if err := jr.appendPhaseDone(2); err != nil {
+				return nil, err
 			}
-			c.cfg.Logf("resuming from checkpoint: %d accounts already crawled", len(cp.Users))
+		}
+		c.cfg.Logf("phase 2 complete: %d accounts detailed", len(snap.Users))
+	}
+
+	// Phase 3: catalog.
+	snap.Games = st.games
+	if !st.phaseDone[3] {
+		if err := c.fetchCatalog(ctx, snap, st, jr); err != nil {
+			return nil, fmt.Errorf("crawler: phase 3 (catalog): %w", err)
+		}
+		if jr != nil {
+			if err := jr.appendPhaseDone(3); err != nil {
+				return nil, err
+			}
+		}
+		c.cfg.Logf("phase 3 complete: %d products", len(snap.Games))
+	}
+
+	// Phase 4: achievements. Replayed achievement sets are attached to
+	// their games; only the remainder is fetched.
+	for i := range snap.Games {
+		if ach, ok := st.ach[snap.Games[i].AppID]; ok {
+			snap.Games[i].Achievements = ach
+		}
+	}
+	if !st.phaseDone[4] {
+		if err := c.fetchAchievements(ctx, snap, st, jr); err != nil {
+			return nil, fmt.Errorf("crawler: phase 4 (achievements): %w", err)
+		}
+		if jr != nil {
+			if err := jr.appendPhaseDone(4); err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	// Phase 1: exhaustive profile sweep.
-	profiles, err := c.sweepProfiles(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("crawler: phase 1 (profiles): %w", err)
-	}
-	c.cfg.Logf("phase 1 complete: %d accounts found", len(profiles))
-
-	// Phase 2: per-account friends, games, groups.
-	if err := c.fetchAccounts(ctx, snap, profiles, done); err != nil {
-		return nil, fmt.Errorf("crawler: phase 2 (accounts): %w", err)
-	}
-	c.cfg.Logf("phase 2 complete: %d accounts detailed", len(snap.Users))
-
-	// Phase 3: catalog.
-	if err := c.fetchCatalog(ctx, snap); err != nil {
-		return nil, fmt.Errorf("crawler: phase 3 (catalog): %w", err)
-	}
-	c.cfg.Logf("phase 3 complete: %d products", len(snap.Games))
-
-	// Phase 4: achievements.
-	if err := c.fetchAchievements(ctx, snap); err != nil {
-		return nil, fmt.Errorf("crawler: phase 4 (achievements): %w", err)
-	}
-
 	// Phase 5: group pages for categorization.
-	if err := c.fetchGroups(ctx, snap); err != nil {
-		return nil, fmt.Errorf("crawler: phase 5 (groups): %w", err)
+	snap.Groups = st.groups
+	if !st.phaseDone[5] {
+		if err := c.fetchGroups(ctx, snap, st, jr); err != nil {
+			return nil, fmt.Errorf("crawler: phase 5 (groups): %w", err)
+		}
+		if jr != nil {
+			if err := jr.appendPhaseDone(5); err != nil {
+				return nil, err
+			}
+		}
 	}
 	c.cfg.Logf("crawl complete: %d users, %d games, %d groups",
 		len(snap.Users), len(snap.Games), len(snap.Groups))
 
 	sortSnapshot(snap)
 	return snap, nil
+}
+
+// startProgress spawns the health-summary ticker; the returned func stops
+// it. Disabled when ProgressEvery < 0 or no Logf is configured.
+func (c *Crawler) startProgress(ctx context.Context, jr *journal) func() {
+	if c.cfg.ProgressEvery < 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(c.cfg.ProgressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.cfg.Logf("%s", c.progressLine(jr))
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// progressLine renders the one-line crawl health summary.
+func (c *Crawler) progressLine(jr *journal) string {
+	s := c.Metrics.Snapshot()
+	line := fmt.Sprintf(
+		"progress: requests=%d errors=%d 429=%d 503=%d retries=%d users=%d rate=%.0f/s",
+		s.Requests, s.Errors, s.RateLimited, s.Unavailable, s.Retries,
+		s.UsersDone, c.Rate())
+	if states := c.BreakerStates(); len(states) > 0 {
+		classes := make([]string, 0, len(states))
+		for class := range states {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, class := range classes {
+			parts = append(parts, class+"="+states[class].String())
+		}
+		line += " breakers[" + strings.Join(parts, " ") + "]"
+	}
+	if jr != nil {
+		seg, off := jr.Position()
+		line += fmt.Sprintf(" journal[seg=%d off=%d records=%d]", seg, off, s.JournalRecords)
+	}
+	return line
 }
 
 // sweepProfiles walks the ID space in 100-ID batches (§3.1) until the
@@ -220,8 +441,10 @@ func (c *Crawler) sweepProfiles(ctx context.Context) ([]steamapi.PlayerSummary, 
 	return out, nil
 }
 
-// fetchAccounts runs phase 2 with a worker pool.
-func (c *Crawler) fetchAccounts(ctx context.Context, snap *dataset.Snapshot, profiles []steamapi.PlayerSummary, done map[uint64]bool) error {
+// fetchAccounts runs phase 2 with a worker pool. Each completed account
+// is journaled immediately, so at most the in-flight accounts are redone
+// after a crash.
+func (c *Crawler) fetchAccounts(ctx context.Context, snap *dataset.Snapshot, profiles []steamapi.PlayerSummary, done map[uint64]bool, jr *journal) error {
 	type result struct {
 		rec dataset.UserRecord
 		err error
@@ -262,7 +485,6 @@ func (c *Crawler) fetchAccounts(ctx context.Context, snap *dataset.Snapshot, pro
 		close(results)
 	}()
 
-	sinceCheckpoint := 0
 	for r := range results {
 		if r.err != nil {
 			if ctx.Err() != nil {
@@ -272,12 +494,10 @@ func (c *Crawler) fetchAccounts(ctx context.Context, snap *dataset.Snapshot, pro
 		}
 		snap.Users = append(snap.Users, r.rec)
 		c.Metrics.UsersDone.Add(1)
-		sinceCheckpoint++
-		if c.cfg.CheckpointPath != "" && sinceCheckpoint >= c.cfg.CheckpointEvery {
-			if err := saveCheckpoint(c.cfg.CheckpointPath, snap.Users); err != nil {
-				c.cfg.Logf("checkpoint failed: %v", err)
+		if jr != nil {
+			if err := jr.appendUser(&r.rec); err != nil {
+				return err
 			}
-			sinceCheckpoint = 0
 		}
 	}
 	return ctx.Err()
@@ -344,12 +564,20 @@ func (c *Crawler) fetchOneAccount(ctx context.Context, p steamapi.PlayerSummary)
 }
 
 // fetchCatalog runs phase 3: the app index, then storefront details.
-func (c *Crawler) fetchCatalog(ctx context.Context, snap *dataset.Snapshot) error {
+// Apps whose records the journal already holds are skipped.
+func (c *Crawler) fetchCatalog(ctx context.Context, snap *dataset.Snapshot, st *crawlState, jr *journal) error {
+	have := make(map[uint32]bool, len(st.games))
+	for i := range st.games {
+		have[st.games[i].AppID] = true
+	}
 	var apps steamapi.AppListResponse
 	if err := c.client.getJSON(ctx, "/ISteamApps/GetAppList/v0002/", url.Values{}, &apps); err != nil {
 		return err
 	}
 	for _, app := range apps.AppList.Apps {
+		if have[app.AppID] {
+			continue
+		}
 		var details steamapi.AppDetailsResponse
 		params := url.Values{"appids": {strconv.FormatUint(uint64(app.AppID), 10)}}
 		if err := c.client.getJSON(ctx, "/store/appdetails", params, &details); err != nil {
@@ -387,24 +615,40 @@ func (c *Crawler) fetchCatalog(ctx context.Context, snap *dataset.Snapshot) erro
 			rec.Developer = d.Developers[0]
 		}
 		snap.Games = append(snap.Games, rec)
+		if jr != nil {
+			if err := jr.appendGame(&rec); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
 
-// fetchAchievements runs phase 4 over every catalog product.
-func (c *Crawler) fetchAchievements(ctx context.Context, snap *dataset.Snapshot) error {
+// fetchAchievements runs phase 4 over every catalog product not already
+// covered by the journal.
+func (c *Crawler) fetchAchievements(ctx context.Context, snap *dataset.Snapshot, st *crawlState, jr *journal) error {
 	for i := range snap.Games {
+		if st.achDone[snap.Games[i].AppID] {
+			continue
+		}
 		var resp steamapi.AchievementPercentagesResponse
 		params := url.Values{"gameid": {strconv.FormatUint(uint64(snap.Games[i].AppID), 10)}}
 		if err := c.client.getJSON(ctx, "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/", params, &resp); err != nil {
-			if IsNotFound(err) {
-				continue
+			if !IsNotFound(err) {
+				return err
 			}
-			return err
+			// A vanished app still gets an (empty) journal entry so the
+			// resume does not re-ask.
 		}
+		var ach []dataset.AchievementRecord
 		for _, a := range resp.AchievementPercentages.Achievements {
-			snap.Games[i].Achievements = append(snap.Games[i].Achievements,
-				dataset.AchievementRecord{Name: a.Name, Percent: a.Percent})
+			ach = append(ach, dataset.AchievementRecord{Name: a.Name, Percent: a.Percent})
+		}
+		snap.Games[i].Achievements = ach
+		if jr != nil {
+			if err := jr.appendAch(snap.Games[i].AppID, ach); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -412,38 +656,50 @@ func (c *Crawler) fetchAchievements(ctx context.Context, snap *dataset.Snapshot)
 
 // fetchGroups runs phase 5: collect the GIDs seen in memberships, fetch
 // each group's community page, and categorize it from the page text (the
-// automated analog of the paper's manual step).
-func (c *Crawler) fetchGroups(ctx context.Context, snap *dataset.Snapshot) error {
+// automated analog of the paper's manual step). Groups the journal
+// already holds are skipped.
+func (c *Crawler) fetchGroups(ctx context.Context, snap *dataset.Snapshot, st *crawlState, jr *journal) error {
 	members := map[uint64][]uint64{}
 	for i := range snap.Users {
 		for _, gid := range snap.Users[i].Groups {
 			members[gid] = append(members[gid], snap.Users[i].SteamID)
 		}
 	}
+	have := make(map[uint64]bool, len(st.groups))
+	for i := range st.groups {
+		have[st.groups[i].GID] = true
+	}
 	gids := make([]uint64, 0, len(members))
 	for gid := range members {
-		gids = append(gids, gid)
+		if !have[gid] {
+			gids = append(gids, gid)
+		}
 	}
 	sort.Slice(gids, func(a, b int) bool { return gids[a] < gids[b] })
 	for _, gid := range gids {
 		var page steamapi.GroupPage
 		params := url.Values{"gid": {strconv.FormatUint(gid, 10)}}
+		var rec dataset.GroupRecord
 		if err := c.client.getJSON(ctx, "/community/group", params, &page); err != nil {
-			if IsNotFound(err) {
-				// Group page gone; keep the membership data untyped.
-				snap.Groups = append(snap.Groups, dataset.GroupRecord{
-					GID: gid, Members: members[gid],
-				})
-				continue
+			if !IsNotFound(err) {
+				return err
 			}
-			return err
+			// Group page gone; keep the membership data untyped.
+			rec = dataset.GroupRecord{GID: gid, Members: members[gid]}
+		} else {
+			rec = dataset.GroupRecord{
+				GID:     gid,
+				Name:    page.Name,
+				Type:    CategorizeGroup(page.Name, page.Summary),
+				Members: members[gid],
+			}
 		}
-		snap.Groups = append(snap.Groups, dataset.GroupRecord{
-			GID:     gid,
-			Name:    page.Name,
-			Type:    CategorizeGroup(page.Name, page.Summary),
-			Members: members[gid],
-		})
+		snap.Groups = append(snap.Groups, rec)
+		if jr != nil {
+			if err := jr.appendGroup(&rec); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

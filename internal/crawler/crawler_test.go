@@ -196,54 +196,69 @@ func TestCrawlCancellation(t *testing.T) {
 
 func TestCheckpointResume(t *testing.T) {
 	ts := startServer(t, apiserver.Config{})
-	dir := t.TempDir()
-	cpPath := filepath.Join(dir, "crawl.checkpoint")
+	cpDir := filepath.Join(t.TempDir(), "crawl.journal")
 
-	// First run: crawl everything with frequent checkpoints, so a
-	// checkpoint file exists afterwards.
-	first := runCrawl(t, Config{
+	// First run: interrupted partway through phase 2 by a context cancel
+	// (the process-death stand-in), leaving a partial journal behind.
+	interrupted := New(Config{
 		BaseURL: ts.URL, Workers: 4,
-		CheckpointPath: cpPath, CheckpointEvery: 50,
+		RatePerSecond:  400, // slow enough that the cancel lands mid-phase-2
+		CheckpointPath: cpDir,
 	})
-	cp, err := loadCheckpoint(cpPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cp == nil || len(cp.Users) == 0 {
-		t.Fatal("no checkpoint written")
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := interrupted.Run(ctx); err == nil {
+		t.Fatal("interrupted crawl reported success")
 	}
 
-	// Second run resumes: the previously checkpointed accounts are not
-	// re-fetched, and the final snapshot is complete.
+	// Second run resumes: the journaled accounts are not re-fetched, and
+	// the final snapshot is complete.
 	resumed := New(Config{
 		BaseURL: ts.URL, Workers: 4,
-		CheckpointPath: cpPath,
+		CheckpointPath: cpDir,
 	})
 	snap, err := resumed.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Users) != len(first.Users) {
-		t.Fatalf("resumed crawl has %d users, want %d", len(snap.Users), len(first.Users))
+	truth := dataset.FromUniverse(crawlUniverse(t))
+	if len(snap.Users) != len(truth.Users) {
+		t.Fatalf("resumed crawl has %d users, want %d", len(snap.Users), len(truth.Users))
 	}
-	// The resumed run fetched strictly fewer account details.
-	if got := resumed.Metrics.UsersDone.Load(); got >= int64(len(first.Users)) {
-		t.Fatalf("resume did not skip checkpointed users: fetched %d", got)
+	// The resumed run fetched strictly fewer account details than exist,
+	// and together the two runs fetched each account exactly once.
+	journaled := interrupted.Metrics.UsersDone.Load()
+	if journaled == 0 {
+		t.Skip("interruption landed before phase 2; nothing to verify")
+	}
+	if got := resumed.Metrics.UsersDone.Load(); got != int64(len(truth.Users))-journaled {
+		t.Fatalf("resume fetched %d users; first run had journaled %d of %d",
+			got, journaled, len(truth.Users))
 	}
 }
 
-func TestCheckpointCorruptFileErrors(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "bad.checkpoint")
-	if err := saveCheckpoint(path, nil); err != nil {
+func TestCheckpointCorruptMiddleSegmentErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	jr, _, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt it.
-	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+	if err := jr.appendPhaseDone(2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadCheckpoint(path); err == nil {
-		t.Fatal("corrupt checkpoint loaded")
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage in a non-final segment must fail the resume loudly instead
+	// of silently dropping everything journaled after it.
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(dir, 0, &Metrics{}); err == nil {
+		t.Fatal("corrupt middle segment replayed without error")
 	}
 }
 

@@ -1,0 +1,334 @@
+// Journaled checkpoints. The paper's phase 2 ran for six months; a crawl
+// at that scale must survive process death at any instant without losing
+// or duplicating work. The old checkpoint rewrote the full account list
+// as one gob blob — O(crawl) bytes per flush and phase-2-only. This
+// journal is append-only: every completed unit of work (a detailed user,
+// a catalog entry, a game's achievements, a categorized group, a
+// phase-completion marker) is one length-prefixed, CRC-guarded gob record
+// appended to the active segment. A flush touches exactly one segment;
+// segments rotate at a size threshold; replay tolerates a crash-truncated
+// tail record by truncating it away and resuming the append from there.
+
+package crawler
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"steamstudy/internal/dataset"
+)
+
+// Record kinds, one per resumable unit of crawl work.
+const (
+	kindUser      uint8 = 1 // phase 2: one fully detailed account
+	kindGame      uint8 = 2 // phase 3: one catalog entry
+	kindAch       uint8 = 3 // phase 4: one game's achievement list
+	kindGroup     uint8 = 4 // phase 5: one categorized group
+	kindPhaseDone uint8 = 5 // a phase completed
+)
+
+// journalRecord is the union of everything the journal stores. Exactly
+// one payload field is set, selected by Kind.
+type journalRecord struct {
+	Kind  uint8
+	Phase uint8 // kindPhaseDone: which phase finished
+
+	User  *dataset.UserRecord
+	Game  *dataset.GameRecord
+	Group *dataset.GroupRecord
+
+	// kindAch payload: the achievements (possibly empty) of one app.
+	AppID        uint32
+	Achievements []dataset.AchievementRecord
+}
+
+// crawlState is the result of replaying a journal: everything a resumed
+// crawl can skip re-fetching.
+type crawlState struct {
+	users     []dataset.UserRecord
+	games     []dataset.GameRecord
+	groups    []dataset.GroupRecord
+	ach       map[uint32][]dataset.AchievementRecord
+	achDone   map[uint32]bool
+	phaseDone [6]bool
+}
+
+func newCrawlState() *crawlState {
+	return &crawlState{
+		ach:     make(map[uint32][]dataset.AchievementRecord),
+		achDone: make(map[uint32]bool),
+	}
+}
+
+func (st *crawlState) apply(rec *journalRecord) {
+	switch rec.Kind {
+	case kindUser:
+		if rec.User != nil {
+			st.users = append(st.users, *rec.User)
+		}
+	case kindGame:
+		if rec.Game != nil {
+			st.games = append(st.games, *rec.Game)
+		}
+	case kindAch:
+		st.ach[rec.AppID] = rec.Achievements
+		st.achDone[rec.AppID] = true
+	case kindGroup:
+		if rec.Group != nil {
+			st.groups = append(st.groups, *rec.Group)
+		}
+	case kindPhaseDone:
+		if int(rec.Phase) < len(st.phaseDone) {
+			st.phaseDone[rec.Phase] = true
+		}
+	}
+}
+
+const (
+	segPrefix = "journal-"
+	segSuffix = ".seg"
+	// recHeaderSize prefixes every record: uint32 payload length +
+	// uint32 CRC-32 (IEEE) of the payload, both big-endian.
+	recHeaderSize = 8
+	// defaultSegmentBytes rotates segments at 4 MiB.
+	defaultSegmentBytes = 4 << 20
+)
+
+// journal is the append side. All methods are safe for concurrent use.
+type journal struct {
+	dir     string
+	maxSeg  int64
+	metrics *Metrics
+
+	mu   sync.Mutex
+	f    *os.File
+	seq  int
+	size int64
+}
+
+func segName(seq int) string {
+	return fmt.Sprintf("%s%06d%s", segPrefix, seq, segSuffix)
+}
+
+func segSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// openJournal replays every segment under dir (creating it if needed) and
+// opens the last one for appending. A torn record at the very tail — a
+// crash mid-append — is truncated away and replay succeeds; corruption
+// anywhere else is an error, because data after it would silently vanish.
+func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, error) {
+	if maxSeg <= 0 {
+		maxSeg = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("crawler: journal dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crawler: journal dir: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if n, ok := segSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+
+	st := newCrawlState()
+	j := &journal{dir: dir, maxSeg: maxSeg, metrics: m, seq: 1}
+	for i, seq := range seqs {
+		last := i == len(seqs)-1
+		path := filepath.Join(dir, segName(seq))
+		valid, err := replaySegment(path, st, m)
+		if err != nil {
+			if !last {
+				return nil, nil, fmt.Errorf("crawler: journal segment %s: %w", segName(seq), err)
+			}
+			// Torn tail in the final segment: drop the partial record and
+			// resume appending right after the last whole one.
+			if terr := os.Truncate(path, valid); terr != nil {
+				return nil, nil, fmt.Errorf("crawler: journal truncate %s: %w", segName(seq), terr)
+			}
+		}
+		if last {
+			j.seq = seq
+			j.size = valid
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crawler: journal open: %w", err)
+	}
+	j.f = f
+	if m != nil {
+		m.JournalSegments.Store(int64(len(seqs)))
+		if len(seqs) == 0 {
+			m.JournalSegments.Store(1)
+		}
+	}
+	return j, st, nil
+}
+
+// replaySegment applies every whole record in the segment to st and
+// returns the byte offset just past the last whole record. The error is
+// non-nil when the segment ends in a partial or corrupt record.
+func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var (
+		valid  int64
+		header [recHeaderSize]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if err == io.EOF {
+				return valid, nil // clean end
+			}
+			return valid, fmt.Errorf("torn record header: %w", err)
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return valid, fmt.Errorf("torn record payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return valid, errors.New("record checksum mismatch")
+		}
+		var rec journalRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return valid, fmt.Errorf("record decode: %w", err)
+		}
+		st.apply(&rec)
+		valid += recHeaderSize + int64(length)
+		if m != nil {
+			m.JournalRecords.Add(1)
+		}
+	}
+}
+
+// append encodes one record, writes it to the active segment, and flushes
+// it to the OS, rotating to a fresh segment first when the active one is
+// full. One append touches exactly one segment.
+func (j *journal) append(rec *journalRecord) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, recHeaderSize)) // header placeholder
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("crawler: journal encode: %w", err)
+	}
+	b := buf.Bytes()
+	payload := b[recHeaderSize:]
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("crawler: journal closed")
+	}
+	if j.size > 0 && j.size+int64(len(b)) > j.maxSeg {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("crawler: journal write: %w", err)
+	}
+	j.size += int64(len(b))
+	if j.metrics != nil {
+		j.metrics.JournalRecords.Add(1)
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and atomically
+// switches appends to the next one.
+func (j *journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("crawler: journal sync: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("crawler: journal close: %w", err)
+	}
+	j.seq++
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("crawler: journal rotate: %w", err)
+	}
+	j.f = f
+	j.size = 0
+	if j.metrics != nil {
+		j.metrics.JournalSegments.Add(1)
+	}
+	return nil
+}
+
+// Position reports the active segment index and its byte size, for the
+// progress log.
+func (j *journal) Position() (seg int, offset int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq, j.size
+}
+
+// Close seals the journal (idempotent).
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err1 := j.f.Sync()
+	err2 := j.f.Close()
+	j.f = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Convenience appenders used by the crawl phases.
+
+func (j *journal) appendUser(u *dataset.UserRecord) error {
+	return j.append(&journalRecord{Kind: kindUser, User: u})
+}
+
+func (j *journal) appendGame(g *dataset.GameRecord) error {
+	return j.append(&journalRecord{Kind: kindGame, Game: g})
+}
+
+func (j *journal) appendAch(appID uint32, ach []dataset.AchievementRecord) error {
+	return j.append(&journalRecord{Kind: kindAch, AppID: appID, Achievements: ach})
+}
+
+func (j *journal) appendGroup(g *dataset.GroupRecord) error {
+	return j.append(&journalRecord{Kind: kindGroup, Group: g})
+}
+
+func (j *journal) appendPhaseDone(phase uint8) error {
+	return j.append(&journalRecord{Kind: kindPhaseDone, Phase: phase})
+}

@@ -121,4 +121,22 @@ func (l *Limiter) Tokens() float64 {
 }
 
 // Rate returns the sustained rate in tokens per second.
-func (l *Limiter) Rate() float64 { return l.rate }
+func (l *Limiter) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate
+}
+
+// SetRate changes the sustained rate in place, settling the bucket at the
+// old rate first so already-accrued tokens (or debt) carry over. It lets
+// an adaptive controller (e.g. the crawler's AIMD throttle) retune the
+// limiter without dropping waiters. Non-positive rates are ignored.
+func (l *Limiter) SetRate(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	l.rate = rate
+}

@@ -142,6 +142,45 @@ func TestConcurrentAllowNoOverissue(t *testing.T) {
 	}
 }
 
+func TestSetRateRetunesRefill(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l := NewWithClock(10, 5, clock.now)
+	for i := 0; i < 5; i++ {
+		l.Allow()
+	}
+	l.SetRate(100)
+	if r := l.Rate(); r != 100 {
+		t.Fatalf("Rate() = %v after SetRate(100)", r)
+	}
+	clock.advance(100 * time.Millisecond) // 10 tokens at the new rate
+	allowed := 0
+	for i := 0; i < 20; i++ {
+		if l.Allow() {
+			allowed++
+		}
+	}
+	if allowed != 5 { // capped at burst
+		t.Fatalf("allowed %d after retuned refill, want burst-capped 5", allowed)
+	}
+	// Tokens accrued before the change refill at the OLD rate: SetRate
+	// settles the bucket first instead of retroactively rewriting history.
+	l2 := NewWithClock(10, 100, clock.now)
+	for i := 0; i < 100; i++ {
+		l2.Allow()
+	}
+	clock.advance(time.Second) // 10 tokens at rate 10
+	l2.SetRate(1000)
+	if tok := l2.Tokens(); tok < 9.99 || tok > 10.01 {
+		t.Fatalf("pre-change accrual rewritten: %v tokens, want 10", tok)
+	}
+	// Non-positive rates are ignored rather than wedging the limiter.
+	l2.SetRate(0)
+	l2.SetRate(-5)
+	if r := l2.Rate(); r != 1000 {
+		t.Fatalf("bad SetRate mutated rate to %v", r)
+	}
+}
+
 func TestNewPanicsOnBadArgs(t *testing.T) {
 	for _, tc := range []struct {
 		rate  float64
