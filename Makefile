@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos fmt vet
+.PHONY: build test race verify chaos bench fmt vet
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ verify: build test race
 # circuit-breaker and journal-discipline assertions.
 chaos:
 	$(GO) test ./internal/crawler -run 'TestChaos' -v
+
+# bench runs the tier-2 analysis benchmarks (RunAll render, heavy-tail
+# fit, Table 4 classification, Spearman) — each with its serial baseline
+# and full-pool variant — and records ns/op in BENCH_analysis.json,
+# the repo's performance trajectory file.
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_analysis.json
 
 fmt:
 	gofmt -l -w cmd internal

@@ -89,16 +89,20 @@ func BenchmarkTable4Classification(b *testing.B) {
 			data = append(data, h)
 		}
 	}
-	b.ResetTimer()
-	var class heavytail.Class
-	for i := 0; i < b.N; i++ {
-		res, err := heavytail.ClassifyData(data, heavytail.Options{FixedXmin: stats.Percentile(data, 5)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		class = res.Class
+	xmin := stats.Percentile(data, 5)
+	for _, bw := range benchWorkers {
+		b.Run(bw.name, func(b *testing.B) {
+			var class heavytail.Class
+			for i := 0; i < b.N; i++ {
+				res, err := heavytail.ClassifyData(data, heavytail.Options{FixedXmin: xmin, Workers: bw.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				class = res.Class
+			}
+			b.ReportMetric(float64(class), "class-code")
+		})
 	}
-	b.ReportMetric(float64(class), "class-code")
 }
 
 // --- Figures ---
@@ -303,17 +307,31 @@ func BenchmarkGenerateUniverse10k(b *testing.B) {
 	}
 }
 
+// benchWorkers are the two points of the tier-2 perf trajectory: the
+// serial baseline and the full worker pool. Rendered output is identical
+// between them; only the wall clock moves.
+var benchWorkers = []struct {
+	name    string
+	workers int
+}{
+	{"workers=1", 1},
+	{"workers=max", 0},
+}
+
 func BenchmarkHeavytailFit(b *testing.B) {
 	r := randx.New(1)
 	data := make([]float64, 50000)
 	for i := range data {
 		data[i] = r.TruncatedPowerLaw(1.8, 0.01, 1)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := heavytail.New(data, heavytail.Options{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, bw := range benchWorkers {
+		b.Run(bw.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := heavytail.New(data, heavytail.Options{Workers: bw.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -325,10 +343,21 @@ func BenchmarkSpearman100k(b *testing.B) {
 		x[i] = r.NormFloat64()
 		y[i] = 0.5*x[i] + r.NormFloat64()
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		stats.Spearman(x, y)
-	}
+	// full re-ranks both columns per call (the old §7 path, one sort per
+	// column per pair); ranked correlates precomputed mid-ranks (the
+	// cached path) — both return bit-identical ρ.
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats.Spearman(x, y)
+		}
+	})
+	b.Run("ranked", func(b *testing.B) {
+		rx, ry := stats.Ranks(x), stats.Ranks(y)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats.SpearmanRanked(rx, ry)
+		}
+	})
 }
 
 func BenchmarkCopulaSample(b *testing.B) {
@@ -377,14 +406,18 @@ func BenchmarkQuantileSpline(b *testing.B) {
 }
 
 func BenchmarkRunAllRender(b *testing.B) {
-	s, err := New(Options{Users: 20000, CatalogSize: 1500, Seed: 2016})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := s.RunAll(io.Discard); err != nil {
-			b.Fatal(err)
-		}
+	for _, bw := range benchWorkers {
+		b.Run(bw.name, func(b *testing.B) {
+			s, err := New(Options{Users: 20000, CatalogSize: 1500, Seed: 2016, Workers: bw.workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.RunAll(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

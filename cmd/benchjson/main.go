@@ -1,0 +1,113 @@
+// Command benchjson runs the tier-2 analysis benchmarks and records their
+// ns/op in a machine-readable JSON file, seeding the repo's performance
+// trajectory: each sub-benchmark carries a workers=1 (serial baseline) and
+// a workers=max (full pool) variant, so one file captures both sides of
+// the parallel-analysis comparison.
+//
+//	go run ./cmd/benchjson -out BENCH_analysis.json
+//
+// It shells out to `go test -bench` so the numbers are exactly what the
+// standard benchmark harness reports.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// tier2Pattern selects the benchmarks named in the perf acceptance
+// criteria; their sub-benchmarks (workers=1 / workers=max, full / ranked)
+// ride along automatically.
+const tier2Pattern = "^(BenchmarkRunAllRender|BenchmarkHeavytailFit|BenchmarkTable4Classification|BenchmarkSpearman100k)$"
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// File is the BENCH_analysis.json schema.
+type File struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Pattern     string   `json:"pattern"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// benchLine matches standard `go test -bench` output, e.g.
+// "BenchmarkHeavytailFit/workers=1-8   12   95104250 ns/op   ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out       = flag.String("out", "BENCH_analysis.json", "output JSON path")
+		pattern   = flag.String("bench", tier2Pattern, "benchmark regexp passed to -bench")
+		benchtime = flag.String("benchtime", "", "optional -benchtime (e.g. 3x, 2s)")
+		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *pattern, *pkg}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go %v: %v", args, err)
+	}
+
+	f := File{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Pattern:     *pattern,
+	}
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		m := benchLine.FindSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(string(m[2]), 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(string(m[3]), 64)
+		if err != nil {
+			continue
+		}
+		f.Benchmarks = append(f.Benchmarks, Result{
+			Name: string(m[1]), Iterations: iters, NsPerOp: ns,
+		})
+	}
+	if len(f.Benchmarks) == 0 {
+		log.Fatalf("no benchmark lines matched pattern %q; raw output:\n%s", *pattern, raw)
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(f.Benchmarks), *out)
+	for _, r := range f.Benchmarks {
+		fmt.Printf("  %-55s %14.0f ns/op\n", r.Name, r.NsPerOp)
+	}
+}

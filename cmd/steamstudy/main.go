@@ -32,6 +32,7 @@ func main() {
 		noSecond   = flag.Bool("no-second-snapshot", false, "skip the §8 second snapshot")
 		csvDir     = flag.String("csv", "", "also export every data series as CSV into this directory")
 		seeds      = flag.Int("seeds", 0, "instead of one study, sweep this many seeds and report the stability of the headline statistics")
+		workers    = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -69,11 +70,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		study.SetWorkers(*workers)
 		fmt.Fprintf(os.Stderr, "steamstudy: snapshot %s loaded in %v\n", *snapshot, time.Since(start).Round(time.Millisecond))
 	} else {
 		study, err = steamstudy.New(steamstudy.Options{
 			Users: *users, Seed: *seed, CatalogSize: *catalog,
-			SkipSecondSnapshot: *noSecond,
+			SkipSecondSnapshot: *noSecond, Workers: *workers,
 		})
 		if err != nil {
 			log.Fatal(err)

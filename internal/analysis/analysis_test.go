@@ -2,12 +2,14 @@ package analysis
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
 	"steamstudy/internal/dataset"
 	"steamstudy/internal/heavytail"
 	"steamstudy/internal/simworld"
+	"steamstudy/internal/stats"
 )
 
 var (
@@ -133,7 +135,7 @@ func TestTable3Percentiles(t *testing.T) {
 func TestTable4Classification(t *testing.T) {
 	_, _, v := fixtures(t)
 	inputs := StandardTable4Inputs(v, nil, []int{2011, 2012, 2013})
-	rows := Table4Classification(inputs)
+	rows := Table4Classification(inputs, 0)
 	if len(rows) != 13 {
 		t.Fatalf("row count %d, want 13", len(rows))
 	}
@@ -152,6 +154,21 @@ func TestTable4Classification(t *testing.T) {
 		}
 		if r.Alpha <= 1 {
 			t.Errorf("row %q alpha %v", r.Distribution, r.Alpha)
+		}
+	}
+}
+
+func TestTable4ClassificationWorkerIndependent(t *testing.T) {
+	// The classification pipeline has no randomness, so the whole table —
+	// every comparison statistic, exponent and label — must be identical
+	// for any worker count, including nested pool parallelism.
+	_, _, v := fixtures(t)
+	inputs := StandardTable4Inputs(v, nil, []int{2012, 2013})
+	ref := Table4Classification(inputs, 1)
+	for _, w := range []int{2, 8, 0} {
+		rows := Table4Classification(inputs, w)
+		if !reflect.DeepEqual(rows, ref) {
+			t.Fatalf("workers=%d: classification rows differ from serial", w)
 		}
 	}
 }
@@ -355,6 +372,34 @@ func TestSection7Correlations(t *testing.T) {
 	}
 	if rho := byPair["friends vs two-week playtime"]; math.Abs(rho) > 0.19 {
 		t.Fatalf("friends-two-week rho %v should be very weak", rho)
+	}
+}
+
+func TestSection7CachedRanksBitIdentical(t *testing.T) {
+	// Regression for the rank-caching optimization: the ρ values must be
+	// exactly what the old per-pair stats.Spearman path returned.
+	_, _, v := fixtures(t)
+	var gm, fr, tot, tw []float64
+	for i := range v.Games {
+		if v.Games[i] == 0 {
+			continue
+		}
+		gm = append(gm, v.Games[i])
+		fr = append(fr, v.Friends[i])
+		tot = append(tot, v.TotalH[i])
+		tw = append(tw, v.TwoWkH[i])
+	}
+	want := map[string]float64{
+		"games owned vs friends":           stats.Spearman(gm, fr),
+		"games owned vs two-week playtime": stats.Spearman(gm, tw),
+		"games owned vs total playtime":    stats.Spearman(gm, tot),
+		"friends vs two-week playtime":     stats.Spearman(fr, tw),
+		"friends vs total playtime":        stats.Spearman(fr, tot),
+	}
+	for _, r := range Section7Correlations(v) {
+		if w, ok := want[r.Pair]; !ok || r.Rho != w {
+			t.Fatalf("pair %q: cached-rank rho %v != direct Spearman %v", r.Pair, r.Rho, w)
+		}
 	}
 }
 

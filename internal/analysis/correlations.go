@@ -25,16 +25,22 @@ func Section7Correlations(v *Vectors) []CorrelationRow {
 		tot = append(tot, v.TotalH[i])
 		tw = append(tw, v.TwoWkH[i])
 	}
-	row := func(pair string, x, y []float64) CorrelationRow {
-		rho := stats.Spearman(x, y)
+	// Rank each column once. stats.Spearman re-ranks both inputs on every
+	// call, which ranked gm three times and fr/tot/tw twice each across
+	// the five pairs; SpearmanRanked over cached mid-ranks is bit-identical
+	// (Spearman is defined as Pearson over these ranks).
+	rgm, rfr := stats.Ranks(gm), stats.Ranks(fr)
+	rtot, rtw := stats.Ranks(tot), stats.Ranks(tw)
+	row := func(pair string, rx, ry []float64) CorrelationRow {
+		rho := stats.SpearmanRanked(rx, ry)
 		return CorrelationRow{Pair: pair, Rho: rho, Strength: stats.CorrelationStrength(rho)}
 	}
 	return []CorrelationRow{
-		row("games owned vs friends", gm, fr),
-		row("games owned vs two-week playtime", gm, tw),
-		row("games owned vs total playtime", gm, tot),
-		row("friends vs two-week playtime", fr, tw),
-		row("friends vs total playtime", fr, tot),
+		row("games owned vs friends", rgm, rfr),
+		row("games owned vs two-week playtime", rgm, rtw),
+		row("games owned vs total playtime", rgm, rtot),
+		row("friends vs two-week playtime", rfr, rtw),
+		row("friends vs total playtime", rfr, rtot),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"steamstudy/internal/dataset"
 	"steamstudy/internal/heavytail"
+	"steamstudy/internal/par"
 	"steamstudy/internal/stats"
 )
 
@@ -173,19 +174,24 @@ type Table4Input struct {
 
 // Table4Classification runs the heavy-tail classification pipeline on the
 // given distributions — the paper's Appendix table. Distributions are
-// classified on their nonzero values with a scanned xmin.
-func Table4Classification(inputs []Table4Input) []ClassificationRow {
-	rows := make([]ClassificationRow, 0, len(inputs))
-	for _, in := range inputs {
+// classified on their nonzero values with a scanned xmin. Each metric is
+// classified independently on the worker pool (workers <= 0 means one per
+// CPU, 1 forces serial) and its row written to its input's slot, so the
+// table is identical for any worker count.
+func Table4Classification(inputs []Table4Input, workers int) []ClassificationRow {
+	rows := make([]ClassificationRow, len(inputs))
+	par.For(workers, len(inputs), func(i int) {
+		in := inputs[i]
 		row := ClassificationRow{Distribution: in.Name}
 		res, err := heavytail.ClassifyData(in.Data, heavytail.Options{
 			Discrete:  in.Discrete,
 			FixedXmin: in.FixedXmin,
+			Workers:   workers,
 		})
 		if err != nil {
 			row.Err = err.Error()
-			rows = append(rows, row)
-			continue
+			rows[i] = row
+			return
 		}
 		row.Comparisons = res.Comparisons
 		row.Class = res.Class
@@ -193,8 +199,8 @@ func Table4Classification(inputs []Table4Input) []ClassificationRow {
 		row.Xmin = res.Fit.Xmin
 		row.TailN = len(res.Fit.Tail)
 		row.LowResolution = distinctCount(res.Fit.Tail, 12) < 12
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 

@@ -21,12 +21,14 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 
 	"steamstudy/internal/analysis"
 	"steamstudy/internal/dataset"
+	"steamstudy/internal/par"
 	"steamstudy/internal/report"
 	"steamstudy/internal/simworld"
 )
@@ -48,6 +50,14 @@ type Options struct {
 	Years []int
 	// SkipSecondSnapshot disables the §8 second-snapshot experiments.
 	SkipSecondSnapshot bool
+	// Workers bounds the analysis worker pool: RunAll renders independent
+	// experiments concurrently and the heavy statistical loops (the Table 4
+	// classifications, the xmin scans beneath them) fan out on the same
+	// knob. 0 (the default) means one worker per CPU; 1 forces the fully
+	// serial path. Output is byte-identical for every value — experiments
+	// render into per-slot buffers merged in the paper's order, and no
+	// random stream is ever shared across goroutines (see internal/par).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +123,12 @@ func FromSnapshot(snap *dataset.Snapshot) *Study {
 // Snapshot returns the study's first snapshot.
 func (s *Study) Snapshot() *dataset.Snapshot { return s.snap }
 
+// SetWorkers adjusts the analysis worker-pool bound after construction —
+// the knob for studies built over loaded or crawled snapshots, which
+// never pass through New's Options. 0 means one worker per CPU, 1 forces
+// the serial path. It must not be called concurrently with RunAll/Run.
+func (s *Study) SetWorkers(n int) { s.opts.Workers = n }
+
 // Headline carries the study's aggregate counts (§1's bullet numbers,
 // scaled), in plain types.
 type Headline struct {
@@ -166,7 +182,7 @@ var experiments = []Experiment{
 	}},
 	{ID: "T4", Title: "Table 4: heavy-tail classification", Run: func(s *Study, w io.Writer) error {
 		inputs := analysis.StandardTable4Inputs(s.vectors, s.vectors2, s.opts.Years)
-		return report.Table4(w, analysis.Table4Classification(inputs))
+		return report.Table4(w, analysis.Table4Classification(inputs, s.opts.Workers))
 	}},
 	{ID: "F1", Title: "Figure 1: friendship graph evolution", Run: func(s *Study, w io.Writer) error {
 		return report.Figure1Evolution(w, analysis.Figure1Evolution(s.vectors))
@@ -346,28 +362,46 @@ func (s *Study) Run(w io.Writer, id string) error {
 	return fmt.Errorf("steamstudy: unknown experiment %q", id)
 }
 
-// RunAll executes every available experiment in the paper's order.
+// RunAll executes every available experiment in the paper's order. The
+// experiments are pure read-only functions of the study, so they render
+// concurrently on the worker pool (Options.Workers), each into its own
+// buffer; the buffers are then written in the paper's order, so the
+// output is byte-identical to a serial run for any worker count.
 func (s *Study) RunAll(w io.Writer) error {
 	order := []string{
 		"T1", "E3", "E2", "F1", "F2", "E4", "T2", "F3", "F4", "F5", "F6", "F7",
 		"F8", "F9", "F10", "F11", "E8", "F12", "E9", "E9F", "T3", "E10", "T4",
 	}
-	for _, id := range order {
-		e := lookup(id)
-		if e == nil {
+	exps := make([]*Experiment, len(order))
+	for i, id := range order {
+		if exps[i] = lookup(id); exps[i] == nil {
 			return fmt.Errorf("steamstudy: registry inconsistency: %q", id)
 		}
+	}
+	type slot struct {
+		buf bytes.Buffer
+		err error
+	}
+	slots := make([]slot, len(order))
+	par.For(s.opts.Workers, len(order), func(i int) {
+		e, sl := exps[i], &slots[i]
 		if e.NeedsGenerator && s.universe == nil {
-			fmt.Fprintf(w, "\n== %s — %s: skipped (needs generated universe)\n", e.ID, e.Title)
-			continue
+			fmt.Fprintf(&sl.buf, "\n== %s — %s: skipped (needs generated universe)\n", e.ID, e.Title)
+			return
 		}
-		if id == "E8" && s.vectors2 == nil {
-			fmt.Fprintf(w, "\n== %s — %s: skipped (second snapshot disabled)\n", e.ID, e.Title)
-			continue
+		if e.ID == "E8" && s.vectors2 == nil {
+			fmt.Fprintf(&sl.buf, "\n== %s — %s: skipped (second snapshot disabled)\n", e.ID, e.Title)
+			return
 		}
-		fmt.Fprintf(w, "\n== %s — %s\n\n", e.ID, e.Title)
-		if err := e.Run(s, w); err != nil {
-			return fmt.Errorf("steamstudy: experiment %s: %w", id, err)
+		fmt.Fprintf(&sl.buf, "\n== %s — %s\n\n", e.ID, e.Title)
+		sl.err = e.Run(s, &sl.buf)
+	})
+	for i := range slots {
+		if _, err := w.Write(slots[i].buf.Bytes()); err != nil {
+			return err
+		}
+		if slots[i].err != nil {
+			return fmt.Errorf("steamstudy: experiment %s: %w", order[i], slots[i].err)
 		}
 	}
 	return nil

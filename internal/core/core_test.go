@@ -45,6 +45,38 @@ func TestRunAllOrderCoversRegistry(t *testing.T) {
 	}
 }
 
+func TestRunAllByteIdenticalAcrossWorkers(t *testing.T) {
+	// The determinism contract of the parallel analysis engine: for a
+	// fixed seed, the full rendered report is byte-identical whether the
+	// experiments run serially or on a pool of any size.
+	render := func(workers int) string {
+		s, err := New(Options{Users: 2000, CatalogSize: 200, Seed: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.RunAll(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != serial {
+			t.Fatalf("Workers=%d output differs from serial run (%d vs %d bytes)",
+				w, len(got), len(serial))
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	s := &Study{opts: Options{}.withDefaults()}
+	s.SetWorkers(3)
+	if s.opts.Workers != 3 {
+		t.Fatalf("SetWorkers not applied: %d", s.opts.Workers)
+	}
+}
+
 func TestExperimentLookup(t *testing.T) {
 	if lookup("T3") == nil {
 		t.Fatal("T3 not found")

@@ -63,7 +63,7 @@ func (s *Study) ExportCSV(dir string) error {
 	// Table 4.
 	rows = nil
 	inputs := analysis.StandardTable4Inputs(s.vectors, s.vectors2, s.opts.Years)
-	for _, r := range analysis.Table4Classification(inputs) {
+	for _, r := range analysis.Table4Classification(inputs, s.opts.Workers) {
 		if r.Err != "" {
 			rows = append(rows, []string{r.Distribution, "", "", "", "", "", "", "", "", "error"})
 			continue

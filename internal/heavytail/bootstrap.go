@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"steamstudy/internal/dists"
+	"steamstudy/internal/par"
 	"steamstudy/internal/randx"
 )
 
@@ -19,10 +20,19 @@ import (
 type GoodnessOfFit struct {
 	// ObservedKS is the data's KS distance at the fitted xmin.
 	ObservedKS float64
-	// P is the bootstrap p-value.
+	// P is the bootstrap p-value: the fraction of *scored* replicates
+	// whose re-fit KS distance is at least the observed one. Replicates
+	// whose re-fit degenerates (see Skipped) are excluded from the
+	// denominator — counting them would bias P toward zero, i.e. toward
+	// spuriously rejecting the power law. NaN if every replicate was
+	// skipped.
 	P float64
 	// Bootstraps is the number of synthetic datasets drawn.
 	Bootstraps int
+	// Skipped counts replicates that could not be scored because the
+	// synthetic re-fit degenerated (tail above the re-scanned xmin too
+	// small, or a non-finite KS distance from a degenerate fit).
+	Skipped int
 }
 
 // PowerLawGoF runs the bootstrap on a completed fit. Each synthetic
@@ -30,12 +40,19 @@ type GoodnessOfFit struct {
 // resampled from the empirical body, values above are drawn from the
 // fitted power law, with the same body/tail proportions as the data; the
 // synthetic set is then re-fit (fresh xmin scan) and its KS distance
-// recorded. Deterministic in seed.
+// recorded. Deterministic in seed, for any worker count: replicate b
+// always draws from the stream SplitN("replicate", b), regardless of
+// which goroutine runs it. Workers <= 0 uses one worker per CPU.
 func PowerLawGoF(f *Fit, bootstraps int, seed int64) GoodnessOfFit {
+	return PowerLawGoFWorkers(f, bootstraps, seed, 0)
+}
+
+// PowerLawGoFWorkers is PowerLawGoF with an explicit worker-pool bound.
+func PowerLawGoFWorkers(f *Fit, bootstraps int, seed int64, workers int) GoodnessOfFit {
 	if bootstraps <= 0 {
 		bootstraps = 100
 	}
-	rng := randx.New(seed).Split("gof")
+	base := randx.New(seed).Split("gof")
 	res := GoodnessOfFit{ObservedKS: f.KS, Bootstraps: bootstraps}
 
 	n := len(f.Sorted)
@@ -43,9 +60,12 @@ func PowerLawGoF(f *Fit, bootstraps int, seed int64) GoodnessOfFit {
 	body := f.Sorted[:bodyEnd]
 	tailFrac := float64(n-bodyEnd) / float64(n)
 
-	worse := 0
-	synth := make([]float64, n)
-	for b := 0; b < bootstraps; b++ {
+	// Replicate outcomes, one slot per replicate: +1 fits worse than the
+	// data, 0 fits better, -1 skipped (degenerate re-fit).
+	outcome := make([]int8, bootstraps)
+	par.For(workers, bootstraps, func(b int) {
+		rng := base.SplitN("replicate", uint64(b))
+		synth := make([]float64, n)
 		for i := 0; i < n; i++ {
 			if len(body) == 0 || rng.Float64() < tailFrac {
 				synth[i] = f.PowerLaw.Quantile(rng.Float64())
@@ -55,21 +75,41 @@ func PowerLawGoF(f *Fit, bootstraps int, seed int64) GoodnessOfFit {
 		}
 		// Re-fit with the same options the original fit used for the
 		// power-law part (scanned xmin; the alternative families are not
-		// needed for the KS comparison).
-		sorted := dists.SortedCopy(synth)
-		xmin := scanXmin(sorted, Options{}.withDefaults(n))
-		i := sort.SearchFloat64s(sorted, xmin)
-		tail := sorted[i:]
+		// needed for the KS comparison). The inner scan stays serial —
+		// the pool's parallelism is across replicates.
+		sort.Float64s(synth)
+		xmin := scanXmin(synth, Options{Workers: 1}.withDefaults(n))
+		i := sort.SearchFloat64s(synth, xmin)
+		tail := synth[i:]
 		if len(tail) < 2 {
-			continue
+			outcome[b] = -1
+			return
 		}
 		pl := dists.FitPowerLaw(tail, xmin)
 		ks := dists.KSStatistic(tail, pl.CDF)
+		if math.IsNaN(ks) || math.IsInf(ks, 0) {
+			outcome[b] = -1
+			return
+		}
 		if ks >= f.KS {
+			outcome[b] = 1
+		}
+	})
+	worse := 0
+	for _, o := range outcome {
+		switch o {
+		case 1:
 			worse++
+		case -1:
+			res.Skipped++
 		}
 	}
-	res.P = float64(worse) / float64(bootstraps)
+	scored := bootstraps - res.Skipped
+	if scored == 0 {
+		res.P = math.NaN()
+	} else {
+		res.P = float64(worse) / float64(scored)
+	}
 	return res
 }
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"steamstudy/internal/dists"
+	"steamstudy/internal/par"
 )
 
 // Options configures a Fit.
@@ -36,6 +37,12 @@ type Options struct {
 	// beyond it. The closed-form fits and the KS scan always use all
 	// points. Default 30000.
 	MaxFitSamples int
+	// Workers bounds the worker pool used for the xmin scan and the
+	// candidate-family fits: 0 (the default) means one worker per CPU,
+	// 1 forces the serial path. Results are byte-identical for any
+	// value — each candidate is evaluated independently and merged by
+	// index (see internal/par).
+	Workers int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -111,13 +118,18 @@ func New(data []float64, opts Options) (*Fit, error) {
 
 	f.PowerLaw = dists.FitPowerLaw(f.Tail, f.Xmin)
 	f.KS = dists.KSStatistic(f.Tail, f.PowerLaw.CDF)
-	if opts.Discrete {
-		f.DiscretePL = dists.FitDiscretePowerLaw(f.Tail, f.Xmin)
-	}
+	// The candidate families are independent fits over the same tail, so
+	// they run concurrently; each writes only its own field.
 	fitSample := thin(f.Tail, opts.MaxFitSamples)
-	f.Lognormal = dists.FitLognormalTail(fitSample, f.Xmin)
-	f.TruncatedPL = dists.FitTruncatedPowerLaw(fitSample, f.Xmin)
-	f.Exponential = dists.FitExponentialTail(f.Tail, f.Xmin)
+	fits := []func(){
+		func() { f.Lognormal = dists.FitLognormalTail(fitSample, f.Xmin) },
+		func() { f.TruncatedPL = dists.FitTruncatedPowerLaw(fitSample, f.Xmin) },
+		func() { f.Exponential = dists.FitExponentialTail(f.Tail, f.Xmin) },
+	}
+	if opts.Discrete {
+		fits = append(fits, func() { f.DiscretePL = dists.FitDiscretePowerLaw(f.Tail, f.Xmin) })
+	}
+	par.Run(opts.Workers, fits...)
 	return f, nil
 }
 
@@ -148,18 +160,28 @@ func scanXmin(sorted []float64, opts Options) float64 {
 		}
 		candidates = thinned
 	}
-	bestXmin, bestKS := candidates[0], math.Inf(1)
-	for _, xmin := range candidates {
+	// Each candidate's fit is independent work (Clauset et al. scan them
+	// serially only by historical accident), so the KS distances are
+	// computed on the worker pool into index-addressed slots and reduced
+	// in candidate order — the same first-minimum tie-breaking as the
+	// serial loop, so the selected xmin is identical for any worker count.
+	ks := make([]float64, len(candidates))
+	par.For(opts.Workers, len(candidates), func(ci int) {
+		xmin := candidates[ci]
 		i := sort.SearchFloat64s(sorted, xmin)
 		tail := sorted[i:]
 		if len(tail) < opts.MinTail {
-			break
+			ks[ci] = math.Inf(1)
+			return
 		}
 		pl := dists.FitPowerLaw(tail, xmin)
-		ks := dists.KSStatistic(tail, pl.CDF)
-		if ks < bestKS {
-			bestKS = ks
-			bestXmin = xmin
+		ks[ci] = dists.KSStatistic(tail, pl.CDF)
+	})
+	bestXmin, bestKS := candidates[0], math.Inf(1)
+	for ci, k := range ks {
+		if k < bestKS {
+			bestKS = k
+			bestXmin = candidates[ci]
 		}
 	}
 	return bestXmin

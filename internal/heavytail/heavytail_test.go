@@ -330,6 +330,98 @@ func TestPowerLawGoFDeterministic(t *testing.T) {
 	}
 }
 
+func TestPowerLawGoFSkippedExcludedFromDenominator(t *testing.T) {
+	// Regression: skipped replicates used to stay in the p-value
+	// denominator, biasing P downward. Force every replicate to
+	// degenerate with an Alpha=NaN power law: every synthetic draw is
+	// NaN, the re-scanned xmin finds no tail at all, and every
+	// replicate must be skipped — leaving P undefined (NaN), not 0 as
+	// the old denominator produced.
+	sorted := make([]float64, 200)
+	for i := range sorted {
+		sorted[i] = float64(i + 1)
+	}
+	f := &Fit{
+		Sorted:   sorted,
+		Tail:     sorted,
+		Xmin:     1,
+		KS:       0.05,
+		PowerLaw: dists.PowerLaw{Alpha: math.NaN(), Xmin: 1},
+	}
+	gof := PowerLawGoF(f, 20, 11)
+	if gof.Skipped != 20 {
+		t.Fatalf("Skipped = %d, want all 20 replicates", gof.Skipped)
+	}
+	if !math.IsNaN(gof.P) {
+		t.Fatalf("P = %v with zero scored replicates, want NaN", gof.P)
+	}
+	if gof.Bootstraps != 20 {
+		t.Fatalf("Bootstraps = %d", gof.Bootstraps)
+	}
+}
+
+func TestPowerLawGoFNoSkipsOnHealthyData(t *testing.T) {
+	data := genPareto(53, 3000, 2.2, 1)
+	f, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gof := PowerLawGoF(f, 30, 5)
+	if gof.Skipped != 0 {
+		t.Fatalf("healthy bootstrap skipped %d replicates", gof.Skipped)
+	}
+	if math.IsNaN(gof.P) || gof.P < 0 || gof.P > 1 {
+		t.Fatalf("P = %v out of range", gof.P)
+	}
+}
+
+func TestPowerLawGoFWorkerIndependent(t *testing.T) {
+	data := genPareto(54, 2000, 2.0, 1)
+	f, err := New(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := PowerLawGoFWorkers(f, 40, 9, 1)
+	for _, w := range []int{2, 8, 0} {
+		got := PowerLawGoFWorkers(f, 40, 9, w)
+		if got != ref {
+			t.Fatalf("workers=%d: GoF %+v differs from serial %+v", w, got, ref)
+		}
+	}
+}
+
+func TestScanXminWorkerIndependent(t *testing.T) {
+	// Noise body below a clean power-law tail gives the scan a real
+	// minimum to find; the selected xmin, exponent and KS must not
+	// depend on the worker count.
+	r := randx.New(55)
+	var data []float64
+	for i := 0; i < 3000; i++ {
+		data = append(data, 0.5+4.5*r.Float64())
+	}
+	for i := 0; i < 12000; i++ {
+		data = append(data, r.Pareto(2.4, 5))
+	}
+	ref, err := New(data, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8, 0} {
+		f, err := New(data, Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Xmin != ref.Xmin || f.KS != ref.KS {
+			t.Fatalf("workers=%d: xmin/KS %v/%v differ from serial %v/%v",
+				w, f.Xmin, f.KS, ref.Xmin, ref.KS)
+		}
+		if f.PowerLaw != ref.PowerLaw || f.Lognormal != ref.Lognormal ||
+			f.TruncatedPL != ref.TruncatedPL || f.Exponential != ref.Exponential {
+			t.Fatalf("workers=%d: fitted families differ from serial", w)
+		}
+	}
+}
+
 func TestKSCriticalValue(t *testing.T) {
 	// Known constant: c(0.05) ≈ 1.358.
 	got := KSCriticalValue(100, 0.05)

@@ -1,0 +1,77 @@
+// Package par is the bounded worker pool behind the deterministic
+// parallel analysis engine. Every fan-out in the analysis layer (the
+// xmin scan, the bootstrap GoF replicates, Table 4's per-metric
+// classification, RunAll's per-experiment rendering) goes through this
+// package so the determinism contract lives in one place:
+//
+//   - work is addressed by index, and each unit writes only to its own
+//     index-assigned slot (a slice element, a struct field);
+//   - any randomness is drawn from a per-index stream derived with
+//     randx.Split/SplitN, never from a stream shared across units;
+//   - results are merged in index order, never in completion order.
+//
+// Under those rules the output of a fan-out is a pure function of its
+// inputs — byte-identical for any worker count, including 1 — and the
+// worker count is purely a throughput knob.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N resolves a Workers knob to a concrete worker count: values <= 0 mean
+// "one worker per logical CPU" (GOMAXPROCS), so zero values ask for full
+// parallelism and 1 forces the serial path.
+func N(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) on at most N(workers) goroutines
+// and returns when all calls have completed. Work is handed out
+// dynamically, so fn must follow the package's determinism contract:
+// fn(i) may depend only on i and on state that no other unit writes, and
+// must store its result in an index-i slot. For calls fn inline when the
+// resolved worker count is 1 or n < 2, so the serial path has zero
+// goroutine overhead.
+func For(workers, n int, fn func(i int)) {
+	w := N(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes the given functions on at most N(workers) goroutines and
+// returns when all have completed. It is For for heterogeneous work —
+// e.g. fitting the independent candidate families of a heavy-tail fit
+// concurrently — with the same contract: each function writes only to
+// state no other function touches.
+func Run(workers int, fns ...func()) {
+	For(workers, len(fns), func(i int) { fns[i]() })
+}

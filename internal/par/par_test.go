@@ -1,0 +1,78 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNResolvesKnob(t *testing.T) {
+	if got := N(4); got != 4 {
+		t.Fatalf("N(4) = %d", got)
+	}
+	if got := N(1); got != 1 {
+		t.Fatalf("N(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := N(0); got != want {
+		t.Fatalf("N(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := N(-3); got != want {
+		t.Fatalf("N(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		For(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForResultsIndependentOfWorkers(t *testing.T) {
+	const n = 512
+	ref := make([]int, n)
+	For(1, n, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]int, n)
+		For(workers, n, func(i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForZeroAndTinyN(t *testing.T) {
+	ran := false
+	For(8, 0, func(i int) { ran = true })
+	if ran {
+		t.Fatal("For ran work for n=0")
+	}
+	hits := 0
+	For(8, 1, func(i int) { hits++ }) // n < 2 runs inline; no race on hits
+	if hits != 1 {
+		t.Fatalf("n=1 ran %d times", hits)
+	}
+}
+
+func TestRunExecutesAllFns(t *testing.T) {
+	var a, b, c atomic.Int32
+	Run(2,
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatalf("Run missed work: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+}

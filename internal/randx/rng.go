@@ -61,6 +61,31 @@ func (r *RNG) Split(label string) *RNG {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
+	return r.splitHash(h)
+}
+
+// SplitN derives an independent child stream identified by (label, i) —
+// the index-keyed variant of Split. It lets a parallel fan-out give every
+// unit of work (bootstrap replicate, worker, shard) its own stream as a
+// pure function of (parent seed, label, index), without the allocation of
+// formatting the index into the label. SplitN(label, i) hashes the index
+// as eight extra FNV bytes, so streams for distinct indices are as
+// decorrelated as streams for distinct labels.
+func (r *RNG) SplitN(label string, i uint64) *RNG {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for j := 0; j < len(label); j++ {
+		h ^= uint64(label[j])
+		h *= 1099511628211
+	}
+	for j := 0; j < 8; j++ {
+		h ^= (i >> (8 * j)) & 0xff
+		h *= 1099511628211
+	}
+	return r.splitHash(h)
+}
+
+// splitHash derives the child stream for a fully mixed label hash.
+func (r *RNG) splitHash(h uint64) *RNG {
 	c := &RNG{}
 	x := r.s[0] ^ h
 	for i := range c.s {

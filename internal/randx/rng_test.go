@@ -55,6 +55,43 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitNReproducibleAndDistinct(t *testing.T) {
+	root := New(11)
+	// Same (label, index) from the same parent reproduces the stream.
+	a := root.SplitN("rep", 5)
+	a2 := New(11).SplitN("rep", 5)
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != a2.Uint64() {
+			t.Fatalf("SplitN stream not reproducible at draw %d", i)
+		}
+	}
+	// Distinct indices (including adjacent ones) diverge from each other
+	// and from the plain Split of the same label.
+	streams := []*RNG{
+		root.SplitN("rep", 0), root.SplitN("rep", 1), root.SplitN("rep", 2),
+		root.SplitN("rep", 1<<40), root.Split("rep"),
+	}
+	firsts := map[uint64]int{}
+	for i, s := range streams {
+		v := s.Uint64()
+		if j, dup := firsts[v]; dup {
+			t.Fatalf("streams %d and %d start identically", i, j)
+		}
+		firsts[v] = i
+	}
+}
+
+func TestSplitNDoesNotAdvanceParent(t *testing.T) {
+	a := New(13)
+	b := New(13)
+	_ = a.SplitN("x", 3)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitN advanced the parent state")
+		}
+	}
+}
+
 func TestSplitDoesNotAdvanceParent(t *testing.T) {
 	a := New(9)
 	b := New(9)

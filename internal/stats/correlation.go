@@ -64,7 +64,22 @@ func Spearman(x, y []float64) float64 {
 	if len(x) != len(y) || len(x) < 2 {
 		return math.NaN()
 	}
-	return Pearson(Ranks(x), Ranks(y))
+	return SpearmanRanked(Ranks(x), Ranks(y))
+}
+
+// SpearmanRanked returns Spearman's ρ given precomputed mid-ranks, as
+// produced by Ranks. It is exactly the Pearson correlation of the rank
+// vectors, so Spearman(x, y) == SpearmanRanked(Ranks(x), Ranks(y)) bit
+// for bit. Callers correlating the same column against several others
+// (the §7 study ranks the games-owned column for three pairs) can rank
+// each column once instead of re-sorting it per pair — ranking is the
+// O(n log n) step, so this turns k pairs over m columns from 2k sorts
+// into m.
+func SpearmanRanked(rx, ry []float64) float64 {
+	if len(rx) != len(ry) || len(rx) < 2 {
+		return math.NaN()
+	}
+	return Pearson(rx, ry)
 }
 
 // CorrelationStrength maps |ρ| to the verbal scale the paper uses in §7:

@@ -204,6 +204,44 @@ func TestSpearmanInvariantUnderMonotoneTransform(t *testing.T) {
 	}
 }
 
+func TestSpearmanRankedBitIdenticalToSpearman(t *testing.T) {
+	// Regression for the §7 rank-caching path: correlating precomputed
+	// mid-ranks must return exactly — bit for bit, not approximately —
+	// what Spearman returns on the raw columns, including on count data
+	// riddled with ties.
+	r := randx.New(5)
+	n := 3000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = float64(r.Intn(40)) // heavy ties, like friend counts
+		y[i] = x[i]*0.5 + float64(r.Intn(25))
+		z[i] = r.NormFloat64()
+	}
+	rx, ry, rz := Ranks(x), Ranks(y), Ranks(z)
+	pairs := [][4][]float64{
+		{x, y, rx, ry},
+		{x, z, rx, rz},
+		{y, z, ry, rz},
+	}
+	for i, p := range pairs {
+		full, ranked := Spearman(p[0], p[1]), SpearmanRanked(p[2], p[3])
+		if full != ranked {
+			t.Fatalf("pair %d: SpearmanRanked %v != Spearman %v", i, ranked, full)
+		}
+	}
+}
+
+func TestSpearmanRankedDegenerateInputs(t *testing.T) {
+	if !math.IsNaN(SpearmanRanked([]float64{1, 2}, []float64{1})) {
+		t.Fatal("length mismatch should be NaN")
+	}
+	if !math.IsNaN(SpearmanRanked([]float64{1}, []float64{1})) {
+		t.Fatal("single point should be NaN")
+	}
+}
+
 func TestSpearmanIndependentNearZero(t *testing.T) {
 	r := randx.New(4)
 	n := 5000
