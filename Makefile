@@ -11,9 +11,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate: everything builds, all tests pass, and the
-# test suite is race-clean.
-verify: build test race
+# verify is the tier-1 gate: everything builds, vet is clean, all tests
+# pass, and the test suite is race-clean.
+verify: build vet test race
 
 # chaos runs only the end-to-end fault-injection suite: a full crawl under
 # an aggressive fault profile with simulated process deaths, plus the
@@ -24,9 +24,13 @@ chaos:
 # bench runs the tier-2 analysis benchmarks (RunAll render, heavy-tail
 # fit, Table 4 classification, Spearman) — each with its serial baseline
 # and full-pool variant — and records ns/op in BENCH_analysis.json,
-# the repo's performance trajectory file.
+# the repo's performance trajectory file. It then records the obs
+# hot-path costs (counter add, histogram observe, 8-goroutine contention)
+# in BENCH_obs.json: the observability layer's overhead budget.
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_analysis.json
+	$(GO) run ./cmd/benchjson -out BENCH_obs.json -pkg ./internal/obs \
+		-bench '^(BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkContended8)$$'
 
 fmt:
 	gofmt -l -w cmd internal

@@ -20,6 +20,7 @@ import (
 	"net/http"
 
 	"steamstudy/internal/apiserver"
+	"steamstudy/internal/obs"
 	"steamstudy/internal/simworld"
 )
 
@@ -48,6 +49,9 @@ func main() {
 		stallFor       = flag.Duration("stall-for", 2*time.Second, "delay applied by stall faults")
 		outageEvery    = flag.Int("outage-every", 0, "schedule an outage window after every N requests (0 disables)")
 		outageLen      = flag.Int("outage-len", 1, "requests rejected per outage window")
+		maxKeys        = flag.Int("max-keys", 0, "cap on tracked per-key rate limiters (0 = default 1024)")
+		admin          = flag.String("admin", "", "also serve /metrics, /healthz (and optionally pprof) on this separate admin address")
+		pprofOn        = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 	)
 	flag.Parse()
 
@@ -89,12 +93,20 @@ func main() {
 		apiKeys = strings.Split(*keys, ",")
 	}
 	handler := apiserver.New(u, apiserver.Config{
-		APIKeys:       apiKeys,
-		RatePerSecond: *rate,
-		Burst:         *burst,
-		FaultRate:     *fault,
-		Faults:        profile,
+		APIKeys:        apiKeys,
+		RatePerSecond:  *rate,
+		Burst:          *burst,
+		FaultRate:      *fault,
+		Faults:         profile,
+		MaxTrackedKeys: *maxKeys,
 	})
+	if *admin != "" {
+		adminAddr, err := obs.ServeAdmin(*admin, handler.Obs(), handler.Health(), *pprofOn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "admin endpoints at http://%s/metrics\n", adminAddr)
+	}
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"steamstudy/internal/crawler"
+	"steamstudy/internal/obs"
 )
 
 func main() {
@@ -37,9 +38,16 @@ func main() {
 		brCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 		noAdaptive  = flag.Bool("no-adaptive", false, "disable AIMD adaptive throttling and pin the rate")
 		progress    = flag.Duration("progress", 30*time.Second, "interval between progress/health lines (negative disables)")
+		admin       = flag.String("admin", "", "serve live crawl metrics (/metrics, /healthz) on this address (empty disables)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 		out         = flag.String("out", "crawl.gob.gz", "snapshot output path")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *admin != "" {
+		reg = obs.NewRegistry()
+	}
 
 	c := crawler.New(crawler.Config{
 		BaseURL:                 *baseURL,
@@ -54,10 +62,20 @@ func main() {
 		BreakerCooldown:         *brCooldown,
 		DisableAdaptiveThrottle: *noAdaptive,
 		ProgressEvery:           *progress,
+		Registry:                reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "steamcrawl: "+format+"\n", args...)
 		},
 	})
+
+	if *admin != "" {
+		health := obs.NewHealth()
+		addr, err := obs.ServeAdmin(*admin, reg, health, *pprofOn)
+		if err != nil {
+			log.Fatalf("admin listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "steamcrawl: admin endpoints at http://%s/metrics\n", addr)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	sig := make(chan os.Signal, 1)

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"steamstudy"
+	"steamstudy/internal/obs"
 )
 
 func main() {
@@ -33,8 +35,23 @@ func main() {
 		csvDir     = flag.String("csv", "", "also export every data series as CSV into this directory")
 		seeds      = flag.Int("seeds", 0, "instead of one study, sweep this many seeds and report the stability of the headline statistics")
 		workers    = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU, 1 = serial); output is identical for any value")
+		admin      = flag.String("admin", "", "serve live per-experiment render spans (/metrics, /healthz) on this address while the study runs")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
+		timings    = flag.Bool("timings", false, "print per-experiment render timings to stderr after the run")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *admin != "" || *timings {
+		reg = obs.NewRegistry()
+	}
+	if *admin != "" {
+		addr, err := obs.ServeAdmin(*admin, reg, obs.NewHealth(), *pprofOn)
+		if err != nil {
+			log.Fatalf("admin listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "steamstudy: admin endpoints at http://%s/metrics\n", addr)
+	}
 
 	if *list {
 		for _, e := range steamstudy.Experiments() {
@@ -94,13 +111,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steamstudy: CSV series written to %s\n", *csvDir)
 	}
 
+	study.SetObserver(reg)
 	if *experiment == "all" {
 		if err := study.RunAll(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-	if err := study.Run(os.Stdout, *experiment); err != nil {
+	} else if err := study.Run(os.Stdout, *experiment); err != nil {
 		log.Fatal(err)
+	}
+	if *timings {
+		printTimings(reg)
+	}
+}
+
+// printTimings dumps the per-experiment render spans the observer
+// collected, slowest first.
+func printTimings(reg *obs.Registry) {
+	spans := reg.Snapshot().Spans
+	ids := make([]string, 0, len(spans))
+	for id := range spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return spans[ids[a]].Seconds > spans[ids[b]].Seconds
+	})
+	fmt.Fprintln(os.Stderr, "steamstudy: render timings:")
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "  %-30s %8.1fms %s\n",
+			id, spans[id].Seconds*1000, spans[id].State)
 	}
 }

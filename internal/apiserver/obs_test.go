@@ -1,0 +1,243 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"steamstudy/internal/obs"
+)
+
+// TestMetricsEndpoint checks the /metrics JSON shape and that its
+// counters move monotonically under load.
+func TestMetricsEndpoint(t *testing.T) {
+	u := universe(t)
+	_, ts := newTestServer(t, Config{})
+
+	scrape := func() obs.Snapshot {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("/metrics content type %q", ct)
+		}
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	before := scrape()
+	const n = 25
+	pattern := "/IPlayerService/GetOwnedGames/v0001/"
+	url := ts.URL + pattern + "?steamid=" + u.Users[0].ID.String()
+	for i := 0; i < n; i++ {
+		if code := get(t, url, nil); code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	after := scrape()
+
+	if got := after.Counters["apiserver_requests"] - before.Counters["apiserver_requests"]; got < n {
+		t.Fatalf("apiserver_requests rose by %d, want >= %d", got, n)
+	}
+	key := "apiserver_endpoint_requests:" + pattern
+	if got := after.Counters[key] - before.Counters[key]; got != n {
+		t.Fatalf("%s rose by %d, want %d", key, got, n)
+	}
+	h, ok := after.Histograms["apiserver_request_seconds"]
+	if !ok {
+		t.Fatal("latency histogram missing from /metrics")
+	}
+	if h.Count < n {
+		t.Fatalf("latency histogram count %d, want >= %d", h.Count, n)
+	}
+	if _, ok := after.Gauges["apiserver_limiter_keys"]; !ok {
+		t.Fatal("limiter-keys gauge missing from /metrics")
+	}
+	// Monotonic: no counter moved backwards.
+	for name, v := range before.Counters {
+		if after.Counters[name] < v {
+			t.Fatalf("counter %s went backwards: %d -> %d", name, v, after.Counters[name])
+		}
+	}
+}
+
+// TestHealthzTransitions drives /healthz from 200 to 503 and back via an
+// extra registered check.
+func TestHealthzTransitions(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	status := func() int {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := status(); code != 200 {
+		t.Fatalf("fresh server /healthz = %d", code)
+	}
+	var broken atomic.Bool
+	broken.Store(true)
+	s.Health().Register("downstream", func() error {
+		if broken.Load() {
+			return fmt.Errorf("connection refused")
+		}
+		return nil
+	})
+	if code := status(); code != 503 {
+		t.Fatalf("/healthz with failing check = %d, want 503", code)
+	}
+	broken.Store(false)
+	if code := status(); code != 200 {
+		t.Fatalf("/healthz after recovery = %d, want 200", code)
+	}
+}
+
+// TestObserveCountsRejectedRequests pins the middleware order: Observe is
+// outermost, so requests the rate limiter turns away still land in the
+// request counter and latency histogram.
+func TestObserveCountsRejectedRequests(t *testing.T) {
+	u := universe(t)
+	s, ts := newTestServer(t, Config{RatePerSecond: 0.001, Burst: 2})
+	url := ts.URL + "/IPlayerService/GetOwnedGames/v0001/?steamid=" + u.Users[0].ID.String()
+
+	const n = 10
+	var limited int
+	for i := 0; i < n; i++ {
+		if code := get(t, url, nil); code == http.StatusTooManyRequests {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("burst of 2 never rate-limited 10 requests")
+	}
+	snap := s.Metrics.Snapshot()
+	if snap.Requests != n {
+		t.Fatalf("Requests = %d, want %d (rejected requests must still count)", snap.Requests, n)
+	}
+	if snap.RateLimited != int64(limited) {
+		t.Fatalf("RateLimited = %d, want %d", snap.RateLimited, limited)
+	}
+	lat := s.Obs().Snapshot().Histograms["apiserver_request_seconds"]
+	if lat.Count != n {
+		t.Fatalf("latency count = %d, want %d (rejected requests must still be timed)", lat.Count, n)
+	}
+}
+
+// TestAuthBeforeRateLimit pins that an unauthorized request is refused by
+// Auth before it can consume rate-limit tokens.
+func TestAuthBeforeRateLimit(t *testing.T) {
+	u := universe(t)
+	s, ts := newTestServer(t, Config{APIKeys: []string{"GOOD"}, RatePerSecond: 1000})
+	url := ts.URL + "/IPlayerService/GetOwnedGames/v0001/?steamid=" + u.Users[0].ID.String()
+
+	if code := get(t, url+"&key=BAD", nil); code != http.StatusUnauthorized {
+		t.Fatalf("bad key: status %d", code)
+	}
+	if s.TrackedKeys() != 0 {
+		t.Fatalf("unauthorized request created a limiter (%d tracked)", s.TrackedKeys())
+	}
+	if code := get(t, url+"&key=GOOD", nil); code != 200 {
+		t.Fatalf("good key: status %d", code)
+	}
+	if s.TrackedKeys() != 1 {
+		t.Fatalf("tracked keys = %d, want 1", s.TrackedKeys())
+	}
+}
+
+// TestPartialStack assembles a chain with only fault injection — no auth,
+// no rate limit, no metrics — which the old monolithic wrapper could not
+// express.
+func TestPartialStack(t *testing.T) {
+	s := New(universe(t), Config{FaultRate: 1}) // every request faults
+	h := Chain(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}, s.FaultInjection("/test"))
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/test", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("fault stage alone: status %d, want 500", rec.Code)
+	}
+	// No other stage ran: nothing counted, nothing limited.
+	if got := s.Metrics.Requests.Load(); got != 0 {
+		t.Fatalf("Requests = %d without Observe in the chain", got)
+	}
+	if got := s.Metrics.Faults.Load(); got != 1 {
+		t.Fatalf("Faults = %d, want 1", got)
+	}
+
+	// And a chain of zero stages is just the handler.
+	plain := Chain(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	rec = httptest.NewRecorder()
+	plain(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("empty chain: status %d", rec.Code)
+	}
+}
+
+// TestLimiterKeyCap hammers the server with rotating fabricated API keys
+// and checks the limiter map stays at the configured maxKeys, with the gauge
+// agreeing, while a hot key's limiter survives the churn.
+func TestLimiterKeyCap(t *testing.T) {
+	u := universe(t)
+	const maxKeys = 32
+	s, ts := newTestServer(t, Config{RatePerSecond: 1000, MaxTrackedKeys: maxKeys})
+	url := ts.URL + "/IPlayerService/GetOwnedGames/v0001/?steamid=" + u.Users[0].ID.String()
+
+	for i := 0; i < 4*maxKeys; i++ {
+		// The hot key is re-touched every iteration, so LRU keeps it.
+		if code := get(t, url+"&key=hot", nil); code != 200 {
+			t.Fatalf("hot key: status %d", code)
+		}
+		if code := get(t, fmt.Sprintf("%s&key=burner-%d", url, i), nil); code != 200 {
+			t.Fatalf("burner key %d: status %d", i, code)
+		}
+		if got := s.TrackedKeys(); got > maxKeys {
+			t.Fatalf("tracked keys %d exceeds maxKeys %d after %d rotations", got, maxKeys, i)
+		}
+	}
+	if got := s.TrackedKeys(); got != maxKeys {
+		t.Fatalf("tracked keys %d, want exactly maxKeys %d after churn", got, maxKeys)
+	}
+	if g := s.Obs().Snapshot().Gauges["apiserver_limiter_keys"]; g != maxKeys {
+		t.Fatalf("limiter-keys gauge %v, want %d", g, maxKeys)
+	}
+	// The hot key was most-recently-used throughout, so it must still be
+	// tracked: touching it must not evict anything (count stays at maxKeys).
+	s.limiterFor("hot")
+	if got := s.TrackedKeys(); got != maxKeys {
+		t.Fatalf("hot key was evicted despite constant use (tracked=%d)", got)
+	}
+}
+
+// TestSharedRegistry verifies a caller-provided registry receives the
+// server's metrics (the embedding pattern the crawler e2e test uses).
+func TestSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	u := universe(t)
+	_, ts := newTestServer(t, Config{Registry: reg})
+	url := ts.URL + "/IPlayerService/GetOwnedGames/v0001/?steamid=" + u.Users[0].ID.String()
+	if code := get(t, url, nil); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if got := reg.Snapshot().Counters["apiserver_requests"]; got != 1 {
+		t.Fatalf("shared registry apiserver_requests = %d, want 1", got)
+	}
+}

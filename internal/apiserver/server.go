@@ -6,14 +6,15 @@
 package apiserver
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
+	"steamstudy/internal/obs"
 	"steamstudy/internal/ratelimit"
 	"steamstudy/internal/simworld"
 	"steamstudy/internal/steamapi"
@@ -37,25 +38,36 @@ type Config struct {
 	// outage windows, all from one seeded RNG. May be combined with
 	// FaultRate; the flat 500s are checked first.
 	Faults *FaultProfile
+	// Registry receives the server's metrics (counters, the per-endpoint
+	// latency histogram, the tracked-key gauge). Nil means the server
+	// creates a private one; either way /metrics serves it.
+	Registry *obs.Registry
+	// MaxTrackedKeys caps the per-API-key limiter map: beyond this many
+	// distinct keys the least-recently-seen limiter is evicted, so a
+	// client spraying fabricated keys cannot grow server memory without
+	// bound (default 1024).
+	MaxTrackedKeys int
 }
 
-// Metrics counts server activity (atomic; safe to read live).
+// Metrics counts server activity (atomic; safe to read live). The fields
+// are obs counters registered with the server's registry, so the same
+// values back both this struct's Snapshot() and the /metrics endpoint.
 type Metrics struct {
-	Requests     atomic.Int64
-	RateLimited  atomic.Int64
-	Unauthorized atomic.Int64
-	Faults       atomic.Int64 // total injected faults of every class
-	NotFound     atomic.Int64
+	Requests     obs.Counter
+	RateLimited  obs.Counter
+	Unauthorized obs.Counter
+	Faults       obs.Counter // total injected faults of every class
+	NotFound     obs.Counter
 
 	// Per-class fault counters (all also counted in Faults).
-	Faults500   atomic.Int64
-	Faults503   atomic.Int64
-	Resets      atomic.Int64
-	Stalls      atomic.Int64
-	Truncations atomic.Int64
-	Malformed   atomic.Int64
-	WrongJSON   atomic.Int64
-	OutageDrops atomic.Int64
+	Faults500   obs.Counter
+	Faults503   obs.Counter
+	Resets      obs.Counter
+	Stalls      obs.Counter
+	Truncations obs.Counter
+	Malformed   obs.Counter
+	WrongJSON   obs.Counter
+	OutageDrops obs.Counter
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics at one instant.
@@ -77,21 +89,9 @@ type MetricsSnapshot struct {
 
 // Snapshot copies every counter at one instant, for logging and tests.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
-		Requests:     m.Requests.Load(),
-		RateLimited:  m.RateLimited.Load(),
-		Unauthorized: m.Unauthorized.Load(),
-		Faults:       m.Faults.Load(),
-		NotFound:     m.NotFound.Load(),
-		Faults500:    m.Faults500.Load(),
-		Faults503:    m.Faults503.Load(),
-		Resets:       m.Resets.Load(),
-		Stalls:       m.Stalls.Load(),
-		Truncations:  m.Truncations.Load(),
-		Malformed:    m.Malformed.Load(),
-		WrongJSON:    m.WrongJSON.Load(),
-		OutageDrops:  m.OutageDrops.Load(),
-	}
+	var s MetricsSnapshot
+	obs.FillSnapshot(m, &s)
+	return s
 }
 
 // String renders the snapshot as a one-line health summary.
@@ -112,7 +112,9 @@ type Server struct {
 	groupID map[uint64]int32     // gid -> group index
 
 	mu       sync.Mutex
-	limiters map[string]*ratelimit.Limiter
+	limiters map[string]*list.Element // key -> *limiterEntry element
+	lru      *list.List               // front = most recently seen key
+	maxKeys  int
 	faultSeq uint64
 	faults   *faultInjector
 
@@ -121,19 +123,51 @@ type Server struct {
 
 	Metrics Metrics
 
+	obs     *obs.Registry
+	health  *obs.Health
+	latency *obs.Histogram
+
 	mux *http.ServeMux
+}
+
+// limiterEntry pairs a key with its limiter inside the LRU list.
+type limiterEntry struct {
+	key string
+	lim *ratelimit.Limiter
 }
 
 // New builds a server over the universe.
 func New(u *simworld.Universe, cfg Config) *Server {
+	if cfg.MaxTrackedKeys <= 0 {
+		cfg.MaxTrackedKeys = 1024
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		u:        u,
 		byID:     make(map[steamid.ID]int32, len(u.Users)),
 		byAppID:  make(map[uint32]int32, len(u.Games)),
 		groupID:  make(map[uint64]int32, len(u.Groups)),
-		limiters: make(map[string]*ratelimit.Limiter),
+		limiters: make(map[string]*list.Element),
+		lru:      list.New(),
+		maxKeys:  cfg.MaxTrackedKeys,
+		obs:      reg,
+		health:   obs.NewHealth(),
 	}
+	reg.RegisterCounters("apiserver_", &s.Metrics)
+	reg.GaugeFunc("apiserver_limiter_keys", func() float64 {
+		return float64(s.TrackedKeys())
+	})
+	s.latency = reg.Histogram("apiserver_request_seconds", obs.DefLatencyBuckets())
+	s.health.Register("universe", func() error {
+		if len(s.u.Users) == 0 {
+			return fmt.Errorf("universe has no users")
+		}
+		return nil
+	})
 	for i := range u.Users {
 		s.byID[u.Users[i].ID] = int32(i)
 	}
@@ -158,11 +192,22 @@ func New(u *simworld.Universe, cfg Config) *Server {
 		"/community/group":                                              s.handleGroupPage,
 		"/ISteamUserStats/GetPlayerAchievements/v0001/":                 s.handlePlayerAchievements,
 	} {
-		mux.HandleFunc(pattern, s.wrap(pattern, h))
+		mux.HandleFunc(pattern, Chain(h, s.Stack(pattern)...))
 	}
+	// The observability surface rides on the same mux: the admin
+	// endpoints are exact-match patterns, so they never shadow the API.
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/healthz", s.health.Handler())
 	s.mux = mux
 	return s
 }
+
+// Obs returns the server's metrics registry (the one /metrics serves).
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Health returns the server's health check set (the one /healthz
+// evaluates); callers may register additional checks.
+func (s *Server) Health() *obs.Health { return s.health }
 
 // handlePlayerAchievements serves per-player achievement unlocks — the
 // §9 future-work endpoint (the 2016 API exposed only global percentages).
@@ -229,41 +274,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// wrap applies auth, rate limiting and fault injection around a handler.
-func (s *Server) wrap(pattern string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.Metrics.Requests.Add(1)
-		key := r.URL.Query().Get("key")
-		if len(s.cfg.APIKeys) > 0 && !s.validKey(key) {
-			s.Metrics.Unauthorized.Add(1)
-			writeError(w, http.StatusUnauthorized, "invalid API key")
-			return
-		}
-		if s.cfg.RatePerSecond > 0 {
-			if !s.limiterFor(key).Allow() {
-				s.Metrics.RateLimited.Add(1)
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
-				return
-			}
-		}
-		if s.cfg.FaultRate > 0 && s.nextFault() {
-			s.Metrics.Faults.Add(1)
-			writeError(w, http.StatusInternalServerError, "injected fault")
-			return
-		}
-		if s.faults != nil {
-			if class, spec := s.faults.decide(pattern); class != FaultNone {
-				s.Metrics.Faults.Add(1)
-				if s.inject(w, r, class, spec, h) {
-					return
-				}
-			}
-		}
-		h(w, r)
-	}
-}
-
 func (s *Server) validKey(key string) bool {
 	for _, k := range s.cfg.APIKeys {
 		if key == k {
@@ -273,19 +283,39 @@ func (s *Server) validKey(key string) bool {
 	return false
 }
 
+// limiterFor returns the key's limiter, creating it on first sight. The
+// map is LRU-capped at MaxTrackedKeys: when a new key would exceed the
+// cap, the least-recently-seen key's limiter is evicted. Eviction resets
+// that key's token bucket, which only matters to keys idle long enough to
+// fall off the end of the list — by then the bucket would have refilled
+// anyway.
 func (s *Server) limiterFor(key string) *ratelimit.Limiter {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l, ok := s.limiters[key]
-	if !ok {
-		burst := s.cfg.Burst
-		if burst <= 0 {
-			burst = int(s.cfg.RatePerSecond) + 1
-		}
-		l = ratelimit.New(s.cfg.RatePerSecond, burst)
-		s.limiters[key] = l
+	if el, ok := s.limiters[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*limiterEntry).lim
+	}
+	burst := s.cfg.Burst
+	if burst <= 0 {
+		burst = int(s.cfg.RatePerSecond) + 1
+	}
+	l := ratelimit.New(s.cfg.RatePerSecond, burst)
+	s.limiters[key] = s.lru.PushFront(&limiterEntry{key: key, lim: l})
+	for len(s.limiters) > s.maxKeys {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.limiters, back.Value.(*limiterEntry).key)
 	}
 	return l
+}
+
+// TrackedKeys reports how many per-key limiters are live (the
+// apiserver_limiter_keys gauge; never exceeds MaxTrackedKeys).
+func (s *Server) TrackedKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.limiters)
 }
 
 // nextFault deterministically spaces faults at 1/FaultRate requests, which

@@ -28,6 +28,7 @@ import (
 
 	"steamstudy/internal/analysis"
 	"steamstudy/internal/dataset"
+	"steamstudy/internal/obs"
 	"steamstudy/internal/par"
 	"steamstudy/internal/report"
 	"steamstudy/internal/simworld"
@@ -88,6 +89,7 @@ type Study struct {
 	snap     *dataset.Snapshot
 	vectors  *analysis.Vectors
 	vectors2 *analysis.Vectors
+	obs      *obs.Registry
 }
 
 // New generates the universe(s) and prepares the attribute vectors.
@@ -128,6 +130,14 @@ func (s *Study) Snapshot() *dataset.Snapshot { return s.snap }
 // never pass through New's Options. 0 means one worker per CPU, 1 forces
 // the serial path. It must not be called concurrently with RunAll/Run.
 func (s *Study) SetWorkers(n int) { s.opts.Workers = n }
+
+// SetObserver attaches a metrics registry: Run and RunAll then record a
+// per-experiment render span (experiment_render:<ID>) into it, so a
+// steamstudy admin listener shows which experiments are rendering, done,
+// and how long each took. Observation never touches the rendered output —
+// RunAll stays byte-identical with or without a registry. Must not be
+// called concurrently with RunAll/Run.
+func (s *Study) SetObserver(r *obs.Registry) { s.obs = r }
 
 // Headline carries the study's aggregate counts (§1's bullet numbers,
 // scaled), in plain types.
@@ -357,6 +367,9 @@ func (s *Study) Run(w io.Writer, id string) error {
 		if e.NeedsGenerator && (s.universe == nil || (id == "E8" && s.vectors2 == nil)) {
 			return fmt.Errorf("steamstudy: experiment %s needs a generated universe", id)
 		}
+		sp := s.obs.Span("experiment_render:" + id)
+		sp.Start()
+		defer sp.End()
 		return e.Run(s, w)
 	}
 	return fmt.Errorf("steamstudy: unknown experiment %q", id)
@@ -394,7 +407,10 @@ func (s *Study) RunAll(w io.Writer) error {
 			return
 		}
 		fmt.Fprintf(&sl.buf, "\n== %s — %s\n\n", e.ID, e.Title)
+		sp := s.obs.Span("experiment_render:" + e.ID)
+		sp.Start()
 		sl.err = e.Run(s, &sl.buf)
+		sp.End()
 	})
 	for i := range slots {
 		if _, err := w.Write(slots[i].buf.Bytes()); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"steamstudy/internal/obs"
 	"strings"
 	"testing"
 )
@@ -108,5 +109,41 @@ func TestRobustnessSweep(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "friends p50") {
 		t.Fatal("render missing statistic rows")
+	}
+}
+
+func TestRunAllByteIdenticalWithObserver(t *testing.T) {
+	// The observability acceptance criterion: attaching a registry records
+	// per-experiment render spans without perturbing the report by a
+	// single byte.
+	render := func(reg *obs.Registry) string {
+		s, err := New(Options{Users: 1000, CatalogSize: 150, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetObserver(reg)
+		var buf bytes.Buffer
+		if err := s.RunAll(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	plain := render(nil)
+	reg := obs.NewRegistry()
+	if got := render(reg); got != plain {
+		t.Fatalf("observed run output differs from plain run (%d vs %d bytes)",
+			len(got), len(plain))
+	}
+	// Every experiment in the RunAll order left a completed span.
+	spans := reg.Snapshot().Spans
+	for _, e := range Experiments() {
+		sp, ok := spans["experiment_render:"+e.ID]
+		if !ok {
+			t.Errorf("no render span for experiment %s", e.ID)
+			continue
+		}
+		if sp.State != obs.SpanDone {
+			t.Errorf("experiment %s span state %q, want done", e.ID, sp.State)
+		}
 	}
 }

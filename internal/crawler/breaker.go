@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"steamstudy/internal/obs"
 )
 
 // BreakerState is the classic three-state circuit-breaker machine.
@@ -127,16 +129,18 @@ type breakerSet struct {
 	threshold int
 	cooldown  time.Duration
 	metrics   *Metrics
+	obs       *obs.Registry
 
 	mu  sync.Mutex
 	set map[string]*breaker
 }
 
-func newBreakerSet(threshold int, cooldown time.Duration, m *Metrics) *breakerSet {
+func newBreakerSet(threshold int, cooldown time.Duration, m *Metrics, reg *obs.Registry) *breakerSet {
 	return &breakerSet{
 		threshold: threshold,
 		cooldown:  cooldown,
 		metrics:   m,
+		obs:       reg,
 		set:       make(map[string]*breaker),
 	}
 }
@@ -163,6 +167,11 @@ func (s *breakerSet) breakerFor(class string) *breaker {
 			metrics:   s.metrics,
 		}
 		s.set[class] = b
+		// Expose the class's live state on the admin surface
+		// (0 closed, 1 open, 2 half-open).
+		s.obs.GaugeFunc("crawler_breaker_state:"+class, func() float64 {
+			return float64(b.State())
+		})
 	}
 	return b
 }

@@ -102,7 +102,7 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 }
 
 func TestBreakerSetSharesPerClass(t *testing.T) {
-	s := newBreakerSet(1, time.Hour, &Metrics{})
+	s := newBreakerSet(1, time.Hour, &Metrics{}, nil)
 	s.breakerFor("ISteamUser").onFailure()
 	if s.breakerFor("ISteamUser").State() != BreakerOpen {
 		t.Fatal("class breaker not shared")

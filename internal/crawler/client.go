@@ -28,8 +28,10 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
+	"steamstudy/internal/obs"
 	"steamstudy/internal/ratelimit"
 )
 
@@ -46,6 +48,40 @@ type client struct {
 	metrics    *Metrics
 	breakers   *breakerSet // nil disables circuit breaking
 	aimd       *aimd       // nil disables adaptive throttling
+
+	obs     *obs.Registry
+	classMu sync.Mutex
+	classes map[string]*classCounters
+}
+
+// classCounters is the per-endpoint-class slice of the request metrics,
+// resolved once per class so the per-request cost is the map lookup plus
+// atomic adds.
+type classCounters struct {
+	requests *obs.Counter
+	retries  *obs.Counter
+	errors   *obs.Counter
+}
+
+// classCountersFor returns (creating on first sight) the counters for one
+// endpoint class. Works with a nil registry: the counters are then
+// detached but still live, so call sites never branch.
+func (c *client) classCountersFor(class string) *classCounters {
+	c.classMu.Lock()
+	defer c.classMu.Unlock()
+	if c.classes == nil {
+		c.classes = make(map[string]*classCounters)
+	}
+	cc, ok := c.classes[class]
+	if !ok {
+		cc = &classCounters{
+			requests: c.obs.Counter("crawler_class_requests:" + class),
+			retries:  c.obs.Counter("crawler_class_retries:" + class),
+			errors:   c.obs.Counter("crawler_class_errors:" + class),
+		}
+		c.classes[class] = cc
+	}
+	return cc
 }
 
 // aimd is the additive-increase/multiplicative-decrease throttle: 429s
@@ -165,6 +201,7 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 	}
 	u := c.base + path + "?" + params.Encode()
 	class := endpointClass(path)
+	cc := c.classCountersFor(class)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if err := c.limiter.Wait(ctx); err != nil {
@@ -178,8 +215,10 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 			}
 		}
 		c.metrics.Requests.Add(1)
+		cc.requests.Inc()
 		if attempt > 0 {
 			c.metrics.Retries.Add(1)
+			cc.retries.Inc()
 		}
 		res, err := c.fetch(ctx, u)
 		if err != nil {
@@ -188,6 +227,7 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 			}
 			lastErr = err
 			c.metrics.Errors.Add(1)
+			cc.errors.Inc()
 			if br != nil {
 				br.onFailure()
 			}
@@ -204,6 +244,7 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 				// retried like any transient fault.
 				lastErr = fmt.Errorf("crawler: decoding %s: %w", u, err)
 				c.metrics.Errors.Add(1)
+				cc.errors.Inc()
 				c.metrics.DecodeErrors.Add(1)
 				if br != nil {
 					br.onFailure()
@@ -244,6 +285,7 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 			attempt--
 		case res.status == http.StatusServiceUnavailable:
 			c.metrics.Errors.Add(1)
+			cc.errors.Inc()
 			c.metrics.Unavailable.Add(1)
 			if c.aimd != nil {
 				c.aimd.onBackpressure()
@@ -265,6 +307,7 @@ func (c *client) getJSON(ctx context.Context, path string, params url.Values, ou
 			}
 		case res.status >= 500:
 			c.metrics.Errors.Add(1)
+			cc.errors.Inc()
 			if br != nil {
 				br.onFailure()
 			}

@@ -9,10 +9,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"steamstudy/internal/dataset"
+	"steamstudy/internal/obs"
 	"steamstudy/internal/ratelimit"
 	"steamstudy/internal/steamapi"
 	"steamstudy/internal/steamid"
@@ -73,6 +73,13 @@ type Config struct {
 	ProgressEvery time.Duration
 	// Logf receives progress lines (nil disables logging).
 	Logf func(format string, args ...any)
+	// Registry receives the crawler's live metrics: every counter in
+	// Metrics, per-phase spans, per-endpoint-class request/retry/error
+	// counters, per-class breaker state gauges, and the AIMD rate gauge.
+	// Serve it with obs.AdminMux (the steamcrawl -admin listener) to
+	// watch a multi-month crawl live. Nil disables nothing — the crawler
+	// records into detached metrics at the same hot-path cost.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -124,26 +131,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics counts crawl activity (atomics, safe to read live).
+// Metrics counts crawl activity (atomics, safe to read live). The fields
+// are obs counters; with a Config.Registry they also back the crawler's
+// /metrics surface, so the same values feed Snapshot(), the progress
+// lines, and the admin endpoint.
 type Metrics struct {
-	Requests     atomic.Int64
-	Errors       atomic.Int64
-	RateLimited  atomic.Int64
-	Unavailable  atomic.Int64 // 503 responses
-	Retries      atomic.Int64
-	DecodeErrors atomic.Int64
+	Requests     obs.Counter
+	Errors       obs.Counter
+	RateLimited  obs.Counter
+	Unavailable  obs.Counter // 503 responses
+	Retries      obs.Counter
+	DecodeErrors obs.Counter
 
-	Profiles  atomic.Int64
-	UsersDone atomic.Int64
+	Profiles  obs.Counter
+	UsersDone obs.Counter
 
-	BreakerOpens     atomic.Int64
-	BreakerHalfOpens atomic.Int64
-	BreakerCloses    atomic.Int64
+	BreakerOpens     obs.Counter
+	BreakerHalfOpens obs.Counter
+	BreakerCloses    obs.Counter
 
-	ThrottleDowns atomic.Int64 // AIMD multiplicative decreases
+	ThrottleDowns obs.Counter // AIMD multiplicative decreases
 
-	JournalRecords  atomic.Int64
-	JournalSegments atomic.Int64
+	JournalRecords  obs.Counter
+	JournalSegments obs.Counter
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics at one instant.
@@ -166,28 +176,16 @@ type MetricsSnapshot struct {
 
 // Snapshot copies every counter at one instant, for logging and tests.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
-		Requests:         m.Requests.Load(),
-		Errors:           m.Errors.Load(),
-		RateLimited:      m.RateLimited.Load(),
-		Unavailable:      m.Unavailable.Load(),
-		Retries:          m.Retries.Load(),
-		DecodeErrors:     m.DecodeErrors.Load(),
-		Profiles:         m.Profiles.Load(),
-		UsersDone:        m.UsersDone.Load(),
-		BreakerOpens:     m.BreakerOpens.Load(),
-		BreakerHalfOpens: m.BreakerHalfOpens.Load(),
-		BreakerCloses:    m.BreakerCloses.Load(),
-		ThrottleDowns:    m.ThrottleDowns.Load(),
-		JournalRecords:   m.JournalRecords.Load(),
-		JournalSegments:  m.JournalSegments.Load(),
-	}
+	var s MetricsSnapshot
+	obs.FillSnapshot(m, &s)
+	return s
 }
 
 // Crawler drives a full crawl.
 type Crawler struct {
 	cfg    Config
 	client *client
+	obs    *obs.Registry
 	// Metrics is live during Run.
 	Metrics Metrics
 
@@ -206,7 +204,8 @@ type batchDensity struct {
 // New creates a crawler.
 func New(cfg Config) *Crawler {
 	cfg = cfg.withDefaults()
-	c := &Crawler{cfg: cfg}
+	c := &Crawler{cfg: cfg, obs: cfg.Registry}
+	c.obs.RegisterCounters("crawler_", &c.Metrics)
 	limiter := ratelimit.New(cfg.RatePerSecond, cfg.Burst)
 	c.client = &client{
 		base:       strings.TrimSuffix(cfg.BaseURL, "/"),
@@ -218,9 +217,11 @@ func New(cfg Config) *Crawler {
 		maxBackoff: cfg.MaxBackoff,
 		reqTimeout: cfg.RequestTimeout,
 		metrics:    &c.Metrics,
+		obs:        cfg.Registry,
 	}
+	c.obs.GaugeFunc("crawler_rate_per_second", c.Rate)
 	if cfg.BreakerThreshold > 0 {
-		c.client.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, &c.Metrics)
+		c.client.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, &c.Metrics, cfg.Registry)
 	}
 	if !cfg.DisableAdaptiveThrottle {
 		c.client.aimd = newAIMD(limiter, cfg.RatePerSecond, &c.Metrics)
@@ -282,14 +283,21 @@ func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 		}
 
 		// Phase 1: exhaustive profile sweep.
+		sp := c.obs.Span("crawler_phase1_sweep")
+		sp.Start()
 		profiles, err := c.sweepProfiles(ctx)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("crawler: phase 1 (profiles): %w", err)
 		}
 		c.cfg.Logf("phase 1 complete: %d accounts found", len(profiles))
 
 		// Phase 2: per-account friends, games, groups.
-		if err := c.fetchAccounts(ctx, snap, profiles, done, jr); err != nil {
+		sp = c.obs.Span("crawler_phase2_accounts")
+		sp.Start()
+		err = c.fetchAccounts(ctx, snap, profiles, done, jr)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("crawler: phase 2 (accounts): %w", err)
 		}
 		if jr != nil {
@@ -303,7 +311,11 @@ func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 	// Phase 3: catalog.
 	snap.Games = st.games
 	if !st.phaseDone[3] {
-		if err := c.fetchCatalog(ctx, snap, st, jr); err != nil {
+		sp := c.obs.Span("crawler_phase3_catalog")
+		sp.Start()
+		err := c.fetchCatalog(ctx, snap, st, jr)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("crawler: phase 3 (catalog): %w", err)
 		}
 		if jr != nil {
@@ -322,7 +334,11 @@ func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 		}
 	}
 	if !st.phaseDone[4] {
-		if err := c.fetchAchievements(ctx, snap, st, jr); err != nil {
+		sp := c.obs.Span("crawler_phase4_achievements")
+		sp.Start()
+		err := c.fetchAchievements(ctx, snap, st, jr)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("crawler: phase 4 (achievements): %w", err)
 		}
 		if jr != nil {
@@ -335,7 +351,11 @@ func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 	// Phase 5: group pages for categorization.
 	snap.Groups = st.groups
 	if !st.phaseDone[5] {
-		if err := c.fetchGroups(ctx, snap, st, jr); err != nil {
+		sp := c.obs.Span("crawler_phase5_groups")
+		sp.Start()
+		err := c.fetchGroups(ctx, snap, st, jr)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("crawler: phase 5 (groups): %w", err)
 		}
 		if jr != nil {

@@ -1,0 +1,170 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"steamstudy/internal/apiserver"
+	"steamstudy/internal/obs"
+)
+
+// TestAdminEndpointsDuringChaosCrawl is the e2e acceptance test for the
+// observability layer on the crawler side: a chaos-profile crawl with a
+// registry attached, with an admin mux (the same handler `steamcrawl
+// -admin` serves) polled live while the crawl runs. The poller must see
+// phase spans progressing and per-endpoint-class counters moving; after
+// the crawl every phase span must read done and the class counters must
+// agree with the crawler's own Metrics.
+func TestAdminEndpointsDuringChaosCrawl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e is slow")
+	}
+	ts := startServer(t, apiserver.Config{Faults: chaosProfile(77)})
+
+	reg := obs.NewRegistry()
+	cfg := chaosCrawlerConfig(ts.URL, t.TempDir())
+	cfg.Registry = reg
+	c := New(cfg)
+
+	admin := httptest.NewServer(obs.AdminMux(reg, obs.NewHealth(), false))
+	defer admin.Close()
+
+	// scrape is also called from the poller goroutine, where t.Fatal is
+	// off-limits, so it reports failure by value.
+	scrape := func() (obs.Snapshot, error) {
+		resp, err := http.Get(admin.URL + "/metrics")
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		defer resp.Body.Close()
+		var snap obs.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		return snap, err
+	}
+
+	// Poll /metrics while the crawl runs, recording whether we ever catch
+	// a phase in flight and whether counters move between scrapes.
+	var (
+		sawRunning   bool
+		sawMovement  bool
+		lastRequests int64
+	)
+	done := make(chan struct{})
+	polled := make(chan struct{})
+	go func() {
+		defer close(polled)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				snap, err := scrape()
+				if err != nil {
+					continue
+				}
+				for name, sp := range snap.Spans {
+					if strings.HasPrefix(name, "crawler_phase") && sp.State == obs.SpanRunning {
+						sawRunning = true
+					}
+				}
+				var total int64
+				for name, v := range snap.Counters {
+					if strings.HasPrefix(name, "crawler_class_requests:") {
+						total += v
+					}
+				}
+				if total > lastRequests && lastRequests > 0 {
+					sawMovement = true
+				}
+				lastRequests = total
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if _, err := c.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	<-polled
+
+	if !sawRunning {
+		t.Error("poller never observed a phase span in the running state")
+	}
+	if !sawMovement {
+		t.Error("poller never observed per-class request counters advancing")
+	}
+
+	// Post-crawl: all five phase spans done, with sane durations.
+	final, err := scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{
+		"crawler_phase1_sweep",
+		"crawler_phase2_accounts",
+		"crawler_phase3_catalog",
+		"crawler_phase4_achievements",
+		"crawler_phase5_groups",
+	} {
+		sp, ok := final.Spans[phase]
+		if !ok {
+			t.Fatalf("span %s missing from /metrics after crawl", phase)
+		}
+		if sp.State != obs.SpanDone {
+			t.Errorf("span %s state %q after crawl, want done", phase, sp.State)
+		}
+		if sp.Seconds <= 0 {
+			t.Errorf("span %s has non-positive duration %v", phase, sp.Seconds)
+		}
+	}
+
+	// The registry's view and the crawler's own Metrics agree.
+	snap := c.Metrics.Snapshot()
+	if got := final.Counters["crawler_requests"]; got != snap.Requests {
+		t.Errorf("registry crawler_requests=%d, Metrics.Requests=%d", got, snap.Requests)
+	}
+	if got := final.Counters["crawler_retries"]; got != snap.Retries {
+		t.Errorf("registry crawler_retries=%d, Metrics.Retries=%d", got, snap.Retries)
+	}
+	// Per-class requests partition the total.
+	var classTotal int64
+	for name, v := range final.Counters {
+		if strings.HasPrefix(name, "crawler_class_requests:") {
+			classTotal += v
+		}
+	}
+	if classTotal != snap.Requests {
+		t.Errorf("per-class request counters sum to %d, total is %d", classTotal, snap.Requests)
+	}
+	// The chaos profile guarantees retries; the per-class retry counters
+	// must have recorded them.
+	var retryTotal int64
+	for name, v := range final.Counters {
+		if strings.HasPrefix(name, "crawler_class_retries:") {
+			retryTotal += v
+		}
+	}
+	if retryTotal != snap.Retries {
+		t.Errorf("per-class retry counters sum to %d, total is %d", retryTotal, snap.Retries)
+	}
+	if snap.Retries == 0 {
+		t.Error("chaos crawl finished with zero retries; fault profile inert?")
+	}
+	// The AIMD rate gauge is exported and positive.
+	if r := final.Gauges["crawler_rate_per_second"]; r <= 0 {
+		t.Errorf("crawler_rate_per_second gauge %v, want > 0", r)
+	}
+	// Journal segment counts survive into the registry too.
+	if _, ok := final.Counters["crawler_journal_segments"]; !ok {
+		t.Error("crawler_journal_segments missing from registry snapshot")
+	}
+}

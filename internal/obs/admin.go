@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+)
+
+// Health aggregates named liveness checks into one /healthz verdict. A
+// check returning nil is healthy; a non-nil error marks the whole service
+// unhealthy (HTTP 503) and its message appears in the response body.
+// Checks are evaluated on every request, so status transitions are
+// visible immediately. All methods are nil-receiver safe.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth creates an empty health set, which reports healthy.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// Register adds (or replaces) a named check.
+func (h *Health) Register(name string, check func() error) {
+	if h == nil || check == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = check
+}
+
+// HealthSnapshot is one /healthz evaluation.
+type HealthSnapshot struct {
+	// Status is "ok" or "unhealthy".
+	Status string `json:"status"`
+	// Checks maps each check name to "ok" or its error text.
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
+// Check evaluates every registered check now.
+func (h *Health) Check() HealthSnapshot {
+	snap := HealthSnapshot{Status: "ok"}
+	if h == nil {
+		return snap
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		names = append(names, name)
+	}
+	checks := make(map[string]func() error, len(h.checks))
+	for name, fn := range h.checks {
+		checks[name] = fn
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	if len(names) > 0 {
+		snap.Checks = make(map[string]string, len(names))
+	}
+	for _, name := range names {
+		if err := checks[name](); err != nil {
+			snap.Checks[name] = err.Error()
+			snap.Status = "unhealthy"
+		} else {
+			snap.Checks[name] = "ok"
+		}
+	}
+	return snap
+}
+
+// Handler serves the health verdict — the /healthz endpoint: HTTP 200
+// with {"status":"ok"} while every check passes, HTTP 503 otherwise.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := h.Check()
+		w.Header().Set("Content-Type", "application/json")
+		if snap.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+// AdminMux assembles the standard admin surface: /metrics (deterministic
+// JSON registry snapshot), /metrics.txt (greppable text), /healthz, and —
+// only when enablePprof is set — the net/http/pprof handlers under
+// /debug/pprof/. pprof is opt-in because profiling endpoints leak enough
+// about a process that they have no business on by default.
+func AdminMux(r *Registry, h *Health, enablePprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Snapshot().WriteText(w)
+	})
+	mux.Handle("/healthz", h.Handler())
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// ServeAdmin binds addr and serves the AdminMux in a background
+// goroutine, returning the bound address (useful with ":0"). This is the
+// -admin flag implementation shared by the binaries; the listener lives
+// until the process exits.
+func ServeAdmin(addr string, r *Registry, h *Health, enablePprof bool) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(lis, AdminMux(r, h, enablePprof))
+	return lis.Addr(), nil
+}

@@ -1,0 +1,225 @@
+// Package obs is the repo's observability subsystem: a typed metrics
+// registry (atomic counters, float gauges, fixed-bucket histograms) plus
+// lightweight span timers, all snapshotable as deterministic JSON and
+// servable over HTTP (/metrics, /healthz, opt-in pprof).
+//
+// The paper's phase-2 crawl ran for six months (§3.1); at that timescale
+// the operator's only defense is live visibility into rates, retries,
+// breaker state and journal progress. obs is built for that job under two
+// rules:
+//
+//   - The hot path is allocation-free. A Counter is one atomic word; a
+//     Histogram observe is a branch-free bucket walk plus two atomic adds
+//     and a CAS loop for the sum. Name resolution (map lookups, string
+//     concatenation) happens once, at construction time, never per event.
+//   - Metrics live wherever their owner wants them. The registry holds
+//     *pointers*, so a package keeps its counters as plain struct fields
+//     (zero value ready, no registry required to exist) and registers
+//     them when an operator actually wants a /metrics endpoint. Every
+//     Registry method is nil-receiver safe and degrades to a detached,
+//     fully functional metric, so instrumented code never branches on
+//     "is observability on".
+//
+// All of this is stdlib-only.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use, so packages embed Counters directly as struct fields and
+// register them later (or never).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value. Counters are conceptually monotone within a
+// process; Store exists so a counter that mirrors durable state (journal
+// segment counts) can be re-initialized when that state is reopened.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
+// Gauge is an atomic float64 that may go up and down (a rate, a map
+// size, a temperature). The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets chosen at construction
+// time. Buckets are inclusive upper bounds (Prometheus "le" semantics): an
+// observation lands in the first bucket whose bound is >= the value, or in
+// the implicit +Inf overflow bucket. Observe is lock-free.
+type Histogram struct {
+	bounds []float64      // immutable after construction, ascending
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a detached histogram over the given ascending
+// inclusive upper bounds. Most callers want Registry.Histogram instead.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// DefLatencyBuckets spans sub-millisecond handler times to multi-second
+// stalls — the range an HTTP request against the simulator or the real
+// Steam API can take.
+func DefLatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistogramBucket is one bucket in a histogram snapshot.
+type HistogramBucket struct {
+	// LE is the inclusive upper bound; the overflow bucket reports
+	// +Inf, which JSON cannot carry, so it serializes as the string
+	// "+Inf" via UpperBound.
+	LE float64 `json:"-"`
+	// Count is the number of observations in this bucket alone (not
+	// cumulative).
+	Count int64 `json:"count"`
+	// UpperBound is LE rendered for JSON ("+Inf" for the overflow).
+	UpperBound string `json:"le"`
+}
+
+// HistogramSnapshot is a plain-value copy of a histogram at one instant.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram at one instant. Bucket counts are read
+// individually, so a snapshot taken under concurrent Observe traffic is
+// internally consistent per bucket but may straddle observations — fine
+// for monitoring, which only needs monotonicity.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	s.Buckets = make([]HistogramBucket, len(h.counts))
+	for i := range h.counts {
+		b := HistogramBucket{Count: h.counts[i].Load()}
+		if i < len(h.bounds) {
+			b.LE = h.bounds[i]
+			b.UpperBound = formatBound(h.bounds[i])
+		} else {
+			b.LE = math.Inf(1)
+			b.UpperBound = "+Inf"
+		}
+		s.Buckets[i] = b
+	}
+	return s
+}
+
+// Span times one named unit of work — a crawl phase, an experiment
+// render. It is single-shot: Start once, End once. The zero value is a
+// pending span, ready to use.
+type Span struct {
+	started atomic.Int64 // unix nanos; 0 = not started
+	ended   atomic.Int64 // unix nanos; 0 = not ended
+}
+
+// Start marks the span running. Calling Start twice keeps the first time.
+func (s *Span) Start() {
+	s.started.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// End marks the span done. Calling End twice keeps the first time.
+func (s *Span) End() {
+	s.ended.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// SpanState is a span's lifecycle position.
+type SpanState string
+
+const (
+	SpanPending SpanState = "pending"
+	SpanRunning SpanState = "running"
+	SpanDone    SpanState = "done"
+)
+
+// State returns the span's current lifecycle position.
+func (s *Span) State() SpanState {
+	switch {
+	case s.started.Load() == 0:
+		return SpanPending
+	case s.ended.Load() == 0:
+		return SpanRunning
+	default:
+		return SpanDone
+	}
+}
+
+// Seconds returns the span's duration: zero while pending, elapsed-so-far
+// while running, final duration once done.
+func (s *Span) Seconds() float64 {
+	start := s.started.Load()
+	if start == 0 {
+		return 0
+	}
+	end := s.ended.Load()
+	if end == 0 {
+		end = time.Now().UnixNano()
+	}
+	return time.Duration(end - start).Seconds()
+}
+
+// SpanSnapshot is a plain-value copy of a span at one instant.
+type SpanSnapshot struct {
+	State   SpanState `json:"state"`
+	Seconds float64   `json:"seconds"`
+}
+
+// Snapshot copies the span at one instant.
+func (s *Span) Snapshot() SpanSnapshot {
+	return SpanSnapshot{State: s.State(), Seconds: s.Seconds()}
+}

@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter %d, want 42", c.Load())
+	}
+	c.Store(7)
+	if c.Load() != 7 {
+		t.Fatalf("counter %d after Store, want 7", c.Load())
+	}
+	var g Gauge
+	if g.Load() != 0 {
+		t.Fatalf("zero gauge reads %v", g.Load())
+	}
+	g.Set(3.25)
+	if g.Load() != 3.25 {
+		t.Fatalf("gauge %v, want 3.25", g.Load())
+	}
+	g.Set(-1)
+	if g.Load() != -1 {
+		t.Fatalf("gauge %v, want -1", g.Load())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the edge semantics: bounds are
+// inclusive upper limits, so an observation exactly on a bound lands in
+// that bound's bucket, and anything above the last bound overflows.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 1})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{0.1, 0},                    // exactly on the first bound: inclusive
+		{math.Nextafter(0.1, 1), 1}, // one ulp above: next bucket
+		{0.5, 1},                    // exactly on the second bound
+		{0.75, 2},
+		{1, 2},                    // exactly on the last bound
+		{math.Nextafter(1, 2), 3}, // one ulp above the last bound: overflow
+		{1e9, 3},
+	}
+	for _, tc := range cases {
+		before := h.Snapshot()
+		h.Observe(tc.v)
+		after := h.Snapshot()
+		for i := range after.Buckets {
+			want := before.Buckets[i].Count
+			if i == tc.bucket {
+				want++
+			}
+			if after.Buckets[i].Count != want {
+				t.Fatalf("Observe(%v): bucket %d count %d, want %d",
+					tc.v, i, after.Buckets[i].Count, want)
+			}
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(cases))
+	}
+	wantSum := 0.0
+	for _, tc := range cases {
+		wantSum += tc.v
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum %v, want %v", h.Sum(), wantSum)
+	}
+	snap := h.Snapshot()
+	if snap.Buckets[3].UpperBound != "+Inf" {
+		t.Fatalf("overflow bucket rendered as %q", snap.Buckets[3].UpperBound)
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	var s Span
+	if s.State() != SpanPending || s.Seconds() != 0 {
+		t.Fatalf("zero span: %v %v", s.State(), s.Seconds())
+	}
+	s.Start()
+	if s.State() != SpanRunning {
+		t.Fatalf("state %v after Start", s.State())
+	}
+	time.Sleep(2 * time.Millisecond)
+	if s.Seconds() <= 0 {
+		t.Fatal("running span reports zero elapsed")
+	}
+	s.End()
+	d := s.Seconds()
+	if s.State() != SpanDone || d <= 0 {
+		t.Fatalf("state %v seconds %v after End", s.State(), d)
+	}
+	// Start/End are single-shot: repeats do not move the times.
+	s.Start()
+	s.End()
+	if s.Seconds() != d {
+		t.Fatal("repeated Start/End moved the span")
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	if c.Load() != 1 {
+		t.Fatal("detached counter dead")
+	}
+	r.Gauge("g").Set(1)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	sp := r.Span("s")
+	sp.Start()
+	sp.End()
+	r.RegisterCounter("x", c)
+	r.RegisterCounters("p_", &struct{ A Counter }{})
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRegisterCountersAndFillSnapshot(t *testing.T) {
+	type metrics struct {
+		Requests    Counter
+		RateLimited Counter
+		Faults500   Counter
+		WrongJSON   Counter
+	}
+	type snapshot struct {
+		Requests    int64
+		RateLimited int64
+		Faults500   int64
+		WrongJSON   int64
+	}
+	var m metrics
+	r := NewRegistry()
+	r.RegisterCounters("test_", &m)
+	m.Requests.Add(3)
+	m.RateLimited.Add(2)
+	m.Faults500.Add(1)
+	m.WrongJSON.Add(9)
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"test_requests":     3,
+		"test_rate_limited": 2,
+		"test_faults_500":   1,
+		"test_wrong_json":   9,
+	}
+	if !reflect.DeepEqual(snap.Counters, want) {
+		t.Fatalf("registered names/values %v, want %v", snap.Counters, want)
+	}
+	var s snapshot
+	FillSnapshot(&m, &s)
+	if s.Requests != 3 || s.RateLimited != 2 || s.Faults500 != 1 || s.WrongJSON != 9 {
+		t.Fatalf("FillSnapshot: %+v", s)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Requests":         "requests",
+		"RateLimited":      "rate_limited",
+		"Faults500":        "faults_500",
+		"WrongJSON":        "wrong_json",
+		"BreakerHalfOpens": "breaker_half_opens",
+		"UsersDone":        "users_done",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Fatalf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotJSONDeterministic asserts the /metrics serialization is
+// byte-identical across repeated marshals of the same state — map keys
+// come out sorted, shapes are stable.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Add(int64(len(name)))
+	}
+	r.Gauge("g2").Set(2)
+	r.Gauge("g1").Set(1)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+	sp := r.Span("phase")
+	sp.Start()
+	sp.End()
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+	// Sanity on the shape: top-level sections all present.
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"counters", "gauges", "histograms", "spans"} {
+		if _, ok := decoded[section]; !ok {
+			t.Fatalf("snapshot JSON missing %q section: %s", section, a)
+		}
+	}
+}
+
+// TestRegistryRace hammers every metric type plus Snapshot concurrently;
+// `make verify` runs this under -race.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", DefLatencyBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter(fmt.Sprintf("c%d", i%7)).Inc()
+				r.Gauge("g").Set(float64(i))
+				h.Observe(float64(i%100) / 100)
+				sp := r.Span(fmt.Sprintf("s%d", i%3))
+				sp.Start()
+				sp.End()
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, v := range snap.Counters {
+		total += v
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total %d, want %d", total, 8*500)
+	}
+	if h.Count() != 8*500 {
+		t.Fatalf("histogram count %d, want %d", h.Count(), 8*500)
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	h := NewHealth()
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	status := func() (int, HealthSnapshot) {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap HealthSnapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, snap
+	}
+
+	// No checks: healthy.
+	if code, snap := status(); code != 200 || snap.Status != "ok" {
+		t.Fatalf("empty health: %d %+v", code, snap)
+	}
+	// Passing check: still healthy.
+	h.Register("db", func() error { return nil })
+	if code, snap := status(); code != 200 || snap.Checks["db"] != "ok" {
+		t.Fatalf("passing check: %d %+v", code, snap)
+	}
+	// Flip to failing: 503 with the error text.
+	var mu sync.Mutex
+	failing := true
+	h.Register("journal", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return fmt.Errorf("segment torn")
+		}
+		return nil
+	})
+	code, snap := status()
+	if code != 503 || snap.Status != "unhealthy" {
+		t.Fatalf("failing check: %d %+v", code, snap)
+	}
+	if !strings.Contains(snap.Checks["journal"], "torn") {
+		t.Fatalf("error text lost: %+v", snap)
+	}
+	// Recover: healthy again immediately.
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	if code, snap := status(); code != 200 || snap.Status != "ok" {
+		t.Fatalf("recovered check: %d %+v", code, snap)
+	}
+	// Nil receiver is healthy.
+	var nilH *Health
+	if s := nilH.Check(); s.Status != "ok" {
+		t.Fatalf("nil health: %+v", s)
+	}
+}
+
+func TestAdminMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(5)
+	srv := httptest.NewServer(AdminMux(r, NewHealth(), true))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["hits"] != 5 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/metrics.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics.txt status %d", resp.StatusCode)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	// pprof index is mounted when enabled.
+	resp, err = srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+
+	// And absent when disabled.
+	srv2 := httptest.NewServer(AdminMux(r, NewHealth(), false))
+	defer srv2.Close()
+	resp, err = srv2.Client().Get(srv2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof served despite being disabled: %d", resp.StatusCode)
+	}
+}

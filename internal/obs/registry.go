@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+	"unicode"
+)
+
+// Registry is a named collection of metrics. It stores pointers, so
+// metrics may live as struct fields in their owning package and be
+// adopted here, or be created on demand by name. Every method is safe on
+// a nil *Registry: creation methods return detached, fully functional
+// metrics and registration methods do nothing, so instrumented code never
+// has to branch on whether observability is enabled.
+//
+// Names are resolved under a lock; do that at construction time and keep
+// the returned pointer — the metric operations themselves are lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+	spans    map[string]*Span
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+		spans:    make(map[string]*Span),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterCounter adopts an existing counter under name. Registering a
+// second counter under the same name replaces the first — the caller owns
+// naming discipline.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback gauge, evaluated at snapshot time. Use
+// it for values the owner already maintains (a limiter's current rate, a
+// map's size) instead of mirroring them into a Gauge on every change.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds if needed. Bounds are ignored when the histogram already exists.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span returns the named span, creating it if needed.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return &Span{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = &Span{}
+		r.spans[name] = s
+	}
+	return s
+}
+
+// RegisterCounters adopts every Counter field of the struct pointed to by
+// s, named prefix plus the snake_cased field name. This is what collapses
+// per-package registration boilerplate: a package declares its counters
+// as one struct and registers them in a single call.
+func (r *Registry) RegisterCounters(prefix string, s any) {
+	if r == nil {
+		return
+	}
+	v := reflect.ValueOf(s).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if c, ok := v.Field(i).Addr().Interface().(*Counter); ok {
+			r.RegisterCounter(prefix+snakeCase(t.Field(i).Name), c)
+		}
+	}
+}
+
+// FillSnapshot copies same-named metrics from the Counter fields of src
+// into the int64 fields of dst (both struct pointers). It is the one
+// implementation behind every package's Snapshot() compatibility shim —
+// the hand-written field-by-field copy loops this replaces were the
+// drift-prone duplication that motivated this package.
+func FillSnapshot(src, dst any) {
+	sv := reflect.ValueOf(src).Elem()
+	dv := reflect.ValueOf(dst).Elem()
+	dt := dv.Type()
+	for i := 0; i < dt.NumField(); i++ {
+		if dt.Field(i).Type.Kind() != reflect.Int64 {
+			continue
+		}
+		f := sv.FieldByName(dt.Field(i).Name)
+		if !f.IsValid() || !f.CanAddr() {
+			continue
+		}
+		if c, ok := f.Addr().Interface().(*Counter); ok {
+			dv.Field(i).SetInt(c.Load())
+		}
+	}
+}
+
+// snakeCase converts a Go exported identifier to snake_case:
+// "RateLimited" -> "rate_limited", "Faults500" -> "faults_500",
+// "WrongJSON" -> "wrong_json".
+func snakeCase(s string) string {
+	out := make([]rune, 0, len(s)+4)
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsUpper(r):
+			// Break before an upper that follows a lower or digit, or
+			// that starts the tail of an acronym ("JSONBody" -> at 'B').
+			if i > 0 && (!unicode.IsUpper(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				out = append(out, '_')
+			}
+			out = append(out, unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				out = append(out, '_')
+			}
+			out = append(out, r)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// Snapshot is a plain-value copy of every registered metric at one
+// instant. encoding/json emits map keys sorted, so the serialized form is
+// deterministic for a fixed set of metric names.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      map[string]SpanSnapshot      `json:"spans"`
+}
+
+// Snapshot copies the registry at one instant. GaugeFuncs are evaluated
+// outside the registry lock, so a callback may itself consult code that
+// registers metrics without deadlocking.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	fns := make(map[string]func() float64, len(r.gaugeFns))
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Load()
+	}
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	for name, s := range r.spans {
+		snap.Spans[name] = s.Snapshot()
+	}
+	r.mu.RUnlock()
+	for name, fn := range fns {
+		snap.Gauges[name] = fn()
+	}
+	return snap
+}
+
+// WriteText renders the snapshot as sorted "name value" lines — the
+// greppable counterpart of the JSON endpoint.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry snapshot as JSON — the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
