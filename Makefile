@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos bench fmt vet
+.PHONY: build test race verify chaos crash fsck bench fmt vet
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,29 @@ race:
 	$(GO) test -race ./...
 
 # verify is the tier-1 gate: everything builds, vet is clean, all tests
-# pass, and the test suite is race-clean.
+# pass, and the test suite is race-clean. The crash-tagged harness must at
+# least compile (vet + a no-op test run), so it cannot rot unnoticed.
 verify: build vet test race
+	$(GO) vet -tags crash ./internal/crawler
+	$(GO) test -tags crash -run '^$$' ./internal/crawler
 
 # chaos runs only the end-to-end fault-injection suite: a full crawl under
 # an aggressive fault profile with simulated process deaths, plus the
 # circuit-breaker and journal-discipline assertions.
 chaos:
 	$(GO) test ./internal/crawler -run 'TestChaos' -v
+
+# crash runs the crash-chaos harness (build tag: crash): crawls aborted at
+# injected journal crashpoints and child crawlers SIGKILLed at randomized
+# journal byte offsets, each resumed and required to converge on a
+# byte-identical, fsck-clean snapshot. Set CRASH_SEED=n for new offsets.
+crash:
+	$(GO) test -tags crash ./internal/crawler -run 'TestCrash' -count=1 -v
+
+# fsck validates the committed example snapshot end to end: manifest
+# checksums, decodability, and the paper's referential schema.
+fsck:
+	$(GO) run ./cmd/steamstudy -fsck -snapshot internal/dataset/testdata/example.snap.jsonl
 
 # bench runs the tier-2 analysis benchmarks (RunAll render, heavy-tail
 # fit, Table 4 classification, Spearman) — each with its serial baseline

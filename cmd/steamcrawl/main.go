@@ -6,6 +6,12 @@
 //
 // The -rate flag is the crawler's voluntary budget; the paper throttled
 // to 85 % of the API's allowance.
+//
+// Maintenance modes (no crawl):
+//
+//	steamcrawl -fsck crawl.gob.gz                          # validate a snapshot
+//	steamcrawl -fsck crawl.gob.gz -repair -checkpoint dir  # rebuild it from the journal
+//	steamcrawl -compact -checkpoint dir                    # bound future replay time
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
 	"steamstudy/internal/obs"
 )
 
@@ -41,12 +48,19 @@ func main() {
 		admin       = flag.String("admin", "", "serve live crawl metrics (/metrics, /healthz) on this address (empty disables)")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 		out         = flag.String("out", "crawl.gob.gz", "snapshot output path")
+		fsckPath    = flag.String("fsck", "", "validate this snapshot file against its manifest and the paper's referential schema, then exit (no crawl)")
+		repair      = flag.Bool("repair", false, "with -fsck and -checkpoint: rebuild a damaged snapshot from the journal, then re-validate")
+		compact     = flag.Bool("compact", false, "seal the -checkpoint journal's replayed segments into a verified base snapshot and exit (no crawl)")
 	)
 	flag.Parse()
 
 	var reg *obs.Registry
 	if *admin != "" {
 		reg = obs.NewRegistry()
+	}
+
+	if *fsckPath != "" || *compact {
+		os.Exit(runMaintenance(*fsckPath, *repair, *compact, *checkpoint, reg))
 	}
 
 	c := crawler.New(crawler.Config{
@@ -108,5 +122,50 @@ func main() {
 	if err := snap.Save(*out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)
+	fmt.Fprintf(os.Stderr, "snapshot written to %s (manifest: %s)\n", *out, dataset.ManifestPath(*out))
+}
+
+// runMaintenance handles the no-crawl modes: -fsck (validate a snapshot,
+// optionally repairing it from the journal) and -compact (seal the
+// journal's replayed prefix into a base snapshot). Returns the exit code:
+// zero only if every requested operation left a clean state.
+func runMaintenance(fsckPath string, repair, compact bool, checkpoint string, reg *obs.Registry) int {
+	im := &dataset.IntegrityMetrics{}
+	im.Register(reg)
+	code := 0
+	if fsckPath != "" {
+		rep, err := dataset.FsckFile(fsckPath, im)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.String())
+		if !rep.Clean() {
+			if repair && checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "steamcrawl: repairing %s from journal %s\n", fsckPath, checkpoint)
+				rep2, err := crawler.RepairSnapshot(checkpoint, fsckPath, im)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Print(rep2.String())
+				if !rep2.Clean() {
+					code = 1
+				}
+			} else {
+				if repair {
+					fmt.Fprintln(os.Stderr, "steamcrawl: -repair needs -checkpoint to name the journal")
+				}
+				code = 1
+			}
+		}
+	}
+	if compact {
+		if checkpoint == "" {
+			log.Fatal("-compact requires -checkpoint")
+		}
+		if err := crawler.CompactJournal(checkpoint); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "steamcrawl: journal %s compacted\n", checkpoint)
+	}
+	return code
 }

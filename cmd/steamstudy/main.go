@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"steamstudy"
+	"steamstudy/internal/dataset"
 	"steamstudy/internal/obs"
 )
 
@@ -38,8 +39,25 @@ func main() {
 		admin      = flag.String("admin", "", "serve live per-experiment render spans (/metrics, /healthz) on this address while the study runs")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 		timings    = flag.Bool("timings", false, "print per-experiment render timings to stderr after the run")
+		fsck       = flag.Bool("fsck", false, "validate the -snapshot file (manifest checksums + referential integrity) and exit; non-zero exit if damaged")
 	)
 	flag.Parse()
+
+	if *fsck {
+		if *snapshot == "" {
+			log.Fatal("-fsck requires -snapshot to name the file to validate")
+		}
+		im := &dataset.IntegrityMetrics{}
+		rep, err := dataset.FsckFile(*snapshot, im)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.String())
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var reg *obs.Registry
 	if *admin != "" || *timings {

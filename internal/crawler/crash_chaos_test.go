@@ -1,0 +1,322 @@
+//go:build crash
+
+// Crash-chaos harness (build with -tags crash; `make crash`). Where
+// chaos_test.go sabotages the *network*, this file kills the *process*:
+// first in-process, by aborting the crawl at injected crashpoints inside
+// the journal's write path, then for real, by SIGKILLing a child crawler
+// at randomized journal byte offsets. In both shapes the acceptance bar
+// is the same: after any number of deaths, a resumed crawl must produce a
+// snapshot byte-identical to an uninterrupted run's, and fsck must prove
+// the artifact clean.
+
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"steamstudy/internal/apiserver"
+	"steamstudy/internal/dataset"
+)
+
+var errCrashInjected = errors.New("crash injected")
+
+// crashSeed lets CI shake different interleavings out of the harness:
+// CRASH_SEED=n make crash. The default is fixed for reproducibility.
+func crashSeed(t *testing.T) int64 {
+	if s := os.Getenv("CRASH_SEED"); s != "" {
+		var n int64
+		if _, err := fmt.Sscan(s, &n); err != nil {
+			t.Fatalf("CRASH_SEED: %v", err)
+		}
+		return n
+	}
+	return 1
+}
+
+// saveCanonical persists a snapshot with a pinned timestamp as JSONL —
+// an encoding whose bytes depend only on the record values, so two files
+// are comparable byte-for-byte.
+func saveCanonical(t *testing.T, snap *dataset.Snapshot, path string) []byte {
+	t.Helper()
+	snap.CollectedAt = 1_450_000_000
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertIdenticalAndClean is the harness's shared acceptance check.
+func assertIdenticalAndClean(t *testing.T, got *dataset.Snapshot, wantBytes []byte, dir string) {
+	t.Helper()
+	path := filepath.Join(dir, "resumed.snap.jsonl")
+	gotBytes := saveCanonical(t, got, path)
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("resumed snapshot is not byte-identical to the uninterrupted run (%d vs %d bytes)",
+			len(gotBytes), len(wantBytes))
+	}
+	im := &dataset.IntegrityMetrics{}
+	rep, err := dataset.FsckFile(path, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("resumed snapshot fails fsck:\n%s", rep)
+	}
+	if im.RecordsVerified.Load() == 0 {
+		t.Fatal("fsck verified nothing; harness misconfigured")
+	}
+}
+
+// TestCrashChaosInProcess kills the crawl at the journal's "append"
+// crashpoint — the record is durable, the worker was never acked — over
+// and over, at seeded-random depths, resuming each time. The final
+// resume must converge on the uninterrupted snapshot exactly.
+func TestCrashChaosInProcess(t *testing.T) {
+	defer func() { journalCrashHook = nil }()
+	ts := startServer(t, apiserver.Config{})
+	rng := rand.New(rand.NewSource(crashSeed(t)))
+	tmp := t.TempDir()
+	jdir := filepath.Join(tmp, "journal")
+
+	clean := runCrawl(t, Config{BaseURL: ts.URL, Workers: 4})
+	wantBytes := saveCanonical(t, clean, filepath.Join(tmp, "clean.snap.jsonl"))
+
+	const crashes = 8
+	died := 0
+	for i := 0; i < crashes; i++ {
+		// Let a random number of appends land, then fail every append —
+		// the process is "dead" from that instant; in-flight workers all
+		// hit the same wall.
+		limit := int64(1 + rng.Intn(60))
+		var appends atomic.Int64
+		journalCrashHook = func(point string) error {
+			if point == "append" && appends.Add(1) >= limit {
+				return errCrashInjected
+			}
+			return nil
+		}
+		c := New(Config{BaseURL: ts.URL, Workers: 4, CheckpointPath: jdir})
+		_, err := c.Run(context.Background())
+		journalCrashHook = nil
+		if err == nil {
+			// The journal already held enough work to finish under the
+			// append budget; the interesting part is over.
+			break
+		}
+		if !errors.Is(err, errCrashInjected) {
+			t.Fatalf("crash %d: unexpected failure: %v", i, err)
+		}
+		died++
+	}
+	if died == 0 {
+		t.Fatal("no injected crash landed; harness misconfigured")
+	}
+	t.Logf("survived %d injected crashes", died)
+
+	final := New(Config{BaseURL: ts.URL, Workers: 4, CheckpointPath: jdir})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	snap, err := final.Run(ctx)
+	if err != nil {
+		t.Fatalf("final resume failed: %v", err)
+	}
+	assertIdenticalAndClean(t, snap, wantBytes, tmp)
+}
+
+// TestCrashChaosCompactMidCrawl interleaves injected crashes with journal
+// compaction: every recovery cycle seals the replayed prefix into a base
+// before the next death. Dedup, base replay, and segment sweeping all
+// have to cooperate for the final bytes to match.
+func TestCrashChaosCompactMidCrawl(t *testing.T) {
+	defer func() { journalCrashHook = nil }()
+	ts := startServer(t, apiserver.Config{})
+	rng := rand.New(rand.NewSource(crashSeed(t) + 1))
+	tmp := t.TempDir()
+	jdir := filepath.Join(tmp, "journal")
+
+	clean := runCrawl(t, Config{BaseURL: ts.URL, Workers: 4})
+	wantBytes := saveCanonical(t, clean, filepath.Join(tmp, "clean.snap.jsonl"))
+
+	for i := 0; i < 5; i++ {
+		limit := int64(1 + rng.Intn(80))
+		var appends atomic.Int64
+		journalCrashHook = func(point string) error {
+			if point == "append" && appends.Add(1) >= limit {
+				return errCrashInjected
+			}
+			return nil
+		}
+		c := New(Config{BaseURL: ts.URL, Workers: 4, CheckpointPath: jdir, SegmentMaxBytes: 4096})
+		_, err := c.Run(context.Background())
+		journalCrashHook = nil
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, errCrashInjected) {
+			t.Fatalf("crash %d: unexpected failure: %v", i, err)
+		}
+		if err := CompactJournal(jdir); err != nil {
+			t.Fatalf("compact after crash %d: %v", i, err)
+		}
+	}
+
+	final := New(Config{BaseURL: ts.URL, Workers: 4, CheckpointPath: jdir, SegmentMaxBytes: 4096})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	snap, err := final.Run(ctx)
+	if err != nil {
+		t.Fatalf("final resume failed: %v", err)
+	}
+	assertIdenticalAndClean(t, snap, wantBytes, tmp)
+}
+
+// journalBytes sums the sizes of everything in the journal directory —
+// the growth signal the SIGKILL parent watches.
+func journalBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			n += info.Size()
+		}
+	}
+	return n
+}
+
+// TestCrashChild is not a test: it is the subprocess body for
+// TestCrashChaosSIGKILL, gated behind an env var so a normal `go test
+// -tags crash` run skips it. It crawls CRASH_URL with the journal at
+// CRASH_JOURNAL and, if it survives to the end, saves CRASH_OUT.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv("STEAMCRAWL_CRASH_CHILD") != "1" {
+		t.Skip("subprocess body; spawned by TestCrashChaosSIGKILL")
+	}
+	c := New(Config{
+		BaseURL:        os.Getenv("CRASH_URL"),
+		Workers:        4,
+		CheckpointPath: os.Getenv("CRASH_JOURNAL"),
+	})
+	snap, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("child crawl: %v", err)
+	}
+	snap.CollectedAt = 1_450_000_000
+	if err := snap.Save(os.Getenv("CRASH_OUT")); err != nil {
+		t.Fatalf("child save: %v", err)
+	}
+}
+
+// TestCrashChaosSIGKILL is the real thing: a child crawler process is
+// SIGKILLed — no deferred cleanup, no flushes, exactly what the kernel
+// does — once its journal passes a randomized byte offset. After several
+// corpses, one child runs to completion; its snapshot must be
+// byte-identical to an uninterrupted run's and fsck-clean.
+func TestCrashChaosSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos is slow")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t, apiserver.Config{})
+	rng := rand.New(rand.NewSource(crashSeed(t) + 2))
+	tmp := t.TempDir()
+	jdir := filepath.Join(tmp, "journal")
+	outPath := filepath.Join(tmp, "child.snap.jsonl")
+
+	clean := runCrawl(t, Config{BaseURL: ts.URL, Workers: 4})
+	wantBytes := saveCanonical(t, clean, filepath.Join(tmp, "clean.snap.jsonl"))
+
+	child := func() *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "^TestCrashChild$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"STEAMCRAWL_CRASH_CHILD=1",
+			"CRASH_URL="+ts.URL,
+			"CRASH_JOURNAL="+jdir,
+			"CRASH_OUT="+outPath,
+		)
+		return cmd
+	}
+
+	const kills = 4
+	killed := 0
+	for i := 0; i < kills; i++ {
+		// Kill once the journal grows past a random offset beyond its
+		// current size, so every death lands somewhere new.
+		target := journalBytes(jdir) + int64(1+rng.Intn(40_000))
+		cmd := child()
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		deadline := time.After(2 * time.Minute)
+		for alive := true; alive; {
+			select {
+			case <-done:
+				alive = false // finished before the bullet; journal is complete
+			case <-deadline:
+				cmd.Process.Kill()
+				t.Fatal("child crawl hung")
+			case <-time.After(2 * time.Millisecond):
+				if journalBytes(jdir) >= target {
+					cmd.Process.Kill() // SIGKILL: no handlers, no flushes
+					<-done
+					killed++
+					alive = false
+				}
+			}
+		}
+	}
+	if killed == 0 {
+		t.Fatal("every child outran the kill offsets; harness misconfigured")
+	}
+	t.Logf("SIGKILLed %d children mid-journal", killed)
+
+	// The survivor: run to completion and judge its artifact.
+	cmd := child()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("surviving child failed: %v\n%s", err, out)
+	}
+	snap, err := dataset.Load(outPath)
+	if err != nil {
+		t.Fatalf("loading child snapshot: %v", err)
+	}
+	gotBytes, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("child snapshot not byte-identical to uninterrupted run (%d vs %d bytes)",
+			len(gotBytes), len(wantBytes))
+	}
+	rep, err := dataset.FsckFile(outPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("child snapshot fails fsck:\n%s", rep)
+	}
+	if rep := snap.Fsck(); !rep.Clean() {
+		t.Fatalf("decoded child snapshot fails in-memory fsck:\n%s", rep)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"steamstudy/internal/dataset"
 )
@@ -54,11 +55,19 @@ type journalRecord struct {
 }
 
 // crawlState is the result of replaying a journal: everything a resumed
-// crawl can skip re-fetching.
+// crawl can skip re-fetching. The index maps make replay idempotent: a
+// unit of work journaled twice (a crash can land between the append
+// hitting disk and the in-memory ack, and the dead process's successor
+// may legitimately redo in-flight work) replaces its earlier record
+// instead of appearing twice, so resume never double-counts a user, game
+// or group. The last record wins — it is the younger observation.
 type crawlState struct {
 	users     []dataset.UserRecord
+	userIdx   map[uint64]int
 	games     []dataset.GameRecord
+	gameIdx   map[uint32]int
 	groups    []dataset.GroupRecord
+	groupIdx  map[uint64]int
 	ach       map[uint32][]dataset.AchievementRecord
 	achDone   map[uint32]bool
 	phaseDone [6]bool
@@ -66,8 +75,11 @@ type crawlState struct {
 
 func newCrawlState() *crawlState {
 	return &crawlState{
-		ach:     make(map[uint32][]dataset.AchievementRecord),
-		achDone: make(map[uint32]bool),
+		userIdx:  make(map[uint64]int),
+		gameIdx:  make(map[uint32]int),
+		groupIdx: make(map[uint64]int),
+		ach:      make(map[uint32][]dataset.AchievementRecord),
+		achDone:  make(map[uint32]bool),
 	}
 }
 
@@ -75,18 +87,33 @@ func (st *crawlState) apply(rec *journalRecord) {
 	switch rec.Kind {
 	case kindUser:
 		if rec.User != nil {
-			st.users = append(st.users, *rec.User)
+			if i, ok := st.userIdx[rec.User.SteamID]; ok {
+				st.users[i] = *rec.User
+			} else {
+				st.userIdx[rec.User.SteamID] = len(st.users)
+				st.users = append(st.users, *rec.User)
+			}
 		}
 	case kindGame:
 		if rec.Game != nil {
-			st.games = append(st.games, *rec.Game)
+			if i, ok := st.gameIdx[rec.Game.AppID]; ok {
+				st.games[i] = *rec.Game
+			} else {
+				st.gameIdx[rec.Game.AppID] = len(st.games)
+				st.games = append(st.games, *rec.Game)
+			}
 		}
 	case kindAch:
 		st.ach[rec.AppID] = rec.Achievements
 		st.achDone[rec.AppID] = true
 	case kindGroup:
 		if rec.Group != nil {
-			st.groups = append(st.groups, *rec.Group)
+			if i, ok := st.groupIdx[rec.Group.GID]; ok {
+				st.groups[i] = *rec.Group
+			} else {
+				st.groupIdx[rec.Group.GID] = len(st.groups)
+				st.groups = append(st.groups, *rec.Group)
+			}
 		}
 	case kindPhaseDone:
 		if int(rec.Phase) < len(st.phaseDone) {
@@ -95,9 +122,32 @@ func (st *crawlState) apply(rec *journalRecord) {
 	}
 }
 
+// snapshot assembles the replayed state into a dataset snapshot: games
+// get their journaled achievement sets attached, and every section is
+// put in canonical ID order — the same shape a completed Run produces.
+func (st *crawlState) snapshot(collectedAt int64) *dataset.Snapshot {
+	snap := &dataset.Snapshot{
+		CollectedAt: collectedAt,
+		Users:       st.users,
+		Games:       st.games,
+		Groups:      st.groups,
+	}
+	for i := range snap.Games {
+		if ach, ok := st.ach[snap.Games[i].AppID]; ok {
+			snap.Games[i].Achievements = ach
+		}
+	}
+	sortSnapshot(snap)
+	return snap
+}
+
 const (
 	segPrefix = "journal-"
 	segSuffix = ".seg"
+	// baseName is the compacted prefix of the journal: everything sealed
+	// by the last Compact, as one CRC-framed gob blob. Replay loads it
+	// first, then only the segments appended since, bounding replay time.
+	baseName = "journal-base.gob"
 	// recHeaderSize prefixes every record: uint32 payload length +
 	// uint32 CRC-32 (IEEE) of the payload, both big-endian.
 	recHeaderSize = 8
@@ -105,16 +155,32 @@ const (
 	defaultSegmentBytes = 4 << 20
 )
 
+// journalCrashHook, when non-nil, is consulted at named crashpoints in
+// the journal's write path; returning an error aborts there, leaving the
+// files exactly as a process death at that instant would. Test-only.
+// Points: "append" (record durable in the segment, caller not yet acked),
+// "compact-sealed" (base written and verified, sealed segments not yet
+// deleted).
+var journalCrashHook func(point string) error
+
+func journalCrash(point string) error {
+	if h := journalCrashHook; h != nil {
+		return h(point)
+	}
+	return nil
+}
+
 // journal is the append side. All methods are safe for concurrent use.
 type journal struct {
 	dir     string
 	maxSeg  int64
 	metrics *Metrics
 
-	mu   sync.Mutex
-	f    *os.File
-	seq  int
-	size int64
+	mu       sync.Mutex
+	f        *os.File
+	seq      int
+	size     int64
+	appended int64 // records appended since open; guards Compact
 }
 
 func segName(seq int) string {
@@ -132,9 +198,10 @@ func segSeq(name string) (int, bool) {
 	return n, true
 }
 
-// openJournal replays every segment under dir (creating it if needed) and
-// opens the last one for appending. A torn record at the very tail — a
-// crash mid-append — is truncated away and replay succeeds; corruption
+// openJournal replays the base snapshot (if a Compact ever ran) and every
+// live segment under dir (creating it if needed), then opens the last
+// segment for appending. A torn record at the very tail — a crash
+// mid-append — is truncated away and replay succeeds; corruption
 // anywhere else is an error, because data after it would silently vanish.
 func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, error) {
 	if maxSeg <= 0 {
@@ -143,20 +210,42 @@ func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, e
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("crawler: journal dir: %w", err)
 	}
+
+	st := newCrawlState()
+	// A base, when present, replaces the segments it sealed. Segments at
+	// or below its sequence may still exist if a crash landed between the
+	// base publish and the segment deletes; they are skipped (the base
+	// already holds their records, possibly superseded) and swept here.
+	baseSeq := 0
+	if base, err := readBase(filepath.Join(dir, baseName)); err != nil {
+		return nil, nil, fmt.Errorf("crawler: journal base: %w", err)
+	} else if base != nil {
+		st.applyBase(base)
+		baseSeq = base.UpToSeq
+		if m != nil {
+			m.JournalRecords.Add(int64(len(base.Users) + len(base.Games) + len(base.Groups) + len(base.AchDone)))
+		}
+	}
+
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("crawler: journal dir: %w", err)
 	}
 	var seqs []int
 	for _, e := range entries {
-		if n, ok := segSeq(e.Name()); ok && !e.IsDir() {
-			seqs = append(seqs, n)
+		n, ok := segSeq(e.Name())
+		if !ok || e.IsDir() {
+			continue
 		}
+		if n <= baseSeq {
+			os.Remove(filepath.Join(dir, e.Name())) // sealed leftover; best-effort sweep
+			continue
+		}
+		seqs = append(seqs, n)
 	}
 	sort.Ints(seqs)
 
-	st := newCrawlState()
-	j := &journal{dir: dir, maxSeg: maxSeg, metrics: m, seq: 1}
+	j := &journal{dir: dir, maxSeg: maxSeg, metrics: m, seq: baseSeq + 1}
 	for i, seq := range seqs {
 		last := i == len(seqs)-1
 		path := filepath.Join(dir, segName(seq))
@@ -259,8 +348,15 @@ func (j *journal) append(rec *journalRecord) error {
 		return fmt.Errorf("crawler: journal write: %w", err)
 	}
 	j.size += int64(len(b))
+	j.appended++
 	if j.metrics != nil {
 		j.metrics.JournalRecords.Add(1)
+	}
+	// Crashpoint: the record is in the file, the caller has not been
+	// acked. A death here journals the unit of work without its ack — the
+	// successor may redo and re-append it, which replay deduplicates.
+	if err := journalCrash("append"); err != nil {
+		return err
 	}
 	return nil
 }
@@ -309,6 +405,207 @@ func (j *journal) Close() error {
 		return err1
 	}
 	return err2
+}
+
+// journalBase is the compacted prefix of a journal: the fully replayed
+// state up to and including segment UpToSeq, stored as one CRC-framed gob
+// blob so a resume reads it in a single decode instead of re-replaying
+// months of segments.
+type journalBase struct {
+	UpToSeq   int
+	Users     []dataset.UserRecord
+	Games     []dataset.GameRecord
+	Groups    []dataset.GroupRecord
+	Ach       map[uint32][]dataset.AchievementRecord
+	AchDone   map[uint32]bool
+	PhaseDone [6]bool
+}
+
+// applyBase seeds the crawl state from a compacted base.
+func (st *crawlState) applyBase(b *journalBase) {
+	for i := range b.Users {
+		st.userIdx[b.Users[i].SteamID] = len(st.users)
+		st.users = append(st.users, b.Users[i])
+	}
+	for i := range b.Games {
+		st.gameIdx[b.Games[i].AppID] = len(st.games)
+		st.games = append(st.games, b.Games[i])
+	}
+	for i := range b.Groups {
+		st.groupIdx[b.Groups[i].GID] = len(st.groups)
+		st.groups = append(st.groups, b.Groups[i])
+	}
+	for app, ach := range b.Ach {
+		st.ach[app] = ach
+	}
+	for app, done := range b.AchDone {
+		st.achDone[app] = done
+	}
+	st.phaseDone = b.PhaseDone
+}
+
+// readBase loads and CRC-verifies a compacted base. A missing file
+// returns (nil, nil); a corrupt one is an error — unlike a torn segment
+// tail there is no safe way to use half a base, and the sealed segments
+// it replaced are gone.
+func readBase(path string) (*journalBase, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < recHeaderSize {
+		return nil, errors.New("base truncated inside header")
+	}
+	length := binary.BigEndian.Uint32(raw[0:4])
+	sum := binary.BigEndian.Uint32(raw[4:8])
+	payload := raw[recHeaderSize:]
+	if uint32(len(payload)) != length {
+		return nil, fmt.Errorf("base payload is %d bytes, header records %d", len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errors.New("base checksum mismatch")
+	}
+	var b journalBase
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("base decode: %w", err)
+	}
+	return &b, nil
+}
+
+// writeBase durably publishes a base: CRC-framed gob to a temp file,
+// fsync, rename, directory fsync.
+func writeBase(dir string, b *journalBase) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, recHeaderSize))
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return fmt.Errorf("crawler: base encode: %w", err)
+	}
+	raw := buf.Bytes()
+	payload := raw[recHeaderSize:]
+	binary.BigEndian.PutUint32(raw[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(raw[4:8], crc32.ChecksumIEEE(payload))
+
+	f, err := os.CreateTemp(dir, ".tmp-base-")
+	if err != nil {
+		return fmt.Errorf("crawler: base temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("crawler: base write: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, baseName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("crawler: base publish: %w", err)
+	}
+	return syncJournalDir(dir)
+}
+
+// syncJournalDir fsyncs the journal directory so renames and deletes are
+// durable; filesystems that cannot sync directories are tolerated.
+func syncJournalDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("crawler: journal dir open: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("crawler: journal dir sync: %w", err)
+	}
+	return nil
+}
+
+// Compact seals everything the journal currently holds — the replayed
+// state st, which must be exactly what openJournal returned with no
+// appends since — into one verified base snapshot, deletes the sealed
+// segments, and starts a fresh active segment. Replay cost after a
+// compaction is one base decode plus only the records appended since,
+// bounding resume time on a months-long crawl. The base is read back and
+// verified before any segment is deleted, so a failed compaction never
+// costs data: at worst the old segments and an unused base coexist.
+func (j *journal) Compact(st *crawlState) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("crawler: journal closed")
+	}
+	// st must cover everything on disk. Records appended through this
+	// journal instance are not in the st its openJournal returned, and a
+	// base built from that stale state would silently drop them when the
+	// sealed segments are deleted — refuse rather than lose data.
+	if j.appended > 0 {
+		return fmt.Errorf("crawler: compact refused: %d records appended since open (reopen the journal and compact before appending)", j.appended)
+	}
+	// Seal the active segment.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("crawler: compact sync: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		j.f = nil
+		return fmt.Errorf("crawler: compact close: %w", err)
+	}
+	j.f = nil
+	upTo := j.seq
+
+	base := &journalBase{
+		UpToSeq:   upTo,
+		Users:     st.users,
+		Games:     st.games,
+		Groups:    st.groups,
+		Ach:       st.ach,
+		AchDone:   st.achDone,
+		PhaseDone: st.phaseDone,
+	}
+	if err := writeBase(j.dir, base); err != nil {
+		return err
+	}
+	// Verify the just-written base before deleting what it replaces.
+	got, err := readBase(filepath.Join(j.dir, baseName))
+	if err != nil {
+		return fmt.Errorf("crawler: compact verification: %w", err)
+	}
+	if got.UpToSeq != upTo || len(got.Users) != len(st.users) ||
+		len(got.Games) != len(st.games) || len(got.Groups) != len(st.groups) {
+		return fmt.Errorf("crawler: compact verification: base read back with %d/%d/%d records, want %d/%d/%d",
+			len(got.Users), len(got.Games), len(got.Groups), len(st.users), len(st.games), len(st.groups))
+	}
+	if err := journalCrash("compact-sealed"); err != nil {
+		return err
+	}
+
+	// Delete the sealed segments; a crash mid-delete leaves leftovers the
+	// next openJournal sweeps.
+	for seq := 1; seq <= upTo; seq++ {
+		if err := os.Remove(filepath.Join(j.dir, segName(seq))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("crawler: compact removing %s: %w", segName(seq), err)
+		}
+	}
+	if err := syncJournalDir(j.dir); err != nil {
+		return err
+	}
+
+	// Fresh active segment after the base.
+	j.seq = upTo + 1
+	j.size = 0
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("crawler: compact reopen: %w", err)
+	}
+	j.f = f
+	if j.metrics != nil {
+		j.metrics.JournalSegments.Store(1)
+	}
+	return nil
 }
 
 // Convenience appenders used by the crawl phases.

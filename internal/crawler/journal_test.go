@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -244,5 +245,275 @@ func TestJournalResumeAppendsToLastSegment(t *testing.T) {
 	}
 	if len(st.users) != 11 {
 		t.Fatalf("replayed %d users, want 11", len(st.users))
+	}
+}
+
+// A unit of work journaled twice — a crash can land between the append
+// hitting disk and the in-memory ack, so the successor redoes it — must
+// replay as ONE record, and the later (younger) observation wins.
+func TestJournalReplayDeduplicates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	jr, _, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := testUser(100)
+	stale.Country = "DE"
+	if err := jr.appendUser(stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.appendUser(testUser(200)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testUser(100)
+	fresh.Country = "SE"
+	fresh.Games = append(fresh.Games, dataset.OwnershipRecord{AppID: 20, TotalMinutes: 5})
+	if err := jr.appendUser(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// Same story for games and groups.
+	if err := jr.appendGame(&dataset.GameRecord{AppID: 10, Name: "old name"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.appendGame(&dataset.GameRecord{AppID: 10, Name: "new name"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.appendGroup(&dataset.GroupRecord{GID: 7, Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.appendGroup(&dataset.GroupRecord{GID: 7, Name: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, st, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.users) != 2 {
+		t.Fatalf("replayed %d users, want 2 (dedup failed): %+v", len(st.users), st.users)
+	}
+	if !reflect.DeepEqual(st.users[0], *fresh) {
+		t.Fatalf("dedup kept the stale record: %+v", st.users[0])
+	}
+	if st.users[1].SteamID != 200 {
+		t.Fatalf("dedup disturbed record order: %+v", st.users)
+	}
+	if len(st.games) != 1 || st.games[0].Name != "new name" {
+		t.Fatalf("game dedup wrong: %+v", st.games)
+	}
+	if len(st.groups) != 1 || st.groups[0].Name != "new" {
+		t.Fatalf("group dedup wrong: %+v", st.groups)
+	}
+}
+
+// The append crashpoint fires after the record is durable but before the
+// caller is acked — exactly the double-journal scenario dedup exists for.
+func TestJournalCrashBetweenAppendAndAck(t *testing.T) {
+	defer func() { journalCrashHook = nil }()
+	dir := filepath.Join(t.TempDir(), "j")
+	jr, _, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("simulated crash")
+	journalCrashHook = func(point string) error {
+		if point == "append" {
+			return injected
+		}
+		return nil
+	}
+	if err := jr.appendUser(testUser(1)); !errors.Is(err, injected) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	journalCrashHook = nil
+	jr.Close()
+
+	// The successor replays the unacked record, redoes the work, and
+	// appends it again; the double record must not double-count.
+	jr2, st, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.users) != 1 {
+		t.Fatalf("unacked append lost or doubled: %d users", len(st.users))
+	}
+	if err := jr2.appendUser(testUser(1)); err != nil {
+		t.Fatal(err)
+	}
+	jr2.Close()
+	_, st2, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.users) != 1 {
+		t.Fatalf("redone work double-counted: %d users", len(st2.users))
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	m := &Metrics{}
+	jr, _, err := openJournal(dir, 256, m) // tiny segments: force several
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 20; id++ {
+		if err := jr.appendUser(testUser(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jr.appendGame(&dataset.GameRecord{AppID: 10, Name: "g"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.appendPhaseDone(2); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	jr2, st2, err := openJournal(dir, 256, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segsBefore, _ := jr2.Position()
+	if segsBefore < 3 {
+		t.Fatalf("test setup: want several segments, have %d", segsBefore)
+	}
+	if err := jr2.Compact(st2); err != nil {
+		t.Fatal(err)
+	}
+	// Sealed segments are gone; base + one fresh active segment remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(entries) != 2 {
+		t.Fatalf("after compact: %v, want base + one active segment", names)
+	}
+	// Still appendable after compaction.
+	if err := jr2.appendUser(testUser(99)); err != nil {
+		t.Fatal(err)
+	}
+	jr2.Close()
+
+	// Replay = base + tail, identical state to before plus the new append.
+	_, st3, err := openJournal(dir, 256, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st3.users) != 21 || st3.users[20].SteamID != 99 {
+		t.Fatalf("post-compact replay wrong: %d users", len(st3.users))
+	}
+	for i := 0; i < 20; i++ {
+		if !reflect.DeepEqual(st3.users[i], *testUser(uint64(i + 1))) {
+			t.Fatalf("compact corrupted user %d: %+v", i+1, st3.users[i])
+		}
+	}
+	if len(st3.games) != 1 || !st3.phaseDone[2] {
+		t.Fatal("compact lost games or phase markers")
+	}
+}
+
+// A crash after the base is published but before the sealed segments are
+// deleted must not duplicate records: the next open sweeps the leftovers.
+func TestJournalCompactCrashLeavesNoDuplicates(t *testing.T) {
+	defer func() { journalCrashHook = nil }()
+	dir := filepath.Join(t.TempDir(), "j")
+	jr0, _, err := openJournal(dir, 256, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 12; id++ {
+		if err := jr0.appendUser(testUser(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jr0.Close()
+	jr, st, err := openJournal(dir, 256, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("simulated crash")
+	journalCrashHook = func(point string) error {
+		if point == "compact-sealed" {
+			return injected
+		}
+		return nil
+	}
+	if err := jr.Compact(st); !errors.Is(err, injected) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	journalCrashHook = nil
+
+	// Base and the sealed segments now coexist on disk.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 3 {
+		t.Fatalf("test setup: want base + leftover segments, have %d files", len(entries))
+	}
+	m := &Metrics{}
+	jr2, st2, err := openJournal(dir, 256, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Close()
+	if len(st2.users) != 12 {
+		t.Fatalf("replayed %d users after compact crash, want 12 (no duplicates)", len(st2.users))
+	}
+	// The leftovers were swept.
+	entries, _ = os.ReadDir(dir)
+	for _, e := range entries {
+		if n, ok := segSeq(e.Name()); ok && n <= 12 {
+			// Only the fresh active segment (seq = upTo+1) may remain.
+			seg, _ := jr2.Position()
+			if n != seg {
+				t.Fatalf("sealed segment %s not swept", e.Name())
+			}
+		}
+	}
+}
+
+// A corrupt base is fatal on open: the segments it sealed are gone, so
+// there is no safe way to resume from half a base.
+func TestJournalCorruptBaseIsFatal(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	jr, st, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 3; id++ {
+		if err := jr.appendUser(testUser(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compacting the instance that appended would drop those records from
+	// st; the guard refuses, and a reopen compacts safely.
+	if err := jr.Compact(st); err == nil {
+		t.Fatal("compact with stale state accepted")
+	}
+	jr.Close()
+	jr2, st2, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr2.Compact(st2); err != nil {
+		t.Fatal(err)
+	}
+	jr2.Close()
+	b, err := os.ReadFile(filepath.Join(dir, baseName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, baseName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(dir, 0, &Metrics{}); err == nil {
+		t.Fatal("corrupt base tolerated")
 	}
 }

@@ -1,0 +1,69 @@
+// Journal-backed snapshot repair. The journal is the crawl's write-ahead
+// source of truth: every completed unit of work was appended there before
+// the snapshot was assembled. When a snapshot file is damaged — torn by a
+// crash predating atomic saves, bit-rotted on disk, or simply missing —
+// the journal can rebuild it without re-crawling, and fsck can then prove
+// the rebuilt artifact clean.
+
+package crawler
+
+import (
+	"fmt"
+
+	"steamstudy/internal/dataset"
+)
+
+// RebuildFromJournal replays the journal in dir into a complete snapshot
+// without any network work: users, games with their achievement sets,
+// and groups, in canonical ID order — exactly what an uninterrupted Run
+// over the same journal would have returned. CollectedAt is zero; the
+// caller decides whether to preserve a previous timestamp.
+func RebuildFromJournal(dir string) (*dataset.Snapshot, error) {
+	j, st, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		return nil, fmt.Errorf("crawler: rebuild: %w", err)
+	}
+	j.Close()
+	return st.snapshot(0), nil
+}
+
+// RepairSnapshot rebuilds the snapshot at path from the journal in dir
+// and saves it atomically with a fresh manifest, preserving the damaged
+// file's recorded collection time when either the file or its manifest
+// still carries one. It returns the post-repair fsck report so the
+// caller can prove the artifact clean. Metrics, when non-nil, record the
+// repair and the verification counts.
+func RepairSnapshot(dir, path string, m *dataset.IntegrityMetrics) (*dataset.Report, error) {
+	snap, err := RebuildFromJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Best effort: keep the original collection timestamp. The damaged
+	// file may still decode, and even when it does not, its manifest
+	// usually survives (it is a separate sidecar).
+	if old, lerr := dataset.Load(path); lerr == nil {
+		snap.CollectedAt = old.CollectedAt
+	} else if man, merr := dataset.ReadManifest(path); merr == nil && man != nil {
+		snap.CollectedAt = man.CollectedAt
+	}
+	if err := snap.Save(path); err != nil {
+		return nil, fmt.Errorf("crawler: repair: %w", err)
+	}
+	if m != nil {
+		m.Repairs.Inc()
+	}
+	return dataset.FsckFile(path, m)
+}
+
+// CompactJournal replays the journal in dir and seals everything it
+// holds into one verified base snapshot, deleting the replayed segments.
+// Run it after a repair (or periodically on a long crawl's checkpoint)
+// to bound the next replay to one base decode plus the fresh tail.
+func CompactJournal(dir string) error {
+	j, st, err := openJournal(dir, 0, &Metrics{})
+	if err != nil {
+		return fmt.Errorf("crawler: compact: %w", err)
+	}
+	defer j.Close()
+	return j.Compact(st)
+}
