@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos crash fsck bench fmt vet
+.PHONY: build test race verify chaos crash fsck bench profile fmt vet
 
 build:
 	$(GO) build ./...
@@ -36,16 +36,36 @@ crash:
 fsck:
 	$(GO) run ./cmd/steamstudy -fsck -snapshot internal/dataset/testdata/example.snap.jsonl
 
-# bench runs the tier-2 analysis benchmarks (RunAll render, heavy-tail
-# fit, Table 4 classification, Spearman) — each with its serial baseline
-# and full-pool variant — and records ns/op in BENCH_analysis.json,
-# the repo's performance trajectory file. It then records the obs
-# hot-path costs (counter add, histogram observe, 8-goroutine contention)
-# in BENCH_obs.json: the observability layer's overhead budget.
+# bench refreshes the repo's performance trajectory files. Each suite
+# runs once at GOMAXPROCS=1 and once with every core (benchjson skips the
+# second pass on single-CPU hosts), and every recorded result carries the
+# GOMAXPROCS it actually ran under, so a workers=max number is never
+# mistaken for a parallel speedup the machine could not have produced.
+#   BENCH_analysis.json — tier-2 analysis benchmarks (RunAll render,
+#     heavy-tail fit, Table 4 classification, Spearman), serial baseline
+#     and full-pool variant of each.
+#   BENCH_obs.json — obs hot-path costs (counter add, histogram observe,
+#     8-goroutine contention): the observability layer's overhead budget.
+#   BENCH_datapath.json — the parallel data plane at 500k-user scale
+#     (generate, snapshot encode/decode, fsck; workers=1 vs workers=max)
+#     plus the hand-rolled JSONL codec against encoding/json.
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_analysis.json
 	$(GO) run ./cmd/benchjson -out BENCH_obs.json -pkg ./internal/obs \
 		-bench '^(BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkContended8)$$'
+	$(GO) run ./cmd/benchjson -out BENCH_datapath.json -pkg ./internal/dataset \
+		-bench '^(BenchmarkDatapath|BenchmarkJSONL(Encode|Decode))'
+
+# profile captures CPU and heap profiles of the data plane's hot loops
+# into ./profiles/ for `go tool pprof`: the 500k-user snapshot codec and
+# the full-study render.
+profile:
+	mkdir -p profiles
+	$(GO) test ./internal/dataset -run '^$$' \
+		-bench '^BenchmarkDatapath(Encode|Decode)500k$$' \
+		-cpuprofile profiles/datapath_cpu.prof -memprofile profiles/datapath_mem.prof
+	$(GO) test . -run '^$$' -bench '^BenchmarkRunAllRender$$' \
+		-cpuprofile profiles/analysis_cpu.prof -memprofile profiles/analysis_mem.prof
 
 fmt:
 	gofmt -l -w cmd internal

@@ -1,13 +1,18 @@
-// Command benchjson runs the tier-2 analysis benchmarks and records their
-// ns/op in a machine-readable JSON file, seeding the repo's performance
-// trajectory: each sub-benchmark carries a workers=1 (serial baseline) and
-// a workers=max (full pool) variant, so one file captures both sides of
-// the parallel-analysis comparison.
+// Command benchjson runs a benchmark suite and records its measurements
+// in a machine-readable JSON file, seeding the repo's performance
+// trajectory files (BENCH_analysis.json, BENCH_obs.json,
+// BENCH_datapath.json).
 //
 //	go run ./cmd/benchjson -out BENCH_analysis.json
 //
 // It shells out to `go test -bench` so the numbers are exactly what the
-// standard benchmark harness reports.
+// standard benchmark harness reports. Parallel suites run once with
+// GOMAXPROCS=1 and once with every core, so a workers=max measurement is
+// never mistaken for a parallel speedup on a machine that could not have
+// produced one: each recorded result carries the GOMAXPROCS it actually
+// ran under (parsed from the harness's -N name suffix), and the file
+// header records the host's CPU count. On a single-CPU host the two
+// passes coincide and only one is run.
 package main
 
 import (
@@ -29,25 +34,33 @@ import (
 // ride along automatically.
 const tier2Pattern = "^(BenchmarkRunAllRender|BenchmarkHeavytailFit|BenchmarkTable4Classification|BenchmarkSpearman100k)$"
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. BytesPerOp and AllocsPerOp are
+// present only when the benchmark reports allocations.
 type Result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 }
 
-// File is the BENCH_analysis.json schema.
+// File is the BENCH_*.json schema.
 type File struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
+	Gomaxprocs  []int    `json:"gomaxprocs_runs"`
 	Pattern     string   `json:"pattern"`
+	Package     string   `json:"package"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
-// benchLine matches standard `go test -bench` output, e.g.
-// "BenchmarkHeavytailFit/workers=1-8   12   95104250 ns/op   ...".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine matches standard `go test -bench` output, with the optional
+// allocation columns, e.g.
+//
+//	BenchmarkHeavytailFit/workers=1-8  12  95104250 ns/op  1024 B/op  17 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	log.SetFlags(0)
@@ -60,42 +73,35 @@ func main() {
 	)
 	flag.Parse()
 
-	args := []string{"test", "-run", "^$", "-bench", *pattern, *pkg}
-	if *benchtime != "" {
-		args = append(args, "-benchtime", *benchtime)
-	}
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		log.Fatalf("go %v: %v", args, err)
-	}
-
 	f := File{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Pattern:     *pattern,
+		Package:     *pkg,
 	}
-	for _, line := range bytes.Split(raw, []byte("\n")) {
-		m := benchLine.FindSubmatch(line)
-		if m == nil {
-			continue
+	procs := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		procs = append(procs, n)
+	}
+	f.Gomaxprocs = procs
+
+	for _, gmp := range procs {
+		args := []string{"test", "-run", "^$", "-bench", *pattern, *pkg}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
 		}
-		iters, err := strconv.ParseInt(string(m[2]), 10, 64)
+		cmd := exec.Command("go", args...)
+		cmd.Env = append(os.Environ(), "GOMAXPROCS="+strconv.Itoa(gmp))
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
 		if err != nil {
-			continue
+			log.Fatalf("go %v (GOMAXPROCS=%d): %v", args, gmp, err)
 		}
-		ns, err := strconv.ParseFloat(string(m[3]), 64)
-		if err != nil {
-			continue
-		}
-		f.Benchmarks = append(f.Benchmarks, Result{
-			Name: string(m[1]), Iterations: iters, NsPerOp: ns,
-		})
+		f.Benchmarks = append(f.Benchmarks, parse(raw, gmp)...)
 	}
 	if len(f.Benchmarks) == 0 {
-		log.Fatalf("no benchmark lines matched pattern %q; raw output:\n%s", *pattern, raw)
+		log.Fatalf("no benchmark lines matched pattern %q", *pattern)
 	}
 
 	enc, err := json.MarshalIndent(f, "", "  ")
@@ -108,6 +114,49 @@ func main() {
 	}
 	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(f.Benchmarks), *out)
 	for _, r := range f.Benchmarks {
-		fmt.Printf("  %-55s %14.0f ns/op\n", r.Name, r.NsPerOp)
+		alloc := ""
+		if r.AllocsPerOp != nil {
+			alloc = fmt.Sprintf("  %8d B/op %6d allocs/op", *r.BytesPerOp, *r.AllocsPerOp)
+		}
+		fmt.Printf("  %-55s P=%-3d %14.0f ns/op%s\n", r.Name, r.Gomaxprocs, r.NsPerOp, alloc)
 	}
+}
+
+// parse extracts the measurements from one `go test -bench` run. The
+// harness suffixes each name with the GOMAXPROCS it ran under; that
+// suffix — not the value this process happens to see — is what gets
+// recorded, with ranGomaxprocs only as the fallback for harnesses that
+// omit the suffix at GOMAXPROCS=1.
+func parse(raw []byte, ranGomaxprocs int) []Result {
+	var out []Result
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		m := benchLine.FindSubmatch(line)
+		if m == nil {
+			continue
+		}
+		gmp := ranGomaxprocs
+		if len(m[2]) > 0 {
+			if v, err := strconv.Atoi(string(m[2])); err == nil {
+				gmp = v
+			}
+		}
+		iters, err := strconv.ParseInt(string(m[3]), 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(string(m[4]), 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: string(m[1]), Gomaxprocs: gmp, Iterations: iters, NsPerOp: ns}
+		if len(m[5]) > 0 && len(m[6]) > 0 {
+			if bpo, err := strconv.ParseInt(string(m[5]), 10, 64); err == nil {
+				if apo, err := strconv.ParseInt(string(m[6]), 10, 64); err == nil {
+					r.BytesPerOp, r.AllocsPerOp = &bpo, &apo
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out
 }

@@ -36,7 +36,7 @@ func main() {
 		baseURL     = flag.String("url", "http://127.0.0.1:8080", "API base URL")
 		key         = flag.String("key", "", "API key")
 		rate        = flag.Float64("rate", 5000, "self-imposed requests/second budget (paper: 85% of the allowance)")
-		workers     = flag.Int("workers", 16, "phase-2 worker pool size")
+		workers     = flag.Int("workers", 16, "worker pool width for crawl phases 2-5 and the snapshot codec (results are identical for any value)")
 		maxUsers    = flag.Int("max", 0, "cap the crawl at this many accounts (0 = exhaustive)")
 		checkpoint  = flag.String("checkpoint", "", "journal directory for resumable crawls")
 		reqTimeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
@@ -60,7 +60,7 @@ func main() {
 	}
 
 	if *fsckPath != "" || *compact {
-		os.Exit(runMaintenance(*fsckPath, *repair, *compact, *checkpoint, reg))
+		os.Exit(runMaintenance(*fsckPath, *repair, *compact, *checkpoint, *workers, reg))
 	}
 
 	c := crawler.New(crawler.Config{
@@ -119,7 +119,7 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}
-	if err := snap.Save(*out); err != nil {
+	if err := snap.Save(*out, dataset.WithWorkers(*workers)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s (manifest: %s)\n", *out, dataset.ManifestPath(*out))
@@ -129,12 +129,19 @@ func main() {
 // optionally repairing it from the journal) and -compact (seal the
 // journal's replayed prefix into a base snapshot). Returns the exit code:
 // zero only if every requested operation left a clean state.
-func runMaintenance(fsckPath string, repair, compact bool, checkpoint string, reg *obs.Registry) int {
+func runMaintenance(fsckPath string, repair, compact bool, checkpoint string, workers int, reg *obs.Registry) int {
 	im := &dataset.IntegrityMetrics{}
 	im.Register(reg)
 	code := 0
 	if fsckPath != "" {
-		rep, err := dataset.FsckFile(fsckPath, im)
+		// Decode progress streams into the registry as it happens, so an
+		// -admin watcher sees a multi-gigabyte fsck advance section by
+		// section instead of staring at a silent process.
+		progress := func(section string, records int) {
+			reg.Gauge("fsck_loaded_" + section).Set(float64(records))
+		}
+		rep, err := dataset.FsckFile(fsckPath, im,
+			dataset.WithWorkers(workers), dataset.WithProgress(progress))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -35,7 +35,7 @@ func main() {
 		noSecond   = flag.Bool("no-second-snapshot", false, "skip the §8 second snapshot")
 		csvDir     = flag.String("csv", "", "also export every data series as CSV into this directory")
 		seeds      = flag.Int("seeds", 0, "instead of one study, sweep this many seeds and report the stability of the headline statistics")
-		workers    = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU, 1 = serial); output is identical for any value")
+		workers    = flag.Int("workers", 0, "worker pool size for generation, snapshot codec, fsck and analysis (0 = one per CPU, 1 = serial); output is identical for any value")
 		admin      = flag.String("admin", "", "serve live per-experiment render spans (/metrics, /healthz) on this address while the study runs")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 		timings    = flag.Bool("timings", false, "print per-experiment render timings to stderr after the run")
@@ -48,7 +48,7 @@ func main() {
 			log.Fatal("-fsck requires -snapshot to name the file to validate")
 		}
 		im := &dataset.IntegrityMetrics{}
-		rep, err := dataset.FsckFile(*snapshot, im)
+		rep, err := dataset.FsckFile(*snapshot, im, dataset.WithWorkers(*workers))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func main() {
 	)
 	start := time.Now()
 	if *snapshot != "" {
-		study, err = steamstudy.LoadSnapshot(*snapshot)
+		study, err = steamstudy.LoadSnapshot(*snapshot, dataset.WithWorkers(*workers))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -51,13 +51,16 @@ type Options struct {
 	Years []int
 	// SkipSecondSnapshot disables the §8 second-snapshot experiments.
 	SkipSecondSnapshot bool
-	// Workers bounds the analysis worker pool: RunAll renders independent
-	// experiments concurrently and the heavy statistical loops (the Table 4
-	// classifications, the xmin scans beneath them) fan out on the same
-	// knob. 0 (the default) means one worker per CPU; 1 forces the fully
-	// serial path. Output is byte-identical for every value — experiments
-	// render into per-slot buffers merged in the paper's order, and no
-	// random stream is ever shared across goroutines (see internal/par).
+	// Workers bounds both the generation and the analysis worker pools:
+	// universe generation chunks each stage's index space onto the pool
+	// (see simworld.Config.Workers), RunAll renders independent
+	// experiments concurrently, and the heavy statistical loops (the
+	// Table 4 classifications, the xmin scans beneath them) fan out on
+	// the same knob. 0 (the default) means one worker per CPU; 1 forces
+	// the fully serial path. Output is byte-identical for every value —
+	// experiments render into per-slot buffers merged in the paper's
+	// order, and no random stream is ever shared across goroutines (see
+	// internal/par).
 	Workers int
 }
 
@@ -97,6 +100,7 @@ func New(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
 	cfg := simworld.DefaultConfig(opts.Users)
 	cfg.CatalogSize = opts.CatalogSize
+	cfg.Workers = opts.Workers
 	u, err := simworld.Generate(cfg, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("steamstudy: generating universe: %w", err)

@@ -132,13 +132,17 @@ func Crawl(opts CrawlOptions) (*dataset.Snapshot, error) {
 }
 
 // SaveSnapshot persists a study's snapshot (format by extension: .gob,
-// .gob.gz, .jsonl, .jsonl.gz).
-func (s *Study) SaveSnapshot(path string) error { return s.snap.Save(path) }
+// .gob.gz, .jsonl, .jsonl.gz). Options tune the codec (for example
+// dataset.WithWorkers); the bytes written are identical for any of them.
+func (s *Study) SaveSnapshot(path string, opts ...dataset.Option) error {
+	return s.snap.Save(path, opts...)
+}
 
 // LoadSnapshot reads a snapshot saved by SaveSnapshot or the crawler
-// tools and wraps it in a Study.
-func LoadSnapshot(path string) (*Study, error) {
-	snap, err := dataset.Load(path)
+// tools and wraps it in a Study. Options tune the codec (for example
+// dataset.WithWorkers, dataset.WithProgress).
+func LoadSnapshot(path string, opts ...dataset.Option) (*Study, error) {
+	snap, err := dataset.Load(path, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -9,10 +9,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"steamstudy/internal/dataset"
 	"steamstudy/internal/obs"
+	"steamstudy/internal/par"
 	"steamstudy/internal/ratelimit"
 	"steamstudy/internal/steamapi"
 	"steamstudy/internal/steamid"
@@ -31,7 +33,12 @@ type Config struct {
 	RatePerSecond float64
 	// Burst is the limiter burst (defaults to RatePerSecond).
 	Burst int
-	// Workers is the phase-2 fan-out (default 8).
+	// Workers is the fan-out width shared by the detail phases 2–5:
+	// account details, storefront catalog, achievement sets and group
+	// pages all run on a pool this wide (default 8). The worker count is
+	// purely a throughput knob — results and journal appends are
+	// committed in work-list order, so the snapshot and the journal byte
+	// stream are identical for every value.
 	Workers int
 	// MaxRetries per request (default 4).
 	MaxRetries int
@@ -583,8 +590,48 @@ func (c *Crawler) fetchOneAccount(ctx context.Context, p steamapi.PlayerSummary)
 	return rec, nil
 }
 
-// fetchCatalog runs phase 3: the app index, then storefront details.
-// Apps whose records the journal already holds are skipped.
+// fanOut runs n independent fetch units on a pool of `workers`
+// goroutines and commits each result from the caller's goroutine in
+// strict work-list order. It is the machinery behind the tail phases
+// (3–5): fetches overlap freely, but snapshot appends and journal
+// appends happen exactly as the sequential loop would do them, so the
+// snapshot and the journal byte stream are identical for every worker
+// count — crash-resume replay cannot tell the difference.
+//
+// After the first error (fetch or commit), later fetches short-circuit
+// to a no-op so the pipeline drains quickly instead of finishing a
+// long work list nobody will consume.
+func fanOut[T any](workers, n int, fetch func(i int) (T, error), commit func(i int, v T) error) error {
+	type unit struct {
+		v   T
+		err error
+	}
+	var failed atomic.Bool
+	return par.Ordered(workers, n, func(i int) unit {
+		if failed.Load() {
+			return unit{}
+		}
+		v, err := fetch(i)
+		if err != nil {
+			failed.Store(true)
+		}
+		return unit{v: v, err: err}
+	}, func(i int, u unit) error {
+		if u.err != nil {
+			return u.err
+		}
+		if err := commit(i, u.v); err != nil {
+			failed.Store(true)
+			return err
+		}
+		return nil
+	})
+}
+
+// fetchCatalog runs phase 3: the app index, then storefront details
+// fanned out on the worker pool. Apps whose records the journal already
+// holds are skipped. A nil produced record means "no storefront entry"
+// — the sequential loop's continue.
 func (c *Crawler) fetchCatalog(ctx context.Context, snap *dataset.Snapshot, st *crawlState, jr *journal) error {
 	have := make(map[uint32]bool, len(st.games))
 	for i := range st.games {
@@ -594,96 +641,122 @@ func (c *Crawler) fetchCatalog(ctx context.Context, snap *dataset.Snapshot, st *
 	if err := c.client.getJSON(ctx, "/ISteamApps/GetAppList/v0002/", url.Values{}, &apps); err != nil {
 		return err
 	}
+	todo := make([]steamapi.App, 0, len(apps.AppList.Apps))
 	for _, app := range apps.AppList.Apps {
-		if have[app.AppID] {
-			continue
-		}
-		var details steamapi.AppDetailsResponse
-		params := url.Values{"appids": {strconv.FormatUint(uint64(app.AppID), 10)}}
-		if err := c.client.getJSON(ctx, "/store/appdetails", params, &details); err != nil {
-			if IsNotFound(err) {
-				continue
-			}
-			return err
-		}
-		entry := details[strconv.FormatUint(uint64(app.AppID), 10)]
-		if !entry.Success || entry.Data == nil {
-			continue
-		}
-		d := entry.Data
-		rec := dataset.GameRecord{
-			AppID:       app.AppID,
-			Name:        d.Name,
-			Type:        d.Type,
-			ReleaseYear: d.ReleaseYear,
-		}
-		for _, g := range d.Genres {
-			rec.Genres = append(rec.Genres, g.Description)
-		}
-		for _, cat := range d.Categories {
-			if cat.ID == steamapi.CategoryMultiplayer {
-				rec.Multiplayer = true
-			}
-		}
-		if d.PriceOverview != nil {
-			rec.PriceCents = d.PriceOverview.Final
-		}
-		if d.Metacritic != nil {
-			rec.Metacritic = d.Metacritic.Score
-		}
-		if len(d.Developers) > 0 {
-			rec.Developer = d.Developers[0]
-		}
-		snap.Games = append(snap.Games, rec)
-		if jr != nil {
-			if err := jr.appendGame(&rec); err != nil {
-				return err
-			}
+		if !have[app.AppID] {
+			todo = append(todo, app)
 		}
 	}
-	return nil
+	return fanOut(c.cfg.Workers, len(todo),
+		func(i int) (*dataset.GameRecord, error) {
+			app := todo[i]
+			var details steamapi.AppDetailsResponse
+			params := url.Values{"appids": {strconv.FormatUint(uint64(app.AppID), 10)}}
+			if err := c.client.getJSON(ctx, "/store/appdetails", params, &details); err != nil {
+				if IsNotFound(err) {
+					return nil, nil
+				}
+				return nil, err
+			}
+			entry := details[strconv.FormatUint(uint64(app.AppID), 10)]
+			if !entry.Success || entry.Data == nil {
+				return nil, nil
+			}
+			d := entry.Data
+			rec := &dataset.GameRecord{
+				AppID:       app.AppID,
+				Name:        d.Name,
+				Type:        d.Type,
+				ReleaseYear: d.ReleaseYear,
+			}
+			for _, g := range d.Genres {
+				rec.Genres = append(rec.Genres, g.Description)
+			}
+			for _, cat := range d.Categories {
+				if cat.ID == steamapi.CategoryMultiplayer {
+					rec.Multiplayer = true
+				}
+			}
+			if d.PriceOverview != nil {
+				rec.PriceCents = d.PriceOverview.Final
+			}
+			if d.Metacritic != nil {
+				rec.Metacritic = d.Metacritic.Score
+			}
+			if len(d.Developers) > 0 {
+				rec.Developer = d.Developers[0]
+			}
+			return rec, nil
+		},
+		func(_ int, rec *dataset.GameRecord) error {
+			if rec == nil {
+				return nil
+			}
+			snap.Games = append(snap.Games, *rec)
+			if jr != nil {
+				return jr.appendGame(rec)
+			}
+			return nil
+		})
 }
 
 // fetchAchievements runs phase 4 over every catalog product not already
-// covered by the journal.
+// covered by the journal, fanned out on the worker pool. Each fetch
+// reads only its own game's AppID and each commit writes only its own
+// game's Achievements slot, with journal appends in catalog order.
 func (c *Crawler) fetchAchievements(ctx context.Context, snap *dataset.Snapshot, st *crawlState, jr *journal) error {
+	todo := make([]int, 0, len(snap.Games))
 	for i := range snap.Games {
-		if st.achDone[snap.Games[i].AppID] {
-			continue
-		}
-		var resp steamapi.AchievementPercentagesResponse
-		params := url.Values{"gameid": {strconv.FormatUint(uint64(snap.Games[i].AppID), 10)}}
-		if err := c.client.getJSON(ctx, "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/", params, &resp); err != nil {
-			if !IsNotFound(err) {
-				return err
-			}
-			// A vanished app still gets an (empty) journal entry so the
-			// resume does not re-ask.
-		}
-		var ach []dataset.AchievementRecord
-		for _, a := range resp.AchievementPercentages.Achievements {
-			ach = append(ach, dataset.AchievementRecord{Name: a.Name, Percent: a.Percent})
-		}
-		snap.Games[i].Achievements = ach
-		if jr != nil {
-			if err := jr.appendAch(snap.Games[i].AppID, ach); err != nil {
-				return err
-			}
+		if !st.achDone[snap.Games[i].AppID] {
+			todo = append(todo, i)
 		}
 	}
-	return nil
+	return fanOut(c.cfg.Workers, len(todo),
+		func(i int) ([]dataset.AchievementRecord, error) {
+			appID := snap.Games[todo[i]].AppID
+			var resp steamapi.AchievementPercentagesResponse
+			params := url.Values{"gameid": {strconv.FormatUint(uint64(appID), 10)}}
+			if err := c.client.getJSON(ctx, "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v0002/", params, &resp); err != nil {
+				if !IsNotFound(err) {
+					return nil, err
+				}
+				// A vanished app still gets an (empty) journal entry so the
+				// resume does not re-ask.
+			}
+			var ach []dataset.AchievementRecord
+			for _, a := range resp.AchievementPercentages.Achievements {
+				ach = append(ach, dataset.AchievementRecord{Name: a.Name, Percent: a.Percent})
+			}
+			return ach, nil
+		},
+		func(i int, ach []dataset.AchievementRecord) error {
+			gi := todo[i]
+			snap.Games[gi].Achievements = ach
+			if jr != nil {
+				return jr.appendAch(snap.Games[gi].AppID, ach)
+			}
+			return nil
+		})
 }
 
 // fetchGroups runs phase 5: collect the GIDs seen in memberships, fetch
-// each group's community page, and categorize it from the page text (the
-// automated analog of the paper's manual step). Groups the journal
-// already holds are skipped.
+// each group's community page on the worker pool, and categorize it
+// from the page text (the automated analog of the paper's manual step).
+// Groups the journal already holds are skipped; commits land in
+// ascending-GID order regardless of worker count.
 func (c *Crawler) fetchGroups(ctx context.Context, snap *dataset.Snapshot, st *crawlState, jr *journal) error {
 	members := map[uint64][]uint64{}
 	for i := range snap.Users {
 		for _, gid := range snap.Users[i].Groups {
 			members[gid] = append(members[gid], snap.Users[i].SteamID)
 		}
+	}
+	// Membership lists inherit phase 2's completion order, which varies
+	// with worker count; canonicalize before any record is journaled so
+	// the group records themselves are worker-invariant.
+	for gid := range members {
+		m := members[gid]
+		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
 	}
 	have := make(map[uint64]bool, len(st.groups))
 	for i := range st.groups {
@@ -696,32 +769,32 @@ func (c *Crawler) fetchGroups(ctx context.Context, snap *dataset.Snapshot, st *c
 		}
 	}
 	sort.Slice(gids, func(a, b int) bool { return gids[a] < gids[b] })
-	for _, gid := range gids {
-		var page steamapi.GroupPage
-		params := url.Values{"gid": {strconv.FormatUint(gid, 10)}}
-		var rec dataset.GroupRecord
-		if err := c.client.getJSON(ctx, "/community/group", params, &page); err != nil {
-			if !IsNotFound(err) {
-				return err
+	return fanOut(c.cfg.Workers, len(gids),
+		func(i int) (dataset.GroupRecord, error) {
+			gid := gids[i]
+			var page steamapi.GroupPage
+			params := url.Values{"gid": {strconv.FormatUint(gid, 10)}}
+			if err := c.client.getJSON(ctx, "/community/group", params, &page); err != nil {
+				if !IsNotFound(err) {
+					return dataset.GroupRecord{}, err
+				}
+				// Group page gone; keep the membership data untyped.
+				return dataset.GroupRecord{GID: gid, Members: members[gid]}, nil
 			}
-			// Group page gone; keep the membership data untyped.
-			rec = dataset.GroupRecord{GID: gid, Members: members[gid]}
-		} else {
-			rec = dataset.GroupRecord{
+			return dataset.GroupRecord{
 				GID:     gid,
 				Name:    page.Name,
 				Type:    CategorizeGroup(page.Name, page.Summary),
 				Members: members[gid],
+			}, nil
+		},
+		func(_ int, rec dataset.GroupRecord) error {
+			snap.Groups = append(snap.Groups, rec)
+			if jr != nil {
+				return jr.appendGroup(&rec)
 			}
-		}
-		snap.Groups = append(snap.Groups, rec)
-		if jr != nil {
-			if err := jr.appendGroup(&rec); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+			return nil
+		})
 }
 
 // CategorizeGroup infers a Table 2 group type from community page text.

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"steamstudy/internal/obs"
+	"steamstudy/internal/par"
 )
 
 // ViolationClass names one kind of integrity failure.
@@ -102,6 +103,22 @@ func (r *Report) add(class ViolationClass, format string, args ...any) {
 
 func (r *Report) addViolation(v Violation) { r.add(v.Class, "%s", v.Detail) }
 
+// merge folds a shard's sub-report into r. Shards are merged in index
+// order, so counts and the per-class sample prefixes come out exactly as
+// a serial pass would have produced them.
+func (r *Report) merge(sub *Report) {
+	r.RecordsVerified += sub.RecordsVerified
+	for class, n := range sub.Counts {
+		r.Counts[class] += n
+		for _, s := range sub.Samples[class] {
+			if len(r.Samples[class]) >= maxSamplesPerClass {
+				break
+			}
+			r.Samples[class] = append(r.Samples[class], s)
+		}
+	}
+}
+
 // Violations is the total count across every class.
 func (r *Report) Violations() int {
 	n := 0
@@ -168,33 +185,60 @@ func (m *IntegrityMetrics) Register(r *obs.Registry) {
 // integrity against the paper's schema and returns the full report. It
 // never stops early: a damaged snapshot yields counts per violation
 // class, which is what decides between re-crawling and journal repair.
-func (s *Snapshot) Fsck() *Report {
+//
+// Options: WithWorkers shards the per-user and per-group referential
+// checks; shard reports are merged in index order, so counts and sample
+// details are identical to a serial pass.
+func (s *Snapshot) Fsck(opts ...Option) *Report {
+	o := buildOptions(opts)
 	r := newReport()
-	s.fsckInto(r)
+	s.fsckInto(r, o.workers)
 	return r
 }
 
-func (s *Snapshot) fsckInto(r *Report) {
+// fsckShard is the fixed number of records per fsck shard — part of the
+// work partition, not derived from the worker count, so shard boundaries
+// are stable and the merged report is identical for any Workers value.
+const fsckShard = 2048
+
+// fsckPair is a directed friend edge, for the symmetry check.
+type fsckPair struct{ a, b uint64 }
+
+// fsckIndex is the read-only state shared by every verification shard.
+type fsckIndex struct {
+	apps     map[uint32]bool
+	userAt   map[uint64]int
+	friends  map[fsckPair]bool
+	memberOf map[uint64]map[uint64]bool
+}
+
+func (s *Snapshot) fsckInto(r *Report, workers int) {
 	r.Users, r.Games, r.Groups = len(s.Users), len(s.Games), len(s.Groups)
 
-	// Catalog and account indices, recording duplicate IDs as we build.
-	apps := make(map[uint32]bool, len(s.Games))
+	// Index build: sequential map construction, recording duplicate IDs
+	// as we go. The expensive part — per-record verification — is what
+	// gets sharded below.
+	ix := &fsckIndex{
+		apps:     make(map[uint32]bool, len(s.Games)),
+		userAt:   make(map[uint64]int, len(s.Users)),
+		friends:  make(map[fsckPair]bool),
+		memberOf: make(map[uint64]map[uint64]bool, len(s.Groups)),
+	}
 	for i := range s.Games {
 		id := s.Games[i].AppID
-		if apps[id] {
+		if ix.apps[id] {
 			r.add(ViolationDuplicateGame, "app %d appears more than once in the catalog", id)
 			continue
 		}
-		apps[id] = true
+		ix.apps[id] = true
 	}
-	userAt := make(map[uint64]int, len(s.Users))
 	for i := range s.Users {
 		id := s.Users[i].SteamID
-		if _, dup := userAt[id]; dup {
+		if _, dup := ix.userAt[id]; dup {
 			r.add(ViolationDuplicateUser, "user %d appears more than once", id)
 			continue
 		}
-		userAt[id] = i
+		ix.userAt[id] = i
 	}
 	groupAt := make(map[uint64]int, len(s.Groups))
 	for i := range s.Groups {
@@ -205,104 +249,131 @@ func (s *Snapshot) fsckInto(r *Report) {
 		}
 		groupAt[id] = i
 	}
-
-	// Directed friend pairs, for the symmetry check below.
-	type pair struct{ a, b uint64 }
-	friends := make(map[pair]bool)
 	for i := range s.Users {
 		u := &s.Users[i]
 		for _, f := range u.Friends {
-			friends[pair{u.SteamID, f.SteamID}] = true
+			ix.friends[fsckPair{u.SteamID, f.SteamID}] = true
 		}
 	}
-
-	// Per-group member sets, for membership reciprocity.
-	memberOf := make(map[uint64]map[uint64]bool, len(s.Groups))
 	for i := range s.Groups {
 		g := &s.Groups[i]
 		set := make(map[uint64]bool, len(g.Members))
 		for _, m := range g.Members {
 			set[m] = true
 		}
-		memberOf[g.GID] = set
+		ix.memberOf[g.GID] = set
 	}
 
-	for i := range s.Users {
-		u := &s.Users[i]
-		r.RecordsVerified++
-
-		// Friend edges: every reference resolves to a crawled account and
-		// is reciprocated (the paper's friendship graph is undirected).
-		for _, f := range u.Friends {
-			if f.SteamID == u.SteamID {
-				r.add(ViolationSelfFriend, "user %d lists itself as a friend", u.SteamID)
-				continue
-			}
-			if _, ok := userAt[f.SteamID]; !ok {
-				r.add(ViolationFriendUnknown, "user %d lists unknown account %d as a friend", u.SteamID, f.SteamID)
-				continue
-			}
-			if !friends[pair{f.SteamID, u.SteamID}] {
-				r.add(ViolationFriendAsymmetric, "user %d lists %d but %d does not list %d", u.SteamID, f.SteamID, f.SteamID, u.SteamID)
-			}
+	// Referential verification, sharded over fixed index ranges. Each
+	// shard reads the shared indices (never writes) and accumulates into
+	// its own report; the merge in shard order reproduces the serial
+	// violation order per class.
+	runShards(workers, len(s.Users), r, func(lo, hi int, sub *Report) {
+		for i := lo; i < hi; i++ {
+			s.fsckUser(ix, i, sub)
 		}
-
-		// Ownership: app IDs exist in the catalog, playtimes respect the
-		// two-week <= lifetime >= 0 invariants, no app owned twice.
-		owned := make(map[uint32]bool, len(u.Games))
-		for _, g := range u.Games {
-			if owned[g.AppID] {
-				r.add(ViolationDuplicateOwnership, "user %d owns app %d twice", u.SteamID, g.AppID)
-			}
-			owned[g.AppID] = true
-			if !apps[g.AppID] {
-				r.add(ViolationOwnedAppUnknown, "user %d owns app %d which is not in the catalog", u.SteamID, g.AppID)
-			}
-			if g.TotalMinutes < 0 || g.TwoWeekMinutes < 0 {
-				r.add(ViolationPlaytimeInvariant, "user %d app %d has negative playtime", u.SteamID, g.AppID)
-			} else if int64(g.TwoWeekMinutes) > g.TotalMinutes {
-				r.add(ViolationPlaytimeInvariant, "user %d app %d two-week playtime exceeds lifetime", u.SteamID, g.AppID)
-			}
+	})
+	r.RecordsVerified += int64(len(s.Games))
+	runShards(workers, len(s.Groups), r, func(lo, hi int, sub *Report) {
+		for i := lo; i < hi; i++ {
+			s.fsckGroup(ix, i, sub)
 		}
+	})
+}
 
-		// Memberships: every group a user lists was crawled, and that
-		// group lists the user back.
-		for _, gid := range u.Groups {
-			set, ok := memberOf[gid]
-			if !ok {
-				r.add(ViolationMembershipUnknown, "user %d belongs to uncrawled group %d", u.SteamID, gid)
-				continue
-			}
-			if !set[u.SteamID] {
-				r.add(ViolationMembershipAsymmetric, "user %d lists group %d but the group does not list the user", u.SteamID, gid)
-			}
+// runShards partitions [0, n) into fsckShard-wide ranges, verifies them
+// on the pool, and merges the shard reports into r in index order.
+func runShards(workers, n int, r *Report, verify func(lo, hi int, sub *Report)) {
+	ns := (n + fsckShard - 1) / fsckShard
+	if ns <= 1 {
+		verify(0, n, r)
+		return
+	}
+	subs := make([]*Report, ns)
+	par.For(workers, ns, func(si int) {
+		sub := newReport()
+		verify(si*fsckShard, min((si+1)*fsckShard, n), sub)
+		subs[si] = sub
+	})
+	for _, sub := range subs {
+		r.merge(sub)
+	}
+}
+
+// fsckUser runs the per-user referential checks against the shared
+// index, accumulating into the shard report.
+func (s *Snapshot) fsckUser(ix *fsckIndex, i int, r *Report) {
+	u := &s.Users[i]
+	r.RecordsVerified++
+
+	// Friend edges: every reference resolves to a crawled account and
+	// is reciprocated (the paper's friendship graph is undirected).
+	for _, f := range u.Friends {
+		if f.SteamID == u.SteamID {
+			r.add(ViolationSelfFriend, "user %d lists itself as a friend", u.SteamID)
+			continue
+		}
+		if _, ok := ix.userAt[f.SteamID]; !ok {
+			r.add(ViolationFriendUnknown, "user %d lists unknown account %d as a friend", u.SteamID, f.SteamID)
+			continue
+		}
+		if !ix.friends[fsckPair{f.SteamID, u.SteamID}] {
+			r.add(ViolationFriendAsymmetric, "user %d lists %d but %d does not list %d", u.SteamID, f.SteamID, f.SteamID, u.SteamID)
 		}
 	}
 
-	for range s.Games {
-		r.RecordsVerified++
+	// Ownership: app IDs exist in the catalog, playtimes respect the
+	// two-week <= lifetime >= 0 invariants, no app owned twice.
+	owned := make(map[uint32]bool, len(u.Games))
+	for _, g := range u.Games {
+		if owned[g.AppID] {
+			r.add(ViolationDuplicateOwnership, "user %d owns app %d twice", u.SteamID, g.AppID)
+		}
+		owned[g.AppID] = true
+		if !ix.apps[g.AppID] {
+			r.add(ViolationOwnedAppUnknown, "user %d owns app %d which is not in the catalog", u.SteamID, g.AppID)
+		}
+		if g.TotalMinutes < 0 || g.TwoWeekMinutes < 0 {
+			r.add(ViolationPlaytimeInvariant, "user %d app %d has negative playtime", u.SteamID, g.AppID)
+		} else if int64(g.TwoWeekMinutes) > g.TotalMinutes {
+			r.add(ViolationPlaytimeInvariant, "user %d app %d two-week playtime exceeds lifetime", u.SteamID, g.AppID)
+		}
 	}
 
-	// Group member lists reference crawled accounts that list the group.
-	for i := range s.Groups {
-		g := &s.Groups[i]
-		r.RecordsVerified++
-		for _, m := range g.Members {
-			ui, ok := userAt[m]
-			if !ok {
-				r.add(ViolationMemberUnknown, "group %d lists unknown account %d as a member", g.GID, m)
-				continue
+	// Memberships: every group a user lists was crawled, and that
+	// group lists the user back.
+	for _, gid := range u.Groups {
+		set, ok := ix.memberOf[gid]
+		if !ok {
+			r.add(ViolationMembershipUnknown, "user %d belongs to uncrawled group %d", u.SteamID, gid)
+			continue
+		}
+		if !set[u.SteamID] {
+			r.add(ViolationMembershipAsymmetric, "user %d lists group %d but the group does not list the user", u.SteamID, gid)
+		}
+	}
+}
+
+// fsckGroup checks one group's member list: every member is a crawled
+// account that lists the group back.
+func (s *Snapshot) fsckGroup(ix *fsckIndex, i int, r *Report) {
+	g := &s.Groups[i]
+	r.RecordsVerified++
+	for _, m := range g.Members {
+		ui, ok := ix.userAt[m]
+		if !ok {
+			r.add(ViolationMemberUnknown, "group %d lists unknown account %d as a member", g.GID, m)
+			continue
+		}
+		found := false
+		for _, gid := range s.Users[ui].Groups {
+			if gid == g.GID {
+				found = true
+				break
 			}
-			found := false
-			for _, gid := range s.Users[ui].Groups {
-				if gid == g.GID {
-					found = true
-					break
-				}
-			}
-			if !found {
-				r.add(ViolationMembershipAsymmetric, "group %d lists user %d but the user does not list the group", g.GID, m)
-			}
+		}
+		if !found {
+			r.add(ViolationMembershipAsymmetric, "group %d lists user %d but the user does not list the group", g.GID, m)
 		}
 	}
 }
@@ -314,7 +385,11 @@ func (s *Snapshot) fsckInto(r *Report) {
 // is non-nil only for environmental problems (unknown extension, missing
 // file); corruption is reported in the Report. Metrics, when non-nil,
 // receive the verified-record and failure counts.
-func FsckFile(path string, m *IntegrityMetrics) (*Report, error) {
+//
+// Options: WithWorkers parallelizes the JSONL decode and shards the
+// referential checks; WithProgress reports decode progress per section.
+func FsckFile(path string, m *IntegrityMetrics, opts ...Option) (*Report, error) {
+	o := buildOptions(opts)
 	encoding, gzipped, err := snapshotFormat(path)
 	if err != nil {
 		return nil, err
@@ -340,7 +415,7 @@ func FsckFile(path string, m *IntegrityMetrics) (*Report, error) {
 		}
 	}
 
-	s, derr := decodeSnapshotFile(path, encoding, gzipped)
+	s, derr := decodeSnapshotFile(path, encoding, gzipped, o)
 	if derr != nil {
 		r.add(ViolationDecode, "%v", derr)
 	}
@@ -350,7 +425,7 @@ func FsckFile(path string, m *IntegrityMetrics) (*Report, error) {
 				r.addViolation(v)
 			}
 		}
-		s.fsckInto(r)
+		s.fsckInto(r, o.workers)
 	} else if s != nil {
 		// Partially decoded (JSONL tail damage): still report its shape.
 		r.Users, r.Games, r.Groups = len(s.Users), len(s.Games), len(s.Groups)

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"steamstudy/internal/simworld"
+)
+
+// shardedFixture builds a snapshot large enough that the fsck shard
+// partition genuinely splits it (several fsckShard widths of users),
+// seeded with at least one violation of every referential class, spread
+// across different shards so the merge order matters.
+func shardedFixture() *Snapshot {
+	const n = 3*fsckShard + 500
+	s := &Snapshot{CollectedAt: 77}
+	s.Games = []GameRecord{{AppID: 10, Name: "Alpha", Type: "game"}}
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		u := UserRecord{SteamID: id, Country: "DE",
+			Games:  []OwnershipRecord{{AppID: 10, TotalMinutes: 100, TwoWeekMinutes: 10}},
+			Groups: []uint64{7}}
+		prev, next := id-1, id+1
+		if i > 0 {
+			u.Friends = append(u.Friends, FriendRecord{SteamID: prev, Since: 5})
+		}
+		if i < n-1 {
+			u.Friends = append(u.Friends, FriendRecord{SteamID: next, Since: 5})
+		}
+		s.Users = append(s.Users, u)
+	}
+	members := make([]uint64, n)
+	for i := range members {
+		members[i] = uint64(i + 1)
+	}
+	s.Groups = []GroupRecord{{GID: 7, Name: "grp", Type: "Open", Members: members}}
+
+	// One violation of each referential class, scattered across shards.
+	at := func(shard, off int) *UserRecord { return &s.Users[shard*fsckShard+off] }
+	at(0, 10).Friends = append(at(0, 10).Friends, FriendRecord{SteamID: 999_999})           // friend-unknown
+	at(1, 20).Friends = append(at(1, 20).Friends, FriendRecord{SteamID: at(1, 20).SteamID}) // self-friend
+	at(2, 30).Friends = append(at(2, 30).Friends, FriendRecord{SteamID: 3})                 // asymmetric (3 doesn't list them)
+	at(0, 40).Games = append(at(0, 40).Games, OwnershipRecord{AppID: 404})                  // owned-app-unknown
+	at(1, 50).Games = append(at(1, 50).Games, s.Users[fsckShard+50].Games[0])               // duplicate-ownership
+	at(2, 60).Games[0].TwoWeekMinutes = 500                                                 // playtime-invariant
+	at(3, 70).Groups = append(at(3, 70).Groups, 404)                                        // membership-group-unknown
+	at(3, 80).Groups = nil                                                                  // membership-asymmetric (group lists them)
+	s.Groups[0].Members = append(s.Groups[0].Members, 888_888)                              // member-unknown
+	s.Users = append(s.Users, UserRecord{SteamID: 1})                                       // duplicate-user
+	s.Games = append(s.Games, s.Games[0])                                                   // duplicate-game
+	s.Groups = append(s.Groups, GroupRecord{GID: 7})                                        // duplicate-group
+	return s
+}
+
+// Sharded fsck is a pure throughput knob: for every worker count the
+// report — counts, retained samples, records verified — is identical to
+// the serial pass.
+func TestFsckShardedMatchesSequential(t *testing.T) {
+	s := shardedFixture()
+	base := s.Fsck(WithWorkers(1))
+	if base.Clean() {
+		t.Fatal("fixture should be dirty")
+	}
+	// Every referential class the schema defines must be represented, so
+	// the equivalence below covers them all.
+	for _, class := range []ViolationClass{
+		ViolationDuplicateUser, ViolationDuplicateGame, ViolationDuplicateGroup,
+		ViolationDuplicateOwnership, ViolationPlaytimeInvariant, ViolationFriendUnknown,
+		ViolationFriendAsymmetric, ViolationSelfFriend, ViolationOwnedAppUnknown,
+		ViolationMembershipUnknown, ViolationMemberUnknown, ViolationMembershipAsymmetric,
+	} {
+		if base.Counts[class] == 0 {
+			t.Fatalf("fixture seeds no %s violation", class)
+		}
+	}
+	for _, w := range []int{2, 3, 0} {
+		got := s.Fsck(WithWorkers(w))
+		if !reflect.DeepEqual(base.Counts, got.Counts) {
+			t.Fatalf("workers=%d: counts diverge\n seq: %v\n par: %v", w, base.Counts, got.Counts)
+		}
+		if !reflect.DeepEqual(base.Samples, got.Samples) {
+			t.Fatalf("workers=%d: samples diverge\n seq: %v\n par: %v", w, base.Samples, got.Samples)
+		}
+		if base.RecordsVerified != got.RecordsVerified {
+			t.Fatalf("workers=%d: records verified %d vs %d", w, got.RecordsVerified, base.RecordsVerified)
+		}
+	}
+}
+
+// Sample retention under sharding keeps the serial semantics: the first
+// maxSamplesPerClass violations in index order, even when they span a
+// shard boundary.
+func TestFsckShardedSampleOrderSpansShards(t *testing.T) {
+	s := shardedFixture()
+	// Ten unknown-friend violations straddling the shard-1/shard-2 line.
+	for off := fsckShard*2 - 5; off < fsckShard*2+5; off++ {
+		s.Users[off].Friends = append(s.Users[off].Friends,
+			FriendRecord{SteamID: uint64(1_000_000 + off)})
+	}
+	base := s.Fsck(WithWorkers(1))
+	got := s.Fsck(WithWorkers(3))
+	if len(base.Samples[ViolationFriendUnknown]) != maxSamplesPerClass {
+		t.Fatalf("want %d retained samples, got %d", maxSamplesPerClass, len(base.Samples[ViolationFriendUnknown]))
+	}
+	if !reflect.DeepEqual(base.Samples[ViolationFriendUnknown], got.Samples[ViolationFriendUnknown]) {
+		t.Fatalf("sharded sample order diverges:\n seq: %v\n par: %v",
+			base.Samples[ViolationFriendUnknown], got.Samples[ViolationFriendUnknown])
+	}
+	if base.Counts[ViolationFriendUnknown] != got.Counts[ViolationFriendUnknown] {
+		t.Fatalf("counts diverge: %d vs %d",
+			base.Counts[ViolationFriendUnknown], got.Counts[ViolationFriendUnknown])
+	}
+}
+
+// The progress callback reports monotonically non-decreasing per-section
+// counts and ends at the decoded totals.
+func TestLoadProgressCallback(t *testing.T) {
+	s := shardedFixture()
+	path := t.TempDir() + "/snap.jsonl"
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]int{}
+	calls := 0
+	got, err := Load(path, WithWorkers(2), WithProgress(func(section string, records int) {
+		calls++
+		if records < last[section] {
+			t.Fatalf("progress went backwards for %s: %d -> %d", section, last[section], records)
+		}
+		last[section] = records
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	want := map[string]int{"users": len(got.Users), "games": len(got.Games), "groups": len(got.Groups)}
+	if !reflect.DeepEqual(last, want) {
+		t.Fatalf("final progress %v, want %v", last, want)
+	}
+	if len(got.Users) != len(s.Users) {
+		t.Fatalf("decoded %d users, want %d", len(got.Users), len(s.Users))
+	}
+	// Several windows' worth of records means several progress calls, not
+	// one terminal report.
+	if calls < 3 {
+		t.Fatalf("want windowed progress, got %d calls", calls)
+	}
+}
+
+// The full pipeline — parallel generation through the parallel codec —
+// lands on one snapshot SHA-256 regardless of how many workers either
+// stage used: the manifest hash is a pure function of (config, seed).
+func TestGeneratedSnapshotSHAWorkerInvariant(t *testing.T) {
+	dir := t.TempDir()
+	var ref string
+	for _, w := range []int{1, 2, 3, 0} {
+		cfg := simworld.DefaultConfig(2000)
+		cfg.CatalogSize = 80
+		cfg.Workers = w
+		u := simworld.MustGenerate(cfg, 42)
+		path := filepath.Join(dir, fmt.Sprintf("gen-w%d.snap.jsonl", w))
+		if err := FromUniverse(u).Save(path, WithWorkers(w)); err != nil {
+			t.Fatal(err)
+		}
+		man, err := ReadManifest(path)
+		if err != nil || man == nil {
+			t.Fatalf("workers=%d: manifest: %v", w, err)
+		}
+		if ref == "" {
+			ref = man.FileSHA256
+		} else if man.FileSHA256 != ref {
+			t.Fatalf("workers=%d: snapshot SHA-256 %s differs from %s", w, man.FileSHA256, ref)
+		}
+	}
+}

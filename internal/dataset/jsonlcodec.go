@@ -1,0 +1,681 @@
+// Hand-rolled JSONL codec. The line-oriented export used to go through
+// encoding/json record by record; at 108.7M accounts the reflection walk
+// and per-record allocations dominate save/load time. This codec emits
+// and parses the exact same bytes with append-style encoders and a
+// strict scanner, so the on-disk format — including the committed golden
+// snapshot and every manifest hash — is unchanged down to the byte.
+//
+// Byte compatibility is a hard requirement, not an aspiration: the
+// encoder reproduces encoding/json's field order (declaration order, no
+// tags on the record types), HTML-escaped strings ('<', '>', '&'
+// become their \u003c-style escapes), the literal six characters
+// \ufffd for invalid UTF-8, \u2028 and \u2029 escapes, the float formatting of json's floatEncoder, null for nil
+// slices, and omitempty on the line envelope. The decoder's fast path
+// accepts exactly what the encoder emits; any line it does not
+// recognize — foreign field order, whitespace, escapes the fast path
+// skips — falls back to encoding/json for that line, so hand-written or
+// third-party JSONL keeps working with identical error messages.
+
+package dataset
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe reports whether byte c passes through encoding/json's
+// HTML-escaping string encoder unchanged (htmlSafeSet).
+func jsonSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}
+
+// appendString appends s as a JSON string, byte-identical with
+// encoding/json's default (HTML-escaping) encoder.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe(c) {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				// Control chars plus '<', '>', '&'.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendFloat appends f exactly as encoding/json's floatEncoder would.
+// ok is false for NaN and infinities, which JSON cannot represent; the
+// caller falls back to encoding/json to surface the identical error.
+func appendFloat(b []byte, f float64) (_ []byte, ok bool) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, true
+}
+
+// appendHeaderLine appends the envelope line for the snapshot header,
+// including the trailing newline json.Encoder.Encode writes.
+func appendHeaderLine(b []byte, collectedAt int64) []byte {
+	b = append(b, `{"kind":"header"`...)
+	if collectedAt != 0 { // omitempty on the envelope
+		b = append(b, `,"collected_at":`...)
+		b = strconv.AppendInt(b, collectedAt, 10)
+	}
+	return append(b, '}', '\n')
+}
+
+func appendGameLine(b []byte, g *GameRecord) ([]byte, error) {
+	mark := len(b)
+	b = append(b, `{"kind":"game","game":`...)
+	b, ok := appendGame(b, g)
+	if !ok {
+		// Non-finite float: re-encode through encoding/json purely to
+		// produce its exact UnsupportedValueError.
+		_, err := json.Marshal(jsonlLine{Kind: "game", Game: g})
+		return b[:mark], err
+	}
+	return append(b, '}', '\n'), nil
+}
+
+func appendGame(b []byte, g *GameRecord) ([]byte, bool) {
+	b = append(b, `{"AppID":`...)
+	b = strconv.AppendUint(b, uint64(g.AppID), 10)
+	b = append(b, `,"Name":`...)
+	b = appendString(b, g.Name)
+	b = append(b, `,"Type":`...)
+	b = appendString(b, g.Type)
+	b = append(b, `,"Genres":`...)
+	if g.Genres == nil {
+		b = append(b, `null`...)
+	} else {
+		b = append(b, '[')
+		for i, s := range g.Genres {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendString(b, s)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"Multiplayer":`...)
+	b = strconv.AppendBool(b, g.Multiplayer)
+	b = append(b, `,"PriceCents":`...)
+	b = strconv.AppendInt(b, g.PriceCents, 10)
+	b = append(b, `,"Metacritic":`...)
+	b = strconv.AppendInt(b, int64(g.Metacritic), 10)
+	b = append(b, `,"ReleaseYear":`...)
+	b = strconv.AppendInt(b, int64(g.ReleaseYear), 10)
+	b = append(b, `,"Developer":`...)
+	b = appendString(b, g.Developer)
+	b = append(b, `,"Achievements":`...)
+	if g.Achievements == nil {
+		b = append(b, `null`...)
+	} else {
+		b = append(b, '[')
+		for i := range g.Achievements {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			a := &g.Achievements[i]
+			b = append(b, `{"Name":`...)
+			b = appendString(b, a.Name)
+			b = append(b, `,"Percent":`...)
+			var ok bool
+			if b, ok = appendFloat(b, a.Percent); !ok {
+				return b, false
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}'), true
+}
+
+func appendUserLine(b []byte, u *UserRecord) ([]byte, error) {
+	b = append(b, `{"kind":"user","user":{"SteamID":`...)
+	b = strconv.AppendUint(b, u.SteamID, 10)
+	b = append(b, `,"Created":`...)
+	b = strconv.AppendInt(b, u.Created, 10)
+	b = append(b, `,"Country":`...)
+	b = appendString(b, u.Country)
+	b = append(b, `,"City":`...)
+	b = appendString(b, u.City)
+	b = append(b, `,"Friends":`...)
+	if u.Friends == nil {
+		b = append(b, `null`...)
+	} else {
+		b = append(b, '[')
+		for i := range u.Friends {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			f := &u.Friends[i]
+			b = append(b, `{"SteamID":`...)
+			b = strconv.AppendUint(b, f.SteamID, 10)
+			b = append(b, `,"Since":`...)
+			b = strconv.AppendInt(b, f.Since, 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"Games":`...)
+	if u.Games == nil {
+		b = append(b, `null`...)
+	} else {
+		b = append(b, '[')
+		for i := range u.Games {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			g := &u.Games[i]
+			b = append(b, `{"AppID":`...)
+			b = strconv.AppendUint(b, uint64(g.AppID), 10)
+			b = append(b, `,"TotalMinutes":`...)
+			b = strconv.AppendInt(b, g.TotalMinutes, 10)
+			b = append(b, `,"TwoWeekMinutes":`...)
+			b = strconv.AppendInt(b, int64(g.TwoWeekMinutes), 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"Groups":`...)
+	b = appendUint64s(b, u.Groups)
+	return append(b, '}', '}', '\n'), nil
+}
+
+func appendGroupLine(b []byte, g *GroupRecord) ([]byte, error) {
+	b = append(b, `{"kind":"group","group":{"GID":`...)
+	b = strconv.AppendUint(b, g.GID, 10)
+	b = append(b, `,"Name":`...)
+	b = appendString(b, g.Name)
+	b = append(b, `,"Type":`...)
+	b = appendString(b, g.Type)
+	b = append(b, `,"Members":`...)
+	b = appendUint64s(b, g.Members)
+	return append(b, '}', '}', '\n'), nil
+}
+
+func appendUint64s(b []byte, v []uint64) []byte {
+	if v == nil {
+		return append(b, `null`...)
+	}
+	b = append(b, '[')
+	for i, x := range v {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, x, 10)
+	}
+	return append(b, ']')
+}
+
+// --- decoding -----------------------------------------------------------
+
+// lineScanner is a strict cursor over one trimmed JSONL line. Every
+// method reports failure instead of guessing; the caller treats any
+// failure as "not the canonical layout" and falls back to encoding/json.
+type lineScanner struct {
+	b   []byte
+	pos int
+}
+
+func (p *lineScanner) lit(s string) bool {
+	if len(p.b)-p.pos < len(s) || string(p.b[p.pos:p.pos+len(s)]) != s {
+		return false
+	}
+	p.pos += len(s)
+	return true
+}
+
+func (p *lineScanner) done() bool { return p.pos == len(p.b) }
+
+func (p *lineScanner) uint64v() (uint64, bool) {
+	start := p.pos
+	for p.pos < len(p.b) && p.b[p.pos] >= '0' && p.b[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(string(p.b[start:p.pos]), 10, 64)
+	return v, err == nil
+}
+
+func (p *lineScanner) int64v() (int64, bool) {
+	start := p.pos
+	if p.pos < len(p.b) && p.b[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.b) && p.b[p.pos] >= '0' && p.b[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.b[start] == '-') {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(string(p.b[start:p.pos]), 10, 64)
+	return v, err == nil
+}
+
+// float64v scans a JSON number token. Exponents and fractions are
+// delegated to strconv, which accepts exactly the token the encoder
+// emitted.
+func (p *lineScanner) float64v() (float64, bool) {
+	start := p.pos
+	for p.pos < len(p.b) {
+		c := p.b[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(p.b[start:p.pos]), 64)
+	return v, err == nil
+}
+
+// stringv scans a JSON string. Escape sequences are rare in this data
+// (game names and country codes are plain text), so the fast path only
+// handles escape-free strings and punts anything with a backslash to the
+// encoding/json fallback for the whole line.
+func (p *lineScanner) stringv() (string, bool) {
+	if p.pos >= len(p.b) || p.b[p.pos] != '"' {
+		return "", false
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.b) {
+		switch p.b[p.pos] {
+		case '"':
+			s := string(p.b[start:p.pos])
+			p.pos++
+			return s, true
+		case '\\':
+			return "", false
+		}
+		p.pos++
+	}
+	return "", false
+}
+
+func (p *lineScanner) boolv() (bool, bool) {
+	if p.lit("true") {
+		return true, true
+	}
+	if p.lit("false") {
+		return false, true
+	}
+	return false, false
+}
+
+func (p *lineScanner) uint64sField(key string) ([]uint64, bool) {
+	if !p.lit(key) {
+		return nil, false
+	}
+	if p.lit("null") {
+		return nil, true
+	}
+	if !p.lit("[") {
+		return nil, false
+	}
+	out := []uint64{}
+	for !p.lit("]") {
+		if len(out) > 0 && !p.lit(",") {
+			return nil, false
+		}
+		v, ok := p.uint64v()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// decodedLine is one parsed JSONL record, kind-tagged like jsonlLine but
+// value-typed so chunk decoding allocates nothing per line beyond the
+// record payloads themselves.
+type decodedLine struct {
+	kind        byte // 'h', 'g', 'u', 'p' (group)
+	collectedAt int64
+	game        GameRecord
+	user        UserRecord
+	group       GroupRecord
+}
+
+// decodeLineFast parses one trimmed line of the canonical encoder
+// layout. ok=false means "not canonical" — not an error; the caller
+// retries with encoding/json.
+func decodeLineFast(trimmed []byte, out *decodedLine) bool {
+	p := lineScanner{b: trimmed}
+	if !p.lit(`{"kind":"`) {
+		return false
+	}
+	switch {
+	case p.lit(`header"`):
+		out.kind = 'h'
+		out.collectedAt = 0
+		if p.lit(`}`) {
+			return p.done()
+		}
+		if !p.lit(`,"collected_at":`) {
+			return false
+		}
+		v, ok := p.int64v()
+		if !ok {
+			return false
+		}
+		out.collectedAt = v
+		return p.lit(`}`) && p.done()
+	case p.lit(`game","game":`):
+		out.kind = 'g'
+		return decodeGameFast(&p, &out.game) && p.lit(`}`) && p.done()
+	case p.lit(`user","user":`):
+		out.kind = 'u'
+		return decodeUserFast(&p, &out.user) && p.lit(`}`) && p.done()
+	case p.lit(`group","group":`):
+		out.kind = 'p'
+		return decodeGroupFast(&p, &out.group) && p.lit(`}`) && p.done()
+	}
+	return false
+}
+
+func decodeGameFast(p *lineScanner, g *GameRecord) bool {
+	*g = GameRecord{}
+	if !p.lit(`{"AppID":`) {
+		return false
+	}
+	appID, ok := p.uint64v()
+	if !ok || appID > math.MaxUint32 {
+		return false
+	}
+	g.AppID = uint32(appID)
+	if !p.lit(`,"Name":`) {
+		return false
+	}
+	if g.Name, ok = p.stringv(); !ok {
+		return false
+	}
+	if !p.lit(`,"Type":`) {
+		return false
+	}
+	if g.Type, ok = p.stringv(); !ok {
+		return false
+	}
+	if !p.lit(`,"Genres":`) {
+		return false
+	}
+	if !p.lit("null") {
+		if !p.lit("[") {
+			return false
+		}
+		g.Genres = []string{}
+		for !p.lit("]") {
+			if len(g.Genres) > 0 && !p.lit(",") {
+				return false
+			}
+			s, ok := p.stringv()
+			if !ok {
+				return false
+			}
+			g.Genres = append(g.Genres, s)
+		}
+	}
+	if !p.lit(`,"Multiplayer":`) {
+		return false
+	}
+	if g.Multiplayer, ok = p.boolv(); !ok {
+		return false
+	}
+	if !p.lit(`,"PriceCents":`) {
+		return false
+	}
+	if g.PriceCents, ok = p.int64v(); !ok {
+		return false
+	}
+	if !p.lit(`,"Metacritic":`) {
+		return false
+	}
+	mc, ok := p.int64v()
+	if !ok {
+		return false
+	}
+	g.Metacritic = int(mc)
+	if !p.lit(`,"ReleaseYear":`) {
+		return false
+	}
+	ry, ok := p.int64v()
+	if !ok {
+		return false
+	}
+	g.ReleaseYear = int(ry)
+	if !p.lit(`,"Developer":`) {
+		return false
+	}
+	if g.Developer, ok = p.stringv(); !ok {
+		return false
+	}
+	if !p.lit(`,"Achievements":`) {
+		return false
+	}
+	if !p.lit("null") {
+		if !p.lit("[") {
+			return false
+		}
+		g.Achievements = []AchievementRecord{}
+		for !p.lit("]") {
+			if len(g.Achievements) > 0 && !p.lit(",") {
+				return false
+			}
+			var a AchievementRecord
+			if !p.lit(`{"Name":`) {
+				return false
+			}
+			if a.Name, ok = p.stringv(); !ok {
+				return false
+			}
+			if !p.lit(`,"Percent":`) {
+				return false
+			}
+			if a.Percent, ok = p.float64v(); !ok {
+				return false
+			}
+			if !p.lit("}") {
+				return false
+			}
+			g.Achievements = append(g.Achievements, a)
+		}
+	}
+	return p.lit("}")
+}
+
+func decodeUserFast(p *lineScanner, u *UserRecord) bool {
+	*u = UserRecord{}
+	if !p.lit(`{"SteamID":`) {
+		return false
+	}
+	var ok bool
+	if u.SteamID, ok = p.uint64v(); !ok {
+		return false
+	}
+	if !p.lit(`,"Created":`) {
+		return false
+	}
+	if u.Created, ok = p.int64v(); !ok {
+		return false
+	}
+	if !p.lit(`,"Country":`) {
+		return false
+	}
+	if u.Country, ok = p.stringv(); !ok {
+		return false
+	}
+	if !p.lit(`,"City":`) {
+		return false
+	}
+	if u.City, ok = p.stringv(); !ok {
+		return false
+	}
+	if !p.lit(`,"Friends":`) {
+		return false
+	}
+	if !p.lit("null") {
+		if !p.lit("[") {
+			return false
+		}
+		u.Friends = []FriendRecord{}
+		for !p.lit("]") {
+			if len(u.Friends) > 0 && !p.lit(",") {
+				return false
+			}
+			var f FriendRecord
+			if !p.lit(`{"SteamID":`) {
+				return false
+			}
+			if f.SteamID, ok = p.uint64v(); !ok {
+				return false
+			}
+			if !p.lit(`,"Since":`) {
+				return false
+			}
+			if f.Since, ok = p.int64v(); !ok {
+				return false
+			}
+			if !p.lit("}") {
+				return false
+			}
+			u.Friends = append(u.Friends, f)
+		}
+	}
+	if !p.lit(`,"Games":`) {
+		return false
+	}
+	if !p.lit("null") {
+		if !p.lit("[") {
+			return false
+		}
+		u.Games = []OwnershipRecord{}
+		for !p.lit("]") {
+			if len(u.Games) > 0 && !p.lit(",") {
+				return false
+			}
+			var g OwnershipRecord
+			if !p.lit(`{"AppID":`) {
+				return false
+			}
+			appID, ok := p.uint64v()
+			if !ok || appID > math.MaxUint32 {
+				return false
+			}
+			g.AppID = uint32(appID)
+			if !p.lit(`,"TotalMinutes":`) {
+				return false
+			}
+			if g.TotalMinutes, ok = p.int64v(); !ok {
+				return false
+			}
+			if !p.lit(`,"TwoWeekMinutes":`) {
+				return false
+			}
+			tw, ok := p.int64v()
+			if !ok || tw > math.MaxInt32 || tw < math.MinInt32 {
+				return false
+			}
+			g.TwoWeekMinutes = int32(tw)
+			if !p.lit("}") {
+				return false
+			}
+			u.Games = append(u.Games, g)
+		}
+	}
+	groups, ok := p.uint64sField(`,"Groups":`)
+	if !ok {
+		return false
+	}
+	u.Groups = groups
+	return p.lit("}")
+}
+
+func decodeGroupFast(p *lineScanner, g *GroupRecord) bool {
+	*g = GroupRecord{}
+	if !p.lit(`{"GID":`) {
+		return false
+	}
+	var ok bool
+	if g.GID, ok = p.uint64v(); !ok {
+		return false
+	}
+	if !p.lit(`,"Name":`) {
+		return false
+	}
+	if g.Name, ok = p.stringv(); !ok {
+		return false
+	}
+	if !p.lit(`,"Type":`) {
+		return false
+	}
+	if g.Type, ok = p.stringv(); !ok {
+		return false
+	}
+	members, ok := p.uint64sField(`,"Members":`)
+	if !ok {
+		return false
+	}
+	g.Members = members
+	return p.lit("}")
+}

@@ -1,0 +1,41 @@
+package dataset
+
+// Option tunes Save, Load, Fsck and FsckFile without changing their
+// results: the parallel codec and the sharded fsck are deterministic, so
+// every option is purely a throughput or observability knob.
+type Option func(*options)
+
+type options struct {
+	workers  int
+	progress ProgressFunc
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithWorkers sets the worker count for the chunked JSONL codec and the
+// sharded referential fsck. Values <= 0 mean one worker per logical CPU
+// (the default); 1 forces the serial path. The output is byte-identical
+// for any value — see internal/par for the determinism contract.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// ProgressFunc receives periodic per-section record counts while a
+// snapshot decodes. Section is "users", "games" or "groups"; records is
+// the total decoded so far for that section. Calls arrive from the
+// decoding goroutine in monotonically non-decreasing order per section.
+type ProgressFunc func(section string, records int)
+
+// WithProgress registers a decode progress callback on Load or FsckFile,
+// so a multi-GB JSONL load is observable (e.g. via obs gauges) instead
+// of silent. The callback must be cheap; it is invoked once per decoded
+// window, not once per record.
+func WithProgress(fn ProgressFunc) Option {
+	return func(o *options) { o.progress = fn }
+}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"crypto/sha256"
 	"encoding/gob"
@@ -13,7 +14,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
+
+	"steamstudy/internal/par"
 )
 
 // Container encodings.
@@ -83,7 +87,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // alone, the new snapshot alone, or the new pair — never a mix that
 // fails verification, and never a half-written snapshot. Stale ".tmp-*"
 // files from a crashed save are inert and may be deleted freely.
-func (s *Snapshot) Save(path string) (err error) {
+//
+// Options: WithWorkers parallelizes the JSONL encoding (chunks encoded
+// concurrently, written in index order through the same single hashing
+// pass), producing byte-identical files for any worker count.
+func (s *Snapshot) Save(path string, opts ...Option) (err error) {
+	o := buildOptions(opts)
 	encoding, gzipped, err := snapshotFormat(path)
 	if err != nil {
 		return err
@@ -117,7 +126,7 @@ func (s *Snapshot) Save(path string) (err error) {
 	}
 	bw := bufio.NewWriterSize(payload, 1<<20)
 	if encoding == encJSONL {
-		err = s.writeJSONL(bw)
+		err = s.writeJSONL(bw, o.workers)
 	} else {
 		err = gob.NewEncoder(bw).Encode(s)
 	}
@@ -204,7 +213,12 @@ func syncDir(dir string) error {
 // mismatch") rather than as a bare decode error. Snapshots without a
 // manifest (pre-manifest files, or a crash that published data before its
 // sidecar) load unverified.
-func Load(path string) (*Snapshot, error) {
+//
+// Options: WithWorkers parallelizes the JSONL chunk decoding (lines are
+// still read in one pass and records appended in file order);
+// WithProgress reports per-section record counts as they decode.
+func Load(path string, opts ...Option) (*Snapshot, error) {
+	o := buildOptions(opts)
 	encoding, gzipped, err := snapshotFormat(path)
 	if err != nil {
 		return nil, err
@@ -224,7 +238,7 @@ func Load(path string) (*Snapshot, error) {
 		// "file hash mismatch" merely confirms it.
 		hashErr = man.verifyFile(path)
 	}
-	s, err := decodeSnapshotFile(path, encoding, gzipped)
+	s, err := decodeSnapshotFile(path, encoding, gzipped, o)
 	if err != nil {
 		if hashErr != nil {
 			return nil, fmt.Errorf("%w (raw-byte check also failed: %v)", err, hashErr)
@@ -245,7 +259,7 @@ func Load(path string) (*Snapshot, error) {
 // decodeSnapshotFile decodes the container without any manifest checks.
 // For JSONL the returned snapshot holds every record decoded before an
 // error, so fsck can still describe a partially readable file.
-func decodeSnapshotFile(path, encoding string, gzipped bool) (*Snapshot, error) {
+func decodeSnapshotFile(path, encoding string, gzipped bool, o options) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: opening %s: %w", path, err)
@@ -263,13 +277,20 @@ func decodeSnapshotFile(path, encoding string, gzipped bool) (*Snapshot, error) 
 	br := bufio.NewReaderSize(r, 1<<20)
 	s := &Snapshot{}
 	if encoding == encJSONL {
-		if err := s.readJSONL(br); err != nil {
+		if err := s.readJSONL(br, o.workers, o.progress); err != nil {
 			return s, fmt.Errorf("dataset: decoding %s: %w", path, err)
 		}
 		return s, nil
 	}
 	if err := gob.NewDecoder(br).Decode(s); err != nil {
 		return &Snapshot{}, fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	if o.progress != nil {
+		// Gob decodes in one shot; report the final shape so callers see
+		// the same section events for either container format.
+		o.progress(sectionGames, len(s.Games))
+		o.progress(sectionUsers, len(s.Users))
+		o.progress(sectionGroups, len(s.Groups))
 	}
 	return s, nil
 }
@@ -283,74 +304,206 @@ type jsonlLine struct {
 	Group       *GroupRecord `json:"group,omitempty"`
 }
 
-func (s *Snapshot) writeJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(jsonlLine{Kind: "header", CollectedAt: s.CollectedAt}); err != nil {
-		return err
-	}
-	for i := range s.Games {
-		if err := enc.Encode(jsonlLine{Kind: "game", Game: &s.Games[i]}); err != nil {
-			return err
-		}
-	}
-	for i := range s.Users {
-		if err := enc.Encode(jsonlLine{Kind: "user", User: &s.Users[i]}); err != nil {
-			return err
-		}
-	}
-	for i := range s.Groups {
-		if err := enc.Encode(jsonlLine{Kind: "group", Group: &s.Groups[i]}); err != nil {
-			return err
-		}
-	}
-	return nil
+// jsonlChunk is the fixed number of records per encoded or decoded
+// chunk. Like simworld's genChunk it is part of the work partition, not
+// derived from the worker count, so chunk boundaries — and therefore the
+// bytes, errors and record order — are identical for any Workers value.
+const jsonlChunk = 512
+
+// chunkBufPool recycles chunk encode buffers across sections and saves.
+var chunkBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+type encodedChunk struct {
+	buf *[]byte
+	err error
 }
 
-// readJSONL decodes the line-oriented export one line at a time so every
-// error carries the offending line number — on a 100M-record export
-// "line 83441972: unknown record kind" beats an anonymous decode failure.
-func (s *Snapshot) readJSONL(br *bufio.Reader) error {
-	for lineNo := 1; ; lineNo++ {
-		raw, err := br.ReadBytes('\n')
-		if len(raw) == 0 || (err != nil && err != io.EOF) {
+// writeJSONL streams the export: chunks of records are encoded by the
+// hand-rolled codec on the worker pool while the caller's goroutine
+// writes them in index order through the single bufio+hash pass.
+func (s *Snapshot) writeJSONL(w io.Writer, workers int) error {
+	if _, err := w.Write(appendHeaderLine(nil, s.CollectedAt)); err != nil {
+		return err
+	}
+	if err := writeSection(w, workers, len(s.Games), func(b []byte, i int) ([]byte, error) {
+		return appendGameLine(b, &s.Games[i])
+	}); err != nil {
+		return err
+	}
+	if err := writeSection(w, workers, len(s.Users), func(b []byte, i int) ([]byte, error) {
+		return appendUserLine(b, &s.Users[i])
+	}); err != nil {
+		return err
+	}
+	return writeSection(w, workers, len(s.Groups), func(b []byte, i int) ([]byte, error) {
+		return appendGroupLine(b, &s.Groups[i])
+	})
+}
+
+func writeSection(w io.Writer, workers, n int, enc func(b []byte, i int) ([]byte, error)) error {
+	nc := (n + jsonlChunk - 1) / jsonlChunk
+	return par.Ordered(workers, nc, func(c int) encodedChunk {
+		buf := chunkBufPool.Get().(*[]byte)
+		b := (*buf)[:0]
+		lo, hi := c*jsonlChunk, min((c+1)*jsonlChunk, n)
+		var err error
+		for i := lo; i < hi && err == nil; i++ {
+			b, err = enc(b, i)
+		}
+		*buf = b
+		return encodedChunk{buf: buf, err: err}
+	}, func(c int, ec encodedChunk) error {
+		defer chunkBufPool.Put(ec.buf)
+		if ec.err != nil {
+			return ec.err
+		}
+		_, err := w.Write(*ec.buf)
+		return err
+	})
+}
+
+// rawLine is one non-blank input line with its 1-based file line number
+// (blank lines are skipped but still numbered, like the serial decoder).
+type rawLine struct {
+	no int
+	b  []byte
+}
+
+type decodedChunk struct {
+	recs []decodedLine
+	// err, if non-nil, occurred at line errLine; recs holds everything
+	// decoded before it, preserving the serial decoder's partial result.
+	err     error
+	errLine int
+}
+
+// decodeChunk parses one batch of lines: the strict fast path for the
+// canonical layout, encoding/json for anything else, with identical
+// errors either way.
+func decodeChunk(lines []rawLine) decodedChunk {
+	var out decodedChunk
+	out.recs = make([]decodedLine, 0, len(lines))
+	for _, ln := range lines {
+		trimmed := bytes.TrimSpace(ln.b)
+		var rec decodedLine
+		if !decodeLineFast(trimmed, &rec) {
+			var line jsonlLine
+			if uerr := json.Unmarshal(trimmed, &line); uerr != nil {
+				out.err, out.errLine = uerr, ln.no
+				return out
+			}
+			switch line.Kind {
+			case "header":
+				rec = decodedLine{kind: 'h', collectedAt: line.CollectedAt}
+			case "game":
+				if line.Game == nil {
+					out.err = fmt.Errorf("game record without payload")
+					out.errLine = ln.no
+					return out
+				}
+				rec = decodedLine{kind: 'g', game: *line.Game}
+			case "user":
+				if line.User == nil {
+					out.err = fmt.Errorf("user record without payload")
+					out.errLine = ln.no
+					return out
+				}
+				rec = decodedLine{kind: 'u', user: *line.User}
+			case "group":
+				if line.Group == nil {
+					out.err = fmt.Errorf("group record without payload")
+					out.errLine = ln.no
+					return out
+				}
+				rec = decodedLine{kind: 'p', group: *line.Group}
+			default:
+				out.err = fmt.Errorf("unknown record kind %q", line.Kind)
+				out.errLine = ln.no
+				return out
+			}
+		}
+		out.recs = append(out.recs, rec)
+	}
+	return out
+}
+
+// readJSONL decodes the line-oriented export: one goroutine reads lines
+// in a single pass, windows of fixed-width chunks are parsed on the
+// worker pool, and records are appended in file order. Every error still
+// carries the offending line number — on a 100M-record export
+// "line 83441972: unknown record kind" beats an anonymous decode failure
+// — and everything decoded before the error is kept, so fsck can
+// describe a partially readable file.
+func (s *Snapshot) readJSONL(br *bufio.Reader, workers int, progress ProgressFunc) error {
+	w := par.N(workers)
+	window := 2 * w // chunks decoded per barrier; bounds memory
+	lineNo := 0
+	report := func() {
+		if progress != nil {
+			progress(sectionGames, len(s.Games))
+			progress(sectionUsers, len(s.Users))
+			progress(sectionGroups, len(s.Groups))
+		}
+	}
+	for {
+		// Fill a window of chunks from the reader.
+		var chunks [][]rawLine
+		var cur []rawLine
+		var ioErr error
+		ioErrLine := 0
+		eof := false
+		for len(chunks) < window && !eof && ioErr == nil {
+			lineNo++
+			raw, err := br.ReadBytes('\n')
+			if len(raw) == 0 || (err != nil && err != io.EOF) {
+				if err == io.EOF {
+					eof = true
+					break
+				}
+				ioErr, ioErrLine = err, lineNo
+				break
+			}
+			if len(bytes.TrimSpace(raw)) != 0 {
+				cur = append(cur, rawLine{no: lineNo, b: raw})
+				if len(cur) == jsonlChunk {
+					chunks = append(chunks, cur)
+					cur = nil
+				}
+			}
 			if err == io.EOF {
-				return nil
+				eof = true
 			}
-			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		trimmed := strings.TrimSpace(string(raw))
-		if trimmed == "" {
-			if err == io.EOF {
-				return nil
-			}
-			continue
+		if len(cur) > 0 {
+			chunks = append(chunks, cur)
 		}
-		var line jsonlLine
-		if uerr := json.Unmarshal([]byte(trimmed), &line); uerr != nil {
-			return fmt.Errorf("line %d: %w", lineNo, uerr)
+
+		// Decode the window on the pool, then merge in file order.
+		results := make([]decodedChunk, len(chunks))
+		par.For(workers, len(chunks), func(i int) { results[i] = decodeChunk(chunks[i]) })
+		for _, dc := range results {
+			for i := range dc.recs {
+				switch rec := &dc.recs[i]; rec.kind {
+				case 'h':
+					s.CollectedAt = rec.collectedAt
+				case 'g':
+					s.Games = append(s.Games, rec.game)
+				case 'u':
+					s.Users = append(s.Users, rec.user)
+				case 'p':
+					s.Groups = append(s.Groups, rec.group)
+				}
+			}
+			if dc.err != nil {
+				report()
+				return fmt.Errorf("line %d: %w", dc.errLine, dc.err)
+			}
 		}
-		switch line.Kind {
-		case "header":
-			s.CollectedAt = line.CollectedAt
-		case "game":
-			if line.Game == nil {
-				return fmt.Errorf("line %d: game record without payload", lineNo)
-			}
-			s.Games = append(s.Games, *line.Game)
-		case "user":
-			if line.User == nil {
-				return fmt.Errorf("line %d: user record without payload", lineNo)
-			}
-			s.Users = append(s.Users, *line.User)
-		case "group":
-			if line.Group == nil {
-				return fmt.Errorf("line %d: group record without payload", lineNo)
-			}
-			s.Groups = append(s.Groups, *line.Group)
-		default:
-			return fmt.Errorf("line %d: unknown record kind %q", lineNo, line.Kind)
+		report()
+		if ioErr != nil {
+			return fmt.Errorf("line %d: %w", ioErrLine, ioErr)
 		}
-		if err == io.EOF {
+		if eof {
 			return nil
 		}
 	}

@@ -75,3 +75,61 @@ func For(workers, n int, fn func(i int)) {
 func Run(workers int, fns ...func()) {
 	For(workers, len(fns), func(i int) { fns[i]() })
 }
+
+// Ordered is the bounded ordered pipeline behind the chunked snapshot
+// codec: produce(i) runs for every i in [0, n) on at most N(workers)
+// goroutines, while consume(i, v) is called from the caller's goroutine
+// in strict index order — never concurrently, never out of order. At
+// most 2*workers productions are in flight, so memory stays bounded no
+// matter how far the fastest producer runs ahead of the consumer.
+//
+// The determinism contract holds by construction: produce follows the
+// package rules (a pure function of i plus read-only shared state) and
+// the index-ordered consume makes the observable output identical for
+// any worker count, including the inline serial path at workers==1.
+//
+// A consume error stops further consume calls but not production: every
+// produce(i) still runs exactly once (rarely wasteful, never leaky —
+// no goroutine is left blocked). The first consume error is returned.
+func Ordered[T any](workers, n int, produce func(i int) T, consume func(i int, v T) error) error {
+	w := N(workers)
+	if w > n {
+		w = n
+	}
+	var err error
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v := produce(i)
+			if err == nil {
+				err = consume(i, v)
+			}
+		}
+		return err
+	}
+	window := 2 * w
+	if window > n {
+		window = n
+	}
+	// A ring of single-slot channels: production i deposits into slot
+	// i%window, and the semaphore guarantees slot reuse only after the
+	// consumer has drained the previous occupant.
+	slots := make([]chan T, window)
+	for i := range slots {
+		slots[i] = make(chan T, 1)
+	}
+	sem := make(chan struct{}, window)
+	go func() {
+		for i := 0; i < n; i++ {
+			sem <- struct{}{}
+			go func(i int) { slots[i%window] <- produce(i) }(i)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		v := <-slots[i%window]
+		if err == nil {
+			err = consume(i, v)
+		}
+		<-sem
+	}
+	return err
+}

@@ -65,6 +65,93 @@ func TestForZeroAndTinyN(t *testing.T) {
 	}
 }
 
+func TestOrderedConsumesInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		const n = 300
+		var got []int
+		err := Ordered(workers, n,
+			func(i int) int { return i * 7 },
+			func(i, v int) error {
+				if v != i*7 {
+					t.Fatalf("workers=%d: index %d carried %d", workers, i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: consumed %d of %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: consume order broken at %d (got index %d)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestOrderedEveryProduceRunsOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 500
+		counts := make([]int32, n)
+		err := Ordered(workers, n,
+			func(i int) int { atomic.AddInt32(&counts[i], 1); return i },
+			func(i, v int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: produce(%d) ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestOrderedReturnsFirstConsumeError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 64
+		produced := make([]int32, n)
+		var consumed int32
+		err := Ordered(workers, n,
+			func(i int) int { atomic.AddInt32(&produced[i], 1); return i },
+			func(i, v int) error {
+				consumed++
+				if i == 5 {
+					return errBoom
+				}
+				return nil
+			})
+		if err != errBoom {
+			t.Fatalf("workers=%d: err = %v, want errBoom", workers, err)
+		}
+		// consume stops after the error; production still completes so no
+		// goroutine is left blocked on a slot.
+		if consumed != 6 {
+			t.Fatalf("workers=%d: consumed %d calls, want 6", workers, consumed)
+		}
+		for i, c := range produced {
+			if c != 1 {
+				t.Fatalf("workers=%d: produce(%d) ran %d times after error", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestOrderedZeroN(t *testing.T) {
+	if err := Ordered(4, 0, func(i int) int { return i }, func(i, v int) error { return errBoom }); err != nil {
+		t.Fatalf("n=0 returned %v", err)
+	}
+}
+
+var errBoom = errSentinel("boom")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
 func TestRunExecutesAllFns(t *testing.T) {
 	var a, b, c atomic.Int32
 	Run(2,

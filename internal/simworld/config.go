@@ -81,6 +81,14 @@ type Config struct {
 	// CatalogSize is the number of storefront products (paper: 6,156).
 	CatalogSize int
 
+	// Workers bounds the generation worker pool (<= 0 means one worker
+	// per logical CPU, 1 forces the serial path). It is a throughput
+	// knob, not part of the universe definition: generation partitions
+	// each stage's index space into fixed-size chunks with their own
+	// split RNG streams, so the output is byte-identical for any value.
+	// Universe.Config records it as 0 to keep artifacts comparable.
+	Workers int
+
 	// Marginals for the five copula-driven attributes.
 	Friends    Marginal
 	GamesOwned Marginal
@@ -147,6 +155,10 @@ type Config struct {
 	// MultiplayerTotalBoost and MultiplayerTwoWeekBoost tilt playtime
 	// allocation toward multiplayer titles to reproduce the §6.2 shares
 	// (57.7 % of total and 67.7 % of two-week playtime multiplayer-only).
+	// Calibrated jointly with the genre-multiplayer affinity in the
+	// catalog deal (Action/MMO/free-to-play titles claim multiplayer
+	// slots preferentially), which itself shifts playtime onto
+	// multiplayer titles through their higher popularity.
 	MultiplayerTotalBoost   float64
 	MultiplayerTwoWeekBoost float64
 
@@ -329,7 +341,7 @@ func DefaultConfig(users int) Config {
 			{GenreMMO, 0.030, 1.40, 0.2800, 10, 0.8},
 		},
 		MultiplayerFrac:         0.487,
-		MultiplayerTotalBoost:   2.4,
+		MultiplayerTotalBoost:   1.5,
 		MultiplayerTwoWeekBoost: 4.5,
 
 		PriceMeanLog:   2.20, // median ≈ $9.03

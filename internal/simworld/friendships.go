@@ -3,6 +3,7 @@ package simworld
 import (
 	"sort"
 
+	"steamstudy/internal/par"
 	"steamstudy/internal/randx"
 )
 
@@ -55,22 +56,35 @@ func generateFriendships(cfg Config, rng *randx.RNG, st *genState, u *Universe) 
 		return true
 	}
 
-	// Split stubs into a domestic and a global share.
+	// Split stubs into a domestic and a global share. Per-user independent
+	// draws: chunked streams keep the split worker-independent.
 	domestic := make([]int, n)
 	global := make([]int, n)
-	for i, d := range degrees {
-		dd := int(float64(d)*cfg.DomesticWiringFrac + wrng.Float64())
-		if dd > d {
-			dd = d
+	forChunks(cfg.Workers, n, wrng, "split", func(lo, hi int, chrng *randx.RNG) {
+		for i := lo; i < hi; i++ {
+			d := degrees[i]
+			dd := int(float64(d)*cfg.DomesticWiringFrac + chrng.Float64())
+			if dd > d {
+				dd = d
+			}
+			domestic[i] = dd
+			global[i] = d - dd
 		}
-		domestic[i] = dd
-		global[i] = d - dd
-	}
+	})
 
 	// Pass 1: per-country wiring ordered by the social latent. City
 	// locality needs no third pass: city assignment partially tracks the
 	// social latent (users.go), so rank-local domestic pairs often share
 	// a city.
+	//
+	// This is the parallel proposal pass of the coupled wiring stage: each
+	// country's members are disjoint from every other country's, so the
+	// countries run concurrently, each on its own split stream with a
+	// country-local dedup set and edge list (a pass-1 edge has both
+	// endpoints in one country, so cross-country duplicates cannot occur).
+	// The per-country results are stitched into the global seen/edges in
+	// sorted-country order, which keeps the edge list and every later pass
+	// independent of the worker count.
 	countryUsers := make(map[int16][]int32)
 	for i := 0; i < n; i++ {
 		if domestic[i] > 0 {
@@ -86,11 +100,30 @@ func generateFriendships(cfg Config, rng *randx.RNG, st *genState, u *Universe) 
 	paired := make([]int, n) // per-user edges actually created
 	domRem := make([]int, n)
 	copy(domRem, domestic)
-	for _, c := range countries {
-		members := countryUsers[c]
+	countryEdges := make([][]Friendship, len(countries))
+	countryPass1 := make([]int, len(countries))
+	par.For(cfg.Workers, len(countries), func(ci int) {
+		crng := wrng.SplitN("domestic", uint64(ci))
+		members := countryUsers[countries[ci]]
 		sort.Slice(members, func(a, b int) bool {
 			return st.social[members[a]] < st.social[members[b]]
 		})
+		localSeen := make(map[uint64]struct{}, len(members)*4)
+		localEmit := func(a, b int32) bool {
+			if a == b {
+				return false
+			}
+			if a > b {
+				a, b = b, a
+			}
+			key := uint64(a)<<32 | uint64(uint32(b))
+			if _, dup := localSeen[key]; dup {
+				return false
+			}
+			localSeen[key] = struct{}{}
+			countryEdges[ci] = append(countryEdges[ci], Friendship{A: a, B: b})
+			return true
+		}
 		// Several rounds with widening windows: duplicate-edge drops are
 		// retried domestically before any stub rolls over to the global
 		// pass, keeping the §4.1 domestic share intact.
@@ -102,19 +135,27 @@ func generateFriendships(cfg Config, rng *randx.RNG, st *genState, u *Universe) 
 			if rem < 2 {
 				break
 			}
-			wirePairs(wrng, members, domRem, cfg.HomophilyNoise*float64(round*3+1), func(a, b int32) bool {
-				if emit(a, b) {
+			wirePairs(crng, members, domRem, cfg.HomophilyNoise*float64(round*3+1), func(a, b int32) bool {
+				if localEmit(a, b) {
 					paired[a]++
 					paired[b]++
 					domRem[a]--
 					domRem[b]--
-					if debugWireStats != nil {
-						debugWireStats.Pass1++
-					}
+					countryPass1[ci]++
 					return true
 				}
 				return false
 			})
+		}
+	})
+	// Stitch the per-country proposals in sorted-country order.
+	for ci := range countryEdges {
+		for _, e := range countryEdges[ci] {
+			seen[uint64(e.A)<<32|uint64(uint32(e.B))] = struct{}{}
+		}
+		edges = append(edges, countryEdges[ci]...)
+		if debugWireStats != nil {
+			debugWireStats.Pass1 += countryPass1[ci]
 		}
 	}
 
@@ -207,26 +248,29 @@ func generateFriendships(cfg Config, rng *randx.RNG, st *genState, u *Universe) 
 	}
 
 	// Timestamps: befriending happens after both accounts exist, with an
-	// exponential delay, clamped into the observation window.
-	for i := range edges {
-		e := &edges[i]
-		start := u.Users[e.A].Created
-		if c := u.Users[e.B].Created; c > start {
-			start = c
-		}
-		delay := int64(trng.ExpFloat64() * cfg.FriendDelayMeanDays * 24 * 3600)
-		ts := start + delay
-		if ts > u.CollectedAt {
-			// Befriending would postdate the crawl: place it uniformly
-			// within the feasible window instead.
-			window := u.CollectedAt - start
-			if window <= 0 {
-				window = 1
+	// exponential delay, clamped into the observation window. Per-edge
+	// independent draws over the stitched (worker-independent) edge order.
+	forChunks(cfg.Workers, len(edges), trng, "chunk", func(lo, hi int, chrng *randx.RNG) {
+		for i := lo; i < hi; i++ {
+			e := &edges[i]
+			start := u.Users[e.A].Created
+			if c := u.Users[e.B].Created; c > start {
+				start = c
 			}
-			ts = start + trng.Int63()%window
+			delay := int64(chrng.ExpFloat64() * cfg.FriendDelayMeanDays * 24 * 3600)
+			ts := start + delay
+			if ts > u.CollectedAt {
+				// Befriending would postdate the crawl: place it uniformly
+				// within the feasible window instead.
+				window := u.CollectedAt - start
+				if window <= 0 {
+					window = 1
+				}
+				ts = start + chrng.Int63()%window
+			}
+			e.Since = ts
 		}
-		e.Since = ts
-	}
+	})
 	sort.Slice(edges, func(a, b int) bool { return edges[a].Since < edges[b].Since })
 	u.Friendships = edges
 }

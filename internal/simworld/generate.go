@@ -8,14 +8,26 @@ import (
 // seed. Generation is fully deterministic in (cfg, seed) and proceeds
 // bottom-up: catalog, users (copula attribute draws), friendships,
 // ownership/playtimes, groups.
+//
+// cfg.Workers bounds the generation pool. Every stage partitions its
+// index space into fixed-size chunks, each drawing from its own split
+// RNG stream and writing only index-addressed state, with chunk-local
+// results stitched in index order; the coupled stages (friendship
+// wiring, group membership) run a parallel proposal pass followed by a
+// sequential reconciliation pass. The generated universe is therefore
+// byte-identical for every worker count, and the stored Config records
+// Workers as 0 so universes generated at different worker counts compare
+// equal with reflect.DeepEqual.
 func Generate(cfg Config, seed int64) (*Universe, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := randx.New(seed)
+	storedCfg := cfg
+	storedCfg.Workers = 0
 	u := &Universe{
 		Seed:        seed,
-		Config:      cfg,
+		Config:      storedCfg,
 		CollectedAt: FirstSnapshotEnd,
 	}
 	cat := generateCatalog(cfg, rng.Split("catalog"))

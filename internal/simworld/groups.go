@@ -47,11 +47,16 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 	if maxSize < 10 {
 		maxSize = 10
 	}
+	// Per-group size draws are independent: chunked streams, summed after.
 	raw := make([]float64, nGroups)
+	forChunks(cfg.Workers, nGroups, grng, "sizes", func(lo, hi int, chrng *randx.RNG) {
+		for g := lo; g < hi; g++ {
+			raw[g] = chrng.BoundedPareto(cfg.GroupSizeAlpha, 1, maxSize)
+		}
+	})
 	var rawSum float64
-	for g := range raw {
-		raw[g] = grng.BoundedPareto(cfg.GroupSizeAlpha, 1, maxSize)
-		rawSum += raw[g]
+	for _, r := range raw {
+		rawSum += r
 	}
 	sizes := make([]int, nGroups)
 	for g := range sizes {
@@ -77,42 +82,48 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 	smallPicker := typePicker(cfg.SmallGroupMix)
 	focalZipf := randx.NewZipf(ownersIndexTop, 0.45)
 
+	// Type and focal-game proposal pass: per-rank draws are independent
+	// (each rank writes only its own group), so chunk over the size-sorted
+	// rank order; membership fill below is the sequential reconciliation.
 	u.Groups = make([]Group, nGroups)
-	for rank, g := range order {
-		grp := &u.Groups[g]
-		grp.ID = uint64(103582791429521408 + g) // Steam group IDs live in their own 64-bit space
-		var t GroupType
-		if rank < topN {
-			t = topPicker.sample(grng)
-		} else {
-			t = smallPicker.sample(grng)
-		}
-		grp.Type = t
-		grp.FocalGame = -1
-		if t == GroupGameServer || t == GroupSingleGame {
-			// Organize around a popular game (popularity-rank Zipf).
-			// Game Server groups host dedicated servers, so their focal
-			// game must be multiplayer; realigning member playtime onto
-			// these titles is part of what drives the §6.2 multiplayer
-			// playtime share.
-			for try := 0; try < 12; try++ {
-				pr := focalZipf.Sample(grng)
-				if pr >= len(st.owners) || len(st.owners[pr]) == 0 {
-					continue
-				}
-				gi := gameAtPopRank(st, pr)
-				if gi < 0 {
-					continue
-				}
-				if t == GroupGameServer && !u.Games[gi].Multiplayer {
-					continue
-				}
-				grp.FocalGame = gi
-				break
+	forChunks(cfg.Workers, nGroups, grng, "type", func(lo, hi int, chrng *randx.RNG) {
+		for rank := lo; rank < hi; rank++ {
+			g := order[rank]
+			grp := &u.Groups[g]
+			grp.ID = uint64(103582791429521408 + g) // Steam group IDs live in their own 64-bit space
+			var t GroupType
+			if rank < topN {
+				t = topPicker.sample(chrng)
+			} else {
+				t = smallPicker.sample(chrng)
 			}
+			grp.Type = t
+			grp.FocalGame = -1
+			if t == GroupGameServer || t == GroupSingleGame {
+				// Organize around a popular game (popularity-rank Zipf).
+				// Game Server groups host dedicated servers, so their focal
+				// game must be multiplayer; realigning member playtime onto
+				// these titles is part of what drives the §6.2 multiplayer
+				// playtime share.
+				for try := 0; try < 12; try++ {
+					pr := focalZipf.Sample(chrng)
+					if pr >= len(st.owners) || len(st.owners[pr]) == 0 {
+						continue
+					}
+					gi := gameAtPopRank(st, pr)
+					if gi < 0 {
+						continue
+					}
+					if t == GroupGameServer && !u.Games[gi].Multiplayer {
+						continue
+					}
+					grp.FocalGame = gi
+					break
+				}
+			}
+			grp.Name = fmt.Sprintf("%s group %d", grp.Type, g)
 		}
-		grp.Name = fmt.Sprintf("%s group %d", grp.Type, g)
-	}
+	})
 
 	// Fill memberships, largest groups first so focal recruitment has the
 	// widest owner pools available.

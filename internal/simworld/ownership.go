@@ -40,145 +40,165 @@ func generateOwnership(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 		unplayed[i] = gameUnplayedFrac(cfg, &cat.games[i])
 	}
 
-	scratch := make([]int32, 0, 256)
-	weights := make([]float64, 0, 256)
-	for ui := range u.Users {
-		user := &u.Users[ui]
-		target := st.gamesTarget[ui]
-		if target <= 0 {
-			continue
-		}
-		if target > nGames {
-			target = nGames
-		}
-		tier := tierForPriceU(st.priceU[ui])
-
-		lib := sampleLibrary(orng, cat, tier, target, nGames)
-		user.Library = make([]OwnedGame, len(lib))
-		var value int64
-		for k, gi := range lib {
-			user.Library[k].GameIdx = gi
-			value += cat.games[gi].PriceCents
-			if r := st.popRank[gi]; int(r) < ownersIndexTop {
-				st.owners[r] = append(st.owners[r], int32(ui))
+	// The per-user fill is independent except for the inverted owner index,
+	// which is order-sensitive (the group generator walks owner lists).
+	// Chunks record (rank, user) pairs locally in visit order; the pairs
+	// are replayed into st.owners in chunk order afterwards, which
+	// reproduces the sequential append order exactly.
+	type ownerPair struct {
+		rank int32
+		user int32
+	}
+	n := len(u.Users)
+	chunkOwners := make([][]ownerPair, (n+genChunk-1)/genChunk)
+	forChunks(cfg.Workers, n, orng, "chunk", func(lo, hi int, chrng *randx.RNG) {
+		ci := lo / genChunk
+		scratch := make([]int32, 0, 256)
+		weights := make([]float64, 0, 256)
+		for ui := lo; ui < hi; ui++ {
+			user := &u.Users[ui]
+			target := st.gamesTarget[ui]
+			if target <= 0 {
+				continue
 			}
-		}
-		user.ValueCents = value
-
-		// Decide which owned games were ever played.
-		playedProb := func(gi int32) float64 { return 1 - unplayed[gi] }
-		if user.Persona.Has(PersonaCollector) {
-			playedProb = func(int32) float64 { return cfg.CollectorPlayedFrac }
-		}
-		scratch = scratch[:0]
-		for k := range user.Library {
-			gi := user.Library[k].GameIdx
-			if st.totalTarget[ui] > 0 && orng.Bool(playedProb(gi)) {
-				scratch = append(scratch, int32(k))
+			if target > nGames {
+				target = nGames
 			}
-		}
-		if st.totalTarget[ui] > 0 && len(scratch) == 0 {
-			// Playtime exists, so at least one game must carry it.
-			scratch = append(scratch, int32(orng.Intn(len(user.Library))))
-		}
-		if len(scratch) == 0 {
-			continue
-		}
+			tier := tierForPriceU(st.priceU[ui])
 
-		// Lifetime minutes: a "main game" carries most of the playtime —
-		// real libraries are dominated by one title — and the main-game
-		// choice is multiplayer-biased, which is what actually moves the
-		// §6.2 playtime shares (a multiplicative weight boost washes out
-		// against heavy-tailed per-game weights).
-		main := pickBoosted(orng, user, scratch, cat.multiplayer, cfg.MultiplayerTotalBoost)
-		mainShare := 1.0
-		if len(scratch) > 1 {
-			mainShare = 0.55 + 0.4*orng.Float64()
-		}
-		total := st.totalTarget[ui]
-		mainMinutes := int64(float64(total) * mainShare)
-		user.Library[main].TotalMinutes = mainMinutes
-		if rest := total - mainMinutes; rest > 0 && len(scratch) > 1 {
-			weights = weights[:0]
-			var wsum float64
+			lib := sampleLibrary(chrng, cat, tier, target, nGames)
+			user.Library = make([]OwnedGame, len(lib))
+			var value int64
+			for k, gi := range lib {
+				user.Library[k].GameIdx = gi
+				value += cat.games[gi].PriceCents
+				if r := st.popRank[gi]; int(r) < ownersIndexTop {
+					chunkOwners[ci] = append(chunkOwners[ci], ownerPair{rank: r, user: int32(ui)})
+				}
+			}
+			user.ValueCents = value
+
+			// Decide which owned games were ever played.
+			playedProb := func(gi int32) float64 { return 1 - unplayed[gi] }
+			if user.Persona.Has(PersonaCollector) {
+				playedProb = func(int32) float64 { return cfg.CollectorPlayedFrac }
+			}
+			scratch = scratch[:0]
+			for k := range user.Library {
+				gi := user.Library[k].GameIdx
+				if st.totalTarget[ui] > 0 && chrng.Bool(playedProb(gi)) {
+					scratch = append(scratch, int32(k))
+				}
+			}
+			if st.totalTarget[ui] > 0 && len(scratch) == 0 {
+				// Playtime exists, so at least one game must carry it.
+				scratch = append(scratch, int32(chrng.Intn(len(user.Library))))
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+
+			// Lifetime minutes: a "main game" carries most of the playtime —
+			// real libraries are dominated by one title — and the main-game
+			// choice is multiplayer-biased, which is what actually moves the
+			// §6.2 playtime shares (a multiplicative weight boost washes out
+			// against heavy-tailed per-game weights).
+			main := pickBoosted(chrng, user, scratch, cat.multiplayer, cfg.MultiplayerTotalBoost)
+			mainShare := 1.0
+			if len(scratch) > 1 {
+				mainShare = 0.55 + 0.4*chrng.Float64()
+			}
+			total := st.totalTarget[ui]
+			mainMinutes := int64(float64(total) * mainShare)
+			user.Library[main].TotalMinutes = mainMinutes
+			if rest := total - mainMinutes; rest > 0 && len(scratch) > 1 {
+				weights = weights[:0]
+				var wsum float64
+				for _, k := range scratch {
+					if k == main {
+						weights = append(weights, 0)
+						continue
+					}
+					w := chrng.Gamma(0.5)
+					if cat.multiplayer[user.Library[k].GameIdx] {
+						w *= cfg.MultiplayerTotalBoost
+					}
+					weights = append(weights, w)
+					wsum += w
+				}
+				if wsum <= 0 {
+					user.Library[main].TotalMinutes += rest
+				} else {
+					var assigned int64
+					for wi, k := range scratch {
+						m := int64(float64(rest) * weights[wi] / wsum)
+						user.Library[k].TotalMinutes += m
+						assigned += m
+					}
+					user.Library[main].TotalMinutes += rest - assigned
+				}
+			}
+			// Every played game records at least one minute.
 			for _, k := range scratch {
-				if k == main {
-					weights = append(weights, 0)
-					continue
+				if user.Library[k].TotalMinutes < 1 {
+					user.Library[k].TotalMinutes = 1
 				}
-				w := orng.Gamma(0.5)
-				if cat.multiplayer[user.Library[k].GameIdx] {
-					w *= cfg.MultiplayerTotalBoost
-				}
-				weights = append(weights, w)
-				wsum += w
 			}
-			if wsum <= 0 {
-				user.Library[main].TotalMinutes += rest
-			} else {
-				var assigned int64
-				for wi, k := range scratch {
-					m := int64(float64(rest) * weights[wi] / wsum)
-					user.Library[k].TotalMinutes += m
-					assigned += m
-				}
-				user.Library[main].TotalMinutes += rest - assigned
-			}
-		}
-		// Every played game records at least one minute.
-		for _, k := range scratch {
-			if user.Library[k].TotalMinutes < 1 {
-				user.Library[k].TotalMinutes = 1
-			}
-		}
 
-		// Two-week minutes: concentrated on 1-3 recently played titles,
-		// preferring the user's high-lifetime and multiplayer games.
-		if tw := st.twoWkTarget[ui]; tw > 0 {
-			recent := 1 + orng.Poisson(0.9)
-			if recent > len(scratch) {
-				recent = len(scratch)
-			}
-			// Select "recent" games by weighted sampling without
-			// replacement from the played set, multiplayer-boosted; the
-			// first selected game dominates the fortnight.
-			sel := selectRecent(orng, user, scratch, cat, cfg, recent)
-			weights = weights[:0]
-			var wsum float64
-			for wi := range sel {
-				w := orng.Gamma(0.8) + 0.05
-				if wi == 0 {
-					w += 2.5 // dominant recent title
+			// Two-week minutes: concentrated on 1-3 recently played titles,
+			// preferring the user's high-lifetime and multiplayer games.
+			if tw := st.twoWkTarget[ui]; tw > 0 {
+				recent := 1 + chrng.Poisson(0.9)
+				if recent > len(scratch) {
+					recent = len(scratch)
 				}
-				weights = append(weights, w)
-				wsum += w
-			}
-			var assignedTW int64
-			for wi, k := range sel {
-				m := int64(float64(tw) * weights[wi] / wsum)
-				if m > int64(math.MaxInt32) {
-					m = int64(math.MaxInt32)
+				// Select "recent" games by weighted sampling without
+				// replacement from the played set, multiplayer-boosted; the
+				// first selected game dominates the fortnight.
+				sel := selectRecent(chrng, user, scratch, cat, cfg, recent)
+				weights = weights[:0]
+				var wsum float64
+				for wi := range sel {
+					w := chrng.Gamma(0.8) + 0.05
+					if wi == 0 {
+						w += 2.5 // dominant recent title
+					}
+					weights = append(weights, w)
+					wsum += w
 				}
-				user.Library[k].TwoWeekMinutes = int32(m)
-				assignedTW += m
-			}
-			user.Library[sel[0]].TwoWeekMinutes += int32(tw - assignedTW)
-			// A game cannot have more two-week than lifetime minutes.
-			for _, k := range sel {
-				if g := &user.Library[k]; int64(g.TwoWeekMinutes) > g.TotalMinutes {
-					g.TotalMinutes = int64(g.TwoWeekMinutes)
+				var assignedTW int64
+				for wi, k := range sel {
+					m := int64(float64(tw) * weights[wi] / wsum)
+					if m > int64(math.MaxInt32) {
+						m = int64(math.MaxInt32)
+					}
+					user.Library[k].TwoWeekMinutes = int32(m)
+					assignedTW += m
+				}
+				user.Library[sel[0]].TwoWeekMinutes += int32(tw - assignedTW)
+				// A game cannot have more two-week than lifetime minutes.
+				for _, k := range sel {
+					if g := &user.Library[k]; int64(g.TwoWeekMinutes) > g.TotalMinutes {
+						g.TotalMinutes = int64(g.TwoWeekMinutes)
+					}
 				}
 			}
-		}
 
-		// Cache the sums.
-		var tsum, twsum int64
-		for k := range user.Library {
-			tsum += user.Library[k].TotalMinutes
-			twsum += int64(user.Library[k].TwoWeekMinutes)
+			// Cache the sums.
+			var tsum, twsum int64
+			for k := range user.Library {
+				tsum += user.Library[k].TotalMinutes
+				twsum += int64(user.Library[k].TwoWeekMinutes)
+			}
+			user.TotalMinutes = tsum
+			user.TwoWeekMinutes = twsum
 		}
-		user.TotalMinutes = tsum
-		user.TwoWeekMinutes = twsum
+	})
+	// Stitch the owner index in chunk order == user order.
+	for _, pairs := range chunkOwners {
+		for _, p := range pairs {
+			st.owners[p.rank] = append(st.owners[p.rank], p.user)
+		}
 	}
 }
 

@@ -1,0 +1,35 @@
+package simworld
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateWorkerIndependent is the determinism contract for the
+// parallel data plane: the generated universe must be identical — field
+// for field, including every RNG-derived value — for any worker count.
+// Workers only changes which goroutine computes each fixed chunk.
+func TestGenerateWorkerIndependent(t *testing.T) {
+	cfg := smallConfig(3000)
+	base := MustGenerate(cfg, 99)
+	for _, w := range []int{1, 2, 3, 0} {
+		wcfg := cfg
+		wcfg.Workers = w
+		got := MustGenerate(wcfg, 99)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("universe differs at Workers=%d", w)
+		}
+	}
+}
+
+// TestGenerateStoresZeroWorkers pins the normalization that makes the
+// comparison above possible without test-side fixups: the stored Config
+// records Workers as 0 regardless of what Generate ran with.
+func TestGenerateStoresZeroWorkers(t *testing.T) {
+	cfg := smallConfig(500)
+	cfg.Workers = 7
+	u := MustGenerate(cfg, 3)
+	if u.Config.Workers != 0 {
+		t.Fatalf("stored Config.Workers = %d, want 0", u.Config.Workers)
+	}
+}

@@ -96,22 +96,27 @@ func generateUsers(cfg Config, rng *randx.RNG, cat *catalogState, u *Universe) (
 	u.Users = make([]User, n)
 	crng := rng.Split("copula")
 	prng := rng.Split("persona")
-	z := make([]float64, copulaDim)
-	uu := make([]float64, copulaDim)
 	uFriends := make([]float64, n)
 	uGames := make([]float64, n)
 	uGroups := make([]float64, n)
 	uTotal := make([]float64, n)
 	uTwoWk := make([]float64, n)
-	for i := 0; i < n; i++ {
-		cop.Sample(crng, z, uu)
-		st.priceU[i] = uu[dimPrice]
-		uFriends[i] = uu[dimFriends]
-		uGames[i] = uu[dimGames]
-		uGroups[i] = uu[dimGroups]
-		uTotal[i] = uu[dimTotal]
-		uTwoWk[i] = uu[dimTwoWeek]
-	}
+	// Copula draws are per-user independent: chunk the population, one
+	// split stream and one scratch pair per chunk, every write addressed
+	// by the user index.
+	forChunks(cfg.Workers, n, crng, "chunk", func(lo, hi int, chrng *randx.RNG) {
+		z := make([]float64, copulaDim)
+		uu := make([]float64, copulaDim)
+		for i := lo; i < hi; i++ {
+			cop.Sample(chrng, z, uu)
+			st.priceU[i] = uu[dimPrice]
+			uFriends[i] = uu[dimFriends]
+			uGames[i] = uu[dimGames]
+			uGroups[i] = uu[dimGroups]
+			uTotal[i] = uu[dimTotal]
+			uTwoWk[i] = uu[dimTwoWeek]
+		}
+	})
 
 	// The social (friendship-wiring) latent is a weighted combination of
 	// the attribute z-scores rather than a copula dimension: the value
@@ -120,15 +125,17 @@ func generateUsers(cfg Config, rng *randx.RNG, cat *catalogState, u *Universe) (
 	// (Fig 11) without violating positive definiteness of the copula.
 	w := cfg.SocialWeights
 	srng := crng.Split("social-noise")
-	for i := 0; i < n; i++ {
-		zValue := 0.55*dists.NormalQuantile(uGames[i]) + 0.85*dists.NormalQuantile(st.priceU[i])
-		st.social[i] = w.Value*zValue/1.0 +
-			w.Friends*dists.NormalQuantile(uFriends[i]) +
-			w.Total*dists.NormalQuantile(uTotal[i]) +
-			w.TwoWeek*dists.NormalQuantile(uTwoWk[i]) +
-			w.Groups*dists.NormalQuantile(uGroups[i]) +
-			w.Noise*srng.NormFloat64()
-	}
+	forChunks(cfg.Workers, n, srng, "chunk", func(lo, hi int, chrng *randx.RNG) {
+		for i := lo; i < hi; i++ {
+			zValue := 0.55*dists.NormalQuantile(uGames[i]) + 0.85*dists.NormalQuantile(st.priceU[i])
+			st.social[i] = w.Value*zValue/1.0 +
+				w.Friends*dists.NormalQuantile(uFriends[i]) +
+				w.Total*dists.NormalQuantile(uTotal[i]) +
+				w.TwoWeek*dists.NormalQuantile(uTwoWk[i]) +
+				w.Groups*dists.NormalQuantile(uGroups[i]) +
+				w.Noise*chrng.NormFloat64()
+		}
+	})
 
 	// Rank-exact marginal assignment. The copula uniforms provide the
 	// ranks; the values come from the marginal quantile functions applied
@@ -169,46 +176,48 @@ func generateUsers(cfg Config, rng *randx.RNG, cat *catalogState, u *Universe) (
 		st.twoWkTarget[i] = int64(v + 0.5)
 	})
 
-	for i := 0; i < n; i++ {
-		user := &u.Users[i]
-		// Persona flags.
-		if prng.Bool(cfg.FacebookLinkedFrac) {
-			user.Persona |= PersonaFacebookLinked
-		}
-		user.BadgeLevel = uint8(clampInt(prng.Geometric(cfg.BadgeLevelP), 0, 200))
-		if prng.Bool(cfg.CollectorFrac) {
-			user.Persona |= PersonaCollector
-			st.gamesTarget[i] = collectorLibrarySize(cfg, prng)
-		}
-		if prng.Bool(cfg.IdlerFrac) {
-			user.Persona |= PersonaIdler
-			// §6.1: idlers sit at 80-90 % of the 336-hour maximum.
-			maxMin := 14.0 * 24 * 60
-			st.twoWkTarget[i] = int64(maxMin * (0.8 + 0.1*prng.Float64()))
-			if st.gamesTarget[i] == 0 {
-				st.gamesTarget[i] = 1 // something must be left running
+	forChunks(cfg.Workers, n, prng, "chunk", func(lo, hi int, chrng *randx.RNG) {
+		for i := lo; i < hi; i++ {
+			user := &u.Users[i]
+			// Persona flags.
+			if chrng.Bool(cfg.FacebookLinkedFrac) {
+				user.Persona |= PersonaFacebookLinked
+			}
+			user.BadgeLevel = uint8(clampInt(chrng.Geometric(cfg.BadgeLevelP), 0, 200))
+			if chrng.Bool(cfg.CollectorFrac) {
+				user.Persona |= PersonaCollector
+				st.gamesTarget[i] = collectorLibrarySize(cfg, chrng)
+			}
+			if chrng.Bool(cfg.IdlerFrac) {
+				user.Persona |= PersonaIdler
+				// §6.1: idlers sit at 80-90 % of the 336-hour maximum.
+				maxMin := 14.0 * 24 * 60
+				st.twoWkTarget[i] = int64(maxMin * (0.8 + 0.1*chrng.Float64()))
+				if st.gamesTarget[i] == 0 {
+					st.gamesTarget[i] = 1 // something must be left running
+				}
+			}
+			if chrng.Bool(cfg.AchievementHunterFrac) {
+				user.Persona |= PersonaAchievementHunter
+			}
+			if chrng.Bool(cfg.ValveEmployeeFrac) {
+				user.Persona |= PersonaValveEmployee
+			}
+			// Consistency: two-week playtime cannot exceed lifetime playtime.
+			// Cap the two-week value (rather than raising the total), which
+			// leaves the carefully calibrated total-playtime marginal intact;
+			// the high latent total↔two-week correlation keeps violations
+			// rare. Idlers are the exception: their extreme fortnight really
+			// does push their lifetime total up.
+			if st.twoWkTarget[i] > st.totalTarget[i] {
+				if user.Persona.Has(PersonaIdler) {
+					st.totalTarget[i] = st.twoWkTarget[i]
+				} else {
+					st.twoWkTarget[i] = st.totalTarget[i]
+				}
 			}
 		}
-		if prng.Bool(cfg.AchievementHunterFrac) {
-			user.Persona |= PersonaAchievementHunter
-		}
-		if prng.Bool(cfg.ValveEmployeeFrac) {
-			user.Persona |= PersonaValveEmployee
-		}
-		// Consistency: two-week playtime cannot exceed lifetime playtime.
-		// Cap the two-week value (rather than raising the total), which
-		// leaves the carefully calibrated total-playtime marginal intact;
-		// the high latent total↔two-week correlation keeps violations
-		// rare. Idlers are the exception: their extreme fortnight really
-		// does push their lifetime total up.
-		if st.twoWkTarget[i] > st.totalTarget[i] {
-			if user.Persona.Has(PersonaIdler) {
-				st.totalTarget[i] = st.twoWkTarget[i]
-			} else {
-				st.twoWkTarget[i] = st.totalTarget[i]
-			}
-		}
-	}
+	})
 
 	assignIDsAndCreation(cfg, rng, u)
 	assignLocation(cfg, rng, st, u)
@@ -256,18 +265,25 @@ func assignIDsAndCreation(cfg Config, rng *randx.RNG, u *Universe) {
 	idrng := rng.Split("ids")
 
 	// Creation times: exponential growth between launch and first crawl.
+	// The draws are exchangeable (they are sorted immediately after), but
+	// chunked streams still make the sorted sequence worker-independent.
 	span := float64(FirstSnapshotEnd - SteamLaunch)
 	rate := cfg.UserGrowthRate * span / (365.25 * 24 * 3600) // growth over the full span
 	times := make([]int64, n)
-	for i := range times {
-		// Inverse CDF of a truncated exponential growth density
-		// f(t) ∝ e^{rate·t/span}.
-		v := idrng.Float64()
-		t := math.Log(1+v*(math.Exp(rate)-1)) / rate
-		times[i] = SteamLaunch + int64(t*span)
-	}
+	forChunks(cfg.Workers, n, idrng, "times", func(lo, hi int, chrng *randx.RNG) {
+		for i := lo; i < hi; i++ {
+			// Inverse CDF of a truncated exponential growth density
+			// f(t) ∝ e^{rate·t/span}.
+			v := chrng.Float64()
+			t := math.Log(1+v*(math.Exp(rate)-1)) / rate
+			times[i] = SteamLaunch + int64(t*span)
+		}
+	})
 	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
 
+	// The account-gap walk is inherently sequential (each ID depends on
+	// every gap before it) and cheap; it stays on a single stream.
+	grng := idrng.Split("gaps")
 	density := steamid.DefaultDensity
 	width := density.RangeForAccounts(float64(n))
 	acct := uint64(0)
@@ -278,7 +294,7 @@ func assignIDsAndCreation(cfg Config, rng *randx.RNG, u *Universe) {
 		pos := float64(acct) / float64(width)
 		d := density.DensityAt(pos)
 		acct++
-		for !idrng.Bool(d) {
+		for !grng.Bool(d) {
 			acct++
 		}
 	}
@@ -336,22 +352,24 @@ func assignLocation(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 		return int16(len(cityEdges) - 1)
 	}
 
-	for i := range u.Users {
-		c := int16(picker.Sample(lrng))
-		st.country[i] = c
-		// Cities partially track the social latent, so rank-local
-		// (domestic) friendships land in the same city at roughly the
-		// §4.1 rate without a third wiring pass.
-		if lrng.Bool(0.65) {
-			st.city[i] = cityForSocial(st.social[i])
-		} else {
-			st.city[i] = int16(cityZipf.Sample(lrng))
-		}
-		if lrng.Bool(cfg.CountryReportFrac) {
-			u.Users[i].Country = codes[c]
-			if lrng.Bool(cfg.CityReportFrac / cfg.CountryReportFrac) {
-				u.Users[i].City = fmt.Sprintf("%s-city-%02d", codes[c], st.city[i])
+	forChunks(cfg.Workers, len(u.Users), lrng, "chunk", func(lo, hi int, chrng *randx.RNG) {
+		for i := lo; i < hi; i++ {
+			c := int16(picker.Sample(chrng))
+			st.country[i] = c
+			// Cities partially track the social latent, so rank-local
+			// (domestic) friendships land in the same city at roughly the
+			// §4.1 rate without a third wiring pass.
+			if chrng.Bool(0.65) {
+				st.city[i] = cityForSocial(st.social[i])
+			} else {
+				st.city[i] = int16(cityZipf.Sample(chrng))
+			}
+			if chrng.Bool(cfg.CountryReportFrac) {
+				u.Users[i].Country = codes[c]
+				if chrng.Bool(cfg.CityReportFrac / cfg.CountryReportFrac) {
+					u.Users[i].City = fmt.Sprintf("%s-city-%02d", codes[c], st.city[i])
+				}
 			}
 		}
-	}
+	})
 }

@@ -47,8 +47,11 @@ func New(opts Options) (*Study, error) { return core.New(opts) }
 func FromSnapshot(snap *dataset.Snapshot) *Study { return core.FromSnapshot(snap) }
 
 // LoadSnapshot reads a snapshot saved by SaveSnapshot or the crawler
-// tools and wraps it in a Study.
-func LoadSnapshot(path string) (*Study, error) { return core.LoadSnapshot(path) }
+// tools and wraps it in a Study. Options tune the snapshot codec (for
+// example dataset.WithWorkers); the decoded study is identical for any.
+func LoadSnapshot(path string, opts ...dataset.Option) (*Study, error) {
+	return core.LoadSnapshot(path, opts...)
+}
 
 // Experiments lists the experiment registry in ID order.
 func Experiments() []Experiment { return core.Experiments() }
