@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos crash fsck bench profile fmt vet
+.PHONY: build test race verify chaos crash fleetchaos fsck bench profile fmt vet
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,8 @@ race:
 # pass, and the test suite is race-clean. The crash-tagged harness must at
 # least compile (vet + a no-op test run), so it cannot rot unnoticed.
 verify: build vet test race
-	$(GO) vet -tags crash ./internal/crawler
-	$(GO) test -tags crash -run '^$$' ./internal/crawler
+	$(GO) vet -tags crash ./internal/crawler ./internal/fleet
+	$(GO) test -tags crash -run '^$$' ./internal/crawler ./internal/fleet
 
 # chaos runs only the end-to-end fault-injection suite: a full crawl under
 # an aggressive fault profile with simulated process deaths, plus the
@@ -30,6 +30,15 @@ chaos:
 # byte-identical, fsck-clean snapshot. Set CRASH_SEED=n for new offsets.
 crash:
 	$(GO) test -tags crash ./internal/crawler -run 'TestCrash' -count=1 -v
+
+# fleetchaos runs the distributed-crawl chaos harness (build tag: crash):
+# a fleet of worker processes sharing one lease table, SIGKILLed at
+# randomized byte offsets of the fleet directory's growth and replaced
+# under fresh worker IDs. The merged snapshot must be byte-identical to
+# an undisturbed solo crawl and fsck-clean. Set CRASH_SEED=n for a new
+# kill schedule.
+fleetchaos:
+	$(GO) test -tags crash ./internal/fleet -run 'TestFleetChaos' -count=1 -v
 
 # fsck validates the committed example snapshot end to end: manifest
 # checksums, decodability, and the paper's referential schema.

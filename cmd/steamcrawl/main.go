@@ -7,6 +7,16 @@
 // The -rate flag is the crawler's voluntary budget; the paper throttled
 // to 85 % of the API's allowance.
 //
+// Fleet mode (N cooperating crawler processes, one shared directory):
+//
+//	steamcrawl -fleet-dir ./fleet -worker-id w1 -url ...   # run until the space is exhausted
+//	steamcrawl -fleet-dir ./fleet -merge -out crawl.jsonl  # stitch shard journals into one snapshot
+//
+// Workers lease fixed-size SteamID ranges from a file-based lease table,
+// journal each shard under <fleet-dir>/shard-NNNNNN/, heartbeat while
+// crawling, and reclaim shards whose owners died. The merged snapshot is
+// byte-identical to a solo crawl for any fleet size or kill schedule.
+//
 // Maintenance modes (no crawl):
 //
 //	steamcrawl -fsck crawl.gob.gz                          # validate a snapshot
@@ -16,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,7 +37,9 @@ import (
 
 	"steamstudy/internal/crawler"
 	"steamstudy/internal/dataset"
+	"steamstudy/internal/fleet"
 	"steamstudy/internal/obs"
+	"steamstudy/internal/steamid"
 )
 
 func main() {
@@ -37,7 +50,7 @@ func main() {
 		key         = flag.String("key", "", "API key")
 		rate        = flag.Float64("rate", 5000, "self-imposed requests/second budget (paper: 85% of the allowance)")
 		workers     = flag.Int("workers", 16, "worker pool width for crawl phases 2-5 and the snapshot codec (results are identical for any value)")
-		maxUsers    = flag.Int("max", 0, "cap the crawl at this many accounts (0 = exhaustive)")
+		maxUsers    = flag.Int("max", 0, "cap the crawl at this many accounts (0 = exhaustive; ignored in fleet mode)")
 		checkpoint  = flag.String("checkpoint", "", "journal directory for resumable crawls")
 		reqTimeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
 		maxBackoff  = flag.Duration("max-backoff", 30*time.Second, "exponential-backoff clamp")
@@ -51,19 +64,43 @@ func main() {
 		fsckPath    = flag.String("fsck", "", "validate this snapshot file against its manifest and the paper's referential schema, then exit (no crawl)")
 		repair      = flag.Bool("repair", false, "with -fsck and -checkpoint: rebuild a damaged snapshot from the journal, then re-validate")
 		compact     = flag.Bool("compact", false, "seal the -checkpoint journal's replayed segments into a verified base snapshot and exit (no crawl)")
+
+		fleetDir    = flag.String("fleet-dir", "", "fleet coordination directory: run as a fleet worker leasing SteamID-range shards (or the merge source with -merge)")
+		workerID    = flag.String("worker-id", "", "fleet worker identity in the lease table (default hostname-pid)")
+		fleetStart  = flag.Uint64("fleet-start", steamid.Base, "first SteamID64 of the fleet work space")
+		fleetRange  = flag.Uint64("fleet-range", 65536, "SteamID64s per fleet shard")
+		fleetTTL    = flag.Duration("fleet-ttl", 30*time.Second, "fleet lease time-to-live; a worker silent this long forfeits its shard")
+		fleetPoll   = flag.Duration("fleet-poll", 250*time.Millisecond, "how often an idle fleet worker re-checks the lease table")
+		merge       = flag.Bool("merge", false, "with -fleet-dir: stitch the completed fleet's shard journals into one snapshot at -out, then exit (no crawl)")
+		collectedAt = flag.Int64("collected-at", 0, "CollectedAt (unix seconds) stamped on the -merge output; keep it fixed for reproducible bytes")
 	)
 	flag.Parse()
 
 	var reg *obs.Registry
 	if *admin != "" {
 		reg = obs.NewRegistry()
+		health := obs.NewHealth()
+		addr, err := obs.ServeAdmin(*admin, reg, health, *pprofOn)
+		if err != nil {
+			log.Fatalf("admin listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "steamcrawl: admin endpoints at http://%s/metrics\n", addr)
 	}
 
+	if *merge {
+		if *fleetDir == "" {
+			log.Fatal("-merge requires -fleet-dir")
+		}
+		os.Exit(runMerge(*fleetDir, *out, *collectedAt, *workers, reg))
+	}
 	if *fsckPath != "" || *compact {
 		os.Exit(runMaintenance(*fsckPath, *repair, *compact, *checkpoint, *workers, reg))
 	}
 
-	c := crawler.New(crawler.Config{
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "steamcrawl: "+format+"\n", args...)
+	}
+	crawlCfg := crawler.Config{
 		BaseURL:                 *baseURL,
 		APIKey:                  *key,
 		RatePerSecond:           *rate,
@@ -77,32 +114,41 @@ func main() {
 		DisableAdaptiveThrottle: *noAdaptive,
 		ProgressEvery:           *progress,
 		Registry:                reg,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "steamcrawl: "+format+"\n", args...)
-		},
-	})
-
-	if *admin != "" {
-		health := obs.NewHealth()
-		addr, err := obs.ServeAdmin(*admin, reg, health, *pprofOn)
-		if err != nil {
-			log.Fatalf("admin listener: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "steamcrawl: admin endpoints at http://%s/metrics\n", addr)
+		Logf:                    logf,
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the crawl
+	// context — in-flight requests finish, the journal is flushed and
+	// closed (and in fleet mode the lease released) before the process
+	// exits nonzero. A second signal force-quits.
 	ctx, cancel := context.WithCancel(context.Background())
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
-		fmt.Fprintln(os.Stderr, "steamcrawl: interrupt; finishing in-flight requests")
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "steamcrawl: %v: finishing in-flight work, flushing journal (signal again to force-quit)\n", s)
 		cancel()
+		<-sig
+		fmt.Fprintln(os.Stderr, "steamcrawl: second signal: exiting immediately")
+		os.Exit(130)
 	}()
 
+	if *fleetDir != "" {
+		os.Exit(runFleetWorker(ctx, *fleetDir, *workerID, fleet.Params{
+			StartID:   *fleetStart,
+			RangeSize: *fleetRange,
+			LeaseTTL:  *fleetTTL,
+		}, *fleetPoll, crawlCfg, reg, logf))
+	}
+
 	start := time.Now()
+	c := crawler.New(crawlCfg)
 	snap, err := c.Run(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			log.Printf("interrupted after %v: journal flushed and closed; rerun with the same -checkpoint to resume", time.Since(start).Round(time.Millisecond))
+			os.Exit(1)
+		}
 		log.Fatalf("crawl failed after %v: %v (checkpoint, if enabled, allows resuming)", time.Since(start), err)
 	}
 	t := snap.Totals()
@@ -123,6 +169,69 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s (manifest: %s)\n", *out, dataset.ManifestPath(*out))
+}
+
+// runFleetWorker participates in the fleet at dir until the work space is
+// exhausted. Interrupts release the lease (the shard journal survives for
+// the next owner) and exit nonzero.
+func runFleetWorker(ctx context.Context, dir, id string, params fleet.Params, poll time.Duration, crawlCfg crawler.Config, reg *obs.Registry, logf func(string, ...any)) int {
+	crawlCfg.MaxAccounts = 0
+	stats, err := fleet.RunWorker(ctx, fleet.Config{
+		Dir:      dir,
+		WorkerID: id,
+		Params:   params,
+		Crawl:    crawlCfg,
+		Poll:     poll,
+		Registry: reg,
+		Logf:     logf,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			logf("interrupted: lease released, journal flushed and closed; restart any worker to resume (%d shards, %d users so far)",
+				stats.Shards, stats.Users)
+			return 1
+		}
+		log.Printf("fleet worker failed: %v", err)
+		return 1
+	}
+	logf("fleet worker done: %d shards (%d empty), %d users, %d leases lost",
+		stats.Shards, stats.EmptyShards, stats.Users, stats.LeasesLost)
+	logf("merge with: steamcrawl -fleet-dir %s -merge -out <snapshot>", dir)
+	return 0
+}
+
+// runMerge stitches a completed fleet's shard journals into one
+// manifest-verified snapshot and proves it fsck-clean.
+func runMerge(dir, out string, collectedAt int64, workers int, reg *obs.Registry) int {
+	snap, err := fleet.Merge(dir, collectedAt)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := snap.Save(out, dataset.WithWorkers(workers)); err != nil {
+		log.Print(err)
+		return 1
+	}
+	im := &dataset.IntegrityMetrics{}
+	im.Register(reg)
+	rep, err := dataset.FsckFile(out, im, dataset.WithWorkers(workers))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if !rep.Clean() {
+		fmt.Print(rep.String())
+		log.Printf("merged snapshot fails fsck")
+		return 1
+	}
+	t := snap.Totals()
+	sha := ""
+	if man, err := dataset.ReadManifest(out); err == nil && man != nil {
+		sha = man.FileSHA256
+	}
+	fmt.Fprintf(os.Stderr, "merged snapshot written to %s: %d users, %d games, %d groups (fsck clean, sha256 %s)\n",
+		out, t.Users, t.Games, t.Groups, sha)
+	return 0
 }
 
 // runMaintenance handles the no-crawl modes: -fsck (validate a snapshot,

@@ -65,6 +65,20 @@ type Config struct {
 	// 100-ID batches — the sweep has run past the youngest account
 	// (default 20).
 	EmptyBatchLimit int
+	// RangeStart and RangeEnd, when RangeEnd is nonzero, restrict the
+	// phase-1 sweep to the half-open SteamID64 interval
+	// [RangeStart, RangeEnd). The range is finite, so the sweep covers it
+	// exhaustively and EmptyBatchLimit does not apply; MaxAccounts is
+	// ignored. This is how a fleet worker crawls one leased shard.
+	RangeStart uint64
+	RangeEnd   uint64
+	// SkipTailOnEmpty skips the tail phases (3-5: catalog, achievements,
+	// groups) when phases 1-2 found zero accounts, journaling the
+	// phase-done markers so a resume agrees. A fleet's frontier shards are
+	// empty by construction; re-fetching the full catalog for each would
+	// multiply the tail work by the fleet size for records another shard
+	// already holds.
+	SkipTailOnEmpty bool
 	// MaxAccounts optionally caps the crawl (0 = exhaustive).
 	MaxAccounts int
 	// CheckpointPath names a journal directory enabling resumable crawls
@@ -125,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EmptyBatchLimit <= 0 {
 		c.EmptyBatchLimit = 20
+	}
+	if c.RangeEnd > 0 && c.RangeStart < steamid.Base {
+		// SteamID64s start at the base offset; a zero (or sub-base)
+		// RangeStart means "from the beginning of the ID space", not a
+		// quadrillion-ID sweep through IDs that cannot exist.
+		c.RangeStart = steamid.Base
 	}
 	if c.SegmentMaxBytes <= 0 {
 		c.SegmentMaxBytes = defaultSegmentBytes
@@ -315,6 +335,23 @@ func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 		c.cfg.Logf("phase 2 complete: %d accounts detailed", len(snap.Users))
 	}
 
+	// An empty shard (fleet frontier) contributes nothing to the tail
+	// phases; skip them and journal the markers so a resumed run over the
+	// same journal reaches the same decision without re-evaluating.
+	if c.cfg.SkipTailOnEmpty && len(snap.Users) == 0 {
+		if jr != nil {
+			for _, phase := range []uint8{3, 4, 5} {
+				if !st.phaseDone[phase] {
+					if err := jr.appendPhaseDone(phase); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		st.phaseDone[3], st.phaseDone[4], st.phaseDone[5] = true, true, true
+		c.cfg.Logf("empty range: tail phases skipped")
+	}
+
 	// Phase 3: catalog.
 	snap.Games = st.games
 	if !st.phaseDone[3] {
@@ -431,6 +468,9 @@ func (c *Crawler) progressLine(jr *journal) string {
 // sweepProfiles walks the ID space in 100-ID batches (§3.1) until the
 // sweep has passed the youngest account.
 func (c *Crawler) sweepProfiles(ctx context.Context) ([]steamapi.PlayerSummary, error) {
+	if c.cfg.RangeEnd > 0 {
+		return c.sweepRange(ctx)
+	}
 	var out []steamapi.PlayerSummary
 	emptyRun := 0
 	next := uint64(c.cfg.StartID)
@@ -464,6 +504,37 @@ func (c *Crawler) sweepProfiles(ctx context.Context) ([]steamapi.PlayerSummary, 
 	}
 	if c.cfg.MaxAccounts > 0 && len(out) > c.cfg.MaxAccounts {
 		out = out[:c.cfg.MaxAccounts]
+	}
+	return out, nil
+}
+
+// sweepRange is the fleet-shard variant of the phase-1 sweep: it covers
+// exactly [RangeStart, RangeEnd), clamping the final batch to the range
+// edge instead of probing for the youngest-account frontier — the lease
+// table, not the density heuristic, decides where the work space ends.
+func (c *Crawler) sweepRange(ctx context.Context) ([]steamapi.PlayerSummary, error) {
+	var out []steamapi.PlayerSummary
+	for next := c.cfg.RangeStart; next < c.cfg.RangeEnd; {
+		n := uint64(steamapi.MaxSummariesPerCall)
+		if rem := c.cfg.RangeEnd - next; rem < n {
+			n = rem
+		}
+		start := next
+		ids := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			ids = append(ids, strconv.FormatUint(next, 10))
+			next++
+		}
+		var resp steamapi.PlayerSummariesResponse
+		params := url.Values{"steamids": {strings.Join(ids, ",")}}
+		if err := c.client.getJSON(ctx, "/ISteamUser/GetPlayerSummaries/v0002/", params, &resp); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.batches = append(c.batches, batchDensity{start: start, found: len(resp.Response.Players)})
+		c.mu.Unlock()
+		out = append(out, resp.Response.Players...)
+		c.Metrics.Profiles.Add(int64(len(resp.Response.Players)))
 	}
 	return out, nil
 }

@@ -252,7 +252,7 @@ func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, e
 		valid, err := replaySegment(path, st, m)
 		if err != nil {
 			if !last {
-				return nil, nil, fmt.Errorf("crawler: journal segment %s: %w", segName(seq), err)
+				return nil, nil, fmt.Errorf("crawler: journal segment %s: %w", path, err)
 			}
 			// Torn tail in the final segment: drop the partial record and
 			// resume appending right after the last whole one.
@@ -281,7 +281,9 @@ func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, e
 
 // replaySegment applies every whole record in the segment to st and
 // returns the byte offset just past the last whole record. The error is
-// non-nil when the segment ends in a partial or corrupt record.
+// non-nil when the segment ends in a partial or corrupt record; it names
+// the record index and byte offset so a failed resume points at the exact
+// spot in the offending shard file, not just "record 17 somewhere".
 func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -290,6 +292,7 @@ func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
 	defer f.Close()
 	var (
 		valid  int64
+		index  int64
 		header [recHeaderSize]byte
 	)
 	for {
@@ -297,23 +300,24 @@ func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
 			if err == io.EOF {
 				return valid, nil // clean end
 			}
-			return valid, fmt.Errorf("torn record header: %w", err)
+			return valid, fmt.Errorf("record %d at byte offset %d: torn record header: %w", index, valid, err)
 		}
 		length := binary.BigEndian.Uint32(header[0:4])
 		sum := binary.BigEndian.Uint32(header[4:8])
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return valid, fmt.Errorf("torn record payload: %w", err)
+			return valid, fmt.Errorf("record %d at byte offset %d: torn record payload: %w", index, valid, err)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return valid, errors.New("record checksum mismatch")
+			return valid, fmt.Errorf("record %d at byte offset %d: record checksum mismatch", index, valid)
 		}
 		var rec journalRecord
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return valid, fmt.Errorf("record decode: %w", err)
+			return valid, fmt.Errorf("record %d at byte offset %d: record decode: %w", index, valid, err)
 		}
 		st.apply(&rec)
 		valid += recHeaderSize + int64(length)
+		index++
 		if m != nil {
 			m.JournalRecords.Add(1)
 		}

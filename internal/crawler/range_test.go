@@ -1,0 +1,103 @@
+// Range-restricted sweeps are the fleet's shard primitive: a crawl over
+// [RangeStart, RangeEnd) must visit exactly that ID window — no
+// early-out, no overshoot — so that disjoint ranges partition the ID
+// space and their merge reproduces a solo crawl record-for-record.
+
+package crawler
+
+import (
+	"reflect"
+	"testing"
+
+	"steamstudy/internal/apiserver"
+	"steamstudy/internal/dataset"
+)
+
+// TestRangeCrawlsPartitionAndMergeToSolo splits the ID space at a
+// mid-population SteamID, crawls both halves independently, and merges:
+// the result must equal an unrestricted solo crawl exactly — users from
+// the disjoint ranges, value-identical catalog records deduped, group
+// member sets unioned.
+func TestRangeCrawlsPartitionAndMergeToSolo(t *testing.T) {
+	u := crawlUniverse(t)
+	ts := startServer(t, apiserver.Config{})
+
+	solo := runCrawl(t, Config{BaseURL: ts.URL, Workers: 8})
+	truth := dataset.FromUniverse(u)
+	mid := truth.Users[len(truth.Users)/2].SteamID
+	last := truth.Users[len(truth.Users)-1].SteamID
+
+	// RangeStart 0 exercises the clamp to steamid.Base.
+	lo := runCrawl(t, Config{BaseURL: ts.URL, Workers: 8, RangeStart: 0, RangeEnd: mid})
+	hi := runCrawl(t, Config{BaseURL: ts.URL, Workers: 8, RangeStart: mid, RangeEnd: last + 1})
+	if len(lo.Users) == 0 || len(hi.Users) == 0 {
+		t.Fatalf("degenerate split: %d + %d users", len(lo.Users), len(hi.Users))
+	}
+	if len(lo.Users)+len(hi.Users) != len(solo.Users) {
+		t.Fatalf("ranges found %d + %d users, solo found %d", len(lo.Users), len(hi.Users), len(solo.Users))
+	}
+	for _, u := range lo.Users {
+		if u.SteamID >= mid {
+			t.Fatalf("low range leaked user %d past its end %d", u.SteamID, mid)
+		}
+	}
+	for _, u := range hi.Users {
+		if u.SteamID < mid {
+			t.Fatalf("high range leaked user %d before its start %d", u.SteamID, mid)
+		}
+	}
+
+	merged, err := dataset.MergeAt(0, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo.CollectedAt = 0
+	if !reflect.DeepEqual(merged, solo) {
+		t.Fatalf("range merge diverges from solo: %d/%d/%d vs %d/%d/%d users/games/groups",
+			len(merged.Users), len(merged.Games), len(merged.Groups),
+			len(solo.Users), len(solo.Games), len(solo.Groups))
+	}
+}
+
+// TestEmptyRangeSkipsTailPhases: a frontier shard past the last real
+// account finds nobody and must not crawl the catalog N more times.
+// With SkipTailOnEmpty the tail phases are skipped — but their done
+// markers still hit the journal, so a resume of the shard agrees it is
+// finished instead of redoing the skip decision.
+func TestEmptyRangeSkipsTailPhases(t *testing.T) {
+	u := crawlUniverse(t)
+	ts := startServer(t, apiserver.Config{})
+	truth := dataset.FromUniverse(u)
+	last := truth.Users[len(truth.Users)-1].SteamID
+	jdir := t.TempDir()
+
+	snap := runCrawl(t, Config{
+		BaseURL:         ts.URL,
+		Workers:         4,
+		RangeStart:      last + 1000,
+		RangeEnd:        last + 2000,
+		SkipTailOnEmpty: true,
+		CheckpointPath:  jdir,
+	})
+	if len(snap.Users) != 0 {
+		t.Fatalf("empty range produced %d users", len(snap.Users))
+	}
+	if len(snap.Games) != 0 {
+		t.Fatalf("tail skip still crawled %d catalog entries", len(snap.Games))
+	}
+
+	jr, st, err := openJournal(jdir, 0, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	// Phase 1 has no marker of its own: phase 2's covers the 1+2 pair.
+	for _, phase := range []int{2, 3, 4, 5} {
+		if !st.phaseDone[phase] {
+			t.Fatalf("phase %d not journaled as done; a resumed shard would redo it", phase)
+		}
+	}
+	if len(st.games) != 0 {
+		t.Fatalf("journal holds %d catalog records for an empty shard", len(st.games))
+	}
+}

@@ -72,6 +72,20 @@ func Merge(parts ...*Snapshot) (*Snapshot, error) {
 	return out, nil
 }
 
+// MergeAt merges like Merge but stamps the result with an explicit
+// CollectedAt instead of the latest of the parts'. Deterministic pipelines
+// (the fleet merge, repeatable tests) need the timestamp pinned so the
+// merged file's bytes — and therefore its manifest SHA-256 — depend only
+// on the crawled records.
+func MergeAt(collectedAt int64, parts ...*Snapshot) (*Snapshot, error) {
+	out, err := Merge(parts...)
+	if err != nil {
+		return nil, err
+	}
+	out.CollectedAt = collectedAt
+	return out, nil
+}
+
 func unionUint64(a, b []uint64) []uint64 {
 	seen := make(map[uint64]struct{}, len(a)+len(b))
 	out := make([]uint64, 0, len(a)+len(b))

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"steamstudy/internal/apiserver"
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/obs"
+	"steamstudy/internal/simworld"
+)
+
+var (
+	fleetOnce sync.Once
+	fleetU    *simworld.Universe
+)
+
+// fleetUniverse is the shared ground truth: small enough that a fleet of
+// four plus a solo control crawl stay fast, big enough to span several
+// shards at the test range size.
+func fleetUniverse(t *testing.T) *simworld.Universe {
+	t.Helper()
+	fleetOnce.Do(func() {
+		cfg := simworld.DefaultConfig(300)
+		cfg.CatalogSize = 40
+		fleetU = simworld.MustGenerate(cfg, 7)
+	})
+	return fleetU
+}
+
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(apiserver.New(fleetUniverse(t), apiserver.Config{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// testParams keeps shards small so a 300-account universe spans several
+// and the empty frontier stays cheap.
+func testParams() Params {
+	return Params{RangeSize: 200, LeaseTTL: 5 * time.Second, EmptyShardLimit: 3}
+}
+
+// saveCanonical persists a snapshot with a pinned timestamp as JSONL —
+// bytes depend only on the record values, so files compare byte-for-byte.
+func saveCanonical(t *testing.T, snap *dataset.Snapshot, path string) []byte {
+	t.Helper()
+	snap.CollectedAt = 1_450_000_000
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// soloBytes runs the single-process control crawl and returns its pinned
+// snapshot bytes — the target every fleet configuration must hit exactly.
+func soloBytes(t *testing.T, baseURL, dir string) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	snap, err := crawler.New(crawler.Config{BaseURL: baseURL, Workers: 4, ProgressEvery: -1}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return saveCanonical(t, snap, filepath.Join(dir, "solo.snap.jsonl"))
+}
+
+// runFleet crawls the whole space with n concurrent workers sharing one
+// fleet directory, then merges and returns the pinned snapshot bytes.
+func runFleet(t *testing.T, baseURL, fleetDir string, n int, reg *obs.Registry) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunWorker(ctx, Config{
+				Dir:      fleetDir,
+				WorkerID: string(rune('a' + i)),
+				Params:   testParams(),
+				Crawl:    crawler.Config{BaseURL: baseURL, Workers: 4, ProgressEvery: -1},
+				Poll:     20 * time.Millisecond,
+				Registry: reg,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	merged, err := Merge(fleetDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return saveCanonical(t, merged, filepath.Join(fleetDir, "merged.snap.jsonl"))
+}
+
+// TestFleetMergeMatchesSoloAcrossSizes is the determinism proof for the
+// undisturbed case: fleets of 1, 2 and 4 workers — different lease
+// interleavings, different shard-to-worker assignments — must all merge
+// to the byte-identical snapshot of a solo crawl.
+func TestFleetMergeMatchesSoloAcrossSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet e2e is slow")
+	}
+	ts := startServer(t)
+	tmp := t.TempDir()
+	want := soloBytes(t, ts.URL, tmp)
+
+	for _, n := range []int{1, 2, 4} {
+		reg := obs.NewRegistry()
+		fleetDir := filepath.Join(tmp, "fleet", string(rune('0'+n)))
+		got := runFleet(t, ts.URL, fleetDir, n, reg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fleet of %d merged to %d bytes, solo is %d bytes — not identical", n, len(got), len(want))
+		}
+		rep, err := dataset.FsckFile(filepath.Join(fleetDir, "merged.snap.jsonl"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fleet of %d: merged snapshot fails fsck:\n%s", n, rep)
+		}
+		if reg.Counter("fleet_leases_held").Load() == 0 {
+			t.Fatalf("fleet of %d: no leases recorded on the registry", n)
+		}
+	}
+}
+
+// TestFleetMergeRefusesIncompleteCrawl: merging while shards are
+// outstanding must fail loudly, not emit a snapshot missing ID ranges.
+func TestFleetMergeRefusesIncompleteCrawl(t *testing.T) {
+	dir := t.TempDir()
+	table, err := Open(dir, testParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	if _, err := table.Acquire("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(dir, 0); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+}
+
+// TestFleetWorkerGracefulCancel: a canceled worker releases its lease
+// immediately (no TTL wait) and leaves a journal a successor resumes; the
+// finished fleet still merges byte-identical to solo.
+func TestFleetWorkerGracefulCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet e2e is slow")
+	}
+	ts := startServer(t)
+	tmp := t.TempDir()
+	want := soloBytes(t, ts.URL, tmp)
+	fleetDir := filepath.Join(tmp, "fleet")
+
+	// Throttled worker so the cancel lands mid-shard.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(ctx, Config{
+			Dir:      fleetDir,
+			WorkerID: "victim",
+			Params:   testParams(),
+			Crawl:    crawler.Config{BaseURL: ts.URL, Workers: 2, RatePerSecond: 300, ProgressEvery: -1},
+			Poll:     20 * time.Millisecond,
+		})
+		done <- err
+	}()
+
+	// Wait until it holds a lease, then interrupt it.
+	table, err := Open(fleetDir, testParams(), nil)
+	if err != nil {
+		// The worker may not have created the table yet; retry briefly.
+		deadline := time.Now().Add(10 * time.Second)
+		for err != nil && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			table, err = Open(fleetDir, testParams(), nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer table.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s, err := table.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Leased > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never acquired a lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled worker returned %v, want context.Canceled", err)
+	}
+	s, err := table.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Leased != 0 {
+		t.Fatalf("%d leases still held after graceful cancel; Release did not run", s.Leased)
+	}
+
+	// A successor finishes the crawl — at full speed — and the merge must
+	// still hit the solo bytes exactly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel2()
+	if _, err := RunWorker(ctx2, Config{
+		Dir:      fleetDir,
+		WorkerID: "successor",
+		Params:   testParams(),
+		Crawl:    crawler.Config{BaseURL: ts.URL, Workers: 4, ProgressEvery: -1},
+		Poll:     20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(fleetDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := saveCanonical(t, merged, filepath.Join(fleetDir, "merged.snap.jsonl"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-cancel merge diverges from solo (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -1,0 +1,218 @@
+//go:build crash
+
+// Fleet crash-chaos harness (build with -tags crash; `make fleetchaos`).
+// Child worker processes crawl a shared fleet directory and get SIGKILLed
+// — no handlers, no flushes — at randomized byte offsets of the fleet
+// dir's growth. Replacements join under fresh worker IDs, reclaim the
+// corpses' expired leases, and resume their half-written shard journals.
+// The acceptance bar is the tentpole claim itself: after any kill/resume
+// schedule the merged snapshot must be byte-identical to an undisturbed
+// solo crawl, and fsck must prove the artifact clean.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
+)
+
+// chaosSeed lets CI shake different kill schedules out of the harness:
+// CRASH_SEED=n make fleetchaos. The default is fixed for reproducibility.
+func chaosSeed(t *testing.T) int64 {
+	if s := os.Getenv("CRASH_SEED"); s != "" {
+		var n int64
+		if _, err := fmt.Sscan(s, &n); err != nil {
+			t.Fatalf("CRASH_SEED: %v", err)
+		}
+		return n
+	}
+	return 1
+}
+
+// fleetDirBytes sums every file under the fleet directory — lease table
+// plus all shard journals — the growth signal the SIGKILL parent watches.
+func fleetDirBytes(dir string) int64 {
+	var n int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil // files vanish mid-walk under compaction; keep counting
+		}
+		if info, err := d.Info(); err == nil && !d.IsDir() {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n
+}
+
+// TestFleetChild is not a test: it is the subprocess body for
+// TestFleetChaosSIGKILL, gated behind an env var so a normal `go test
+// -tags crash` run skips it. It joins the fleet at FLEET_DIR as worker
+// FLEET_WORKER and crawls — throttled, so the parent's kills land
+// mid-shard — until the lease table reports the ID space exhausted.
+func TestFleetChild(t *testing.T) {
+	if os.Getenv("STEAMCRAWL_FLEET_CHILD") != "1" {
+		t.Skip("subprocess body; spawned by TestFleetChaosSIGKILL")
+	}
+	var rate float64
+	fmt.Sscan(os.Getenv("FLEET_RATE"), &rate)
+	_, err := RunWorker(context.Background(), Config{
+		Dir:      os.Getenv("FLEET_DIR"),
+		WorkerID: os.Getenv("FLEET_WORKER"),
+		Params:   Params{RangeSize: 200, LeaseTTL: 2 * time.Second, EmptyShardLimit: 3},
+		Crawl: crawler.Config{
+			BaseURL:       os.Getenv("FLEET_URL"),
+			Workers:       2,
+			RatePerSecond: rate,
+			ProgressEvery: -1,
+		},
+		Poll: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fleet child: %v", err)
+	}
+}
+
+// TestFleetChaosSIGKILL is the determinism proof under real process
+// death: a fleet of two child workers crawls a shared directory; the
+// parent SIGKILLs a random child each time the fleet dir grows past a
+// randomized byte offset and enlists a replacement under a fresh worker
+// ID. Once the survivors drain the ID space, the in-process merge must
+// be byte-identical to an undisturbed solo crawl and fsck-clean.
+func TestFleetChaosSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos is slow")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t)
+	rng := rand.New(rand.NewSource(chaosSeed(t)))
+	tmp := t.TempDir()
+	fleetDir := filepath.Join(tmp, "fleet")
+	want := soloBytes(t, ts.URL, tmp)
+
+	type child struct {
+		cmd  *exec.Cmd
+		done chan error
+	}
+	nextID := 0
+	spawn := func() *child {
+		nextID++
+		cmd := exec.Command(exe, "-test.run", "^TestFleetChild$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"STEAMCRAWL_FLEET_CHILD=1",
+			"FLEET_URL="+ts.URL,
+			"FLEET_DIR="+fleetDir,
+			fmt.Sprintf("FLEET_WORKER=chaos-%d", nextID),
+			"FLEET_RATE=600",
+		)
+		c := &child{cmd: cmd, done: make(chan error, 1)}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go func() { c.done <- cmd.Wait() }()
+		return c
+	}
+
+	fleet := []*child{spawn(), spawn()}
+	const kills = 3
+	killed := 0
+	deadline := time.After(4 * time.Minute)
+	for killed < kills {
+		target := fleetDirBytes(fleetDir) + int64(1+rng.Intn(15_000))
+		fired := false
+		for !fired {
+			// Reap children that finished on their own; if the whole fleet
+			// drained the ID space before the next bullet, the chaos window
+			// is over.
+			live := fleet[:0]
+			for _, c := range fleet {
+				select {
+				case err := <-c.done:
+					if err != nil {
+						t.Fatalf("child exited with error before kill: %v", err)
+					}
+				default:
+					live = append(live, c)
+				}
+			}
+			fleet = live
+			if len(fleet) == 0 {
+				fired = true
+				break
+			}
+			select {
+			case <-deadline:
+				for _, c := range fleet {
+					c.cmd.Process.Kill()
+				}
+				t.Fatal("fleet chaos hung")
+			case <-time.After(2 * time.Millisecond):
+				if fleetDirBytes(fleetDir) >= target {
+					victim := rng.Intn(len(fleet))
+					fleet[victim].cmd.Process.Kill() // SIGKILL: no handlers, no flushes
+					<-fleet[victim].done
+					fleet[victim] = spawn() // replacement under a fresh worker ID
+					killed++
+					fired = true
+				}
+			}
+		}
+		if len(fleet) == 0 {
+			break
+		}
+	}
+	if killed == 0 {
+		t.Fatal("every child outran the kill offsets; harness misconfigured")
+	}
+	t.Logf("SIGKILLed %d workers mid-crawl across %d spawned children", killed, nextID)
+
+	// Let the survivors (and replacements) drain the remaining shards.
+	// Replacements must wait out the 2s lease TTL before reclaiming a
+	// corpse's shard, so give them room.
+	for _, c := range fleet {
+		select {
+		case err := <-c.done:
+			if err != nil {
+				t.Fatalf("surviving child failed: %v", err)
+			}
+		case <-time.After(3 * time.Minute):
+			c.cmd.Process.Kill()
+			t.Fatal("surviving child hung")
+		}
+	}
+
+	merged, err := Merge(fleetDir, 0)
+	if err != nil {
+		t.Fatalf("merge after chaos: %v", err)
+	}
+	path := filepath.Join(tmp, "merged.snap.jsonl")
+	got := saveCanonical(t, merged, path)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chaos merge not byte-identical to undisturbed run (%d vs %d bytes)", len(got), len(want))
+	}
+	im := &dataset.IntegrityMetrics{}
+	rep, err := dataset.FsckFile(path, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("chaos merge fails fsck:\n%s", rep)
+	}
+	if im.RecordsVerified.Load() == 0 {
+		t.Fatal("fsck verified nothing; harness misconfigured")
+	}
+}

@@ -1,0 +1,612 @@
+// Package fleet coordinates N crawler processes over one shared
+// SteamID64 work space. The coordinator is not a process but a file: a
+// lease table under the fleet directory, guarded by an advisory flock and
+// rewritten with the same atomic-rename + fsync discipline as
+// dataset.Snapshot.Save, shards the ID space into fixed-size ranges and
+// hands them out as leases with expiry timestamps. Workers heartbeat to
+// keep their lease; a worker that goes silent past the TTL — SIGKILLed,
+// wedged, unplugged — forfeits its shard, and the next Acquire re-issues
+// it. Each shard's crawl journals into its own directory, so the
+// reclaiming worker resumes exactly where the corpse stopped, and the
+// merge step (Merge) stitches the per-shard journals into one snapshot
+// that is byte-identical to a solo crawl regardless of fleet size,
+// interleaving, or how many workers died along the way.
+//
+// The ownership model follows the inventory/live-apply pattern: the table
+// records who owns what and since when, stale actors are pruned by
+// expiry, and every transition is a read-modify-write under the lock so
+// two workers can never believe they own the same shard at once (within
+// the TTL's clock-skew tolerance; the table has no fencing tokens, so the
+// TTL must exceed the worst worker pause).
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+
+	"steamstudy/internal/obs"
+	"steamstudy/internal/steamid"
+)
+
+const (
+	tableName = "table.json"
+	lockName  = "fleet.lock"
+
+	shardOpen   = "open"   // previously issued, currently unowned (released or reclaimed)
+	shardLeased = "leased" // owned by Worker until Expires
+	shardDone   = "done"   // crawled to completion
+)
+
+// Sentinel results from Acquire and the lease-holding operations.
+var (
+	// ErrExhausted: the frontier is closed and every shard is done — the
+	// fleet crawl is complete.
+	ErrExhausted = errors.New("fleet: work space exhausted")
+	// ErrNoShard: nothing to lease right now, but other workers hold live
+	// leases whose death would create work — poll again.
+	ErrNoShard = errors.New("fleet: no shard available; live leases outstanding")
+	// ErrLeaseLost: the caller no longer owns the shard (its lease expired
+	// and was reclaimed). The holder must stop writing that shard's
+	// journal immediately.
+	ErrLeaseLost = errors.New("fleet: lease lost")
+)
+
+// Params fixes the geometry and liveness rules of one fleet. The first
+// Open writes them into the table; later opens must agree (zero fields
+// adopt the stored value).
+type Params struct {
+	// StartID is the first SteamID64 of shard 0 (default steamid.Base).
+	StartID uint64
+	// RangeSize is the number of IDs per shard (default 65536).
+	RangeSize uint64
+	// LeaseTTL is how long a lease survives without a heartbeat
+	// (default 30s).
+	LeaseTTL time.Duration
+	// EmptyShardLimit closes the frontier after this many consecutive
+	// all-empty completed shards at the top of the issued range — the
+	// fleet analog of the solo sweep's EmptyBatchLimit. Default: enough
+	// shards to cover the solo heuristic's 2000-ID overshoot.
+	EmptyShardLimit int
+}
+
+func (p Params) withDefaults() Params {
+	if p.StartID == 0 {
+		p.StartID = steamid.Base
+	}
+	if p.RangeSize == 0 {
+		p.RangeSize = 65536
+	}
+	if p.LeaseTTL <= 0 {
+		p.LeaseTTL = 30 * time.Second
+	}
+	if p.EmptyShardLimit <= 0 {
+		// Match the solo sweep's gap tolerance: 20 batches of 100 IDs.
+		p.EmptyShardLimit = int((2000 + p.RangeSize - 1) / p.RangeSize)
+		if p.EmptyShardLimit < 1 {
+			p.EmptyShardLimit = 1
+		}
+	}
+	return p
+}
+
+// Lease is one granted shard: the ID range to crawl and the directory the
+// shard's journal lives in.
+type Lease struct {
+	Shard      int
+	Start, End uint64 // [Start, End)
+	Dir        string
+}
+
+// shardEntry is one shard's row in the on-disk table.
+type shardEntry struct {
+	State   string `json:"state"`
+	Worker  string `json:"worker,omitempty"`
+	Expires int64  `json:"expires_unix_nano,omitempty"`
+	Found   int    `json:"found,omitempty"`
+	Empty   bool   `json:"empty,omitempty"`
+}
+
+// tableState is the whole coordination state, serialized as one JSON
+// document. Small by construction: one row per issued shard plus one
+// heartbeat stamp per worker ever seen.
+type tableState struct {
+	Version         int                    `json:"version"`
+	StartID         uint64                 `json:"start_id"`
+	RangeSize       uint64                 `json:"range_size"`
+	LeaseTTLNanos   int64                  `json:"lease_ttl_nanos"`
+	EmptyShardLimit int                    `json:"empty_shard_limit"`
+	NextShard       int                    `json:"next_shard"`
+	Shards          map[string]*shardEntry `json:"shards"`
+	Workers         map[string]int64       `json:"workers"` // worker -> last activity (unix nanos)
+}
+
+func (st *tableState) shard(i int) *shardEntry { return st.Shards[strconv.Itoa(i)] }
+
+func (st *tableState) setShard(i int, e *shardEntry) { st.Shards[strconv.Itoa(i)] = e }
+
+// frontierClosed reports whether the EmptyShardLimit newest issued shards
+// are all done and empty — the sweep has run past the youngest account,
+// so no new shard is worth issuing.
+func (st *tableState) frontierClosed() bool {
+	if st.NextShard < st.EmptyShardLimit {
+		return false
+	}
+	for i := st.NextShard - st.EmptyShardLimit; i < st.NextShard; i++ {
+		e := st.shard(i)
+		if e == nil || e.State != shardDone || !e.Empty {
+			return false
+		}
+	}
+	return true
+}
+
+// outstanding counts issued shards not yet done.
+func (st *tableState) outstanding() int {
+	n := 0
+	for _, e := range st.Shards {
+		if e.State != shardDone {
+			n++
+		}
+	}
+	return n
+}
+
+// Table is a handle on one fleet's lease table. Every operation takes the
+// flock, reads the table, mutates it, and atomically rewrites it, so any
+// number of Table handles — across goroutines or across processes — see
+// one serialized history.
+type Table struct {
+	dir  string
+	lock *os.File
+	ttl  time.Duration    // cached from the table file at open
+	now  func() time.Time // test hook
+
+	leasesHeld      *obs.Counter
+	leasesExpired   *obs.Counter
+	leasesReclaimed *obs.Counter
+	workersAlive    *obs.Gauge
+	shardsDone      *obs.Gauge
+	shardsIssued    *obs.Gauge
+}
+
+// Open creates the fleet directory and lease table if absent (stamping
+// params, with defaults applied) or attaches to the existing one (nonzero
+// params must match what the table records — two workers disagreeing on
+// shard geometry would corrupt the space).
+func Open(dir string, p Params, reg *obs.Registry) (*Table, error) {
+	return open(dir, p, reg, true)
+}
+
+// Load attaches to an existing fleet directory and fails if there is no
+// lease table — the read-side entry point (merge, status) must never
+// invent an empty fleet.
+func Load(dir string, reg *obs.Registry) (*Table, error) {
+	return open(dir, Params{}, reg, false)
+}
+
+func open(dir string, p Params, reg *obs.Registry, create bool) (*Table, error) {
+	if create {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: dir: %w", err)
+		}
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: lock file: %w", err)
+	}
+	t := &Table{
+		dir:             dir,
+		lock:            lock,
+		now:             time.Now,
+		leasesHeld:      reg.Counter("fleet_leases_held"),
+		leasesExpired:   reg.Counter("fleet_leases_expired"),
+		leasesReclaimed: reg.Counter("fleet_leases_reclaimed"),
+		workersAlive:    reg.Gauge("fleet_workers_alive"),
+		shardsDone:      reg.Gauge("fleet_shards_done"),
+		shardsIssued:    reg.Gauge("fleet_shards_issued"),
+	}
+	if err := t.init(p, create); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// init validates or creates the table file under the lock.
+func (t *Table) init(p Params, create bool) error {
+	if err := t.flock(); err != nil {
+		return err
+	}
+	defer t.funlock()
+	st, err := t.read()
+	if err != nil {
+		return err
+	}
+	if st == nil {
+		if !create {
+			return fmt.Errorf("fleet: %s has no lease table", t.dir)
+		}
+		p = p.withDefaults()
+		st = &tableState{
+			Version:         1,
+			StartID:         p.StartID,
+			RangeSize:       p.RangeSize,
+			LeaseTTLNanos:   p.LeaseTTL.Nanoseconds(),
+			EmptyShardLimit: p.EmptyShardLimit,
+			Shards:          map[string]*shardEntry{},
+			Workers:         map[string]int64{},
+		}
+		t.ttl = p.LeaseTTL
+		return t.write(st)
+	}
+	t.ttl = time.Duration(st.LeaseTTLNanos)
+	if st.Version != 1 {
+		return fmt.Errorf("fleet: table version %d is newer than this binary understands", st.Version)
+	}
+	// Nonzero caller params must agree with the table's.
+	if p.StartID != 0 && p.StartID != st.StartID {
+		return fmt.Errorf("fleet: start ID mismatch: table has %d, caller wants %d", st.StartID, p.StartID)
+	}
+	if p.RangeSize != 0 && p.RangeSize != st.RangeSize {
+		return fmt.Errorf("fleet: range size mismatch: table has %d, caller wants %d", st.RangeSize, p.RangeSize)
+	}
+	if p.LeaseTTL > 0 && p.LeaseTTL.Nanoseconds() != st.LeaseTTLNanos {
+		return fmt.Errorf("fleet: lease TTL mismatch: table has %v, caller wants %v",
+			time.Duration(st.LeaseTTLNanos), p.LeaseTTL)
+	}
+	if p.EmptyShardLimit > 0 && p.EmptyShardLimit != st.EmptyShardLimit {
+		return fmt.Errorf("fleet: empty-shard limit mismatch: table has %d, caller wants %d",
+			st.EmptyShardLimit, p.EmptyShardLimit)
+	}
+	return nil
+}
+
+// Close releases the handle (not any leases — use Release for that).
+func (t *Table) Close() error { return t.lock.Close() }
+
+// Dir returns the fleet directory.
+func (t *Table) Dir() string { return t.dir }
+
+// TTL returns the fleet's lease time-to-live as stored in the table.
+func (t *Table) TTL() time.Duration { return t.ttl }
+
+// ShardDir names the journal directory of one shard.
+func (t *Table) ShardDir(shard int) string { return ShardDir(t.dir, shard) }
+
+// ShardDir names the journal directory of one shard of the fleet at dir.
+func ShardDir(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%06d", shard))
+}
+
+func (t *Table) flock() error {
+	if err := syscall.Flock(int(t.lock.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("fleet: flock: %w", err)
+	}
+	return nil
+}
+
+func (t *Table) funlock() { syscall.Flock(int(t.lock.Fd()), syscall.LOCK_UN) }
+
+// read loads the table file; a missing file returns (nil, nil).
+func (t *Table) read() (*tableState, error) {
+	raw, err := os.ReadFile(filepath.Join(t.dir, tableName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: table read: %w", err)
+	}
+	var st tableState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("fleet: table decode: %w", err)
+	}
+	if st.Shards == nil {
+		st.Shards = map[string]*shardEntry{}
+	}
+	if st.Workers == nil {
+		st.Workers = map[string]int64{}
+	}
+	return &st, nil
+}
+
+// write atomically publishes the table: temp file, fsync, rename,
+// directory fsync — the same discipline as Snapshot.Save, so a crash
+// mid-write can never leave a half-table for the next worker to read.
+func (t *Table) write(st *tableState) error {
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: table encode: %w", err)
+	}
+	f, err := os.CreateTemp(t.dir, ".tmp-table-")
+	if err != nil {
+		return fmt.Errorf("fleet: table temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: table write: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(t.dir, tableName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: table publish: %w", err)
+	}
+	return syncDir(t.dir)
+}
+
+// syncDir fsyncs the fleet directory so the rename is durable;
+// filesystems that cannot sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fleet: dir open: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("fleet: dir sync: %w", err)
+	}
+	return nil
+}
+
+// withTable runs fn on the freshly read table under the lock and persists
+// the result. The sentinel outcomes (ErrExhausted, ErrNoShard) still
+// persist — fn may have reclaimed expired leases or stamped a heartbeat
+// on the way to "nothing for you".
+func (t *Table) withTable(fn func(st *tableState) error) error {
+	if err := t.flock(); err != nil {
+		return err
+	}
+	defer t.funlock()
+	st, err := t.read()
+	if err != nil {
+		return err
+	}
+	if st == nil {
+		return fmt.Errorf("fleet: %s has no lease table", t.dir)
+	}
+	ferr := fn(st)
+	if ferr == nil || errors.Is(ferr, ErrExhausted) || errors.Is(ferr, ErrNoShard) {
+		if werr := t.write(st); werr != nil {
+			return werr
+		}
+		t.updateGauges(st)
+	}
+	return ferr
+}
+
+// reclaim returns every expired lease to the open pool. The journal under
+// the shard's directory survives untouched; the next owner resumes it.
+func (t *Table) reclaim(st *tableState, now time.Time) {
+	for _, e := range st.Shards {
+		if e.State == shardLeased && e.Expires < now.UnixNano() {
+			e.State = shardOpen
+			e.Worker = ""
+			e.Expires = 0
+			t.leasesExpired.Inc()
+		}
+	}
+}
+
+func (t *Table) updateGauges(st *tableState) {
+	now := t.now().UnixNano()
+	ttl := st.LeaseTTLNanos
+	alive := 0
+	for w, last := range st.Workers {
+		if now-last <= ttl {
+			alive++
+		} else if now-last > 10*ttl {
+			delete(st.Workers, w) // bound the map; long-dead workers are history
+		}
+	}
+	done := 0
+	for _, e := range st.Shards {
+		if e.State == shardDone {
+			done++
+		}
+	}
+	t.workersAlive.Set(float64(alive))
+	t.shardsDone.Set(float64(done))
+	t.shardsIssued.Set(float64(st.NextShard))
+}
+
+func (t *Table) leaseFor(st *tableState, shard int) Lease {
+	start := st.StartID + uint64(shard)*st.RangeSize
+	return Lease{
+		Shard: shard,
+		Start: start,
+		End:   start + st.RangeSize,
+		Dir:   t.ShardDir(shard),
+	}
+}
+
+// Acquire grants the caller a shard: the lowest reclaimed/released shard
+// if any, else the next frontier shard. ErrNoShard means poll again
+// (another worker's death may free work); ErrExhausted means the crawl is
+// complete.
+func (t *Table) Acquire(worker string) (Lease, error) {
+	var lease Lease
+	err := t.withTable(func(st *tableState) error {
+		now := t.now()
+		t.reclaim(st, now)
+		st.Workers[worker] = now.UnixNano()
+
+		// Lowest open (previously issued, currently unowned) shard first:
+		// resuming a half-crawled journal beats opening fresh ground.
+		openShard := -1
+		for k, e := range st.Shards {
+			if e.State != shardOpen {
+				continue
+			}
+			if i, err := strconv.Atoi(k); err == nil && (openShard < 0 || i < openShard) {
+				openShard = i
+			}
+		}
+		idx, reclaimed := openShard, openShard >= 0
+		if idx < 0 && !st.frontierClosed() {
+			idx = st.NextShard
+			st.NextShard++
+		}
+		if idx < 0 {
+			if st.outstanding() == 0 {
+				return ErrExhausted
+			}
+			return ErrNoShard
+		}
+		st.setShard(idx, &shardEntry{
+			State:   shardLeased,
+			Worker:  worker,
+			Expires: now.Add(time.Duration(st.LeaseTTLNanos)).UnixNano(),
+		})
+		lease = t.leaseFor(st, idx)
+		t.leasesHeld.Inc()
+		if reclaimed {
+			t.leasesReclaimed.Inc()
+		}
+		return nil
+	})
+	return lease, err
+}
+
+// Heartbeat renews the caller's lease on shard. ErrLeaseLost means the
+// lease expired and may already belong to someone else: the caller must
+// abandon the shard (and its journal) immediately.
+func (t *Table) Heartbeat(worker string, shard int) error {
+	return t.withTable(func(st *tableState) error {
+		now := t.now()
+		t.reclaim(st, now)
+		st.Workers[worker] = now.UnixNano()
+		e := st.shard(shard)
+		if e == nil || e.State != shardLeased || e.Worker != worker {
+			return ErrLeaseLost
+		}
+		e.Expires = now.Add(time.Duration(st.LeaseTTLNanos)).UnixNano()
+		return nil
+	})
+}
+
+// Complete marks the caller's shard done, recording how many accounts it
+// found; zero marks it empty, which is what closes the frontier.
+func (t *Table) Complete(worker string, shard, found int) error {
+	return t.withTable(func(st *tableState) error {
+		now := t.now()
+		t.reclaim(st, now)
+		st.Workers[worker] = now.UnixNano()
+		e := st.shard(shard)
+		if e == nil || e.State != shardLeased || e.Worker != worker {
+			return ErrLeaseLost
+		}
+		*e = shardEntry{State: shardDone, Found: found, Empty: found == 0}
+		return nil
+	})
+}
+
+// Release returns every lease the worker holds to the open pool — the
+// graceful-shutdown path, so an interrupted worker's shards are
+// immediately re-issuable instead of dead until TTL expiry.
+func (t *Table) Release(worker string) error {
+	return t.withTable(func(st *tableState) error {
+		for _, e := range st.Shards {
+			if e.State == shardLeased && e.Worker == worker {
+				e.State = shardOpen
+				e.Worker = ""
+				e.Expires = 0
+			}
+		}
+		delete(st.Workers, worker)
+		return nil
+	})
+}
+
+// ShardInfo is one shard's public status row.
+type ShardInfo struct {
+	Shard      int
+	State      string
+	Worker     string
+	Found      int
+	Empty      bool
+	Start, End uint64
+	Dir        string
+}
+
+// Status is a point-in-time summary of the whole fleet.
+type Status struct {
+	StartID         uint64
+	RangeSize       uint64
+	LeaseTTL        time.Duration
+	EmptyShardLimit int
+	NextShard       int
+	Done            int
+	Leased          int
+	Open            int
+	WorkersAlive    int
+	// FrontierClosed: the trailing EmptyShardLimit shards all came back
+	// empty, so no new shard will be issued.
+	FrontierClosed bool
+	// Exhausted: frontier closed and every issued shard done — merging is
+	// safe.
+	Exhausted bool
+	Shards    []ShardInfo // ascending by shard index
+}
+
+// Status reads the table (reclaiming nothing, mutating nothing beyond the
+// atomic rewrite of what it read) and summarizes it.
+func (t *Table) Status() (Status, error) {
+	var s Status
+	err := t.withTable(func(st *tableState) error {
+		s = Status{
+			StartID:         st.StartID,
+			RangeSize:       st.RangeSize,
+			LeaseTTL:        time.Duration(st.LeaseTTLNanos),
+			EmptyShardLimit: st.EmptyShardLimit,
+			NextShard:       st.NextShard,
+		}
+		now := t.now().UnixNano()
+		for w := range st.Workers {
+			if now-st.Workers[w] <= st.LeaseTTLNanos {
+				s.WorkersAlive++
+			}
+		}
+		idxs := make([]int, 0, len(st.Shards))
+		for k := range st.Shards {
+			if i, err := strconv.Atoi(k); err == nil {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			e := st.shard(i)
+			switch e.State {
+			case shardDone:
+				s.Done++
+			case shardLeased:
+				s.Leased++
+			case shardOpen:
+				s.Open++
+			}
+			start := st.StartID + uint64(i)*st.RangeSize
+			s.Shards = append(s.Shards, ShardInfo{
+				Shard: i, State: e.State, Worker: e.Worker,
+				Found: e.Found, Empty: e.Empty,
+				Start: start, End: start + st.RangeSize,
+				Dir: t.ShardDir(i),
+			})
+		}
+		s.FrontierClosed = st.frontierClosed()
+		s.Exhausted = s.FrontierClosed && st.outstanding() == 0
+		return nil
+	})
+	return s, err
+}

@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"steamstudy/internal/obs"
+	"steamstudy/internal/steamid"
+)
+
+// fakeTable opens a table with a controllable clock.
+func fakeTable(t *testing.T, dir string, p Params, reg *obs.Registry) (*Table, *time.Time) {
+	t.Helper()
+	table, err := Open(dir, p, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { table.Close() })
+	now := time.Unix(1_450_000_000, 0)
+	table.now = func() time.Time { return now }
+	return table, &now
+}
+
+func TestLeaseSequentialIssue(t *testing.T) {
+	table, _ := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Hour}, nil)
+	for i := 0; i < 3; i++ {
+		lease, err := table.Acquire("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease.Shard != i {
+			t.Fatalf("lease %d got shard %d", i, lease.Shard)
+		}
+		wantStart := steamid.Base + uint64(i)*100
+		if lease.Start != wantStart || lease.End != wantStart+100 {
+			t.Fatalf("shard %d range [%d,%d), want [%d,%d)", i, lease.Start, lease.End, wantStart, wantStart+100)
+		}
+		if lease.Dir == "" {
+			t.Fatal("lease has no shard directory")
+		}
+	}
+}
+
+func TestFrontierClosesAfterEmptyShards(t *testing.T) {
+	table, _ := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Hour, EmptyShardLimit: 2}, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := table.Acquire("w1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := table.Complete("w1", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Complete("w1", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One empty shard at the frontier is not enough to close it.
+	if lease, err := table.Acquire("w1"); err != nil {
+		t.Fatal(err)
+	} else if lease.Shard != 3 {
+		t.Fatalf("expected frontier shard 3, got %d", lease.Shard)
+	}
+	if err := table.Complete("w1", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Complete("w1", 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Shards 2 and 3 (the trailing EmptyShardLimit=2) are done and empty.
+	if _, err := table.Acquire("w1"); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	s, err := table.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exhausted || !s.FrontierClosed || s.Done != 4 {
+		t.Fatalf("status %+v, want exhausted with 4 done", s)
+	}
+}
+
+func TestLeaseExpiryReclaim(t *testing.T) {
+	reg := obs.NewRegistry()
+	table, now := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Minute}, reg)
+	lease, err := table.Acquire("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(2 * time.Minute) // dead worker misses every heartbeat
+	got, err := table.Acquire("alive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != lease.Shard {
+		t.Fatalf("reclaim leased shard %d, want the expired shard %d", got.Shard, lease.Shard)
+	}
+	// The corpse's handle must not be able to touch the shard anymore.
+	if err := table.Heartbeat("dead", lease.Shard); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("dead heartbeat: want ErrLeaseLost, got %v", err)
+	}
+	if err := table.Complete("dead", lease.Shard, 7); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("dead complete: want ErrLeaseLost, got %v", err)
+	}
+	if err := table.Complete("alive", got.Shard, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("fleet_leases_expired").Load(); v != 1 {
+		t.Fatalf("fleet_leases_expired = %d, want 1", v)
+	}
+	if v := reg.Counter("fleet_leases_reclaimed").Load(); v != 1 {
+		t.Fatalf("fleet_leases_reclaimed = %d, want 1", v)
+	}
+	if v := reg.Counter("fleet_leases_held").Load(); v != 2 {
+		t.Fatalf("fleet_leases_held = %d, want 2", v)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	table, now := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Minute}, nil)
+	lease, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		*now = now.Add(40 * time.Second) // past the original expiry by the 2nd step
+		if err := table.Heartbeat("w1", lease.Shard); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	// A second worker must get fresh ground, not w1's still-live shard.
+	got, err := table.Acquire("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard == lease.Shard {
+		t.Fatal("heartbeated lease was stolen")
+	}
+}
+
+func TestReleaseReturnsShardImmediately(t *testing.T) {
+	table, _ := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Hour}, nil)
+	lease, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Release("w1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := table.Acquire("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != lease.Shard {
+		t.Fatalf("released shard %d was not re-issued first (got %d)", lease.Shard, got.Shard)
+	}
+}
+
+func TestOpenParamsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	table, err := Open(dir, Params{RangeSize: 100, LeaseTTL: time.Minute}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Close()
+	if _, err := Open(dir, Params{RangeSize: 200}, nil); err == nil {
+		t.Fatal("range-size mismatch accepted")
+	}
+	if _, err := Open(dir, Params{LeaseTTL: time.Hour}, nil); err == nil {
+		t.Fatal("TTL mismatch accepted")
+	}
+	// Zero params adopt the stored geometry.
+	adopted, err := Open(dir, Params{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted.TTL() != time.Minute {
+		t.Fatalf("adopted TTL %v, want 1m", adopted.TTL())
+	}
+	adopted.Close()
+}
+
+func TestLoadRequiresExistingTable(t *testing.T) {
+	if _, err := Load(t.TempDir(), nil); err == nil {
+		t.Fatal("Load invented a lease table in an empty directory")
+	}
+}
+
+// TestConcurrentAcquireNoDoubleIssue hammers one table from many handles
+// (one per goroutine, as separate processes would) and asserts no shard
+// is ever owned twice: the flock plus atomic rewrite serialize every
+// read-modify-write.
+func TestConcurrentAcquireNoDoubleIssue(t *testing.T) {
+	dir := t.TempDir()
+	const workers, perWorker = 8, 5
+	var mu sync.Mutex
+	owned := map[int]string{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('a' + w))
+			table, err := Open(dir, Params{RangeSize: 100, LeaseTTL: time.Hour}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer table.Close()
+			for i := 0; i < perWorker; i++ {
+				lease, err := table.Acquire(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if prev, clash := owned[lease.Shard]; clash {
+					t.Errorf("shard %d issued to both %s and %s", lease.Shard, prev, id)
+				}
+				owned[lease.Shard] = id
+				mu.Unlock()
+				// Keep the frontier open so every acquire breaks new ground.
+				if err := table.Complete(id, lease.Shard, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(owned) != workers*perWorker {
+		t.Fatalf("%d distinct shards issued, want %d", len(owned), workers*perWorker)
+	}
+}

@@ -1,0 +1,68 @@
+// Deterministic merge: per-shard journals in, one snapshot out. Replay
+// is the only source of truth — the merge never touches the network —
+// and the output is byte-identical to a solo crawl of the same universe
+// for any fleet size, any lease interleaving, and any kill/resume
+// schedule, because every input journal already replays to a canonical
+// per-shard state and the stitch below is order-insensitive by
+// construction (disjoint user ranges, value-identical catalog records,
+// member-set union for groups).
+
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
+)
+
+// ErrIncomplete rejects merging a fleet whose crawl has not finished.
+var ErrIncomplete = errors.New("fleet: crawl incomplete")
+
+// Merge replays every shard journal of the fleet at dir, stitches them
+// into one snapshot in global SteamID order, and stamps collectedAt. It
+// refuses to run before the lease table says the work space is exhausted
+// and every shard is done — merging a half-crawled fleet would produce a
+// plausible-looking snapshot missing whole ID ranges.
+//
+// Boundary dedup is last-wins in ascending shard order, exactly like
+// single-journal replay: user ranges are disjoint so users never
+// conflict; catalog and achievement records are value-identical across
+// shards so last-wins is value-preserving; group records union their
+// member sets, since each shard only sees the members it crawled.
+func Merge(dir string, collectedAt int64) (*dataset.Snapshot, error) {
+	table, err := Load(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer table.Close()
+	status, err := table.Status()
+	if err != nil {
+		return nil, err
+	}
+	if !status.Exhausted {
+		return nil, fmt.Errorf("%w: %d shards done, %d leased, %d open, frontier closed=%v",
+			ErrIncomplete, status.Done, status.Leased, status.Open, status.FrontierClosed)
+	}
+
+	parts := make([]*dataset.Snapshot, 0, len(status.Shards))
+	for _, sh := range status.Shards {
+		if _, err := os.Stat(sh.Dir); os.IsNotExist(err) {
+			// A done shard always journaled at least its phase markers; a
+			// missing directory means the fleet dir was tampered with.
+			return nil, fmt.Errorf("fleet: shard %d is marked done but its journal directory %s is missing", sh.Shard, sh.Dir)
+		}
+		part, err := crawler.RebuildFromJournal(sh.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: %w", sh.Shard, err)
+		}
+		parts = append(parts, part)
+	}
+	merged, err := dataset.MergeAt(collectedAt, parts...)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: merge: %w", err)
+	}
+	return merged, nil
+}

@@ -1,0 +1,188 @@
+// The worker side of the fleet: a loop that leases shards from the
+// table, crawls each with the existing phase machinery restricted to the
+// leased ID range, heartbeats while it works, and marks the shard done.
+// Everything durable lives in the shard's own journal directory, so a
+// worker is stateless between shards and interchangeable with any other —
+// a SIGKILLed worker's shard is simply resumed by whoever reclaims it.
+
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/obs"
+)
+
+// Config configures one fleet worker.
+type Config struct {
+	// Dir is the shared fleet directory (lease table + shard journals).
+	Dir string
+	// WorkerID names this worker in the lease table. Defaults to
+	// hostname-pid. Two live workers must not share an ID.
+	WorkerID string
+	// Params fixes the fleet geometry; the first worker to open the table
+	// stamps them, later workers must agree (zero fields adopt).
+	Params Params
+	// Crawl is the per-shard crawler template. CheckpointPath, RangeStart,
+	// RangeEnd, SkipTailOnEmpty and MaxAccounts are overwritten per lease.
+	Crawl crawler.Config
+	// Poll is how long to wait between Acquire attempts when every shard
+	// is leased to someone else (default 250ms).
+	Poll time.Duration
+	// Registry receives the fleet gauges/counters and the per-shard
+	// crawler metrics.
+	Registry *obs.Registry
+	// Logf receives progress lines (nil disables).
+	Logf func(format string, args ...any)
+}
+
+// Stats summarizes one worker's contribution.
+type Stats struct {
+	Shards      int // shards this worker completed
+	EmptyShards int // of those, how many held zero accounts
+	Users       int // accounts this worker detailed
+	LeasesLost  int // shards abandoned because the lease expired mid-crawl
+}
+
+// RunWorker participates in the fleet until the work space is exhausted
+// (returns nil), the context is canceled (releases its lease and returns
+// the context error), or a crawl fails terminally.
+func RunWorker(ctx context.Context, cfg Config) (Stats, error) {
+	var stats Stats
+	if cfg.WorkerID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.WorkerID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	table, err := Open(cfg.Dir, cfg.Params, cfg.Registry)
+	if err != nil {
+		return stats, err
+	}
+	defer table.Close()
+
+	for {
+		if ctx.Err() != nil {
+			table.Release(cfg.WorkerID)
+			return stats, ctx.Err()
+		}
+		lease, err := table.Acquire(cfg.WorkerID)
+		switch {
+		case errors.Is(err, ErrExhausted):
+			logf("worker %s: work space exhausted after %d shards (%d users)",
+				cfg.WorkerID, stats.Shards, stats.Users)
+			return stats, nil
+		case errors.Is(err, ErrNoShard):
+			select {
+			case <-ctx.Done():
+			case <-time.After(cfg.Poll):
+			}
+			continue
+		case err != nil:
+			return stats, err
+		}
+		logf("worker %s: leased shard %d [%d,%d)", cfg.WorkerID, lease.Shard, lease.Start, lease.End)
+
+		found, err := crawlShard(ctx, table, cfg, lease, logf)
+		if errors.Is(err, ErrLeaseLost) {
+			stats.LeasesLost++
+			logf("worker %s: lost lease on shard %d; abandoning it", cfg.WorkerID, lease.Shard)
+			continue
+		}
+		if err != nil {
+			table.Release(cfg.WorkerID)
+			return stats, fmt.Errorf("fleet: shard %d: %w", lease.Shard, err)
+		}
+		if err := table.Complete(cfg.WorkerID, lease.Shard, found); err != nil {
+			if errors.Is(err, ErrLeaseLost) {
+				// The work is journaled; the reclaiming owner will replay
+				// it and finish instantly. Nothing is lost.
+				stats.LeasesLost++
+				continue
+			}
+			return stats, err
+		}
+		stats.Shards++
+		stats.Users += found
+		if found == 0 {
+			stats.EmptyShards++
+		}
+		logf("worker %s: shard %d done, %d users", cfg.WorkerID, lease.Shard, found)
+	}
+}
+
+// crawlShard runs the existing crawler over one leased range, journaling
+// into the shard's directory, while a background heartbeat keeps the
+// lease alive. If a heartbeat comes back ErrLeaseLost — the worker
+// stalled past the TTL and someone else may own the shard now — the crawl
+// is canceled at once so two owners never append to the same journal.
+func crawlShard(ctx context.Context, table *Table, cfg Config, lease Lease, logf func(string, ...any)) (int, error) {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var lost atomic.Bool
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	ttl := table.TTL()
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-shardCtx.Done():
+				return
+			case <-tick.C:
+				if err := table.Heartbeat(cfg.WorkerID, lease.Shard); err != nil {
+					if errors.Is(err, ErrLeaseLost) {
+						lost.Store(true)
+						cancel()
+						return
+					}
+					logf("worker %s: heartbeat on shard %d: %v (retrying)", cfg.WorkerID, lease.Shard, err)
+				}
+			}
+		}
+	}()
+
+	ccfg := cfg.Crawl
+	ccfg.CheckpointPath = lease.Dir
+	ccfg.RangeStart = lease.Start
+	ccfg.RangeEnd = lease.End
+	ccfg.SkipTailOnEmpty = true
+	ccfg.MaxAccounts = 0
+	ccfg.Registry = cfg.Registry
+	if ccfg.Logf == nil && cfg.Logf != nil {
+		ccfg.Logf = func(format string, args ...any) {
+			cfg.Logf("shard %d: "+format, append([]any{lease.Shard}, args...)...)
+		}
+	}
+	snap, err := crawler.New(ccfg).Run(shardCtx)
+
+	close(hbStop)
+	<-hbDone
+	if lost.Load() {
+		return 0, ErrLeaseLost
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(snap.Users), nil
+}
