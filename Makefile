@@ -31,12 +31,15 @@ chaos:
 crash:
 	$(GO) test -tags crash ./internal/crawler -run 'TestCrash' -count=1 -v
 
-# fleetchaos runs the distributed-crawl chaos harness (build tag: crash):
-# a fleet of worker processes sharing one lease table, SIGKILLed at
+# fleetchaos runs the distributed-crawl chaos harness (build tag: crash),
+# two modes: worker processes sharing one lease table SIGKILLed at
 # randomized byte offsets of the fleet directory's growth and replaced
-# under fresh worker IDs. The merged snapshot must be byte-identical to
-# an undisturbed solo crawl and fsck-clean. Set CRASH_SEED=n for a new
-# kill schedule.
+# under fresh worker IDs, and a heartbeat-suppressed worker SIGSTOPped
+# past its lease TTL whose shard a successor fences at a higher epoch
+# before the zombie resumes (the fencing-token proof: the zombie must
+# self-terminate on ErrFenced with fence_rejections firing). The merged
+# snapshot must be byte-identical to an undisturbed solo crawl and
+# fsck-clean either way. Set CRASH_SEED=n for a new kill schedule.
 fleetchaos:
 	$(GO) test -tags crash ./internal/fleet -run 'TestFleetChaos' -count=1 -v
 

@@ -10,6 +10,7 @@
 // Fleet mode (N cooperating crawler processes, one shared directory):
 //
 //	steamcrawl -fleet-dir ./fleet -worker-id w1 -url ...   # run until the space is exhausted
+//	steamcrawl -fleet-dir ./fleet -fleet-status            # render the live lease table (read-only)
 //	steamcrawl -fleet-dir ./fleet -merge -out crawl.jsonl  # stitch shard journals into one snapshot
 //
 // Workers lease fixed-size SteamID ranges from a file-based lease table,
@@ -73,6 +74,7 @@ func main() {
 		fleetPoll   = flag.Duration("fleet-poll", 250*time.Millisecond, "how often an idle fleet worker re-checks the lease table")
 		merge       = flag.Bool("merge", false, "with -fleet-dir: stitch the completed fleet's shard journals into one snapshot at -out, then exit (no crawl)")
 		collectedAt = flag.Int64("collected-at", 0, "CollectedAt (unix seconds) stamped on the -merge output; keep it fixed for reproducible bytes")
+		fleetStatus = flag.Bool("fleet-status", false, "with -fleet-dir: render the live lease table (shard, state, worker, epoch, expiry, found) read-only and exit (no crawl)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "steamcrawl: admin endpoints at http://%s/metrics\n", addr)
 	}
 
+	if *fleetStatus {
+		if *fleetDir == "" {
+			log.Fatal("-fleet-status requires -fleet-dir")
+		}
+		os.Exit(runFleetStatus(*fleetDir))
+	}
 	if *merge {
 		if *fleetDir == "" {
 			log.Fatal("-merge requires -fleet-dir")
@@ -197,6 +205,60 @@ func runFleetWorker(ctx context.Context, dir, id string, params fleet.Params, po
 	logf("fleet worker done: %d shards (%d empty), %d users, %d leases lost",
 		stats.Shards, stats.EmptyShards, stats.Users, stats.LeasesLost)
 	logf("merge with: steamcrawl -fleet-dir %s -merge -out <snapshot>", dir)
+	return 0
+}
+
+// runFleetStatus renders the live lease table, read-only: the snapshot is
+// taken under the table flock (a single file read — Status never writes),
+// and all formatting happens after the lock and the table handle are
+// gone, so a slow terminal cannot stall the fleet's workers.
+func runFleetStatus(dir string) int {
+	table, err := fleet.Load(dir, nil)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	s, serr := table.Status()
+	table.Close()
+	if serr != nil {
+		log.Print(serr)
+		return 1
+	}
+
+	fmt.Printf("fleet %s\n", dir)
+	fmt.Printf("  geometry: start %d, %d IDs/shard, lease TTL %v, empty-shard limit %d\n",
+		s.StartID, s.RangeSize, s.LeaseTTL, s.EmptyShardLimit)
+	fmt.Printf("  shards: %d issued (%d done, %d leased, %d open), %d workers alive\n",
+		s.NextShard, s.Done, s.Leased, s.Open, s.WorkersAlive)
+	switch {
+	case s.Exhausted:
+		fmt.Println("  state: exhausted — safe to merge")
+	case s.FrontierClosed:
+		fmt.Println("  state: frontier closed, shards still outstanding")
+	default:
+		fmt.Println("  state: frontier open")
+	}
+	if len(s.Shards) == 0 {
+		return 0
+	}
+	fmt.Printf("\n  %-8s %-7s %-20s %6s %8s %-22s %s\n",
+		"SHARD", "STATE", "WORKER", "EPOCH", "FOUND", "EXPIRES", "RANGE")
+	for _, sh := range s.Shards {
+		expiry := "-"
+		if !sh.Expires.IsZero() {
+			expiry = sh.Expires.UTC().Format(time.RFC3339)
+		}
+		worker := sh.Worker
+		if worker == "" {
+			worker = "-"
+		}
+		found := fmt.Sprintf("%d", sh.Found)
+		if sh.State == "leased" || sh.State == "open" {
+			found = "-"
+		}
+		fmt.Printf("  %-8d %-7s %-20s %6d %8s %-22s [%d,%d)\n",
+			sh.Shard, sh.State, worker, sh.Epoch, found, expiry, sh.Start, sh.End)
+	}
 	return 0
 }
 

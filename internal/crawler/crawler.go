@@ -86,6 +86,13 @@ type Config struct {
 	// the journal as it finishes, so a crawl killed at any instant
 	// resumes losslessly.
 	CheckpointPath string
+	// LeaseEpoch, when nonzero, opens the journal with a fencing epoch: a
+	// fleet lease's per-shard issue number. The journal durably pins the
+	// highest epoch that ever wrote it and refuses appends (ErrFenced)
+	// once a higher epoch takes over, so a worker paused past its lease
+	// TTL cannot corrupt a shard a successor now owns. Zero (the solo
+	// default) means unfenced.
+	LeaseEpoch uint64
 	// SegmentMaxBytes rotates journal segments at this size (default
 	// 4 MiB).
 	SegmentMaxBytes int64
@@ -181,6 +188,11 @@ type Metrics struct {
 
 	JournalRecords  obs.Counter
 	JournalSegments obs.Counter
+
+	// FenceRejections counts journal opens/appends refused because the
+	// journal's fence epoch had moved past this crawl's lease epoch — a
+	// zombie worker being turned away.
+	FenceRejections obs.Counter
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics at one instant.
@@ -199,6 +211,7 @@ type MetricsSnapshot struct {
 	ThrottleDowns    int64
 	JournalRecords   int64
 	JournalSegments  int64
+	FenceRejections  int64
 }
 
 // Snapshot copies every counter at one instant, for logging and tests.
@@ -282,7 +295,7 @@ func (c *Crawler) Run(ctx context.Context) (*dataset.Snapshot, error) {
 	)
 	if c.cfg.CheckpointPath != "" {
 		var err error
-		jr, st, err = openJournal(c.cfg.CheckpointPath, c.cfg.SegmentMaxBytes, &c.Metrics)
+		jr, st, err = openJournalAt(c.cfg.CheckpointPath, c.cfg.SegmentMaxBytes, &c.Metrics, c.cfg.LeaseEpoch)
 		if err != nil {
 			return nil, fmt.Errorf("crawler: journal: %w", err)
 		}

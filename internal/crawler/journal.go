@@ -153,6 +153,17 @@ const (
 	recHeaderSize = 8
 	// defaultSegmentBytes rotates segments at 4 MiB.
 	defaultSegmentBytes = 4 << 20
+
+	// segMagic opens every segment created by an epoch-bearing (fenced)
+	// writer; records follow a fixed 16-byte header naming the writer's
+	// epoch. Segments written by epoch-zero (solo) journals have no
+	// header and are byte-identical to the unfenced format.
+	segMagic = "SEGF"
+	// segHeaderVersion is the header layout version.
+	segHeaderVersion = 1
+	// segHeaderSize is magic (4) + uint32 version + uint64 epoch, both
+	// big-endian.
+	segHeaderSize = 16
 )
 
 // journalCrashHook, when non-nil, is consulted at named crashpoints in
@@ -175,11 +186,21 @@ type journal struct {
 	dir     string
 	maxSeg  int64
 	metrics *Metrics
+	// epoch is the lease epoch this journal was opened with; zero means
+	// an unfenced (solo) writer. Epoch-bearing appends re-check the
+	// fence file so a paused writer fenced out by a successor fails with
+	// ErrFenced instead of landing stale records.
+	epoch uint64
+	// readonly marks an epoch-zero open of a fenced directory (merge,
+	// rebuild, status): replay works, appends refuse with ErrFenced, and
+	// nothing on disk is created or truncated.
+	readonly bool
 
 	mu       sync.Mutex
 	f        *os.File
 	seq      int
-	size     int64
+	size     int64 // active segment size, header included
+	hdr      int64 // active segment header length (segHeaderSize or 0)
 	appended int64 // records appended since open; guards Compact
 }
 
@@ -203,12 +224,44 @@ func segSeq(name string) (int, bool) {
 // segment for appending. A torn record at the very tail — a crash
 // mid-append — is truncated away and replay succeeds; corruption
 // anywhere else is an error, because data after it would silently vanish.
+// This epoch-zero form is the solo path; fleet workers open with their
+// lease epoch via openJournalAt.
 func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, error) {
+	return openJournalAt(dir, maxSeg, m, 0)
+}
+
+// openJournalAt is openJournal with a lease epoch. Epoch semantics:
+//
+//   - epoch 0 on an unfenced directory: the solo path, byte-identical to
+//     the unfenced format (no fence file, no segment headers, no
+//     per-append fence reads).
+//   - epoch 0 on a fenced directory: a reader (merge, rebuild). Replay
+//     honors the fence's seals and skips below-fence segments; the
+//     handle is read-only — appends fail with ErrFenced and nothing on
+//     disk is created or truncated.
+//   - epoch below the fence: the caller's lease was reissued; ErrFenced.
+//   - epoch above the fence: a takeover. Every live segment is sealed at
+//     its replayed length, the fence is fsynced with the new epoch, and
+//     appends go to a fresh segment — so anything a paused predecessor
+//     writes later lands beyond a seal and is invisible to every future
+//     replay, whether or not the predecessor ever notices the fence.
+//   - epoch equal to the fence: the owner resuming its own journal.
+func openJournalAt(dir string, maxSeg int64, m *Metrics, epoch uint64) (*journal, *crawlState, error) {
 	if maxSeg <= 0 {
 		maxSeg = defaultSegmentBytes
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("crawler: journal dir: %w", err)
+	}
+	fence, err := ReadFence(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if epoch > 0 && epoch < fence.Epoch {
+		if m != nil {
+			m.FenceRejections.Inc()
+		}
+		return nil, nil, fmt.Errorf("crawler: journal open: epoch %d below fence %d: %w", epoch, fence.Epoch, ErrFenced)
 	}
 
 	st := newCrawlState()
@@ -231,6 +284,7 @@ func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("crawler: journal dir: %w", err)
 	}
+	readonly := epoch == 0 && fence.Epoch > 0
 	var seqs []int
 	for _, e := range entries {
 		n, ok := segSeq(e.Name())
@@ -238,65 +292,248 @@ func openJournal(dir string, maxSeg int64, m *Metrics) (*journal, *crawlState, e
 			continue
 		}
 		if n <= baseSeq {
-			os.Remove(filepath.Join(dir, e.Name())) // sealed leftover; best-effort sweep
+			if !readonly {
+				os.Remove(filepath.Join(dir, e.Name())) // sealed leftover; best-effort sweep
+			}
 			continue
 		}
 		seqs = append(seqs, n)
 	}
 	sort.Ints(seqs)
 
-	j := &journal{dir: dir, maxSeg: maxSeg, metrics: m, seq: baseSeq + 1}
+	j := &journal{dir: dir, maxSeg: maxSeg, metrics: m, epoch: epoch, readonly: readonly, seq: baseSeq + 1}
+	takeover := epoch > fence.Epoch
+	// replayed records, per live segment, the absolute offset just past
+	// the last record the successor's state covers — the seal points of a
+	// takeover.
+	replayed := make(map[int]int64, len(seqs))
+	lastUnsealedOK := false // last live segment replayed whole and is ours to append to
 	for i, seq := range seqs {
 		last := i == len(seqs)-1
 		path := filepath.Join(dir, segName(seq))
-		valid, err := replaySegment(path, st, m)
+		segEpoch, hdr, err := readSegHeader(path)
 		if err != nil {
-			if !last {
-				return nil, nil, fmt.Errorf("crawler: journal segment %s: %w", path, err)
+			return nil, nil, fmt.Errorf("crawler: journal segment %s: %w", path, err)
+		}
+		seal, sealed := fence.Seals[seq]
+		var valid int64
+		switch {
+		case sealed:
+			// Replay exactly the sealed prefix; bytes past the seal are a
+			// fenced-out writer's late appends (or its torn tail) and are
+			// inert. Anything short or corrupt below the seal is real
+			// damage — the seal was a replayed-clean length once.
+			if seal < hdr {
+				seal = hdr
 			}
-			// Torn tail in the final segment: drop the partial record and
-			// resume appending right after the last whole one.
-			if terr := os.Truncate(path, valid); terr != nil {
-				return nil, nil, fmt.Errorf("crawler: journal truncate %s: %w", segName(seq), terr)
+			valid, err = replayRange(path, st, m, hdr, seal)
+			if err != nil {
+				return nil, nil, fmt.Errorf("crawler: journal segment %s (sealed at %d): %w", path, seal, err)
+			}
+			if valid != seal {
+				return nil, nil, fmt.Errorf("crawler: journal segment %s: sealed at %d but only %d bytes replay clean", path, seal, valid)
+			}
+		case fence.Epoch > 0 && segEpoch < fence.Epoch:
+			// An unsealed segment below the fence: forged by a fenced-out
+			// writer racing the takeover (its rotation landed after the
+			// takeover's directory listing). Its records are redone,
+			// value-identical work at best — skip the whole segment.
+			valid = hdr
+		default:
+			valid, err = replayRange(path, st, m, hdr, -1)
+			if err != nil {
+				if !last {
+					return nil, nil, fmt.Errorf("crawler: journal segment %s: %w", path, err)
+				}
+				// Torn tail in the final segment: a crash mid-append. The
+				// owner truncates it away and resumes right after the last
+				// whole record; a takeover or reader just seals/stops there.
+				if !takeover && !readonly {
+					if terr := os.Truncate(path, valid); terr != nil {
+						return nil, nil, fmt.Errorf("crawler: journal truncate %s: %w", segName(seq), terr)
+					}
+					lastUnsealedOK = epoch == 0 || segEpoch == epoch
+				}
+			} else if last && (epoch == 0 || segEpoch == epoch) {
+				lastUnsealedOK = true
 			}
 		}
+		replayed[seq] = valid
 		if last {
 			j.seq = seq
 			j.size = valid
+			j.hdr = hdr
 		}
 	}
-	f, err := os.OpenFile(filepath.Join(dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("crawler: journal open: %w", err)
+
+	switch {
+	case readonly:
+		// Merge/rebuild/status on a fenced directory: replay only.
+	case takeover:
+		// Seal everything live at the replayed lengths, publish the new
+		// epoch durably, then append into a fresh segment. Order matters:
+		// once the fence is on disk, the predecessor's next append (which
+		// re-reads it) fails, and anything it lands before noticing sits
+		// beyond a seal.
+		fence.Epoch = epoch
+		if fence.Seals == nil {
+			fence.Seals = make(map[int]int64, len(replayed))
+		}
+		for seq, valid := range replayed {
+			fence.Seals[seq] = valid
+		}
+		if err := writeFence(dir, fence); err != nil {
+			return nil, nil, err
+		}
+		nextSeq := j.seq
+		if len(seqs) > 0 {
+			nextSeq++
+		}
+		if err := j.createFencedSegment(nextSeq); err != nil {
+			return nil, nil, err
+		}
+	case epoch > 0 && !lastUnsealedOK:
+		// Our own journal, but the last segment is not appendable (sealed
+		// by our takeover crash-window, torn below a usable header, or
+		// absent): start a fresh one.
+		nextSeq := j.seq
+		if len(seqs) > 0 {
+			nextSeq++
+		}
+		if err := j.createFencedSegment(nextSeq); err != nil {
+			return nil, nil, err
+		}
+	default:
+		// The owner (fenced or solo) resuming its own tail segment.
+		f, err := os.OpenFile(filepath.Join(dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crawler: journal open: %w", err)
+		}
+		j.f = f
+		if epoch > 0 && j.size == 0 {
+			// Fresh or fully truncated segment under a fenced writer:
+			// (re)stamp the epoch header.
+			if err := j.writeSegHeaderLocked(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
 	}
-	j.f = f
 	if m != nil {
 		m.JournalSegments.Store(int64(len(seqs)))
-		if len(seqs) == 0 {
+		if len(seqs) == 0 && !readonly {
 			m.JournalSegments.Store(1)
 		}
 	}
 	return j, st, nil
 }
 
-// replaySegment applies every whole record in the segment to st and
-// returns the byte offset just past the last whole record. The error is
-// non-nil when the segment ends in a partial or corrupt record; it names
-// the record index and byte offset so a failed resume points at the exact
-// spot in the offending shard file, not just "record 17 somewhere".
-func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
+// readSegHeader classifies a segment: fenced segments open with segMagic
+// and carry their writer's epoch; anything else (including every segment
+// a solo crawl writes) is the headerless legacy layout, epoch zero. A
+// file too short to hold a whole header is legacy — if its bytes are a
+// torn fenced header, replay-from-zero reports a torn record at offset 0,
+// which the tail-truncation path cleans up exactly like any torn append.
+func readSegHeader(path string) (epoch uint64, hdr int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
+	var b [segHeaderSize]byte
+	n, err := io.ReadFull(f, b[:])
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	_ = n
+	if string(b[0:4]) != segMagic {
+		return 0, 0, nil
+	}
+	if v := binary.BigEndian.Uint32(b[4:8]); v != segHeaderVersion {
+		return 0, 0, fmt.Errorf("segment header version %d is newer than this binary understands", v)
+	}
+	return binary.BigEndian.Uint64(b[8:16]), segHeaderSize, nil
+}
+
+// writeSegHeaderLocked stamps the active segment's epoch header. The
+// segment must be empty.
+func (j *journal) writeSegHeaderLocked() error {
+	var b [segHeaderSize]byte
+	copy(b[0:4], segMagic)
+	binary.BigEndian.PutUint32(b[4:8], segHeaderVersion)
+	binary.BigEndian.PutUint64(b[8:16], j.epoch)
+	if _, err := j.f.Write(b[:]); err != nil {
+		return fmt.Errorf("crawler: segment header: %w", err)
+	}
+	j.size = segHeaderSize
+	j.hdr = segHeaderSize
+	return nil
+}
+
+// createFencedSegment opens a fresh epoch-stamped segment at the first
+// free sequence at or after startSeq. O_EXCL makes segment creation a
+// race arbiter: a fenced-out predecessor rotating concurrently cannot
+// silently share a file with the new owner.
+func (j *journal) createFencedSegment(startSeq int) error {
+	for seq := startSeq; ; seq++ {
+		f, err := os.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if os.IsExist(err) {
+			// A below-fence writer forged this sequence between our
+			// directory listing and now; its segment replays as skipped.
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("crawler: journal create: %w", err)
+		}
+		j.f = f
+		j.seq = seq
+		j.size = 0
+		return j.writeSegHeaderLocked()
+	}
+}
+
+// replaySegment applies every whole record in the segment to st and
+// returns the byte offset just past the last whole record (the legacy,
+// headerless, unsealed form — tests exercise the raw record framing
+// through it).
+func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
+	return replayRange(path, st, m, 0, -1)
+}
+
+// replayRange applies every whole record in the segment between byte
+// offsets start and limit (limit < 0: to EOF) to st and returns the
+// absolute byte offset just past the last whole record. The error is
+// non-nil when the range ends in a partial or corrupt record; it names
+// the record index and byte offset so a failed resume points at the exact
+// spot in the offending shard file, not just "record 17 somewhere".
+func replayRange(path string, st *crawlState, m *Metrics, start, limit int64) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return start, err
+	}
+	defer f.Close()
+	if start > 0 {
+		if _, err := f.Seek(start, io.SeekStart); err != nil {
+			return start, err
+		}
+	}
+	var r io.Reader = f
+	if limit >= 0 {
+		if limit < start {
+			return start, fmt.Errorf("segment seal %d below header end %d", limit, start)
+		}
+		r = io.LimitReader(f, limit-start)
+	}
 	var (
-		valid  int64
+		valid  = start
 		index  int64
 		header [recHeaderSize]byte
 	)
 	for {
-		if _, err := io.ReadFull(f, header[:]); err != nil {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
 			if err == io.EOF {
 				return valid, nil // clean end
 			}
@@ -305,7 +542,7 @@ func replaySegment(path string, st *crawlState, m *Metrics) (int64, error) {
 		length := binary.BigEndian.Uint32(header[0:4])
 		sum := binary.BigEndian.Uint32(header[4:8])
 		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
+		if _, err := io.ReadFull(r, payload); err != nil {
 			return valid, fmt.Errorf("record %d at byte offset %d: torn record payload: %w", index, valid, err)
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
@@ -340,10 +577,24 @@ func (j *journal) append(rec *journalRecord) error {
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.readonly {
+		return fmt.Errorf("crawler: journal append: read-only open of a fenced journal (fence epoch ahead of this writer): %w", ErrFenced)
+	}
 	if j.f == nil {
 		return errors.New("crawler: journal closed")
 	}
-	if j.size > 0 && j.size+int64(len(b)) > j.maxSeg {
+	// Epoch-bearing writers re-read the fence before every append: once a
+	// successor's takeover has published a higher epoch, this writer's
+	// lease is gone and the record must not land. This is the check that
+	// turns a paused-past-TTL worker from a correctness hazard into a
+	// clean ErrFenced self-termination. Solo journals (epoch 0, never
+	// fenced) skip the read entirely.
+	if j.epoch > 0 {
+		if err := j.checkFenceLocked(); err != nil {
+			return err
+		}
+	}
+	if j.size > j.hdr && j.size+int64(len(b)) > j.maxSeg {
 		if err := j.rotateLocked(); err != nil {
 			return err
 		}
@@ -365,14 +616,49 @@ func (j *journal) append(rec *journalRecord) error {
 	return nil
 }
 
+// checkFenceLocked re-reads the fence and fails with ErrFenced when a
+// higher epoch has taken the journal over. An unreadable fence also
+// refuses the write: ownership can no longer be proven.
+func (j *journal) checkFenceLocked() error {
+	fence, err := ReadFence(j.dir)
+	if err != nil {
+		return fmt.Errorf("crawler: journal append: %w", err)
+	}
+	if fence.Epoch > j.epoch {
+		if j.metrics != nil {
+			j.metrics.FenceRejections.Inc()
+		}
+		return fmt.Errorf("crawler: journal append: epoch %d below fence %d: %w", j.epoch, fence.Epoch, ErrFenced)
+	}
+	return nil
+}
+
 // rotateLocked seals the active segment (fsync + close) and atomically
-// switches appends to the next one.
+// switches appends to the next one. Epoch-bearing writers create the new
+// segment with O_EXCL and stamp its header; a sequence collision means a
+// successor (or a fenced-out straggler) raced us — re-check the fence and
+// either fail fenced or take the next free sequence.
 func (j *journal) rotateLocked() error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("crawler: journal sync: %w", err)
 	}
 	if err := j.f.Close(); err != nil {
 		return fmt.Errorf("crawler: journal close: %w", err)
+	}
+	if j.epoch > 0 {
+		seq := j.seq
+		if err := j.createFencedSegment(j.seq + 1); err != nil {
+			j.f = nil
+			j.seq = seq
+			return fmt.Errorf("crawler: journal rotate: %w", err)
+		}
+		if err := j.checkFenceLocked(); err != nil {
+			return err
+		}
+		if j.metrics != nil {
+			j.metrics.JournalSegments.Add(1)
+		}
+		return nil
 	}
 	j.seq++
 	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -381,6 +667,7 @@ func (j *journal) rotateLocked() error {
 	}
 	j.f = f
 	j.size = 0
+	j.hdr = 0
 	if j.metrics != nil {
 		j.metrics.JournalSegments.Add(1)
 	}
@@ -540,8 +827,16 @@ func syncJournalDir(dir string) error {
 func (j *journal) Compact(st *crawlState) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.readonly {
+		return fmt.Errorf("crawler: compact refused: journal is fenced and this handle is read-only (open with the owning lease epoch): %w", ErrFenced)
+	}
 	if j.f == nil {
 		return errors.New("crawler: journal closed")
+	}
+	if j.epoch > 0 {
+		if err := j.checkFenceLocked(); err != nil {
+			return err
+		}
 	}
 	// st must cover everything on disk. Records appended through this
 	// journal instance are not in the st its openJournal returned, and a
@@ -599,13 +894,20 @@ func (j *journal) Compact(st *crawlState) error {
 	}
 
 	// Fresh active segment after the base.
-	j.seq = upTo + 1
-	j.size = 0
-	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("crawler: compact reopen: %w", err)
+	if j.epoch > 0 {
+		if err := j.createFencedSegment(upTo + 1); err != nil {
+			return fmt.Errorf("crawler: compact reopen: %w", err)
+		}
+	} else {
+		j.seq = upTo + 1
+		j.size = 0
+		j.hdr = 0
+		f, err := os.OpenFile(filepath.Join(j.dir, segName(j.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("crawler: compact reopen: %w", err)
+		}
+		j.f = f
 	}
-	j.f = f
 	if j.metrics != nil {
 		j.metrics.JournalSegments.Store(1)
 	}

@@ -342,6 +342,30 @@ func (s *Snapshot) writeJSONL(w io.Writer, workers int) error {
 
 func writeSection(w io.Writer, workers, n int, enc func(b []byte, i int) ([]byte, error)) error {
 	nc := (n + jsonlChunk - 1) / jsonlChunk
+	if par.N(workers) <= 1 {
+		// Sequential fast path: with one effective worker the pipeline has
+		// no parallelism to buy back its plumbing, so encode chunk by chunk
+		// into a single reused buffer. Chunk boundaries and encode order
+		// match the pooled path exactly, so the byte stream is identical.
+		buf := chunkBufPool.Get().(*[]byte)
+		defer chunkBufPool.Put(buf)
+		for c := 0; c < nc; c++ {
+			b := (*buf)[:0]
+			lo, hi := c*jsonlChunk, min((c+1)*jsonlChunk, n)
+			var err error
+			for i := lo; i < hi && err == nil; i++ {
+				b, err = enc(b, i)
+			}
+			*buf = b
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return par.Ordered(workers, nc, func(c int) encodedChunk {
 		buf := chunkBufPool.Get().(*[]byte)
 		b := (*buf)[:0]
@@ -436,6 +460,9 @@ func decodeChunk(lines []rawLine) decodedChunk {
 // describe a partially readable file.
 func (s *Snapshot) readJSONL(br *bufio.Reader, workers int, progress ProgressFunc) error {
 	w := par.N(workers)
+	if w <= 1 {
+		return s.readJSONLSerial(br, progress)
+	}
 	window := 2 * w // chunks decoded per barrier; bounds memory
 	lineNo := 0
 	report := func() {
@@ -504,6 +531,78 @@ func (s *Snapshot) readJSONL(br *bufio.Reader, workers int, progress ProgressFun
 			return fmt.Errorf("line %d: %w", ioErrLine, ioErr)
 		}
 		if eof {
+			return nil
+		}
+	}
+}
+
+// readJSONLSerial is the one-effective-worker decode path: each chunk is
+// parsed and merged as soon as its lines are read, with no window
+// buffering and no pool barrier. Chunk boundaries, partial results,
+// errors and line numbers all match the windowed path exactly.
+func (s *Snapshot) readJSONLSerial(br *bufio.Reader, progress ProgressFunc) error {
+	lineNo := 0
+	report := func() {
+		if progress != nil {
+			progress(sectionGames, len(s.Games))
+			progress(sectionUsers, len(s.Users))
+			progress(sectionGroups, len(s.Groups))
+		}
+	}
+	var cur []rawLine
+	// flush decodes the pending chunk; like the windowed path it keeps
+	// everything decoded before an error and reports before returning it.
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		dc := decodeChunk(cur)
+		cur = cur[:0]
+		for i := range dc.recs {
+			switch rec := &dc.recs[i]; rec.kind {
+			case 'h':
+				s.CollectedAt = rec.collectedAt
+			case 'g':
+				s.Games = append(s.Games, rec.game)
+			case 'u':
+				s.Users = append(s.Users, rec.user)
+			case 'p':
+				s.Groups = append(s.Groups, rec.group)
+			}
+		}
+		if dc.err != nil {
+			report()
+			return fmt.Errorf("line %d: %w", dc.errLine, dc.err)
+		}
+		return nil
+	}
+	for {
+		lineNo++
+		raw, err := br.ReadBytes('\n')
+		if len(raw) == 0 || (err != nil && err != io.EOF) {
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+			report()
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if len(bytes.TrimSpace(raw)) != 0 {
+			cur = append(cur, rawLine{no: lineNo, b: raw})
+			if len(cur) == jsonlChunk {
+				if ferr := flush(); ferr != nil {
+					return ferr
+				}
+				report()
+			}
+		}
+		if err == io.EOF {
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+			report()
 			return nil
 		}
 	}

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"steamstudy/internal/obs"
+)
+
+func TestEpochBumpsOnEveryReissue(t *testing.T) {
+	reg := obs.NewRegistry()
+	table, now := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Minute}, reg)
+	lease, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Epoch != 1 {
+		t.Fatalf("first issue epoch %d, want 1", lease.Epoch)
+	}
+
+	// Expiry reclaim bumps the epoch on re-issue.
+	*now = now.Add(2 * time.Minute)
+	second, err := table.Acquire("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Shard != lease.Shard || second.Epoch != 2 {
+		t.Fatalf("reclaimed lease %+v, want shard %d at epoch 2", second, lease.Shard)
+	}
+
+	// Graceful release bumps too: every grant is a fresh issue.
+	if err := table.Release("w2"); err != nil {
+		t.Fatal(err)
+	}
+	third, err := table.Acquire("w3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Shard != lease.Shard || third.Epoch != 3 {
+		t.Fatalf("re-released lease %+v, want shard %d at epoch 3", third, lease.Shard)
+	}
+	if v := reg.Gauge("fleet_lease_epoch").Load(); v != 3 {
+		t.Fatalf("fleet_lease_epoch = %v, want 3", v)
+	}
+
+	// Completion preserves the epoch history in the table.
+	if err := table.Complete("w3", third.Shard, third.Epoch, 5); err != nil {
+		t.Fatal(err)
+	}
+	s, err := table.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Shards) != 1 || s.Shards[0].Epoch != 3 || s.Shards[0].State != shardDone {
+		t.Fatalf("status after complete: %+v, want done at epoch 3", s.Shards)
+	}
+}
+
+// TestStaleEpochRejected isolates the epoch check from the worker-name
+// check: the same worker re-acquires its own expired shard at a higher
+// epoch, and operations quoting the old epoch must fail even though the
+// worker matches.
+func TestStaleEpochRejected(t *testing.T) {
+	table, now := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Minute}, nil)
+	old, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(2 * time.Minute)
+	fresh, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Shard != old.Shard || fresh.Epoch != old.Epoch+1 {
+		t.Fatalf("re-acquire got %+v, want shard %d at epoch %d", fresh, old.Shard, old.Epoch+1)
+	}
+	if err := table.Heartbeat("w1", old.Shard, old.Epoch); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale-epoch heartbeat: want ErrLeaseLost, got %v", err)
+	}
+	if err := table.Complete("w1", old.Shard, old.Epoch, 7); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale-epoch complete: want ErrLeaseLost, got %v", err)
+	}
+	if err := table.Heartbeat("w1", fresh.Shard, fresh.Epoch); err != nil {
+		t.Fatalf("current-epoch heartbeat: %v", err)
+	}
+	if err := table.Complete("w1", fresh.Shard, fresh.Epoch, 7); err != nil {
+		t.Fatalf("current-epoch complete: %v", err)
+	}
+}
+
+// TestTableV1Migration: a pre-fencing table (version 1, no epochs) is
+// adopted in place — shards sit at epoch 0, the next issue is epoch 1,
+// and the file is rewritten at version 2 on the first read-modify-write.
+func TestTableV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	v1 := `{
+  "version": 1,
+  "start_id": 76561197960265728,
+  "range_size": 100,
+  "lease_ttl_nanos": 3600000000000,
+  "empty_shard_limit": 3,
+  "next_shard": 2,
+  "shards": {
+    "0": {"state": "done", "found": 4},
+    "1": {"state": "open"}
+  },
+  "workers": {}
+}`
+	if err := os.WriteFile(filepath.Join(dir, tableName), []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table, err := Open(dir, Params{}, nil)
+	if err != nil {
+		t.Fatalf("v1 table refused: %v", err)
+	}
+	defer table.Close()
+	if table.TTL() != time.Hour {
+		t.Fatalf("adopted TTL %v, want 1h", table.TTL())
+	}
+	lease, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Shard != 1 || lease.Epoch != 1 {
+		t.Fatalf("first post-migration lease %+v, want open shard 1 at epoch 1", lease)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, tableName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st tableState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != tableVersion {
+		t.Fatalf("migrated table persisted at version %d, want %d", st.Version, tableVersion)
+	}
+	if st.shard(0).Epoch != 0 || st.shard(1).Epoch != 1 {
+		t.Fatalf("post-migration epochs: shard0=%d shard1=%d, want 0 and 1",
+			st.shard(0).Epoch, st.shard(1).Epoch)
+	}
+}
+
+func TestTableNewerVersionRefused(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"version": 99, "shards": {}, "workers": {}}`
+	if err := os.WriteFile(filepath.Join(dir, tableName), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Params{}, nil); err == nil {
+		t.Fatal("version-99 table accepted")
+	}
+}
+
+func TestParamsMismatchIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	table, err := Open(dir, Params{RangeSize: 100, LeaseTTL: time.Minute}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Close()
+	for _, p := range []Params{
+		{RangeSize: 200},
+		{LeaseTTL: time.Hour},
+		{StartID: 42},
+		{EmptyShardLimit: 99},
+		{ZeroStartID: true},
+	} {
+		if _, err := Open(dir, p, nil); !errors.Is(err, ErrParamsMismatch) {
+			t.Fatalf("params %+v: want ErrParamsMismatch, got %v", p, err)
+		}
+	}
+}
+
+func TestZeroStartID(t *testing.T) {
+	// The sentinel conflict is a config error everywhere.
+	if _, err := (Params{ZeroStartID: true, StartID: 42}).withDefaults(); !errors.Is(err, ErrParamsMismatch) {
+		t.Fatalf("ZeroStartID+StartID: want ErrParamsMismatch, got %v", err)
+	}
+	dir := t.TempDir()
+	table, err := Open(dir, Params{ZeroStartID: true, RangeSize: 100, LeaseTTL: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	lease, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Start != 0 || lease.End != 100 {
+		t.Fatalf("ZeroStartID lease [%d,%d), want [0,100)", lease.Start, lease.End)
+	}
+	// Re-attach with the same sentinel agrees with the stored zero.
+	again, err := Open(dir, Params{ZeroStartID: true}, nil)
+	if err != nil {
+		t.Fatalf("ZeroStartID re-attach: %v", err)
+	}
+	again.Close()
+}
+
+// TestNegativeEmptyShardLimitNeverCloses: the explicit operator sentinel
+// keeps the frontier open no matter how many empty shards come back.
+func TestNegativeEmptyShardLimitNeverCloses(t *testing.T) {
+	table, _ := fakeTable(t, t.TempDir(), Params{RangeSize: 100, LeaseTTL: time.Hour, EmptyShardLimit: -1}, nil)
+	for i := 0; i < 10; i++ {
+		lease, err := table.Acquire("w1")
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if err := table.Complete("w1", lease.Shard, lease.Epoch, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lease, err := table.Acquire("w1")
+	if err != nil {
+		t.Fatalf("frontier closed after 10 empty shards despite EmptyShardLimit=-1: %v", err)
+	}
+	if lease.Shard != 10 {
+		t.Fatalf("got shard %d, want frontier shard 10", lease.Shard)
+	}
+}

@@ -15,9 +15,13 @@
 // The ownership model follows the inventory/live-apply pattern: the table
 // records who owns what and since when, stale actors are pruned by
 // expiry, and every transition is a read-modify-write under the lock so
-// two workers can never believe they own the same shard at once (within
-// the TTL's clock-skew tolerance; the table has no fencing tokens, so the
-// TTL must exceed the worst worker pause).
+// two workers can never believe they own the same shard at once. The TTL
+// alone cannot bound a paused worker (SIGSTOP, GC stall, NFS hang past
+// the TTL), so every (re)issue of a shard bumps its fencing epoch; the
+// Lease carries the epoch, the shard journal pins it durably (see the
+// crawler's fence file), and a resumed zombie's journal appends — and its
+// Heartbeat/Complete calls here — fail against the newer epoch instead
+// of corrupting state a successor now owns.
 package fleet
 
 import (
@@ -53,17 +57,26 @@ var (
 	// leases whose death would create work — poll again.
 	ErrNoShard = errors.New("fleet: no shard available; live leases outstanding")
 	// ErrLeaseLost: the caller no longer owns the shard (its lease expired
-	// and was reclaimed). The holder must stop writing that shard's
-	// journal immediately.
+	// and was reclaimed, or the shard was reissued at a higher epoch). The
+	// holder must stop writing that shard's journal immediately.
 	ErrLeaseLost = errors.New("fleet: lease lost")
+	// ErrParamsMismatch: a later Open disagreed with the geometry or
+	// liveness rules the table already records. Wrapped by the specific
+	// mismatch error, so errors.Is(err, ErrParamsMismatch) detects the
+	// class.
+	ErrParamsMismatch = errors.New("fleet: params disagree with existing table")
 )
 
 // Params fixes the geometry and liveness rules of one fleet. The first
 // Open writes them into the table; later opens must agree (zero fields
-// adopt the stored value).
+// adopt the stored value; an explicit disagreement is ErrParamsMismatch).
 type Params struct {
 	// StartID is the first SteamID64 of shard 0 (default steamid.Base).
 	StartID uint64
+	// ZeroStartID pins StartID at a literal zero instead of the default —
+	// the zero sentinel made expressible. Setting it alongside a nonzero
+	// StartID is a configuration error.
+	ZeroStartID bool
 	// RangeSize is the number of IDs per shard (default 65536).
 	RangeSize uint64
 	// LeaseTTL is how long a lease survives without a heartbeat
@@ -71,13 +84,18 @@ type Params struct {
 	LeaseTTL time.Duration
 	// EmptyShardLimit closes the frontier after this many consecutive
 	// all-empty completed shards at the top of the issued range — the
-	// fleet analog of the solo sweep's EmptyBatchLimit. Default: enough
-	// shards to cover the solo heuristic's 2000-ID overshoot.
+	// fleet analog of the solo sweep's EmptyBatchLimit. Zero defaults to
+	// enough shards to cover the solo heuristic's 2000-ID overshoot; a
+	// negative value means the frontier never closes on emptiness (an
+	// operator-driven fleet).
 	EmptyShardLimit int
 }
 
-func (p Params) withDefaults() Params {
-	if p.StartID == 0 {
+func (p Params) withDefaults() (Params, error) {
+	switch {
+	case p.ZeroStartID && p.StartID != 0:
+		return p, fmt.Errorf("fleet: ZeroStartID set alongside StartID %d: %w", p.StartID, ErrParamsMismatch)
+	case !p.ZeroStartID && p.StartID == 0:
 		p.StartID = steamid.Base
 	}
 	if p.RangeSize == 0 {
@@ -86,22 +104,27 @@ func (p Params) withDefaults() Params {
 	if p.LeaseTTL <= 0 {
 		p.LeaseTTL = 30 * time.Second
 	}
-	if p.EmptyShardLimit <= 0 {
+	if p.EmptyShardLimit == 0 {
 		// Match the solo sweep's gap tolerance: 20 batches of 100 IDs.
 		p.EmptyShardLimit = int((2000 + p.RangeSize - 1) / p.RangeSize)
 		if p.EmptyShardLimit < 1 {
 			p.EmptyShardLimit = 1
 		}
 	}
-	return p
+	return p, nil
 }
 
-// Lease is one granted shard: the ID range to crawl and the directory the
-// shard's journal lives in.
+// Lease is one granted shard: the ID range to crawl, the directory the
+// shard's journal lives in, and the fencing epoch of this grant.
 type Lease struct {
 	Shard      int
 	Start, End uint64 // [Start, End)
 	Dir        string
+	// Epoch is this shard's issue number, bumped on every (re)issue. The
+	// holder passes it to Heartbeat/Complete and threads it into the
+	// crawler (Config.LeaseEpoch) so the shard journal can fence out any
+	// earlier holder still twitching.
+	Epoch uint64
 }
 
 // shardEntry is one shard's row in the on-disk table.
@@ -111,7 +134,17 @@ type shardEntry struct {
 	Expires int64  `json:"expires_unix_nano,omitempty"`
 	Found   int    `json:"found,omitempty"`
 	Empty   bool   `json:"empty,omitempty"`
+	// Epoch counts issues of this shard, monotone per shard, never reset
+	// — not on completion, not on reclamation. A lease is valid only at
+	// the shard's current epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
+
+// tableVersion is the current on-disk table schema. Version 2 added
+// per-shard fencing epochs; version 1 tables are accepted and migrated in
+// place (every shard at epoch 0, so the next issue of each is epoch 1 and
+// fences out any pre-upgrade straggler). Newer versions are refused.
+const tableVersion = 2
 
 // tableState is the whole coordination state, serialized as one JSON
 // document. Small by construction: one row per issued shard plus one
@@ -133,8 +166,12 @@ func (st *tableState) setShard(i int, e *shardEntry) { st.Shards[strconv.Itoa(i)
 
 // frontierClosed reports whether the EmptyShardLimit newest issued shards
 // are all done and empty — the sweep has run past the youngest account,
-// so no new shard is worth issuing.
+// so no new shard is worth issuing. A non-positive limit (the explicit
+// "never auto-close" sentinel) keeps the frontier open forever.
 func (st *tableState) frontierClosed() bool {
+	if st.EmptyShardLimit <= 0 {
+		return false
+	}
 	if st.NextShard < st.EmptyShardLimit {
 		return false
 	}
@@ -171,9 +208,12 @@ type Table struct {
 	leasesHeld      *obs.Counter
 	leasesExpired   *obs.Counter
 	leasesReclaimed *obs.Counter
+	fenceRejections *obs.Counter
+	releaseErrors   *obs.Counter
 	workersAlive    *obs.Gauge
 	shardsDone      *obs.Gauge
 	shardsIssued    *obs.Gauge
+	leaseEpoch      *obs.Gauge
 }
 
 // Open creates the fleet directory and lease table if absent (stamping
@@ -208,9 +248,12 @@ func open(dir string, p Params, reg *obs.Registry, create bool) (*Table, error) 
 		leasesHeld:      reg.Counter("fleet_leases_held"),
 		leasesExpired:   reg.Counter("fleet_leases_expired"),
 		leasesReclaimed: reg.Counter("fleet_leases_reclaimed"),
+		fenceRejections: reg.Counter("fleet_fence_rejections"),
+		releaseErrors:   reg.Counter("fleet_release_errors"),
 		workersAlive:    reg.Gauge("fleet_workers_alive"),
 		shardsDone:      reg.Gauge("fleet_shards_done"),
 		shardsIssued:    reg.Gauge("fleet_shards_issued"),
+		leaseEpoch:      reg.Gauge("fleet_lease_epoch"),
 	}
 	if err := t.init(p, create); err != nil {
 		lock.Close()
@@ -233,9 +276,12 @@ func (t *Table) init(p Params, create bool) error {
 		if !create {
 			return fmt.Errorf("fleet: %s has no lease table", t.dir)
 		}
-		p = p.withDefaults()
+		p, err = p.withDefaults()
+		if err != nil {
+			return err
+		}
 		st = &tableState{
-			Version:         1,
+			Version:         tableVersion,
 			StartID:         p.StartID,
 			RangeSize:       p.RangeSize,
 			LeaseTTLNanos:   p.LeaseTTL.Nanoseconds(),
@@ -247,23 +293,24 @@ func (t *Table) init(p Params, create bool) error {
 		return t.write(st)
 	}
 	t.ttl = time.Duration(st.LeaseTTLNanos)
-	if st.Version != 1 {
-		return fmt.Errorf("fleet: table version %d is newer than this binary understands", st.Version)
+	// Explicit caller params must agree with the table's; disagreement on
+	// the first-open choices is ErrParamsMismatch, never silent adoption.
+	if p.ZeroStartID && p.StartID != 0 {
+		return fmt.Errorf("fleet: ZeroStartID set alongside StartID %d: %w", p.StartID, ErrParamsMismatch)
 	}
-	// Nonzero caller params must agree with the table's.
-	if p.StartID != 0 && p.StartID != st.StartID {
-		return fmt.Errorf("fleet: start ID mismatch: table has %d, caller wants %d", st.StartID, p.StartID)
+	if (p.StartID != 0 || p.ZeroStartID) && p.StartID != st.StartID {
+		return fmt.Errorf("fleet: start ID mismatch: table has %d, caller wants %d: %w", st.StartID, p.StartID, ErrParamsMismatch)
 	}
 	if p.RangeSize != 0 && p.RangeSize != st.RangeSize {
-		return fmt.Errorf("fleet: range size mismatch: table has %d, caller wants %d", st.RangeSize, p.RangeSize)
+		return fmt.Errorf("fleet: range size mismatch: table has %d, caller wants %d: %w", st.RangeSize, p.RangeSize, ErrParamsMismatch)
 	}
 	if p.LeaseTTL > 0 && p.LeaseTTL.Nanoseconds() != st.LeaseTTLNanos {
-		return fmt.Errorf("fleet: lease TTL mismatch: table has %v, caller wants %v",
-			time.Duration(st.LeaseTTLNanos), p.LeaseTTL)
+		return fmt.Errorf("fleet: lease TTL mismatch: table has %v, caller wants %v: %w",
+			time.Duration(st.LeaseTTLNanos), p.LeaseTTL, ErrParamsMismatch)
 	}
-	if p.EmptyShardLimit > 0 && p.EmptyShardLimit != st.EmptyShardLimit {
-		return fmt.Errorf("fleet: empty-shard limit mismatch: table has %d, caller wants %d",
-			st.EmptyShardLimit, p.EmptyShardLimit)
+	if p.EmptyShardLimit != 0 && p.EmptyShardLimit != st.EmptyShardLimit {
+		return fmt.Errorf("fleet: empty-shard limit mismatch: table has %d, caller wants %d: %w",
+			st.EmptyShardLimit, p.EmptyShardLimit, ErrParamsMismatch)
 	}
 	return nil
 }
@@ -306,6 +353,20 @@ func (t *Table) read() (*tableState, error) {
 	var st tableState
 	if err := json.Unmarshal(raw, &st); err != nil {
 		return nil, fmt.Errorf("fleet: table decode: %w", err)
+	}
+	if st.Version > tableVersion {
+		return nil, fmt.Errorf("fleet: table version %d is newer than this binary understands", st.Version)
+	}
+	if st.Version < 1 {
+		return nil, fmt.Errorf("fleet: table version %d is malformed", st.Version)
+	}
+	if st.Version < tableVersion {
+		// Epoch-free v1 table: adopt it in place. Every shard sits at
+		// epoch 0, so the next (re)issue of each becomes epoch 1 and
+		// fences out any pre-upgrade straggler (a pre-upgrade binary
+		// refuses version 2 on its next table operation and exits). The
+		// bump persists with the next read-modify-write.
+		st.Version = tableVersion
 	}
 	if st.Shards == nil {
 		st.Shards = map[string]*shardEntry{}
@@ -424,18 +485,23 @@ func (t *Table) updateGauges(st *tableState) {
 
 func (t *Table) leaseFor(st *tableState, shard int) Lease {
 	start := st.StartID + uint64(shard)*st.RangeSize
-	return Lease{
+	l := Lease{
 		Shard: shard,
 		Start: start,
 		End:   start + st.RangeSize,
 		Dir:   t.ShardDir(shard),
 	}
+	if e := st.shard(shard); e != nil {
+		l.Epoch = e.Epoch
+	}
+	return l
 }
 
 // Acquire grants the caller a shard: the lowest reclaimed/released shard
-// if any, else the next frontier shard. ErrNoShard means poll again
-// (another worker's death may free work); ErrExhausted means the crawl is
-// complete.
+// if any, else the next frontier shard. Every grant bumps the shard's
+// fencing epoch, so the returned Lease's Epoch supersedes all earlier
+// issues of the same shard. ErrNoShard means poll again (another worker's
+// death may free work); ErrExhausted means the crawl is complete.
 func (t *Table) Acquire(worker string) (Lease, error) {
 	var lease Lease
 	err := t.withTable(func(st *tableState) error {
@@ -465,13 +531,19 @@ func (t *Table) Acquire(worker string) (Lease, error) {
 			}
 			return ErrNoShard
 		}
+		var epoch uint64 = 1
+		if prev := st.shard(idx); prev != nil {
+			epoch = prev.Epoch + 1
+		}
 		st.setShard(idx, &shardEntry{
 			State:   shardLeased,
 			Worker:  worker,
 			Expires: now.Add(time.Duration(st.LeaseTTLNanos)).UnixNano(),
+			Epoch:   epoch,
 		})
 		lease = t.leaseFor(st, idx)
 		t.leasesHeld.Inc()
+		t.leaseEpoch.Set(float64(epoch))
 		if reclaimed {
 			t.leasesReclaimed.Inc()
 		}
@@ -480,16 +552,17 @@ func (t *Table) Acquire(worker string) (Lease, error) {
 	return lease, err
 }
 
-// Heartbeat renews the caller's lease on shard. ErrLeaseLost means the
-// lease expired and may already belong to someone else: the caller must
-// abandon the shard (and its journal) immediately.
-func (t *Table) Heartbeat(worker string, shard int) error {
+// Heartbeat renews the caller's lease on shard at the given epoch.
+// ErrLeaseLost means the lease expired, was reissued at a higher epoch,
+// or belongs to someone else: the caller must abandon the shard (and its
+// journal) immediately.
+func (t *Table) Heartbeat(worker string, shard int, epoch uint64) error {
 	return t.withTable(func(st *tableState) error {
 		now := t.now()
 		t.reclaim(st, now)
 		st.Workers[worker] = now.UnixNano()
 		e := st.shard(shard)
-		if e == nil || e.State != shardLeased || e.Worker != worker {
+		if e == nil || e.State != shardLeased || e.Worker != worker || e.Epoch != epoch {
 			return ErrLeaseLost
 		}
 		e.Expires = now.Add(time.Duration(st.LeaseTTLNanos)).UnixNano()
@@ -498,17 +571,20 @@ func (t *Table) Heartbeat(worker string, shard int) error {
 }
 
 // Complete marks the caller's shard done, recording how many accounts it
-// found; zero marks it empty, which is what closes the frontier.
-func (t *Table) Complete(worker string, shard, found int) error {
+// found; zero marks it empty, which is what closes the frontier. The
+// epoch must still be current — a zombie completing a shard it lost would
+// otherwise overwrite the successor's claim. The shard's epoch history
+// survives completion, so a hypothetical reopen keeps counting upward.
+func (t *Table) Complete(worker string, shard int, epoch uint64, found int) error {
 	return t.withTable(func(st *tableState) error {
 		now := t.now()
 		t.reclaim(st, now)
 		st.Workers[worker] = now.UnixNano()
 		e := st.shard(shard)
-		if e == nil || e.State != shardLeased || e.Worker != worker {
+		if e == nil || e.State != shardLeased || e.Worker != worker || e.Epoch != epoch {
 			return ErrLeaseLost
 		}
-		*e = shardEntry{State: shardDone, Found: found, Empty: found == 0}
+		*e = shardEntry{State: shardDone, Found: found, Empty: found == 0, Epoch: e.Epoch}
 		return nil
 	})
 }
@@ -539,6 +615,12 @@ type ShardInfo struct {
 	Empty      bool
 	Start, End uint64
 	Dir        string
+	// Epoch is the shard's current issue number (how many times it has
+	// been granted).
+	Epoch uint64
+	// Expires is when the current lease lapses without a heartbeat; zero
+	// for open and done shards.
+	Expires time.Time
 }
 
 // Status is a point-in-time summary of the whole fleet.
@@ -561,52 +643,67 @@ type Status struct {
 	Shards    []ShardInfo // ascending by shard index
 }
 
-// Status reads the table (reclaiming nothing, mutating nothing beyond the
-// atomic rewrite of what it read) and summarizes it.
+// Status reads the table and summarizes it. Strictly read-only: the lock
+// is held only across the file read — never a write, never a reclaim — so
+// an admin polling status (the -fleet-status view, a dashboard loop)
+// cannot perturb the fleet or stall its workers.
 func (t *Table) Status() (Status, error) {
 	var s Status
-	err := t.withTable(func(st *tableState) error {
-		s = Status{
-			StartID:         st.StartID,
-			RangeSize:       st.RangeSize,
-			LeaseTTL:        time.Duration(st.LeaseTTLNanos),
-			EmptyShardLimit: st.EmptyShardLimit,
-			NextShard:       st.NextShard,
+	if err := t.flock(); err != nil {
+		return s, err
+	}
+	st, err := t.read()
+	t.funlock()
+	if err != nil {
+		return s, err
+	}
+	if st == nil {
+		return s, fmt.Errorf("fleet: %s has no lease table", t.dir)
+	}
+	s = Status{
+		StartID:         st.StartID,
+		RangeSize:       st.RangeSize,
+		LeaseTTL:        time.Duration(st.LeaseTTLNanos),
+		EmptyShardLimit: st.EmptyShardLimit,
+		NextShard:       st.NextShard,
+	}
+	now := t.now().UnixNano()
+	for w := range st.Workers {
+		if now-st.Workers[w] <= st.LeaseTTLNanos {
+			s.WorkersAlive++
 		}
-		now := t.now().UnixNano()
-		for w := range st.Workers {
-			if now-st.Workers[w] <= st.LeaseTTLNanos {
-				s.WorkersAlive++
-			}
+	}
+	idxs := make([]int, 0, len(st.Shards))
+	for k := range st.Shards {
+		if i, err := strconv.Atoi(k); err == nil {
+			idxs = append(idxs, i)
 		}
-		idxs := make([]int, 0, len(st.Shards))
-		for k := range st.Shards {
-			if i, err := strconv.Atoi(k); err == nil {
-				idxs = append(idxs, i)
-			}
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		e := st.shard(i)
+		switch e.State {
+		case shardDone:
+			s.Done++
+		case shardLeased:
+			s.Leased++
+		case shardOpen:
+			s.Open++
 		}
-		sort.Ints(idxs)
-		for _, i := range idxs {
-			e := st.shard(i)
-			switch e.State {
-			case shardDone:
-				s.Done++
-			case shardLeased:
-				s.Leased++
-			case shardOpen:
-				s.Open++
-			}
-			start := st.StartID + uint64(i)*st.RangeSize
-			s.Shards = append(s.Shards, ShardInfo{
-				Shard: i, State: e.State, Worker: e.Worker,
-				Found: e.Found, Empty: e.Empty,
-				Start: start, End: start + st.RangeSize,
-				Dir: t.ShardDir(i),
-			})
+		start := st.StartID + uint64(i)*st.RangeSize
+		info := ShardInfo{
+			Shard: i, State: e.State, Worker: e.Worker,
+			Found: e.Found, Empty: e.Empty,
+			Start: start, End: start + st.RangeSize,
+			Dir:   t.ShardDir(i),
+			Epoch: e.Epoch,
 		}
-		s.FrontierClosed = st.frontierClosed()
-		s.Exhausted = s.FrontierClosed && st.outstanding() == 0
-		return nil
-	})
-	return s, err
+		if e.State == shardLeased && e.Expires != 0 {
+			info.Expires = time.Unix(0, e.Expires)
+		}
+		s.Shards = append(s.Shards, info)
+	}
+	s.FrontierClosed = st.frontierClosed()
+	s.Exhausted = s.FrontierClosed && st.outstanding() == 0
+	return s, nil
 }

@@ -50,10 +50,10 @@ func TestFrontierClosesAfterEmptyShards(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := table.Complete("w1", 0, 42); err != nil {
+	if err := table.Complete("w1", 0, 1, 42); err != nil {
 		t.Fatal(err)
 	}
-	if err := table.Complete("w1", 1, 0); err != nil {
+	if err := table.Complete("w1", 1, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	// One empty shard at the frontier is not enough to close it.
@@ -62,10 +62,10 @@ func TestFrontierClosesAfterEmptyShards(t *testing.T) {
 	} else if lease.Shard != 3 {
 		t.Fatalf("expected frontier shard 3, got %d", lease.Shard)
 	}
-	if err := table.Complete("w1", 2, 0); err != nil {
+	if err := table.Complete("w1", 2, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := table.Complete("w1", 3, 0); err != nil {
+	if err := table.Complete("w1", 3, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Shards 2 and 3 (the trailing EmptyShardLimit=2) are done and empty.
@@ -97,13 +97,13 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 		t.Fatalf("reclaim leased shard %d, want the expired shard %d", got.Shard, lease.Shard)
 	}
 	// The corpse's handle must not be able to touch the shard anymore.
-	if err := table.Heartbeat("dead", lease.Shard); !errors.Is(err, ErrLeaseLost) {
+	if err := table.Heartbeat("dead", lease.Shard, lease.Epoch); !errors.Is(err, ErrLeaseLost) {
 		t.Fatalf("dead heartbeat: want ErrLeaseLost, got %v", err)
 	}
-	if err := table.Complete("dead", lease.Shard, 7); !errors.Is(err, ErrLeaseLost) {
+	if err := table.Complete("dead", lease.Shard, lease.Epoch, 7); !errors.Is(err, ErrLeaseLost) {
 		t.Fatalf("dead complete: want ErrLeaseLost, got %v", err)
 	}
-	if err := table.Complete("alive", got.Shard, 7); err != nil {
+	if err := table.Complete("alive", got.Shard, got.Epoch, 7); err != nil {
 		t.Fatal(err)
 	}
 	if v := reg.Counter("fleet_leases_expired").Load(); v != 1 {
@@ -125,7 +125,7 @@ func TestHeartbeatExtendsLease(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		*now = now.Add(40 * time.Second) // past the original expiry by the 2nd step
-		if err := table.Heartbeat("w1", lease.Shard); err != nil {
+		if err := table.Heartbeat("w1", lease.Shard, lease.Epoch); err != nil {
 			t.Fatalf("heartbeat %d: %v", i, err)
 		}
 	}
@@ -221,7 +221,7 @@ func TestConcurrentAcquireNoDoubleIssue(t *testing.T) {
 				owned[lease.Shard] = id
 				mu.Unlock()
 				// Keep the frontier open so every acquire breaks new ground.
-				if err := table.Complete(id, lease.Shard, 1); err != nil {
+				if err := table.Complete(id, lease.Shard, lease.Epoch, 1); err != nil {
 					t.Error(err)
 					return
 				}

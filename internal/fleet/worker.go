@@ -29,8 +29,9 @@ type Config struct {
 	// Params fixes the fleet geometry; the first worker to open the table
 	// stamps them, later workers must agree (zero fields adopt).
 	Params Params
-	// Crawl is the per-shard crawler template. CheckpointPath, RangeStart,
-	// RangeEnd, SkipTailOnEmpty and MaxAccounts are overwritten per lease.
+	// Crawl is the per-shard crawler template. CheckpointPath, LeaseEpoch,
+	// RangeStart, RangeEnd, SkipTailOnEmpty and MaxAccounts are
+	// overwritten per lease.
 	Crawl crawler.Config
 	// Poll is how long to wait between Acquire attempts when every shard
 	// is leased to someone else (default 250ms).
@@ -48,7 +49,19 @@ type Stats struct {
 	EmptyShards int // of those, how many held zero accounts
 	Users       int // accounts this worker detailed
 	LeasesLost  int // shards abandoned because the lease expired mid-crawl
+	// Fenced counts the LeasesLost that were detected at the journal —
+	// an append (or open) refused because a successor's epoch had fenced
+	// this worker out. Nonzero Fenced means the fencing tokens did their
+	// job: a paused worker woke up, tried to write, and was turned away.
+	Fenced int
 }
+
+// disableHeartbeat, when true, suppresses the lease-renewal goroutine —
+// simulating a worker whose heartbeats silently stop (wedged I/O, paused
+// process) while its crawl keeps going. Test-only; the zombie chaos mode
+// uses it to prove the journal fence, not the TTL, is what protects the
+// merge.
+var disableHeartbeat bool
 
 // RunWorker participates in the fleet until the work space is exhausted
 // (returns nil), the context is canceled (releases its lease and returns
@@ -76,9 +89,20 @@ func RunWorker(ctx context.Context, cfg Config) (Stats, error) {
 	}
 	defer table.Close()
 
+	// release returns the worker's leases on the way out. A failure here
+	// is not harmless — the lease stays dead until TTL expiry — so it is
+	// logged and counted (fleet_release_errors) instead of dropped.
+	release := func(why string) {
+		if rerr := table.Release(cfg.WorkerID); rerr != nil {
+			table.releaseErrors.Inc()
+			logf("worker %s: release on %s failed: %v (leases stay dead until TTL expiry)",
+				cfg.WorkerID, why, rerr)
+		}
+	}
+
 	for {
 		if ctx.Err() != nil {
-			table.Release(cfg.WorkerID)
+			release("shutdown")
 			return stats, ctx.Err()
 		}
 		lease, err := table.Acquire(cfg.WorkerID)
@@ -99,16 +123,26 @@ func RunWorker(ctx context.Context, cfg Config) (Stats, error) {
 		logf("worker %s: leased shard %d [%d,%d)", cfg.WorkerID, lease.Shard, lease.Start, lease.End)
 
 		found, err := crawlShard(ctx, table, cfg, lease, logf)
-		if errors.Is(err, ErrLeaseLost) {
+		if errors.Is(err, ErrLeaseLost) || errors.Is(err, crawler.ErrFenced) {
+			// Both mean the same thing — this worker no longer owns the
+			// shard — but a fence rejection is the stronger signal: the
+			// journal itself, not just the table, turned the write away.
 			stats.LeasesLost++
-			logf("worker %s: lost lease on shard %d; abandoning it", cfg.WorkerID, lease.Shard)
+			if errors.Is(err, crawler.ErrFenced) {
+				stats.Fenced++
+				table.fenceRejections.Inc()
+				logf("worker %s: fenced off shard %d (epoch %d superseded); abandoning it",
+					cfg.WorkerID, lease.Shard, lease.Epoch)
+			} else {
+				logf("worker %s: lost lease on shard %d; abandoning it", cfg.WorkerID, lease.Shard)
+			}
 			continue
 		}
 		if err != nil {
-			table.Release(cfg.WorkerID)
+			release("terminal error")
 			return stats, fmt.Errorf("fleet: shard %d: %w", lease.Shard, err)
 		}
-		if err := table.Complete(cfg.WorkerID, lease.Shard, found); err != nil {
+		if err := table.Complete(cfg.WorkerID, lease.Shard, lease.Epoch, found); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				// The work is journaled; the reclaiming owner will replay
 				// it and finish instantly. Nothing is lost.
@@ -141,6 +175,9 @@ func crawlShard(ctx context.Context, table *Table, cfg Config, lease Lease, logf
 	ttl := table.TTL()
 	go func() {
 		defer close(hbDone)
+		if disableHeartbeat {
+			return
+		}
 		tick := time.NewTicker(ttl / 3)
 		defer tick.Stop()
 		for {
@@ -150,12 +187,15 @@ func crawlShard(ctx context.Context, table *Table, cfg Config, lease Lease, logf
 			case <-shardCtx.Done():
 				return
 			case <-tick.C:
-				if err := table.Heartbeat(cfg.WorkerID, lease.Shard); err != nil {
+				if err := table.Heartbeat(cfg.WorkerID, lease.Shard, lease.Epoch); err != nil {
 					if errors.Is(err, ErrLeaseLost) {
 						lost.Store(true)
 						cancel()
 						return
 					}
+					// A heartbeat I/O failure is tolerable blindness now:
+					// if the lease lapses while we retry, the journal's
+					// fence — not this loop — is what stops our writes.
 					logf("worker %s: heartbeat on shard %d: %v (retrying)", cfg.WorkerID, lease.Shard, err)
 				}
 			}
@@ -164,6 +204,7 @@ func crawlShard(ctx context.Context, table *Table, cfg Config, lease Lease, logf
 
 	ccfg := cfg.Crawl
 	ccfg.CheckpointPath = lease.Dir
+	ccfg.LeaseEpoch = lease.Epoch
 	ccfg.RangeStart = lease.Start
 	ccfg.RangeEnd = lease.End
 	ccfg.SkipTailOnEmpty = true

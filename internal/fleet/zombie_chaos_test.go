@@ -1,0 +1,316 @@
+//go:build crash
+
+// The paused-worker (zombie) chaos mode: SIGSTOP a fleet worker past its
+// lease TTL, let a successor take its shard over, then SIGCONT the
+// zombie and let it try to keep writing. The TTL cannot protect the
+// journal here — the zombie's heartbeats are suppressed, so only the
+// journal's fencing epoch stands between its stale appends and the
+// successor's shard. The acceptance bar: the zombie self-terminates on
+// the shard with ErrFenced (fence rejection counters fire), and the
+// merged snapshot — bytes and manifest SHA-256 — is identical to an
+// undisturbed solo crawl.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/obs"
+)
+
+// zombieStats is what the child process reports back to the parent.
+type zombieStats struct {
+	Stats
+	FleetFenceRejections   int64
+	CrawlerFenceRejections int64
+}
+
+// zombieParams must be identical for every participant (zombie,
+// successor, the parent's status polls).
+func zombieParams() Params {
+	return Params{RangeSize: 200, LeaseTTL: 2 * time.Second, EmptyShardLimit: 3}
+}
+
+// TestFleetZombieChild is not a test: it is the subprocess body for
+// TestFleetChaosZombieSIGSTOP. FLEET_NO_HEARTBEAT=1 suppresses the
+// lease-renewal goroutine — the zombie must not notice via the table
+// that it lost its shard; only the journal fence may stop it.
+func TestFleetZombieChild(t *testing.T) {
+	if os.Getenv("STEAMCRAWL_ZOMBIE_CHILD") != "1" {
+		t.Skip("subprocess body; spawned by TestFleetChaosZombieSIGSTOP")
+	}
+	if os.Getenv("FLEET_NO_HEARTBEAT") == "1" {
+		disableHeartbeat = true
+	}
+	var rate float64
+	fmt.Sscan(os.Getenv("FLEET_RATE"), &rate)
+	reg := obs.NewRegistry()
+	stats, err := RunWorker(context.Background(), Config{
+		Dir:      os.Getenv("FLEET_DIR"),
+		WorkerID: os.Getenv("FLEET_WORKER"),
+		Params:   zombieParams(),
+		Crawl: crawler.Config{
+			BaseURL:       os.Getenv("FLEET_URL"),
+			Workers:       2,
+			RatePerSecond: rate,
+			ProgressEvery: -1,
+		},
+		Poll:     50 * time.Millisecond,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("zombie child %s: %v", os.Getenv("FLEET_WORKER"), err)
+	}
+	if path := os.Getenv("FLEET_STATS"); path != "" {
+		raw, err := json.Marshal(zombieStats{
+			Stats:                  stats,
+			FleetFenceRejections:   reg.Counter("fleet_fence_rejections").Load(),
+			CrawlerFenceRejections: reg.Counter("crawler_fence_rejections").Load(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// shardDirBytes sums the journal files of one shard directory.
+func shardDirBytes(dir string) int64 {
+	var n int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !e.IsDir() {
+			n += info.Size()
+		}
+	}
+	return n
+}
+
+// flockFree reports whether the fleet lock is currently free. A SIGSTOP
+// can freeze the zombie inside a table operation, and a held flock
+// survives the freeze (unlike process death) — every other participant
+// would hang on it, so the parent must detect that and retry the pause.
+func flockFree(dir string) bool {
+	f, err := os.Open(filepath.Join(dir, lockName))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return false
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return true
+}
+
+func TestFleetChaosZombieSIGSTOP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos is slow")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startServer(t)
+	tmp := t.TempDir()
+	fleetDir := filepath.Join(tmp, "fleet")
+	soloPath := filepath.Join(tmp, "solo.snap.jsonl")
+	want := soloBytes(t, ts.URL, tmp)
+
+	spawn := func(worker, rate, noHeartbeat, statsPath string) (*exec.Cmd, chan error) {
+		cmd := exec.Command(exe, "-test.run", "^TestFleetZombieChild$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"STEAMCRAWL_ZOMBIE_CHILD=1",
+			"FLEET_URL="+ts.URL,
+			"FLEET_DIR="+fleetDir,
+			"FLEET_WORKER="+worker,
+			"FLEET_RATE="+rate,
+			"FLEET_NO_HEARTBEAT="+noHeartbeat,
+			"FLEET_STATS="+statsPath,
+		)
+		done := make(chan error, 1)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go func() { done <- cmd.Wait() }()
+		return cmd, done
+	}
+
+	// The zombie: throttled so the pause lands mid-shard, heartbeats
+	// suppressed so the table never warns it.
+	statsPath := filepath.Join(tmp, "zombie-stats.json")
+	zombie, zombieDone := spawn("zombie", "300", "1", statsPath)
+
+	// Wait for the fleet dir, then for the zombie to be mid-shard: a live
+	// lease plus a journal past the first couple of KB of phase-2 records.
+	var table *Table
+	deadline := time.Now().Add(60 * time.Second)
+	for table == nil {
+		if t2, err := Open(fleetDir, zombieParams(), nil); err == nil {
+			table = t2
+		} else if time.Now().After(deadline) {
+			t.Fatalf("fleet table never appeared: %v", err)
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	defer table.Close()
+
+	// Pause the zombie mid-shard. The Status read after SIGSTOP is the
+	// authoritative one — the process is frozen, so its lease cannot move.
+	var victim ShardInfo
+	deadline = time.Now().Add(90 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			zombie.Process.Kill()
+			t.Fatal("zombie never got mid-shard")
+		}
+		s, err := table.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := false
+		for _, sh := range s.Shards {
+			if sh.State == shardLeased && sh.Worker == "zombie" && shardDirBytes(sh.Dir) >= 2048 {
+				hot = true
+			}
+		}
+		if !hot {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if err := zombie.Process.Signal(syscall.SIGSTOP); err != nil {
+			t.Fatal(err)
+		}
+		if !flockFree(fleetDir) {
+			// Frozen mid-table-operation with the flock held; wake it, let
+			// the operation finish, and catch it again.
+			if err := zombie.Process.Signal(syscall.SIGCONT); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		s, err = table.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, sh := range s.Shards {
+			if sh.State == shardLeased && sh.Worker == "zombie" {
+				victim, found = sh, true
+			}
+		}
+		if found {
+			break
+		}
+		// The shard completed between the check and the stop; resume and
+		// catch the next one.
+		if err := zombie.Process.Signal(syscall.SIGCONT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("zombie paused holding shard %d at epoch %d (%d journal bytes)",
+		victim.Shard, victim.Epoch, shardDirBytes(victim.Dir))
+
+	// A full-speed successor (heartbeats on) takes the fleet over. Once
+	// the zombie's lease expires it reclaims the victim shard at a higher
+	// epoch and fences the journal.
+	_, succDone := spawn("successor", "0", "", "")
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		fence, err := crawler.ReadFence(victim.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fence.Epoch > victim.Epoch {
+			t.Logf("victim shard fenced at epoch %d", fence.Epoch)
+			break
+		}
+		if time.Now().After(deadline) {
+			zombie.Process.Kill()
+			t.Fatalf("successor never fenced shard %d past epoch %d", victim.Shard, victim.Epoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Wake the corpse. Its next journal append on the victim shard must
+	// come back ErrFenced; after abandoning it, the zombie helps drain
+	// whatever is left and exits clean.
+	if err := zombie.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"zombie": zombieDone, "successor": succDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s exited with error: %v", name, err)
+			}
+		case <-time.After(4 * time.Minute):
+			t.Fatalf("%s hung", name)
+		}
+	}
+
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("zombie never reported stats: %v", err)
+	}
+	var zs zombieStats
+	if err := json.Unmarshal(raw, &zs); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("zombie stats: %+v", zs)
+	if zs.Fenced < 1 {
+		t.Fatalf("zombie was never fenced (stats %+v); the TTL, not the fence, saved the merge", zs)
+	}
+	if zs.FleetFenceRejections < 1 || zs.CrawlerFenceRejections < 1 {
+		t.Fatalf("fence rejection counters did not fire: fleet=%d crawler=%d",
+			zs.FleetFenceRejections, zs.CrawlerFenceRejections)
+	}
+
+	// The merge must be byte-identical to the undisturbed solo crawl,
+	// manifest SHA-256 included, and fsck-clean.
+	merged, err := Merge(fleetDir, 0)
+	if err != nil {
+		t.Fatalf("merge after zombie chaos: %v", err)
+	}
+	mergedPath := filepath.Join(tmp, "merged.snap.jsonl")
+	got := saveCanonical(t, merged, mergedPath)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("zombie merge not byte-identical to solo (%d vs %d bytes)", len(got), len(want))
+	}
+	soloMan, err := dataset.ReadManifest(soloPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedMan, err := dataset.ReadManifest(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloMan.FileSHA256 != mergedMan.FileSHA256 {
+		t.Fatalf("manifest SHA-256 diverges: solo %s, merged %s", soloMan.FileSHA256, mergedMan.FileSHA256)
+	}
+	rep, err := dataset.FsckFile(mergedPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("zombie merge fails fsck:\n%s", rep)
+	}
+}
