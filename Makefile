@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos crash fleetchaos fsck bench profile fmt vet
+.PHONY: build test race verify chaos crash fleetchaos fsck bench querybench profile fmt vet
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,8 @@ race:
 verify: build vet test race
 	$(GO) vet -tags crash ./internal/crawler ./internal/fleet
 	$(GO) test -tags crash -run '^$$' ./internal/crawler ./internal/fleet
+	$(GO) build ./cmd/steamquery ./cmd/steamqueryload
+	$(GO) test -race ./internal/query
 
 # chaos runs only the end-to-end fault-injection suite: a full crawl under
 # an aggressive fault profile with simulated process deaths, plus the
@@ -67,6 +69,19 @@ bench:
 		-bench '^(BenchmarkCounterAdd|BenchmarkHistogramObserve|BenchmarkContended8)$$'
 	$(GO) run ./cmd/benchjson -out BENCH_datapath.json -pkg ./internal/dataset \
 		-bench '^(BenchmarkDatapath|BenchmarkJSONL(Encode|Decode))'
+
+# querybench measures the read-side query service under load:
+#   BENCH_query.json — 1M requests over a seeded /v1 mix against an
+#     in-process steamquery server holding a 100k-user snapshot:
+#     p50/p90/p99 latency, throughput, cache hit rate, 304 count.
+# The snapshot is built fresh into a temp dir so the target needs no
+# checked-in fixtures; regenerating it costs a few seconds.
+querybench:
+	$(eval QBDIR := $(shell mktemp -d))
+	$(GO) run ./cmd/steamgen -users 100000 -seed 1 -out $(QBDIR)/query.jsonl.gz
+	$(GO) run ./cmd/steamqueryload -snapshot $(QBDIR)/query.jsonl.gz \
+		-requests 1000000 -seed 1 -out BENCH_query.json
+	rm -rf $(QBDIR)
 
 # profile captures CPU and heap profiles of the data plane's hot loops
 # into ./profiles/ for `go tool pprof`: the 500k-user snapshot codec and

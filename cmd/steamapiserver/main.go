@@ -20,13 +20,12 @@ import (
 	"net/http"
 
 	"steamstudy/internal/apiserver"
-	"steamstudy/internal/obs"
+	"steamstudy/internal/climain"
 	"steamstudy/internal/simworld"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("steamapiserver: ")
+	app := climain.New("steamapiserver")
 	var (
 		users   = flag.Int("users", 50000, "population size")
 		seed    = flag.Int64("seed", 1, "generation seed")
@@ -50,8 +49,6 @@ func main() {
 		outageEvery    = flag.Int("outage-every", 0, "schedule an outage window after every N requests (0 disables)")
 		outageLen      = flag.Int("outage-len", 1, "requests rejected per outage window")
 		maxKeys        = flag.Int("max-keys", 0, "cap on tracked per-key rate limiters (0 = default 1024)")
-		admin          = flag.String("admin", "", "also serve /metrics, /healthz (and optionally pprof) on this separate admin address")
-		pprofOn        = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 	)
 	flag.Parse()
 
@@ -100,13 +97,10 @@ func main() {
 		Faults:         profile,
 		MaxTrackedKeys: *maxKeys,
 	})
-	if *admin != "" {
-		adminAddr, err := obs.ServeAdmin(*admin, handler.Obs(), handler.Health(), *pprofOn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "admin endpoints at http://%s/metrics\n", adminAddr)
-	}
+	// The handler owns its registry and health checks; the shared admin
+	// listener exposes those instead of creating empty ones.
+	app.Adopt(handler.Obs(), handler.Health())
+	app.StartAdmin()
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)

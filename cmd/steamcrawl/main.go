@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"steamstudy/internal/climain"
 	"steamstudy/internal/crawler"
 	"steamstudy/internal/dataset"
 	"steamstudy/internal/fleet"
@@ -44,13 +45,12 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("steamcrawl: ")
+	app := climain.New("steamcrawl")
+	workers := app.WorkersFlag(16, "worker pool width for crawl phases 2-5 and the snapshot codec (results are identical for any value)")
 	var (
 		baseURL     = flag.String("url", "http://127.0.0.1:8080", "API base URL")
 		key         = flag.String("key", "", "API key")
 		rate        = flag.Float64("rate", 5000, "self-imposed requests/second budget (paper: 85% of the allowance)")
-		workers     = flag.Int("workers", 16, "worker pool width for crawl phases 2-5 and the snapshot codec (results are identical for any value)")
 		maxUsers    = flag.Int("max", 0, "cap the crawl at this many accounts (0 = exhaustive; ignored in fleet mode)")
 		checkpoint  = flag.String("checkpoint", "", "journal directory for resumable crawls")
 		reqTimeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
@@ -59,8 +59,6 @@ func main() {
 		brCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 		noAdaptive  = flag.Bool("no-adaptive", false, "disable AIMD adaptive throttling and pin the rate")
 		progress    = flag.Duration("progress", 30*time.Second, "interval between progress/health lines (negative disables)")
-		admin       = flag.String("admin", "", "serve live crawl metrics (/metrics, /healthz) on this address (empty disables)")
-		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 		out         = flag.String("out", "crawl.gob.gz", "snapshot output path")
 		fsckPath    = flag.String("fsck", "", "validate this snapshot file against its manifest and the paper's referential schema, then exit (no crawl)")
 		repair      = flag.Bool("repair", false, "with -fsck and -checkpoint: rebuild a damaged snapshot from the journal, then re-validate")
@@ -77,17 +75,14 @@ func main() {
 		fleetStatus = flag.Bool("fleet-status", false, "with -fleet-dir: render the live lease table (shard, state, worker, epoch, expiry, found) read-only and exit (no crawl)")
 	)
 	flag.Parse()
-
-	var reg *obs.Registry
-	if *admin != "" {
-		reg = obs.NewRegistry()
-		health := obs.NewHealth()
-		addr, err := obs.ServeAdmin(*admin, reg, health, *pprofOn)
-		if err != nil {
-			log.Fatalf("admin listener: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "steamcrawl: admin endpoints at http://%s/metrics\n", addr)
+	if !*fleetStatus && !*merge && *fsckPath == "" && !*compact {
+		// The crawl and merge modes write -out; die on a typo'd extension
+		// before any network or journal work.
+		app.MustSnapshotPath("out", *out)
 	}
+
+	app.StartAdmin()
+	reg := app.Registry()
 
 	if *fleetStatus {
 		if *fleetDir == "" {

@@ -11,11 +11,13 @@ import (
 	"os"
 
 	"steamstudy"
+	"steamstudy/internal/climain"
+	"steamstudy/internal/dataset"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("steamgen: ")
+	app := climain.New("steamgen")
+	workers := app.WorkersFlag(0, "worker pool size for generation and the snapshot codec (0 = one per CPU, 1 = serial); output is identical for any value")
 	var (
 		users   = flag.Int("users", 100000, "population size (the paper measured 108.7M; statistics are scale-free)")
 		seed    = flag.Int64("seed", 1, "deterministic generation seed")
@@ -23,10 +25,12 @@ func main() {
 		out     = flag.String("out", "steam.gob.gz", "output path (.gob/.gob.gz/.jsonl/.jsonl.gz)")
 	)
 	flag.Parse()
+	app.MustSnapshotPath("out", *out)
+	app.StartAdmin()
 
 	study, err := steamstudy.New(steamstudy.Options{
 		Users: *users, Seed: *seed, CatalogSize: *catalog,
-		SkipSecondSnapshot: true,
+		SkipSecondSnapshot: true, Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -35,7 +39,7 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"generated %d users, %d games, %d groups, %d friendships, %d owned games, %.0f years of playtime, $%.0f market value\n",
 		h.Users, h.Games, h.Groups, h.Friendships, h.OwnedGames, h.PlaytimeYears, h.MarketValueUSD)
-	if err := study.SaveSnapshot(*out); err != nil {
+	if err := study.SaveSnapshot(*out, dataset.WithWorkers(*workers)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)

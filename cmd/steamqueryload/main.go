@@ -1,0 +1,372 @@
+// Command steamqueryload drives a steamquery server with a seeded,
+// weighted request mix and reports latency percentiles, throughput and
+// the server's cache hit rate as BENCH_query.json.
+//
+// By default it is self-contained: it loads -snapshot, starts an
+// in-process steamquery server on a loopback port, and hammers it over
+// real HTTP. Point -url at an external server (serving the same
+// snapshot file, which is still read locally to seed user lookups) to
+// load-test across processes.
+//
+//	steamqueryload -snapshot steam.gob.gz -requests 1000000 -out BENCH_query.json
+//
+// The mix is deterministic for a given -seed: a few hundred distinct
+// URLs spanning every /v1 endpoint, weighted so that hot resources
+// (snapshot metadata, tables, genre slices, top-K boards) dominate,
+// with a configurable fraction of conditional requests replaying the
+// snapshot's ETag.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"steamstudy/internal/climain"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/query"
+	"steamstudy/internal/ratelimit"
+	"steamstudy/internal/stats"
+)
+
+func main() {
+	app := climain.New("steamqueryload")
+	workers := app.WorkersFlag(0, "concurrent request workers (0 = one per CPU); the URL sequence each worker draws is seeded, so results are reproducible for a fixed -workers")
+	var (
+		snapshot    = flag.String("snapshot", "", "snapshot file: served in-process (default) and sampled for user-lookup targets")
+		url         = flag.String("url", "", "load an external steamquery server at this base URL instead of self-serving")
+		requests    = flag.Int("requests", 1_000_000, "total requests to issue")
+		rate        = flag.Float64("rate", 0, "request budget in requests/second shared across workers (0 = unlimited), via the crawler's token-bucket limiter")
+		seed        = flag.Int64("seed", 1, "seed for the URL mix")
+		conditional = flag.Float64("conditional", 0.2, "fraction of requests sent with If-None-Match (expect 304s)")
+		userURLs    = flag.Int("user-urls", 200, "distinct /v1/users/{id} targets sampled from the snapshot")
+		cacheN      = flag.Int("cache", 0, "self-served server's result cache capacity (0 = default)")
+		out         = flag.String("out", "", "write the JSON report here (empty = stdout)")
+	)
+	flag.Parse()
+	app.MustSnapshotPath("snapshot", *snapshot)
+	app.StartAdmin()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
+
+	// The snapshot is read once, locally, for two jobs: seeding the
+	// user-lookup URLs, and (without -url) serving itself.
+	snap, err := dataset.Load(*snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := *url
+	if base == "" {
+		srv, err := query.Open(query.Config{SnapshotPath: *snapshot, CacheEntries: *cacheN})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(lis)
+		defer hs.Shutdown(context.Background())
+		base = "http://" + lis.Addr().String()
+		fmt.Fprintf(os.Stderr, "steamqueryload: self-serving %s at %s\n", *snapshot, base)
+	}
+
+	client := &query.Client{BaseURL: base, HTTPClient: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+	}}
+	urls, etag, err := buildMix(client, snap, *seed, *userURLs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var limiter *ratelimit.Limiter
+	if *rate > 0 {
+		limiter = ratelimit.New(*rate, *workers)
+	}
+	fmt.Fprintf(os.Stderr, "steamqueryload: %d requests over %d distinct URLs, %d workers, seed %d\n",
+		*requests, urls.distinct(), *workers, *seed)
+
+	res := run(client.HTTPClient, base, urls, etag, *requests, *workers, *seed, *conditional, limiter)
+
+	after, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(*out, *snapshot, snap, urls, before, after, res, *requests, *workers, *rate, *seed, *conditional)
+}
+
+// mix is the weighted URL population: list[i] repeated weight[i] times,
+// flattened into a cumulative table for O(log n) seeded draws.
+type mix struct {
+	list   []string
+	cum    []int // cumulative weights
+	total  int
+	counts map[string]int // endpoint family -> distinct URLs
+}
+
+func (m *mix) add(family string, weight int, u string) {
+	m.list = append(m.list, u)
+	m.total += weight
+	m.cum = append(m.cum, m.total)
+	if m.counts == nil {
+		m.counts = make(map[string]int)
+	}
+	m.counts[family]++
+}
+
+func (m *mix) distinct() int { return len(m.list) }
+
+// pick draws one URL with the mix's weights from the caller's rng.
+func (m *mix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	i := sort.SearchInts(m.cum, n+1)
+	return m.list[i]
+}
+
+// buildMix assembles the request population from the live server (genre
+// names, runnable experiment IDs, the current ETag) and the local
+// snapshot (user IDs). The shape mirrors a read-heavy dashboard: hot
+// metadata and boards dominate, per-user lookups form the long tail.
+func buildMix(c *query.Client, snap *dataset.Snapshot, seed int64, userURLs int) (*mix, string, error) {
+	info, err := c.Snapshot()
+	if err != nil {
+		return nil, "", fmt.Errorf("snapshot info: %w", err)
+	}
+	exps, err := c.Experiments()
+	if err != nil {
+		return nil, "", fmt.Errorf("experiment index: %w", err)
+	}
+	genres, err := c.Genres()
+	if err != nil {
+		return nil, "", fmt.Errorf("genre index: %w", err)
+	}
+
+	m := &mix{}
+	m.add("snapshot", 120, "/v1/snapshot")
+	m.add("experiments", 40, "/v1/experiments")
+	for _, e := range exps {
+		if e.Available {
+			m.add("experiment", 25, "/v1/experiments/"+e.ID)
+		}
+	}
+	for _, attr := range []string{"friends", "games", "played", "groups", "total_hours", "twoweek_hours", "value_usd"} {
+		m.add("percentiles", 8, "/v1/percentiles/"+attr)
+		m.add("percentiles", 5, "/v1/percentiles/"+attr+"?p=50,90,99")
+		m.add("percentiles", 3, "/v1/percentiles/"+attr+"?nonzero=true")
+		m.add("percentiles", 2, "/v1/percentiles/"+attr+"?p=25,50,75&nonzero=true")
+	}
+	m.add("genres", 60, "/v1/genres")
+	for _, g := range genres {
+		m.add("genre", 10, "/v1/genres/"+g.Genre)
+	}
+	for _, by := range []string{"owners", "players", "playtime", "value"} {
+		for _, n := range []int{5, 10, 25, 100} {
+			m.add("games_top", 6, fmt.Sprintf("/v1/games/top?by=%s&n=%d", by, n))
+		}
+	}
+	for _, n := range []int{10, 25, 100} {
+		m.add("groups_top", 8, fmt.Sprintf("/v1/groups/top?n=%d", n))
+	}
+	// User lookups: a seeded sample of real SteamIDs, weight 1 each —
+	// the cold tail that exercises cache fills and eviction.
+	rng := rand.New(rand.NewSource(seed))
+	if userURLs > len(snap.Users) {
+		userURLs = len(snap.Users)
+	}
+	for _, i := range rng.Perm(len(snap.Users))[:userURLs] {
+		id := snap.Users[i].SteamID
+		m.add("user", 1, fmt.Sprintf("/v1/users/%d", id))
+		if len(snap.Users[i].Friends) > 0 {
+			m.add("friends", 1, fmt.Sprintf("/v1/users/%d/friends", id))
+		}
+	}
+	return m, info.ETag, nil
+}
+
+// result accumulates one run's measurements.
+type result struct {
+	latencies []float64 // seconds, one per request
+	status    map[int]int
+	elapsed   time.Duration
+}
+
+// run fires total requests from workers goroutines, each drawing from
+// its own seeded rng so the sequence is reproducible, and collects
+// per-request wall latency.
+func run(hc *http.Client, base string, urls *mix, etag string, total, workers int, seed int64, conditional float64, limiter *ratelimit.Limiter) result {
+	type workerOut struct {
+		lat    []float64
+		status map[int]int
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		n := total / workers
+		if w < total%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			o := workerOut{lat: make([]float64, 0, n), status: make(map[int]int)}
+			for i := 0; i < n; i++ {
+				if limiter != nil {
+					limiter.Wait(context.Background())
+				}
+				u := urls.pick(rng)
+				req, err := http.NewRequest("GET", base+u, nil)
+				if err != nil {
+					o.status[-1]++
+					continue
+				}
+				if etag != "" && rng.Float64() < conditional {
+					req.Header.Set("If-None-Match", etag)
+				}
+				t0 := time.Now()
+				resp, err := hc.Do(req)
+				if err != nil {
+					o.status[-1]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				o.lat = append(o.lat, time.Since(t0).Seconds())
+				o.status[resp.StatusCode]++
+			}
+			outs[w] = o
+		}(w, n)
+	}
+	wg.Wait()
+	res := result{status: make(map[int]int), elapsed: time.Since(start)}
+	for _, o := range outs {
+		res.latencies = append(res.latencies, o.lat...)
+		for k, v := range o.status {
+			res.status[k] += v
+		}
+	}
+	return res
+}
+
+// benchReport is the BENCH_query.json schema; the header fields match
+// the repo's other BENCH_*.json files.
+type benchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+
+	Snapshot     string  `json:"snapshot"`
+	Users        int     `json:"users"`
+	Games        int     `json:"games"`
+	Groups       int     `json:"groups"`
+	Requests     int     `json:"requests"`
+	Workers      int     `json:"workers"`
+	RateLimit    float64 `json:"rate_limit_rps"`
+	Seed         int64   `json:"seed"`
+	Conditional  float64 `json:"conditional_fraction"`
+	DistinctURLs int     `json:"distinct_urls"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	LatencyMs       struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	Status map[string]int `json:"status"`
+	Cache  struct {
+		Hits        int64   `json:"hits"`
+		Misses      int64   `json:"misses"`
+		HitRate     float64 `json:"hit_rate"`
+		NotModified int64   `json:"not_modified"`
+		Entries     int     `json:"entries"`
+	} `json:"cache"`
+	ServerETag string `json:"server_etag"`
+}
+
+func report(out, snapPath string, snap *dataset.Snapshot, urls *mix, before, after query.StatsInfo, res result, requests, workers int, rate float64, seed int64, conditional float64) {
+	r := benchReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		Snapshot:     snapPath,
+		Users:        len(snap.Users),
+		Games:        len(snap.Games),
+		Groups:       len(snap.Groups),
+		Requests:     requests,
+		Workers:      workers,
+		RateLimit:    rate,
+		Seed:         seed,
+		Conditional:  conditional,
+		DistinctURLs: urls.distinct(),
+	}
+	r.DurationSeconds = res.elapsed.Seconds()
+	if r.DurationSeconds > 0 {
+		r.ThroughputRPS = float64(len(res.latencies)) / r.DurationSeconds
+	}
+	ps := stats.Percentiles(res.latencies, 50, 90, 99)
+	r.LatencyMs.P50 = ps[0] * 1000
+	r.LatencyMs.P90 = ps[1] * 1000
+	r.LatencyMs.P99 = ps[2] * 1000
+	for _, l := range res.latencies {
+		if ms := l * 1000; ms > r.LatencyMs.Max {
+			r.LatencyMs.Max = ms
+		}
+	}
+	r.Status = make(map[string]int, len(res.status))
+	for k, v := range res.status {
+		key := fmt.Sprint(k)
+		if k == -1 {
+			key = "transport_error"
+		}
+		r.Status[key] += v
+	}
+	r.Cache.Hits = after.CacheHits - before.CacheHits
+	r.Cache.Misses = after.CacheMisses - before.CacheMisses
+	if t := r.Cache.Hits + r.Cache.Misses; t > 0 {
+		r.Cache.HitRate = float64(r.Cache.Hits) / float64(t)
+	}
+	r.Cache.NotModified = after.NotModified - before.NotModified
+	r.Cache.Entries = after.CacheEntries
+	r.ServerETag = after.SnapshotETag
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "steamqueryload: report written to %s\n", out)
+	}
+	fmt.Fprintf(os.Stderr,
+		"steamqueryload: %d requests in %.1fs (%.0f req/s), p50 %.3fms p99 %.3fms, cache hit rate %.1f%%, %d 304s\n",
+		len(res.latencies), r.DurationSeconds, r.ThroughputRPS,
+		r.LatencyMs.P50, r.LatencyMs.P99, 100*r.Cache.HitRate, r.Cache.NotModified)
+}

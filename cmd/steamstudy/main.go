@@ -18,13 +18,14 @@ import (
 	"time"
 
 	"steamstudy"
+	"steamstudy/internal/climain"
 	"steamstudy/internal/dataset"
 	"steamstudy/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("steamstudy: ")
+	app := climain.New("steamstudy")
+	workers := app.WorkersFlag(0, "worker pool size for generation, snapshot codec, fsck and analysis (0 = one per CPU, 1 = serial); output is identical for any value")
 	var (
 		users      = flag.Int("users", 200000, "population size when generating")
 		seed       = flag.Int64("seed", 1, "generation seed")
@@ -35,13 +36,13 @@ func main() {
 		noSecond   = flag.Bool("no-second-snapshot", false, "skip the §8 second snapshot")
 		csvDir     = flag.String("csv", "", "also export every data series as CSV into this directory")
 		seeds      = flag.Int("seeds", 0, "instead of one study, sweep this many seeds and report the stability of the headline statistics")
-		workers    = flag.Int("workers", 0, "worker pool size for generation, snapshot codec, fsck and analysis (0 = one per CPU, 1 = serial); output is identical for any value")
-		admin      = flag.String("admin", "", "serve live per-experiment render spans (/metrics, /healthz) on this address while the study runs")
-		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener")
 		timings    = flag.Bool("timings", false, "print per-experiment render timings to stderr after the run")
 		fsck       = flag.Bool("fsck", false, "validate the -snapshot file (manifest checksums + referential integrity) and exit; non-zero exit if damaged")
 	)
 	flag.Parse()
+	if *snapshot != "" {
+		app.MustSnapshotPath("snapshot", *snapshot)
+	}
 
 	if *fsck {
 		if *snapshot == "" {
@@ -59,17 +60,11 @@ func main() {
 		return
 	}
 
-	var reg *obs.Registry
-	if *admin != "" || *timings {
-		reg = obs.NewRegistry()
+	if *timings {
+		app.EnsureRegistry()
 	}
-	if *admin != "" {
-		addr, err := obs.ServeAdmin(*admin, reg, obs.NewHealth(), *pprofOn)
-		if err != nil {
-			log.Fatalf("admin listener: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "steamstudy: admin endpoints at http://%s/metrics\n", addr)
-	}
+	app.StartAdmin()
+	reg := app.Registry()
 
 	if *list {
 		for _, e := range steamstudy.Experiments() {

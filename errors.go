@@ -1,0 +1,63 @@
+package steamstudy
+
+import (
+	"steamstudy/internal/crawler"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/fleet"
+)
+
+// Sentinel errors and integrity types from the crawl/merge machinery,
+// re-exported so external callers can errors.Is against the stable
+// facade instead of importing internal packages.
+
+var (
+	// ErrFenced reports a journal append rejected because the worker's
+	// lease epoch was superseded — a paused worker resumed after its
+	// shard was re-leased, and its writes were fenced off.
+	ErrFenced = crawler.ErrFenced
+
+	// ErrLeaseLost reports a fleet worker discovering its shard lease
+	// expired (or was taken over) when it tried to renew.
+	ErrLeaseLost = fleet.ErrLeaseLost
+
+	// ErrParamsMismatch reports a fleet worker joining a coordination
+	// directory whose recorded crawl parameters disagree with its own —
+	// shards crawled under different settings cannot be merged.
+	ErrParamsMismatch = fleet.ErrParamsMismatch
+
+	// ErrIncomplete reports a fleet merge attempted while shards are
+	// still unfinished; the merged snapshot would silently miss ranges.
+	ErrIncomplete = fleet.ErrIncomplete
+)
+
+// Snapshot-integrity surface: manifests pin a snapshot file's bytes,
+// Fsck validates the decoded records against the paper's referential
+// schema. See the dataset package for the full machinery; these aliases
+// cover what callers of LoadSnapshot/FsckFile need to inspect results.
+type (
+	// Manifest is the sidecar checksum file written next to every
+	// snapshot: whole-file SHA-256 plus per-section record counts/CRCs.
+	Manifest = dataset.Manifest
+
+	// FsckReport is the outcome of a snapshot integrity check:
+	// per-class violation counts and a bounded sample of each.
+	FsckReport = dataset.Report
+
+	// FsckViolation is one integrity violation (class, message, and the
+	// offending record's identity).
+	FsckViolation = dataset.Violation
+
+	// FsckViolationClass names a category of integrity violation.
+	FsckViolationClass = dataset.ViolationClass
+)
+
+// ReadManifest loads the manifest sidecar for a snapshot path.
+func ReadManifest(path string) (*Manifest, error) { return dataset.ReadManifest(path) }
+
+// FsckFile loads a snapshot file, verifies it against its manifest when
+// one is present, and checks referential integrity. Corruption lands in
+// the report; the error is reserved for environmental problems. Use
+// dataset.FsckFile directly to also collect integrity metrics.
+func FsckFile(path string, opts ...dataset.Option) (*FsckReport, error) {
+	return dataset.FsckFile(path, nil, opts...)
+}

@@ -1,0 +1,138 @@
+// Package climain is the shared CLI wiring for the steamstudy binaries.
+// Every command repeats the same startup: a bare log prefix, the -admin /
+// -pprof / -workers flags, an obs registry whose existence depends on
+// which flags were given, the admin listener with its "endpoints at"
+// stderr line, and snapshot-path validation. One App per process owns all
+// of it, so a new binary (steamquery) joins a uniform surface instead of
+// adding another copy, and a flag rename happens in one place.
+//
+// Order of use:
+//
+//	app := climain.New("steamquery")
+//	workers := app.WorkersFlag(0, "...")
+//	... more flag.Xxx definitions ...
+//	flag.Parse()
+//	app.StartAdmin()                 // no-op without -admin
+package climain
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/obs"
+)
+
+// App carries one binary's shared CLI state.
+type App struct {
+	// Name is the binary name: the log prefix and the label on every
+	// shared stderr line.
+	Name string
+
+	admin   *string
+	pprofOn *bool
+	workers *int
+
+	reg    *obs.Registry
+	health *obs.Health
+}
+
+// New configures the process-wide logger (bare messages, "name: " prefix)
+// and registers the -admin and -pprof flags on flag.CommandLine. Call
+// before defining the binary's own flags so the shared ones group first
+// in -help.
+func New(name string) *App {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+	return &App{
+		Name:    name,
+		admin:   flag.String("admin", "", "serve /metrics, /metrics.txt, /healthz (and with -pprof the profiler) on this address (empty disables)"),
+		pprofOn: flag.Bool("pprof", false, "expose net/http/pprof on the -admin listener"),
+	}
+}
+
+// WorkersFlag registers the -workers flag with a binary-specific default
+// and usage line (the pools each binary drives differ), returning the
+// value pointer. Every binary shares the convention: 0 = one worker per
+// CPU, 1 = serial, and output never depends on the value.
+func (a *App) WorkersFlag(def int, usage string) *int {
+	a.workers = flag.Int("workers", def, usage)
+	return a.workers
+}
+
+// AdminEnabled reports whether -admin was given. Valid after flag.Parse.
+func (a *App) AdminEnabled() bool { return *a.admin != "" }
+
+// EnsureRegistry returns the app's metrics registry, creating it on
+// first call. Use when metrics are wanted regardless of -admin
+// (steamstudy -timings records render spans even with no listener).
+func (a *App) EnsureRegistry() *obs.Registry {
+	if a.reg == nil {
+		a.reg = obs.NewRegistry()
+	}
+	return a.reg
+}
+
+// Registry returns the registry the admin listener will expose: an
+// existing one, or one created now if -admin was given — otherwise nil,
+// which every obs consumer treats as "don't record". Valid after
+// flag.Parse.
+func (a *App) Registry() *obs.Registry {
+	if a.reg == nil && a.AdminEnabled() {
+		a.reg = obs.NewRegistry()
+	}
+	return a.reg
+}
+
+// Health returns the app's health check set, creating it on first call.
+func (a *App) Health() *obs.Health {
+	if a.health == nil {
+		a.health = obs.NewHealth()
+	}
+	return a.health
+}
+
+// Adopt replaces the app's registry and health with externally owned
+// ones — for binaries whose library already builds its own (the
+// apiserver handler). Call before StartAdmin; nil arguments keep the
+// current value.
+func (a *App) Adopt(reg *obs.Registry, health *obs.Health) {
+	if reg != nil {
+		a.reg = reg
+	}
+	if health != nil {
+		a.health = health
+	}
+}
+
+// StartAdmin binds the -admin listener (if the flag was given) over the
+// app's registry and health, and prints the canonical "admin endpoints
+// at" line. Call after flag.Parse and after Adopt/EnsureRegistry; exits
+// fatally if the address cannot be bound, because a monitoring listener
+// the operator asked for and silently doesn't have is worse than no
+// process.
+func (a *App) StartAdmin() {
+	if !a.AdminEnabled() {
+		return
+	}
+	addr, err := obs.ServeAdmin(*a.admin, a.Registry(), a.Health(), *a.pprofOn)
+	if err != nil {
+		log.Fatalf("admin listener: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: admin endpoints at http://%s/metrics\n", a.Name, addr)
+}
+
+// MustSnapshotPath validates that path names a readable/writable
+// snapshot format, exiting fatally with the offending flag's name
+// otherwise — the typo'd extension dies at startup, not after a
+// half-hour crawl tries to save.
+func (a *App) MustSnapshotPath(flagName, path string) {
+	if path == "" {
+		log.Fatalf("-%s is required", flagName)
+	}
+	if err := dataset.CheckSnapshotPath(path); err != nil {
+		log.Fatalf("-%s: %v", flagName, err)
+	}
+}

@@ -129,6 +129,36 @@ func FromSnapshot(snap *dataset.Snapshot) *Study {
 // Snapshot returns the study's first snapshot.
 func (s *Study) Snapshot() *dataset.Snapshot { return s.snap }
 
+// Vectors returns the per-user attribute vectors extracted from the
+// study's snapshot. They are built once at construction and never
+// mutated afterwards, so concurrent readers (the query service renders
+// experiments from many HTTP handlers at once) need no locking.
+func (s *Study) Vectors() *analysis.Vectors { return s.vectors }
+
+// HasGenerator reports whether the study owns a generated universe —
+// the prerequisite for NeedsGenerator experiments. Studies built by
+// FromSnapshot/LoadSnapshot over crawled data return false.
+func (s *Study) HasGenerator() bool { return s.universe != nil }
+
+// HasSecondSnapshot reports whether the §8 second-snapshot vectors are
+// available (generated and not disabled by SkipSecondSnapshot).
+func (s *Study) HasSecondSnapshot() bool { return s.vectors2 != nil }
+
+// CanRun reports whether Run(w, id) would execute the experiment rather
+// than fail its availability guard. Unknown IDs return false. It lets a
+// caller (the query service's experiment index, a CLI listing) separate
+// "available here" from "exists in the registry" without rendering.
+func (s *Study) CanRun(id string) bool {
+	e := lookup(id)
+	if e == nil {
+		return false
+	}
+	if e.NeedsGenerator && (s.universe == nil || (id == "E8" && s.vectors2 == nil)) {
+		return false
+	}
+	return true
+}
+
 // SetWorkers adjusts the analysis worker-pool bound after construction —
 // the knob for studies built over loaded or crawled snapshots, which
 // never pass through New's Options. 0 means one worker per CPU, 1 forces

@@ -47,7 +47,7 @@ func TestRangeCrawlsPartitionAndMergeToSolo(t *testing.T) {
 		}
 	}
 
-	merged, err := dataset.MergeAt(0, lo, hi)
+	merged, err := dataset.MergeAt(0, []*dataset.Snapshot{lo, hi})
 	if err != nil {
 		t.Fatal(err)
 	}

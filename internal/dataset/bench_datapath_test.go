@@ -40,7 +40,7 @@ func datapathJSONL(b *testing.B) []byte {
 	s := datapathSnapshot(b)
 	if datapathRaw == nil {
 		var buf bytes.Buffer
-		if err := s.writeJSONL(&buf, 0); err != nil {
+		if err := s.writeJSONL(&buf, 0, nil); err != nil {
 			b.Fatal(err)
 		}
 		datapathRaw = buf.Bytes()
@@ -71,7 +71,7 @@ func BenchmarkDatapathEncode500k(b *testing.B) {
 		b.ReportAllocs()
 		b.SetBytes(int64(len(raw)))
 		for i := 0; i < b.N; i++ {
-			if err := s.writeJSONL(io.Discard, workers); err != nil {
+			if err := s.writeJSONL(io.Discard, workers, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -130,7 +130,7 @@ func TestJSONLEncoderMatchesStdlib(t *testing.T) {
 	for _, s := range []*Snapshot{nastySnapshot(), {CollectedAt: 0}, persistSnapshot()} {
 		want := stdlibJSONL(t, s)
 		var got bytes.Buffer
-		if err := s.writeJSONL(&got, 1); err != nil {
+		if err := s.writeJSONL(&got, 1, nil); err != nil {
 			t.Fatal(err)
 		}
 		if d := firstDiff(got.Bytes(), want); d != -1 {
@@ -146,7 +146,7 @@ func TestJSONLEncoderMatchesStdlib(t *testing.T) {
 func TestJSONLEncoderRejectsNaNLikeStdlib(t *testing.T) {
 	s := &Snapshot{Games: []GameRecord{{AppID: 1,
 		Achievements: []AchievementRecord{{Name: "bad", Percent: math.NaN()}}}}}
-	err := s.writeJSONL(io.Discard, 1)
+	err := s.writeJSONL(io.Discard, 1, nil)
 	if err == nil || !strings.Contains(err.Error(), "unsupported value") {
 		t.Fatalf("want json unsupported-value error, got %v", err)
 	}
@@ -161,7 +161,7 @@ func TestJSONLEncoderRejectsNaNLikeStdlib(t *testing.T) {
 func TestJSONLDecoderRoundTripsNastyRecords(t *testing.T) {
 	s := nastySnapshot()
 	var buf bytes.Buffer
-	if err := s.writeJSONL(&buf, 1); err != nil {
+	if err := s.writeJSONL(&buf, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := stdlibDecodeJSONL(t, buf.Bytes())
@@ -208,7 +208,7 @@ func stdlibDecodeJSONL(t testing.TB, b []byte) *Snapshot {
 func TestJSONLFastPathAgreesWithStdlib(t *testing.T) {
 	s := nastySnapshot()
 	var buf bytes.Buffer
-	if err := s.writeJSONL(&buf, 1); err != nil {
+	if err := s.writeJSONL(&buf, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	for lineNo, raw := range bytes.Split(buf.Bytes(), []byte{'\n'}) {
@@ -419,7 +419,7 @@ func BenchmarkJSONLEncodeHand(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.writeJSONL(io.Discard, 1); err != nil {
+		if err := s.writeJSONL(io.Discard, 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -437,7 +437,7 @@ func BenchmarkJSONLEncodeStdlib(b *testing.B) {
 func BenchmarkJSONLDecodeHand(b *testing.B) {
 	s := benchCodecSnapshot(b)
 	var buf bytes.Buffer
-	if err := s.writeJSONL(&buf, 1); err != nil {
+	if err := s.writeJSONL(&buf, 1, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -453,7 +453,7 @@ func BenchmarkJSONLDecodeHand(b *testing.B) {
 func BenchmarkJSONLDecodeStdlib(b *testing.B) {
 	s := benchCodecSnapshot(b)
 	var buf bytes.Buffer
-	if err := s.writeJSONL(&buf, 1); err != nil {
+	if err := s.writeJSONL(&buf, 1, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()

@@ -187,6 +187,29 @@ func (s *Snapshot) buildManifest(encoding string, compressed bool, fileBytes int
 	}
 }
 
+// ContentSignature returns a stable hex digest of the snapshot's decoded
+// content: a SHA-256 over the per-section canonical CRC-32C checksums,
+// record counts and CollectedAt. Two snapshots with identical records
+// share a signature regardless of container format, compression, or
+// whether a manifest sidecar exists — so it serves as an ETag-grade
+// identity for in-memory snapshots whose file hash is unavailable (a
+// merged result not yet saved, a snapshot loaded from a pre-manifest
+// file). It is NOT the manifest's FileSHA256, which covers on-disk bytes.
+func (s *Snapshot) ContentSignature() string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) { h.Write(buf[:binary.PutUvarint(buf[:], v)]) }
+	put(uint64(SnapshotFormatVersion))
+	put(uint64(int64(s.CollectedAt)))
+	put(uint64(len(s.Users)))
+	put(uint64(sectionCRCUsers(s.Users)))
+	put(uint64(len(s.Games)))
+	put(uint64(sectionCRCGames(s.Games)))
+	put(uint64(len(s.Groups)))
+	put(uint64(sectionCRCGroups(s.Groups)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // ReadManifest reads the sidecar manifest for a snapshot path. A missing
 // sidecar returns (nil, nil) — pre-manifest snapshots load unverified —
 // while an unreadable or unparsable one is an error, because a manifest

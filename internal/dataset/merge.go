@@ -13,6 +13,10 @@ import (
 // wins (a re-crawl supersedes an older observation). The merged
 // CollectedAt is the latest of the parts'.
 func Merge(parts ...*Snapshot) (*Snapshot, error) {
+	return mergeParts(parts, nil)
+}
+
+func mergeParts(parts []*Snapshot, progress ProgressFunc) (*Snapshot, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("dataset: nothing to merge")
 	}
@@ -62,6 +66,11 @@ func Merge(parts ...*Snapshot) (*Snapshot, error) {
 			groupAt[g.GID] = len(out.Groups)
 			out.Groups = append(out.Groups, g)
 		}
+		if progress != nil {
+			progress("users", len(out.Users))
+			progress("games", len(out.Games))
+			progress("groups", len(out.Groups))
+		}
 	}
 	sort.Slice(out.Users, func(a, b int) bool { return out.Users[a].SteamID < out.Users[b].SteamID })
 	sort.Slice(out.Games, func(a, b int) bool { return out.Games[a].AppID < out.Games[b].AppID })
@@ -77,8 +86,14 @@ func Merge(parts ...*Snapshot) (*Snapshot, error) {
 // (the fleet merge, repeatable tests) need the timestamp pinned so the
 // merged file's bytes — and therefore its manifest SHA-256 — depend only
 // on the crawled records.
-func MergeAt(collectedAt int64, parts ...*Snapshot) (*Snapshot, error) {
-	out, err := Merge(parts...)
+//
+// MergeAt shares the snapshot pipeline's single option set (see Option):
+// WithProgress reports per-section merged record counts after each part
+// folds in; WithWorkers is accepted for uniformity. The merged snapshot
+// is identical for any combination of options.
+func MergeAt(collectedAt int64, parts []*Snapshot, opts ...Option) (*Snapshot, error) {
+	o := buildOptions(opts)
+	out, err := mergeParts(parts, o.progress)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,13 @@
 package dataset
 
-// Option tunes Save, Load, Fsck and FsckFile without changing their
-// results: the parallel codec and the sharded fsck are deterministic, so
-// every option is purely a throughput or observability knob.
+// Option tunes the snapshot pipeline without ever changing its results.
+// One documented option set covers every variadic entry point — Save,
+// Load, Fsck, FsckFile and MergeAt — so a caller composing a pipeline
+// (load → merge → save → fsck) threads the same options through all of
+// it. There are no save-only or load-only options: the parallel codec,
+// the sharded fsck and the merge are deterministic, so every option is
+// purely a throughput or observability knob and an entry point that has
+// no use for a given option simply ignores it.
 type Option func(*options)
 
 type options struct {
@@ -18,24 +23,28 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-// WithWorkers sets the worker count for the chunked JSONL codec and the
-// sharded referential fsck. Values <= 0 mean one worker per logical CPU
-// (the default); 1 forces the serial path. The output is byte-identical
-// for any value — see internal/par for the determinism contract.
+// WithWorkers sets the worker count for the chunked JSONL codec (encode
+// and decode) and the sharded referential fsck. Values <= 0 mean one
+// worker per logical CPU (the default); 1 forces the serial path. The
+// output is byte-identical for any value — see internal/par for the
+// determinism contract. MergeAt accepts the option for pipeline
+// uniformity; the merge itself is a map-bound sequential pass.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
 // ProgressFunc receives periodic per-section record counts while a
-// snapshot decodes. Section is "users", "games" or "groups"; records is
-// the total decoded so far for that section. Calls arrive from the
-// decoding goroutine in monotonically non-decreasing order per section.
+// snapshot streams through an entry point. Section is "users", "games" or
+// "groups"; records is the total processed so far for that section.
+// Calls arrive from the processing goroutine in monotonically
+// non-decreasing order per section.
 type ProgressFunc func(section string, records int)
 
-// WithProgress registers a decode progress callback on Load or FsckFile,
-// so a multi-GB JSONL load is observable (e.g. via obs gauges) instead
-// of silent. The callback must be cheap; it is invoked once per decoded
-// window, not once per record.
+// WithProgress registers a progress callback: Load and FsckFile report
+// decoded records, Save reports encoded records, and MergeAt reports
+// merged records after each part folds in — so a multi-GB operation is
+// observable (e.g. via obs gauges) instead of silent. The callback must
+// be cheap; it is invoked once per processed window, not once per record.
 func WithProgress(fn ProgressFunc) Option {
 	return func(o *options) { o.progress = fn }
 }

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOptionsGolden proves the unified option set is purely observational:
+// for every container format, saving the same snapshot with no options,
+// with every worker-count variant, and with a progress callback produces
+// byte-identical files and byte-identical manifests. The committed
+// example snapshot doubles as the golden input so the assertion is pinned
+// to real bytes in the tree, not to whatever this build happens to emit.
+func TestOptionsGolden(t *testing.T) {
+	snap, err := Load(filepath.Join("testdata", "example.snap.jsonl"))
+	if err != nil {
+		t.Fatalf("loading example snapshot: %v", err)
+	}
+	dir := t.TempDir()
+	for _, ext := range []string{".jsonl", ".jsonl.gz", ".gob", ".gob.gz"} {
+		variants := []struct {
+			name string
+			opts []Option
+		}{
+			{"none", nil},
+			{"workers1", []Option{WithWorkers(1)}},
+			{"workers4", []Option{WithWorkers(4)}},
+			{"progress", []Option{WithProgress(func(string, int) {}), WithWorkers(2)}},
+		}
+		var goldData, goldMan []byte
+		for _, v := range variants {
+			path := filepath.Join(dir, "snap-"+v.name+ext)
+			if err := snap.Save(path, v.opts...); err != nil {
+				t.Fatalf("%s/%s: save: %v", ext, v.name, err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, err := os.ReadFile(ManifestPath(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if goldData == nil {
+				goldData, goldMan = data, man
+				continue
+			}
+			if string(data) != string(goldData) {
+				t.Errorf("%s/%s: snapshot bytes differ from the no-option save", ext, v.name)
+			}
+			if string(man) != string(goldMan) {
+				t.Errorf("%s/%s: manifest differs from the no-option save:\n%s\nvs\n%s", ext, v.name, man, goldMan)
+			}
+		}
+	}
+}
+
+// TestOptionsGoldenRoundTrip proves a re-save of the committed example
+// snapshot reproduces its committed manifest exactly — same section CRCs,
+// same counts, same whole-file SHA-256 — i.e. the codec has not drifted
+// from the bytes already in the tree.
+func TestOptionsGoldenRoundTrip(t *testing.T) {
+	src := filepath.Join("testdata", "example.snap.jsonl")
+	snap, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := ReadManifest(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed == nil {
+		t.Fatal("example snapshot has no committed manifest")
+	}
+	resaved := filepath.Join(t.TempDir(), "resave.jsonl")
+	if err := snap.Save(resaved, WithWorkers(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, committed) {
+		t.Errorf("re-saved manifest differs from committed manifest:\ngot  %+v\nwant %+v", got, committed)
+	}
+}
+
+// TestMergeAtOptions proves MergeAt's options are observational too: the
+// merged snapshot is identical with and without them, and the progress
+// callback sees monotonically non-decreasing per-section counts ending at
+// the final section sizes.
+func TestMergeAtOptions(t *testing.T) {
+	snap, err := Load(filepath.Join("testdata", "example.snap.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(snap.Users) / 2
+	lo := &Snapshot{CollectedAt: snap.CollectedAt, Users: snap.Users[:half], Games: snap.Games, Groups: snap.Groups}
+	hi := &Snapshot{CollectedAt: snap.CollectedAt, Users: snap.Users[half:], Games: snap.Games, Groups: snap.Groups}
+	parts := []*Snapshot{lo, hi}
+
+	plain, err := MergeAt(42, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]int{}
+	withOpts, err := MergeAt(42, parts, WithWorkers(2), WithProgress(func(section string, records int) {
+		if records < last[section] {
+			t.Errorf("progress for %s went backwards: %d then %d", section, last[section], records)
+		}
+		last[section] = records
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withOpts) {
+		t.Error("MergeAt result differs with options")
+	}
+	if sig1, sig2 := plain.ContentSignature(), withOpts.ContentSignature(); sig1 != sig2 {
+		t.Errorf("content signatures differ: %s vs %s", sig1, sig2)
+	}
+	if last["users"] != len(withOpts.Users) {
+		t.Errorf("final users progress %d, merged has %d", last["users"], len(withOpts.Users))
+	}
+	if last["games"] != len(withOpts.Games) {
+		t.Errorf("final games progress %d, merged has %d", last["games"], len(withOpts.Games))
+	}
+	if last["groups"] != len(withOpts.Groups) {
+		t.Errorf("final groups progress %d, merged has %d", last["groups"], len(withOpts.Groups))
+	}
+}

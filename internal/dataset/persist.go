@@ -44,6 +44,15 @@ func snapshotFormat(path string) (encoding string, gzipped bool, err error) {
 	}
 }
 
+// CheckSnapshotPath reports whether path names a snapshot this package
+// can read or write, judging by extension alone (the file need not
+// exist). CLIs use it to reject a typo'd -snapshot flag before any work
+// happens; the error names the accepted extensions.
+func CheckSnapshotPath(path string) error {
+	_, _, err := snapshotFormat(path)
+	return err
+}
+
 // saveCrashHook, when non-nil, is consulted at the named stages of Save's
 // write protocol; returning an error aborts the save there. It exists so
 // the crash-chaos tests can prove each intermediate on-disk state is safe.
@@ -90,7 +99,9 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 //
 // Options: WithWorkers parallelizes the JSONL encoding (chunks encoded
 // concurrently, written in index order through the same single hashing
-// pass), producing byte-identical files for any worker count.
+// pass), producing byte-identical files for any worker count;
+// WithProgress reports per-section record counts as they are encoded.
+// No option changes the bytes written.
 func (s *Snapshot) Save(path string, opts ...Option) (err error) {
 	o := buildOptions(opts)
 	encoding, gzipped, err := snapshotFormat(path)
@@ -126,9 +137,16 @@ func (s *Snapshot) Save(path string, opts ...Option) (err error) {
 	}
 	bw := bufio.NewWriterSize(payload, 1<<20)
 	if encoding == encJSONL {
-		err = s.writeJSONL(bw, o.workers)
+		err = s.writeJSONL(bw, o.workers, o.progress)
 	} else {
 		err = gob.NewEncoder(bw).Encode(s)
+		if err == nil && o.progress != nil {
+			// Gob encodes in one shot; report the final shape so callers
+			// see the same section events for either container format.
+			o.progress(sectionGames, len(s.Games))
+			o.progress(sectionUsers, len(s.Users))
+			o.progress(sectionGroups, len(s.Groups))
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("dataset: encoding %s: %w", path, err)
@@ -321,26 +339,26 @@ type encodedChunk struct {
 // writeJSONL streams the export: chunks of records are encoded by the
 // hand-rolled codec on the worker pool while the caller's goroutine
 // writes them in index order through the single bufio+hash pass.
-func (s *Snapshot) writeJSONL(w io.Writer, workers int) error {
+func (s *Snapshot) writeJSONL(w io.Writer, workers int, progress ProgressFunc) error {
 	if _, err := w.Write(appendHeaderLine(nil, s.CollectedAt)); err != nil {
 		return err
 	}
-	if err := writeSection(w, workers, len(s.Games), func(b []byte, i int) ([]byte, error) {
+	if err := writeSection(w, workers, len(s.Games), sectionGames, progress, func(b []byte, i int) ([]byte, error) {
 		return appendGameLine(b, &s.Games[i])
 	}); err != nil {
 		return err
 	}
-	if err := writeSection(w, workers, len(s.Users), func(b []byte, i int) ([]byte, error) {
+	if err := writeSection(w, workers, len(s.Users), sectionUsers, progress, func(b []byte, i int) ([]byte, error) {
 		return appendUserLine(b, &s.Users[i])
 	}); err != nil {
 		return err
 	}
-	return writeSection(w, workers, len(s.Groups), func(b []byte, i int) ([]byte, error) {
+	return writeSection(w, workers, len(s.Groups), sectionGroups, progress, func(b []byte, i int) ([]byte, error) {
 		return appendGroupLine(b, &s.Groups[i])
 	})
 }
 
-func writeSection(w io.Writer, workers, n int, enc func(b []byte, i int) ([]byte, error)) error {
+func writeSection(w io.Writer, workers, n int, section string, progress ProgressFunc, enc func(b []byte, i int) ([]byte, error)) error {
 	nc := (n + jsonlChunk - 1) / jsonlChunk
 	if par.N(workers) <= 1 {
 		// Sequential fast path: with one effective worker the pipeline has
@@ -363,6 +381,9 @@ func writeSection(w io.Writer, workers, n int, enc func(b []byte, i int) ([]byte
 			if _, err := w.Write(b); err != nil {
 				return err
 			}
+			if progress != nil {
+				progress(section, hi)
+			}
 		}
 		return nil
 	}
@@ -381,8 +402,13 @@ func writeSection(w io.Writer, workers, n int, enc func(b []byte, i int) ([]byte
 		if ec.err != nil {
 			return ec.err
 		}
-		_, err := w.Write(*ec.buf)
-		return err
+		if _, err := w.Write(*ec.buf); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(section, min((c+1)*jsonlChunk, n))
+		}
+		return nil
 	})
 }
 

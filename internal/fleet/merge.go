@@ -60,7 +60,7 @@ func Merge(dir string, collectedAt int64) (*dataset.Snapshot, error) {
 		}
 		parts = append(parts, part)
 	}
-	merged, err := dataset.MergeAt(collectedAt, parts...)
+	merged, err := dataset.MergeAt(collectedAt, parts)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: merge: %w", err)
 	}

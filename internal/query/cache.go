@@ -1,0 +1,141 @@
+// Package query is the read-side of the study: an HTTP server that loads
+// a manifest-verified snapshot and serves the paper's tables and figures
+// plus ad-hoc queries (percentiles, genre slices, top-K rankings,
+// user/friend lookups) under a versioned /v1 API. Responses are cached in
+// a sharded read-through result cache keyed on the request, conditional
+// GETs revalidate against an ETag derived from the snapshot manifest's
+// SHA-256, and the whole snapshot can be hot-reloaded without dropping a
+// request. See DESIGN.md §14.
+package query
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// cacheShards is the fixed shard count. Shard selection hashes the full
+// cache key, so contention on the per-shard mutex is 1/cacheShards of a
+// single-lock design under a uniform query mix.
+const cacheShards = 16
+
+// cached is one materialized response body: exactly the bytes and
+// content type the handler produced. Status is always 200 — error
+// responses are never cached (a 404 for a mistyped SteamID must not
+// occupy space that could hold a real result, and a transient 500 must
+// not become sticky).
+type cached struct {
+	body  []byte
+	ctype string
+}
+
+// entry is one cache slot. It is published to the shard map before the
+// fill function runs; concurrent requests for the same key find it and
+// block on ready instead of computing the same result again (in-flight
+// collapsing). After ready is closed either val is set (success, entry
+// stays) or err is set (failure, entry already removed from the map so
+// the next request retries).
+type entry struct {
+	ready chan struct{}
+	val   cached
+	err   error
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// cache is the sharded read-through result cache. One cache belongs to
+// exactly one loaded snapshot (it lives inside the server's atomically
+// swapped state), so invalidation-on-reload is structural: swapping the
+// state discards the whole cache with it, and no key ever needs the
+// snapshot identity mixed in.
+type cache struct {
+	seed     maphash.Seed
+	maxShard int // per-shard entry cap; <=0 means unbounded
+	shards   [cacheShards]shard
+}
+
+// newCache builds a cache bounding total residency to roughly maxEntries
+// (split evenly across shards, minimum one per shard).
+func newCache(maxEntries int) *cache {
+	c := &cache{seed: maphash.MakeSeed()}
+	if maxEntries > 0 {
+		c.maxShard = (maxEntries + cacheShards - 1) / cacheShards
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+	}
+	return c
+}
+
+func (c *cache) shardFor(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+// do returns the cached value for key, computing it with fill on a miss.
+// The second result reports whether the value came from cache — true for
+// both a completed entry and a wait on another request's in-flight fill
+// (the work was not repeated, which is what the hit/miss metrics are
+// meant to count). Errors from fill propagate to every collapsed waiter
+// but are not cached.
+func (c *cache) do(key string, fill func() (cached, error)) (cached, bool, error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-e.ready
+		return e.val, true, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	if c.maxShard > 0 && len(sh.m) >= c.maxShard {
+		sh.evictOneLocked()
+	}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	val, err := fill()
+	if err != nil {
+		// Publish the error to waiters already parked on this entry, but
+		// remove it so later requests retry the fill.
+		sh.mu.Lock()
+		if sh.m[key] == e {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+		e.err = err
+		close(e.ready)
+		return cached{}, false, err
+	}
+	e.val = val
+	close(e.ready)
+	return val, false, nil
+}
+
+// evictOneLocked drops one completed entry to make room. Map iteration
+// order is effectively random, so this is random replacement — constant
+// time, no recency bookkeeping on the hit path (which stays lock-hold-
+// only-for-the-lookup), and good enough for a cache whose working set is
+// expected to fit. In-flight entries are skipped: evicting one would
+// detach waiters from the fill that will complete their entry.
+func (sh *shard) evictOneLocked() {
+	for k, e := range sh.m {
+		select {
+		case <-e.ready:
+			delete(sh.m, k)
+			return
+		default:
+		}
+	}
+}
+
+// len reports total resident entries (testing and /v1/stats).
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheCollapsesInFlight parks N goroutines on one key while the
+// first fill is deliberately blocked, then proves the fill ran exactly
+// once and every caller got its value. The block guarantees the requests
+// really were concurrent — without it the test could pass by serial luck.
+func TestCacheCollapsesInFlight(t *testing.T) {
+	c := newCache(64)
+	const n = 8
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]cached, n)
+	hits := make([]bool, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := c.do("k", func() (cached, error) {
+			fills.Add(1)
+			close(started)
+			<-gate
+			return cached{body: []byte("value"), ctype: "t"}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], hits[0] = v, hit
+	}()
+	<-started // the fill is in flight; everyone below must collapse onto it
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.do("k", func() (cached, error) {
+				fills.Add(1)
+				return cached{body: []byte("wrong")}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want exactly 1", got)
+	}
+	for i, v := range results {
+		if string(v.body) != "value" {
+			t.Errorf("caller %d got body %q", i, v.body)
+		}
+	}
+	if hits[0] {
+		t.Error("the filling caller was counted as a hit")
+	}
+	if c.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.len())
+	}
+}
+
+// TestCacheErrorsNotCached proves a failed fill propagates to its
+// waiters but leaves no entry behind, so the next request retries.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newCache(64)
+	boom := errors.New("boom")
+	_, _, err := c.do("k", func() (cached, error) { return cached{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("error was cached: %d entries resident", c.len())
+	}
+	v, hit, err := c.do("k", func() (cached, error) {
+		return cached{body: []byte("recovered")}, nil
+	})
+	if err != nil || hit || string(v.body) != "recovered" {
+		t.Fatalf("retry after error: v=%q hit=%v err=%v", v.body, hit, err)
+	}
+}
+
+// TestCacheEviction fills far past the cap and proves residency stays
+// bounded while values keep being served correctly.
+func TestCacheEviction(t *testing.T) {
+	const cap = 64
+	c := newCache(cap)
+	for i := 0; i < 10*cap; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, _, err := c.do(key, func() (cached, error) {
+			return cached{body: []byte(key)}, nil
+		})
+		if err != nil || string(v.body) != key {
+			t.Fatalf("fill %d: v=%q err=%v", i, v.body, err)
+		}
+	}
+	// Per-shard cap rounds up, so allow the rounded bound.
+	bound := ((cap + cacheShards - 1) / cacheShards) * cacheShards
+	if got := c.len(); got > bound {
+		t.Fatalf("cache holds %d entries, cap bound %d", got, bound)
+	}
+}
+
+// TestCacheUnbounded proves a negative cap disables eviction.
+func TestCacheUnbounded(t *testing.T) {
+	c := newCache(-1)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.do(key, func() (cached, error) {
+			return cached{body: []byte(key)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.len(); got != 500 {
+		t.Fatalf("unbounded cache holds %d entries, want 500", got)
+	}
+}

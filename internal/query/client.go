@@ -1,0 +1,187 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is a typed consumer of the /v1 API. The zero HTTPClient means
+// http.DefaultClient. Methods return *APIError for any enveloped error
+// response, so callers can switch on the status/code without parsing.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080" — no
+	// trailing slash, no /v1 (the client appends it).
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// APIError is the client-side view of the server's error envelope.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("query: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do performs one request and decodes either the success body into out
+// or the error envelope into an *APIError.
+func (c *Client) do(method, path string, out any) error {
+	req, err := http.NewRequest(method, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope ErrorBody
+		if json.Unmarshal(body, &envelope) == nil && envelope.Error.Status != 0 {
+			return &APIError{Status: envelope.Error.Status, Code: envelope.Error.Code, Message: envelope.Error.Message}
+		}
+		return &APIError{Status: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(body))}
+	}
+	if s, ok := out.(*string); ok {
+		*s = string(body)
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Snapshot fetches the serving snapshot's identity and totals.
+func (c *Client) Snapshot() (SnapshotInfo, error) {
+	var out SnapshotInfo
+	err := c.do("GET", "/v1/snapshot", &out)
+	return out, err
+}
+
+// Experiments fetches the experiment index.
+func (c *Client) Experiments() ([]ExperimentInfo, error) {
+	var out []ExperimentInfo
+	err := c.do("GET", "/v1/experiments", &out)
+	return out, err
+}
+
+// Experiment renders one experiment; the returned string is byte-for-
+// byte the steamstudy CLI's output for the same snapshot.
+func (c *Client) Experiment(id string) (string, error) {
+	var out string
+	err := c.do("GET", "/v1/experiments/"+url.PathEscape(id), &out)
+	return out, err
+}
+
+// Percentiles fetches percentile points of one attribute. A nil ps uses
+// the server default grid; nonZero filters to positive entries first.
+func (c *Client) Percentiles(attr string, ps []float64, nonZero bool) (PercentilesResult, error) {
+	q := url.Values{}
+	if len(ps) > 0 {
+		parts := make([]string, len(ps))
+		for i, p := range ps {
+			parts[i] = strconv.FormatFloat(p, 'g', -1, 64)
+		}
+		q.Set("p", strings.Join(parts, ","))
+	}
+	if nonZero {
+		q.Set("nonzero", "true")
+	}
+	path := "/v1/percentiles/" + url.PathEscape(attr)
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out PercentilesResult
+	err := c.do("GET", path, &out)
+	return out, err
+}
+
+// Genres fetches every genre slice, most-owned first.
+func (c *Client) Genres() ([]GenreSlice, error) {
+	var out []GenreSlice
+	err := c.do("GET", "/v1/genres", &out)
+	return out, err
+}
+
+// Genre fetches one genre's slice (name matching is case-insensitive).
+func (c *Client) Genre(name string) (GenreSlice, error) {
+	var out GenreSlice
+	err := c.do("GET", "/v1/genres/"+url.PathEscape(name), &out)
+	return out, err
+}
+
+// TopGames fetches the top-n games ranked by "owners", "players",
+// "playtime" or "value" ("" means owners; n<=0 means the server default).
+func (c *Client) TopGames(by string, n int) ([]GameRank, error) {
+	q := url.Values{}
+	if by != "" {
+		q.Set("by", by)
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	path := "/v1/games/top"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out []GameRank
+	err := c.do("GET", path, &out)
+	return out, err
+}
+
+// TopGroups fetches the top-n groups by member count (n<=0 means the
+// server default).
+func (c *Client) TopGroups(n int) ([]GroupRank, error) {
+	path := "/v1/groups/top"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out []GroupRank
+	err := c.do("GET", path, &out)
+	return out, err
+}
+
+// User fetches one account's behavioral summary.
+func (c *Client) User(steamID uint64) (UserInfo, error) {
+	var out UserInfo
+	err := c.do("GET", "/v1/users/"+strconv.FormatUint(steamID, 10), &out)
+	return out, err
+}
+
+// Friends fetches one account's friend list.
+func (c *Client) Friends(steamID uint64) (FriendsResult, error) {
+	var out FriendsResult
+	err := c.do("GET", "/v1/users/"+strconv.FormatUint(steamID, 10)+"/friends", &out)
+	return out, err
+}
+
+// Stats fetches the live serving counters (uncached on the server).
+func (c *Client) Stats() (StatsInfo, error) {
+	var out StatsInfo
+	err := c.do("GET", "/v1/stats", &out)
+	return out, err
+}
+
+// Reload triggers a hot snapshot reload and reports the new snapshot.
+func (c *Client) Reload() (ReloadResult, error) {
+	var out ReloadResult
+	err := c.do("POST", "/v1/admin/reload", &out)
+	return out, err
+}

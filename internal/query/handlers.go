@@ -1,0 +1,361 @@
+package query
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"steamstudy/internal/analysis"
+	"steamstudy/internal/core"
+	"steamstudy/internal/stats"
+)
+
+// handleSnapshot describes the loaded snapshot. Everything here is a
+// function of the snapshot's content and identity — deliberately no
+// load timestamp or hostname, which would change the body without
+// changing the ETag and break 304 revalidation.
+func handleSnapshot(st *state, r *http.Request) (cached, error) {
+	t := st.snap.Totals()
+	return jsonBody(SnapshotInfo{
+		ETag:             st.etag,
+		ContentSignature: st.sig,
+		CollectedAt:      st.snap.CollectedAt,
+		Users:            t.Users,
+		Games:            t.Games,
+		Groups:           t.Groups,
+		Friendships:      t.Friendships,
+		Memberships:      t.Memberships,
+	})
+}
+
+// handleExperiments lists the full registry with per-server availability.
+func handleExperiments(st *state, r *http.Request) (cached, error) {
+	exps := core.Experiments()
+	out := make([]ExperimentInfo, len(exps))
+	for i, e := range exps {
+		out[i] = ExperimentInfo{
+			ID:             e.ID,
+			Title:          e.Title,
+			Available:      st.study.CanRun(e.ID),
+			NeedsGenerator: e.NeedsGenerator,
+		}
+	}
+	return jsonBody(out)
+}
+
+// handleExperiment renders one table/figure. The body is exactly what
+// the steamstudy CLI prints for the same snapshot — text/plain, byte for
+// byte — so a client can diff served output against a local render.
+func handleExperiment(st *state, r *http.Request) (cached, error) {
+	id := r.PathValue("id")
+	found := false
+	for _, e := range core.Experiments() {
+		if e.ID == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return cached{}, notFoundf("unknown experiment %q; GET /v1/experiments lists the registry", id)
+	}
+	if !st.study.CanRun(id) {
+		return cached{}, notFoundf("experiment %s needs a generated universe and is unavailable on a snapshot-backed server", id)
+	}
+	var buf bytes.Buffer
+	if err := st.study.Run(&buf, id); err != nil {
+		return cached{}, err
+	}
+	return cached{body: buf.Bytes(), ctype: "text/plain; charset=utf-8"}, nil
+}
+
+// defaultPercentiles matches Table 3's grid plus the tail points the
+// paper quotes in prose.
+var defaultPercentiles = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99}
+
+// attrColumn maps the public attribute names onto vector columns.
+func attrColumn(v *analysis.Vectors, attr string) []float64 {
+	switch attr {
+	case "friends":
+		return v.Friends
+	case "games":
+		return v.Games
+	case "played":
+		return v.Played
+	case "groups":
+		return v.Groups
+	case "total_hours":
+		return v.TotalH
+	case "twoweek_hours":
+		return v.TwoWkH
+	case "value_usd":
+		return v.ValueD
+	}
+	return nil
+}
+
+const attrNames = "friends, games, played, groups, total_hours, twoweek_hours, value_usd"
+
+// handlePercentiles serves the distribution of one per-user attribute:
+// GET /v1/percentiles/games?p=50,80,99&nonzero=true. The nonzero filter
+// mirrors the paper's Table 3, which reports owners-only percentiles for
+// library size.
+func handlePercentiles(st *state, r *http.Request) (cached, error) {
+	attr := r.PathValue("attr")
+	col := attrColumn(st.study.Vectors(), attr)
+	if col == nil {
+		return cached{}, notFoundf("unknown attribute %q (want one of: %s)", attr, attrNames)
+	}
+	q := r.URL.Query()
+	ps := defaultPercentiles
+	if raw := q.Get("p"); raw != "" {
+		ps = nil
+		for _, part := range strings.Split(raw, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || p < 0 || p > 100 {
+				return cached{}, badRequestf("invalid percentile %q: want numbers in [0,100], comma-separated", part)
+			}
+			ps = append(ps, p)
+		}
+	}
+	nonZero := false
+	if raw := q.Get("nonzero"); raw != "" {
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return cached{}, badRequestf("invalid nonzero=%q: want a boolean", raw)
+		}
+		nonZero = b
+	}
+	if nonZero {
+		filtered := make([]float64, 0, len(col))
+		for _, x := range col {
+			if x > 0 {
+				filtered = append(filtered, x)
+			}
+		}
+		col = filtered
+	}
+	vals := stats.Percentiles(col, ps...)
+	res := PercentilesResult{Attr: attr, NonZero: nonZero, Count: len(col)}
+	res.Points = make([]PercentilePoint, len(ps))
+	for i := range ps {
+		res.Points[i] = PercentilePoint{P: ps[i], Value: vals[i]}
+	}
+	return jsonBody(res)
+}
+
+// genreData lazily joins Fig 5 (ownership) and Fig 9 (expenditure) into
+// per-genre slices, computed once per loaded snapshot.
+func (st *state) genreData() (map[string]*GenreSlice, []string) {
+	st.genresOnce.Do(func() {
+		st.genreSlices = map[string]*GenreSlice{}
+		for _, row := range analysis.Figure5GenreOwnership(st.snap) {
+			st.genreSlices[row.Genre] = &GenreSlice{
+				Genre:        row.Genre,
+				Owned:        row.Owned,
+				Unplayed:     row.Unplayed,
+				UnplayedFrac: row.UnplayedFrac,
+				CatalogShare: row.CatalogShare,
+			}
+			st.genreNames = append(st.genreNames, row.Genre)
+		}
+		for _, row := range analysis.Figure9GenreExpenditure(st.snap) {
+			gs := st.genreSlices[row.Genre]
+			if gs == nil {
+				gs = &GenreSlice{Genre: row.Genre}
+				st.genreSlices[row.Genre] = gs
+				st.genreNames = append(st.genreNames, row.Genre)
+			}
+			gs.PlaytimeHours = row.PlaytimeHours
+			gs.PlaytimeShare = row.PlaytimeShare
+			gs.ValueUSD = row.ValueUSD
+			gs.ValueShare = row.ValueShare
+		}
+	})
+	return st.genreSlices, st.genreNames
+}
+
+// handleGenres lists every genre's slice, in Fig 5's most-owned-first
+// order.
+func handleGenres(st *state, r *http.Request) (cached, error) {
+	slices, names := st.genreData()
+	out := make([]GenreSlice, 0, len(names))
+	for _, name := range names {
+		out = append(out, *slices[name])
+	}
+	return jsonBody(out)
+}
+
+// handleGenre serves one genre's slice. Matching is case-insensitive on
+// the path segment so /v1/genres/action and /v1/genres/Action agree.
+func handleGenre(st *state, r *http.Request) (cached, error) {
+	want := r.PathValue("genre")
+	slices, names := st.genreData()
+	if gs, ok := slices[want]; ok {
+		return jsonBody(*gs)
+	}
+	for _, name := range names {
+		if strings.EqualFold(name, want) {
+			return jsonBody(*slices[name])
+		}
+	}
+	return cached{}, notFoundf("unknown genre %q; GET /v1/genres lists them", want)
+}
+
+// gamesData lazily aggregates per-game ownership in one pass over the
+// users section, computed once per loaded snapshot.
+func (st *state) gamesData() []GameRank {
+	st.gamesOnce.Do(func() {
+		idx := st.snap.GameIndex()
+		agg := make([]GameRank, len(st.snap.Games))
+		for i := range st.snap.Games {
+			g := &st.snap.Games[i]
+			agg[i] = GameRank{AppID: g.AppID, Name: g.Name}
+		}
+		for i := range st.snap.Users {
+			for _, og := range st.snap.Users[i].Games {
+				gi, ok := idx[og.AppID]
+				if !ok {
+					continue
+				}
+				a := &agg[gi]
+				a.Owners++
+				if og.TotalMinutes > 0 {
+					a.Players++
+				}
+				a.PlaytimeHours += float64(og.TotalMinutes) / 60
+			}
+		}
+		for i := range agg {
+			agg[i].ValueUSD = float64(st.snap.Games[i].PriceCents) / 100 * float64(agg[i].Owners)
+		}
+		st.gamesAgg = agg
+	})
+	return st.gamesAgg
+}
+
+// topN parses and bounds the n query parameter.
+func topN(r *http.Request, def, max int) (int, error) {
+	raw := r.URL.Query().Get("n")
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 || n > max {
+		return 0, badRequestf("invalid n=%q: want an integer in [1,%d]", raw, max)
+	}
+	return n, nil
+}
+
+// handleTopGames ranks the catalog: GET /v1/games/top?by=owners&n=25.
+// by is one of owners, players, playtime, value.
+func handleTopGames(st *state, r *http.Request) (cached, error) {
+	n, err := topN(r, 10, 1000)
+	if err != nil {
+		return cached{}, err
+	}
+	by := r.URL.Query().Get("by")
+	if by == "" {
+		by = "owners"
+	}
+	var key func(g *GameRank) float64
+	switch by {
+	case "owners":
+		key = func(g *GameRank) float64 { return float64(g.Owners) }
+	case "players":
+		key = func(g *GameRank) float64 { return float64(g.Players) }
+	case "playtime":
+		key = func(g *GameRank) float64 { return g.PlaytimeHours }
+	case "value":
+		key = func(g *GameRank) float64 { return g.ValueUSD }
+	default:
+		return cached{}, badRequestf("invalid by=%q: want owners, players, playtime or value", by)
+	}
+	ranked := sortedCopy(st.gamesData(), func(a, b GameRank) bool {
+		ka, kb := key(&a), key(&b)
+		if ka != kb {
+			return ka > kb
+		}
+		return a.AppID < b.AppID // deterministic tiebreak
+	})
+	if n < len(ranked) {
+		ranked = ranked[:n]
+	}
+	return jsonBody(ranked)
+}
+
+// handleTopGroups ranks groups by member count: GET /v1/groups/top?n=25.
+func handleTopGroups(st *state, r *http.Request) (cached, error) {
+	n, err := topN(r, 10, 1000)
+	if err != nil {
+		return cached{}, err
+	}
+	ranked := make([]GroupRank, len(st.snap.Groups))
+	for i := range st.snap.Groups {
+		g := &st.snap.Groups[i]
+		ranked[i] = GroupRank{GID: g.GID, Name: g.Name, Type: g.Type, Members: len(g.Members)}
+	}
+	ranked = sortedCopy(ranked, func(a, b GroupRank) bool {
+		if a.Members != b.Members {
+			return a.Members > b.Members
+		}
+		return a.GID < b.GID
+	})
+	if n < len(ranked) {
+		ranked = ranked[:n]
+	}
+	return jsonBody(ranked)
+}
+
+// userIndexOf resolves the {id} path segment to a user index.
+func (st *state) userIndexOf(r *http.Request) (int, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, badRequestf("invalid SteamID %q: want a decimal SteamID64", raw)
+	}
+	i, ok := st.userIdx[id]
+	if !ok {
+		return 0, notFoundf("no user with SteamID %d in this snapshot", id)
+	}
+	return int(i), nil
+}
+
+// handleUser serves one account's behavioral summary — the per-user view
+// of the columns every distribution endpoint aggregates.
+func handleUser(st *state, r *http.Request) (cached, error) {
+	i, err := st.userIndexOf(r)
+	if err != nil {
+		return cached{}, err
+	}
+	u := &st.snap.Users[i]
+	v := st.study.Vectors()
+	return jsonBody(UserInfo{
+		SteamID:      u.SteamID,
+		Created:      u.Created,
+		Country:      u.Country,
+		City:         u.City,
+		Friends:      len(u.Friends),
+		Games:        len(u.Games),
+		Played:       int(v.Played[i]),
+		Groups:       len(u.Groups),
+		TotalHours:   v.TotalH[i],
+		TwoWeekHours: v.TwoWkH[i],
+		ValueUSD:     v.ValueD[i],
+	})
+}
+
+// handleFriends serves one account's friend list.
+func handleFriends(st *state, r *http.Request) (cached, error) {
+	i, err := st.userIndexOf(r)
+	if err != nil {
+		return cached{}, err
+	}
+	u := &st.snap.Users[i]
+	res := FriendsResult{SteamID: u.SteamID, Count: len(u.Friends)}
+	res.Friends = make([]FriendEntry, len(u.Friends))
+	for j, f := range u.Friends {
+		res.Friends[j] = FriendEntry{SteamID: f.SteamID, Since: f.Since}
+	}
+	return jsonBody(res)
+}

@@ -1,0 +1,426 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"steamstudy/internal/core"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/obs"
+	"steamstudy/internal/simworld"
+)
+
+var (
+	fixOnce sync.Once
+	fixSnap *dataset.Snapshot // 2000 users, seed 5
+	fixAlt  *dataset.Snapshot // 600 users, seed 11 — a distinct snapshot for reload tests
+)
+
+func fixtures(t *testing.T) (*dataset.Snapshot, *dataset.Snapshot) {
+	t.Helper()
+	fixOnce.Do(func() {
+		cfg := simworld.DefaultConfig(2000)
+		cfg.CatalogSize = 200
+		fixSnap = dataset.FromUniverse(simworld.MustGenerate(cfg, 5))
+		cfg = simworld.DefaultConfig(600)
+		cfg.CatalogSize = 120
+		fixAlt = dataset.FromUniverse(simworld.MustGenerate(cfg, 11))
+	})
+	return fixSnap, fixAlt
+}
+
+// newTestServer saves the fixture snapshot into a temp dir and opens a
+// server over it, returning the server and the snapshot path.
+func newTestServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	snap, _ := fixtures(t)
+	path := filepath.Join(t.TempDir(), "snap.jsonl")
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{SnapshotPath: path, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func get(t *testing.T, s *Server, url string, hdr ...string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// TestExperimentBodiesMatchRenderer is the acceptance-criteria diff: for
+// every experiment this server can run, the /v1 body must be byte-
+// identical to what the steamstudy renderer (core.Study.Run) produces
+// for the same snapshot.
+func TestExperimentBodiesMatchRenderer(t *testing.T) {
+	s, path := newTestServer(t)
+	loaded, err := dataset.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := core.FromSnapshot(loaded)
+	study.SetWorkers(1)
+	ran := 0
+	for _, e := range core.Experiments() {
+		w := get(t, s, "/v1/experiments/"+e.ID)
+		if !study.CanRun(e.ID) {
+			if w.Code != http.StatusNotFound {
+				t.Errorf("%s: unavailable experiment returned %d, want 404", e.ID, w.Code)
+			}
+			continue
+		}
+		if w.Code != http.StatusOK {
+			t.Errorf("%s: status %d, body %s", e.ID, w.Code, w.Body.String())
+			continue
+		}
+		var want strings.Builder
+		if err := study.Run(&want, e.ID); err != nil {
+			t.Fatalf("%s: local render: %v", e.ID, err)
+		}
+		if got := w.Body.String(); got != want.String() {
+			t.Errorf("%s: served body differs from renderer output\nserved %d bytes, rendered %d bytes", e.ID, len(got), want.Len())
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+			t.Errorf("%s: content type %q", e.ID, ct)
+		}
+		ran++
+	}
+	if ran < 15 {
+		t.Errorf("only %d experiments were diffed; expected the full snapshot-servable registry", ran)
+	}
+}
+
+// TestConditionalGET covers the ETag lifecycle: 200 with a strong ETag,
+// 304 on matching If-None-Match, and 200 again (with a new ETag) after a
+// hot reload changed the manifest SHA.
+func TestConditionalGET(t *testing.T) {
+	s, path := newTestServer(t)
+	_, alt := fixtures(t)
+
+	w := get(t, s, "/v1/snapshot")
+	if w.Code != http.StatusOK {
+		t.Fatalf("initial GET: %d", w.Code)
+	}
+	etag := w.Header().Get("ETag")
+	if len(etag) < 10 || etag[0] != '"' {
+		t.Fatalf("weak or missing ETag %q", etag)
+	}
+	man, err := dataset.ReadManifest(path)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if want := `"` + man.FileSHA256 + `"`; etag != want {
+		t.Errorf("ETag %s is not the manifest SHA-256 %s", etag, want)
+	}
+	body := w.Body.String()
+
+	w = get(t, s, "/v1/snapshot", "If-None-Match", etag)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match: %d, want 304", w.Code)
+	}
+	if w.Body.Len() != 0 {
+		t.Errorf("304 carried a %d-byte body", w.Body.Len())
+	}
+	// The ETag is snapshot-wide: it revalidates other endpoints too.
+	if w := get(t, s, "/v1/genres", "If-None-Match", etag); w.Code != http.StatusNotModified {
+		t.Errorf("genres with matching etag: %d, want 304", w.Code)
+	}
+	if w := get(t, s, "/v1/snapshot", "If-None-Match", `"deadbeef"`); w.Code != http.StatusOK {
+		t.Errorf("stale etag: %d, want 200", w.Code)
+	}
+
+	// Publish a different snapshot over the same path and hot-reload.
+	if err := alt.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/admin/reload", nil)
+	rw := httptest.NewRecorder()
+	s.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("reload: %d %s", rw.Code, rw.Body.String())
+	}
+
+	w = get(t, s, "/v1/snapshot", "If-None-Match", etag)
+	if w.Code != http.StatusOK {
+		t.Fatalf("after reload, old etag must miss: got %d", w.Code)
+	}
+	if newTag := w.Header().Get("ETag"); newTag == etag {
+		t.Error("ETag unchanged across a snapshot swap")
+	}
+	if w.Body.String() == body {
+		t.Error("body unchanged across a snapshot swap")
+	}
+}
+
+// decodeEnvelope asserts the error envelope shape and returns it.
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder, wantStatus int, wantCode string) ErrorBody {
+	t.Helper()
+	if w.Code != wantStatus {
+		t.Fatalf("status %d, want %d (body %s)", w.Code, wantStatus, w.Body.String())
+	}
+	var e ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not the envelope: %v (%s)", err, w.Body.String())
+	}
+	if e.Error.Status != wantStatus || e.Error.Code != wantCode || e.Error.Message == "" {
+		t.Fatalf("envelope %+v, want status=%d code=%s and a message", e.Error, wantStatus, wantCode)
+	}
+	return e
+}
+
+// TestErrorEnvelope asserts the envelope shape for 400, 404 and 500.
+func TestErrorEnvelope(t *testing.T) {
+	s, path := newTestServer(t)
+
+	decodeEnvelope(t, get(t, s, "/v1/percentiles/games?p=many"), http.StatusBadRequest, "bad_request")
+	decodeEnvelope(t, get(t, s, "/v1/percentiles/games?p=150"), http.StatusBadRequest, "bad_request")
+	decodeEnvelope(t, get(t, s, "/v1/games/top?by=hype"), http.StatusBadRequest, "bad_request")
+	decodeEnvelope(t, get(t, s, "/v1/users/notanumber"), http.StatusBadRequest, "bad_request")
+
+	decodeEnvelope(t, get(t, s, "/v1/users/1"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get(t, s, "/v1/percentiles/charisma"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get(t, s, "/v1/genres/NotAGenre"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get(t, s, "/v1/experiments/T9"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get(t, s, "/nope"), http.StatusNotFound, "not_found")
+
+	// 500: break the snapshot file, then ask for a reload. The reload
+	// must fail with the envelope while the old snapshot keeps serving.
+	etagBefore := s.ETag()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/admin/reload", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	decodeEnvelope(t, w, http.StatusInternalServerError, "internal")
+	after := get(t, s, "/v1/snapshot")
+	if after.Code != http.StatusOK || after.Header().Get("ETag") != etagBefore {
+		t.Errorf("failed reload disturbed serving: status %d etag %s (want 200 %s)",
+			after.Code, after.Header().Get("ETag"), etagBefore)
+	}
+}
+
+// TestCacheCollapsingHTTP fires concurrent identical requests at a fresh
+// server and proves the fill ran once: exactly one miss, all other
+// requests hits. Run under -race this also proves the handler/cache path
+// is data-race-free.
+func TestCacheCollapsingHTTP(t *testing.T) {
+	s, _ := newTestServer(t)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := get(t, s, "/v1/genres")
+			if w.Code != http.StatusOK {
+				t.Errorf("status %d", w.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	if misses := s.metrics.CacheMisses.Load(); misses != 1 {
+		t.Errorf("cache misses = %d, want exactly 1 (collapsing failed)", misses)
+	}
+	if hits := s.metrics.CacheHits.Load(); hits != n-1 {
+		t.Errorf("cache hits = %d, want %d", hits, n-1)
+	}
+}
+
+// TestUnloadedServer covers New's 503 gating and the healthz flip after
+// the first successful reload.
+func TestUnloadedServer(t *testing.T) {
+	snap, _ := fixtures(t)
+	path := filepath.Join(t.TempDir(), "later.jsonl")
+	reg := obs.NewRegistry()
+	health := obs.NewHealth()
+	s := New(Config{SnapshotPath: path, Workers: 1, Obs: reg, Health: health})
+
+	decodeEnvelope(t, get(t, s, "/v1/snapshot"), http.StatusServiceUnavailable, "unavailable")
+	if w := get(t, s, "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz on unloaded server: %d, want 503", w.Code)
+	}
+	if hs := health.Check(); hs.Status == "ok" {
+		t.Error("obs health reports ok before load")
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload of a missing file succeeded")
+	}
+
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz after load: %d", w.Code)
+	}
+	if hs := health.Check(); hs.Status != "ok" {
+		t.Errorf("obs health still unhealthy after load: %+v", hs)
+	}
+	if w := get(t, s, "/v1/snapshot"); w.Code != http.StatusOK {
+		t.Errorf("snapshot after load: %d", w.Code)
+	}
+	if reg.Counter("query_reload_failures").Load() != 1 {
+		t.Errorf("reload_failures = %d, want 1", reg.Counter("query_reload_failures").Load())
+	}
+}
+
+// TestTypedClient exercises the Client against a live server and cross-
+// checks the typed results against the snapshot.
+func TestTypedClient(t *testing.T) {
+	s, path := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+
+	loaded, err := dataset.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Users != len(loaded.Users) || info.Games != len(loaded.Games) || info.Groups != len(loaded.Groups) {
+		t.Errorf("snapshot info %+v disagrees with loaded snapshot", info)
+	}
+	if info.ContentSignature != loaded.ContentSignature() {
+		t.Error("content signature mismatch")
+	}
+
+	exps, err := c.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != len(core.Experiments()) {
+		t.Errorf("experiment index has %d entries, registry has %d", len(exps), len(core.Experiments()))
+	}
+	for _, e := range exps {
+		if e.NeedsGenerator && e.Available {
+			t.Errorf("%s: generator-bound experiment reported available on a snapshot server", e.ID)
+		}
+	}
+
+	pr, err := c.Percentiles("games", []float64{50, 90}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Points) != 2 || !pr.NonZero || pr.Count == 0 {
+		t.Errorf("percentiles: %+v", pr)
+	}
+	if pr.Points[0].Value > pr.Points[1].Value {
+		t.Errorf("p50 %v > p90 %v", pr.Points[0].Value, pr.Points[1].Value)
+	}
+
+	genres, err := c.Genres()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(genres) == 0 {
+		t.Fatal("no genres")
+	}
+	one, err := c.Genre(strings.ToLower(genres[0].Genre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != genres[0] {
+		t.Errorf("case-insensitive genre lookup: %+v vs %+v", one, genres[0])
+	}
+
+	games, err := c.TopGames("owners", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(games) != 5 {
+		t.Fatalf("top games: %d rows", len(games))
+	}
+	for i := 1; i < len(games); i++ {
+		if games[i].Owners > games[i-1].Owners {
+			t.Errorf("top games not sorted: %d > %d at %d", games[i].Owners, games[i-1].Owners, i)
+		}
+	}
+
+	groups, err := c.TopGroups(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 || groups[0].Members < groups[2].Members {
+		t.Errorf("top groups: %+v", groups)
+	}
+
+	u := &loaded.Users[len(loaded.Users)/2]
+	ui, err := c.User(u.SteamID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ui.SteamID != u.SteamID || ui.Games != len(u.Games) || ui.Friends != len(u.Friends) {
+		t.Errorf("user info %+v disagrees with record (games %d, friends %d)", ui, len(u.Games), len(u.Friends))
+	}
+	fr, err := c.Friends(u.SteamID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Count != len(u.Friends) || len(fr.Friends) != len(u.Friends) {
+		t.Errorf("friends %+v, want %d entries", fr, len(u.Friends))
+	}
+
+	if _, err := c.User(1); err == nil {
+		t.Error("lookup of absent user succeeded")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != 404 || ae.Code != "not_found" {
+		t.Errorf("typed error: %v", err)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests == 0 || stats.SnapshotETag == "" {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	rr, err := c.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Users != len(loaded.Users) {
+		t.Errorf("reload result %+v", rr)
+	}
+}
+
+// TestExperimentRenderConcurrent renders distinct experiments from many
+// goroutines at once — under -race this proves the study render path is
+// safe for concurrent HTTP handlers, which the whole design assumes.
+func TestExperimentRenderConcurrent(t *testing.T) {
+	s, _ := newTestServer(t)
+	ids := []string{"T1", "T2", "T3", "F4", "F5", "F6", "E4"}
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if w := get(t, s, "/v1/experiments/"+id); w.Code != http.StatusOK {
+					t.Errorf("%s: %d", id, w.Code)
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,148 @@
+package query
+
+// Wire types for the /v1 API, shared by the server's handlers and the
+// typed Client so the two cannot drift. Every field is deterministic for
+// a given snapshot content — nothing derived from wall-clock time or
+// process identity appears here, because cacheable bodies must be
+// byte-stable under the ETag contract (see DESIGN.md §14). Run-varying
+// observability lives in StatsInfo, which is served uncached and without
+// an ETag.
+
+// ErrorBody is the consistent error envelope: every non-2xx/304 response
+// is {"error": {...}} with a machine code and a human message.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo describes one API error.
+type ErrorInfo struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"` // bad_request | not_found | unavailable | internal
+	Message string `json:"message"`
+}
+
+// SnapshotInfo describes the snapshot a server is currently serving.
+type SnapshotInfo struct {
+	// ETag is the strong validator for every cacheable /v1 response:
+	// the manifest's whole-file SHA-256 when the snapshot was loaded
+	// from a manifested file, otherwise the content signature.
+	ETag string `json:"etag"`
+	// ContentSignature is dataset.ContentSignature over the decoded
+	// records — stable across container formats.
+	ContentSignature string `json:"content_signature"`
+	CollectedAt      int64  `json:"collected_at"`
+	Users            int    `json:"users"`
+	Games            int    `json:"games"`
+	Groups           int    `json:"groups"`
+	Friendships      int    `json:"friendships"`
+	Memberships      int    `json:"memberships"`
+}
+
+// ExperimentInfo is one entry of the experiment index.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Available reports whether this server can render the experiment;
+	// generator-bound experiments (Fig 12, §8) are listed but
+	// unavailable on a server that loaded a snapshot from disk.
+	Available      bool `json:"available"`
+	NeedsGenerator bool `json:"needs_generator"`
+}
+
+// PercentilePoint is one (p, value) pair.
+type PercentilePoint struct {
+	P     float64 `json:"p"`
+	Value float64 `json:"value"`
+}
+
+// PercentilesResult answers /v1/percentiles/{attr}.
+type PercentilesResult struct {
+	Attr    string            `json:"attr"`
+	NonZero bool              `json:"non_zero"`
+	Count   int               `json:"count"` // population after the non-zero filter
+	Points  []PercentilePoint `json:"points"`
+}
+
+// GenreSlice answers /v1/genres/{genre}: the genre's Fig 5 ownership row
+// joined with its Fig 9 expenditure row.
+type GenreSlice struct {
+	Genre         string  `json:"genre"`
+	Owned         int     `json:"owned"`
+	Unplayed      int     `json:"unplayed"`
+	UnplayedFrac  float64 `json:"unplayed_frac"`
+	CatalogShare  float64 `json:"catalog_share"`
+	PlaytimeHours float64 `json:"playtime_hours"`
+	PlaytimeShare float64 `json:"playtime_share"`
+	ValueUSD      float64 `json:"value_usd"`
+	ValueShare    float64 `json:"value_share"`
+}
+
+// GameRank is one row of /v1/games/top.
+type GameRank struct {
+	AppID         uint32  `json:"app_id"`
+	Name          string  `json:"name"`
+	Owners        int     `json:"owners"`
+	Players       int     `json:"players"` // owners with playtime > 0
+	PlaytimeHours float64 `json:"playtime_hours"`
+	ValueUSD      float64 `json:"value_usd"` // price x owners
+}
+
+// GroupRank is one row of /v1/groups/top.
+type GroupRank struct {
+	GID     uint64 `json:"gid"`
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Members int    `json:"members"`
+}
+
+// UserInfo answers /v1/users/{id}.
+type UserInfo struct {
+	SteamID      uint64  `json:"steam_id"`
+	Created      int64   `json:"created"`
+	Country      string  `json:"country,omitempty"`
+	City         string  `json:"city,omitempty"`
+	Friends      int     `json:"friends"`
+	Games        int     `json:"games"`
+	Played       int     `json:"played"`
+	Groups       int     `json:"groups"`
+	TotalHours   float64 `json:"total_hours"`
+	TwoWeekHours float64 `json:"two_week_hours"`
+	ValueUSD     float64 `json:"value_usd"`
+}
+
+// FriendEntry is one friendship edge as seen from a user.
+type FriendEntry struct {
+	SteamID uint64 `json:"steam_id"`
+	Since   int64  `json:"since"`
+}
+
+// FriendsResult answers /v1/users/{id}/friends.
+type FriendsResult struct {
+	SteamID uint64        `json:"steam_id"`
+	Count   int           `json:"count"`
+	Friends []FriendEntry `json:"friends"`
+}
+
+// StatsInfo answers /v1/stats: live serving counters for load tests and
+// dashboards. Unlike every other /v1 body it changes between identical
+// requests, so it is never cached and carries no ETag.
+type StatsInfo struct {
+	Requests       int64  `json:"requests"`
+	CacheHits      int64  `json:"cache_hits"`
+	CacheMisses    int64  `json:"cache_misses"`
+	CacheEntries   int    `json:"cache_entries"`
+	NotModified    int64  `json:"not_modified"`
+	Errors         int64  `json:"errors"`
+	Reloads        int64  `json:"reloads"`
+	ReloadFailures int64  `json:"reload_failures"`
+	SnapshotETag   string `json:"snapshot_etag"`
+}
+
+// ReloadResult answers POST /v1/admin/reload.
+type ReloadResult struct {
+	ETag        string `json:"etag"`
+	Users       int    `json:"users"`
+	Games       int    `json:"games"`
+	Groups      int    `json:"groups"`
+	CollectedAt int64  `json:"collected_at"`
+}

@@ -1,0 +1,60 @@
+package steamstudy
+
+import "steamstudy/internal/query"
+
+// The read-side query service: a versioned /v1 HTTP API over a snapshot
+// file, serving every table and figure of the paper plus ad-hoc
+// percentile, genre, top-K and per-user lookups, behind a collapsing
+// result cache keyed by the snapshot's manifest checksum. The cmd/
+// steamquery binary is a thin wrapper over these types; embed QueryServer
+// directly to serve the API from a larger process.
+
+// QueryConfig configures a QueryServer (snapshot path, worker pools,
+// cache capacity, observability sinks).
+type QueryConfig = query.Config
+
+// QueryServer serves the /v1 API over a hot-swappable snapshot. It is an
+// http.Handler; Reload atomically swaps in a freshly loaded snapshot
+// (and a fresh cache) without disturbing in-flight requests.
+type QueryServer = query.Server
+
+// QueryClient is the typed Go client for the /v1 API.
+type QueryClient = query.Client
+
+// QueryAPIError is the decoded form of a /v1 error envelope, returned by
+// QueryClient methods on non-2xx responses.
+type QueryAPIError = query.APIError
+
+// NewQueryServer builds an unloaded server: every endpoint answers 503
+// until the first successful Reload. Use OpenQueryServer for
+// load-or-die startup.
+func NewQueryServer(cfg QueryConfig) *QueryServer { return query.New(cfg) }
+
+// OpenQueryServer builds a server and eagerly loads its snapshot,
+// failing fast if the file is missing or damaged.
+func OpenQueryServer(cfg QueryConfig) (*QueryServer, error) { return query.Open(cfg) }
+
+// Wire types of the /v1 JSON bodies, for typed consumers.
+type (
+	// QuerySnapshotInfo answers /v1/snapshot.
+	QuerySnapshotInfo = query.SnapshotInfo
+	// QueryExperimentInfo is one entry of /v1/experiments.
+	QueryExperimentInfo = query.ExperimentInfo
+	// QueryPercentiles answers /v1/percentiles/{attr}.
+	QueryPercentiles = query.PercentilesResult
+	// QueryGenreSlice answers /v1/genres/{genre}.
+	QueryGenreSlice = query.GenreSlice
+	// QueryGameRank is one row of /v1/games/top.
+	QueryGameRank = query.GameRank
+	// QueryGroupRank is one row of /v1/groups/top.
+	QueryGroupRank = query.GroupRank
+	// QueryUserInfo answers /v1/users/{id}.
+	QueryUserInfo = query.UserInfo
+	// QueryFriends answers /v1/users/{id}/friends.
+	QueryFriends = query.FriendsResult
+	// QueryStats answers /v1/stats (live serving counters; never cached).
+	QueryStats = query.StatsInfo
+	// QueryErrorBody is the consistent {"error": {...}} envelope carried
+	// by every non-2xx/304 response.
+	QueryErrorBody = query.ErrorBody
+)
