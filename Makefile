@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos crash fleetchaos fsck bench querybench profile fmt vet
+.PHONY: build test race verify chaos crash fleetchaos fsck bench querybench querychaos profile fmt vet
 
 build:
 	$(GO) build ./...
@@ -73,15 +73,37 @@ bench:
 # querybench measures the read-side query service under load:
 #   BENCH_query.json — 1M requests over a seeded /v1 mix against an
 #     in-process steamquery server holding a 100k-user snapshot:
-#     p50/p90/p99 latency, throughput, cache hit rate, 304 count.
-# The snapshot is built fresh into a temp dir so the target needs no
+#     p50/p90/p99 latency (overall and per route), throughput, cache
+#     hit rate, 304 count, and a shed/error/timeout classification.
+# The run is SLO-gated by BENCH_query_slo.json: a per-route p99, shed
+# rate or error rate past its committed budget exits non-zero. The
+# snapshot is built fresh into a temp dir so the target needs no
 # checked-in fixtures; regenerating it costs a few seconds.
 querybench:
 	$(eval QBDIR := $(shell mktemp -d))
 	$(GO) run ./cmd/steamgen -users 100000 -seed 1 -out $(QBDIR)/query.jsonl.gz
 	$(GO) run ./cmd/steamqueryload -snapshot $(QBDIR)/query.jsonl.gz \
-		-requests 1000000 -seed 1 -out BENCH_query.json
+		-requests 1000000 -seed 1 -slo BENCH_query_slo.json -out BENCH_query.json
 	rm -rf $(QBDIR)
+
+# querychaos is the overload proof (DESIGN.md §15): the same load mix
+# runs while hostile actors attack the server — slowloris header
+# tricklers and stalled readers (must be cut by the http.Server
+# timeouts), mid-body aborts, 64-wide request bursts into an 8-slot
+# admission pool (must shed 503 + Retry-After, never 5xx), a SIGHUP
+# reload storm, and a corrupt-snapshot reload (must fail with the old
+# state still serving, ETag unchanged). Results land in the "chaos"
+# section of BENCH_query.json (the calm-weather numbers are preserved);
+# the built-in invariants plus the chaos section of
+# BENCH_query_slo.json gate the exit code.
+querychaos:
+	$(eval QCDIR := $(shell mktemp -d))
+	$(GO) run ./cmd/steamgen -users 5000 -seed 1 -out $(QCDIR)/chaos.jsonl.gz
+	$(GO) run ./cmd/steamqueryload -snapshot $(QCDIR)/chaos.jsonl.gz \
+		-requests 20000 -seed 1 -chaos -max-inflight 8 -queue-wait 25ms \
+		-route-timeout 500ms -warm-keys 8 \
+		-slo BENCH_query_slo.json -out BENCH_query.json
+	rm -rf $(QCDIR)
 
 # profile captures CPU and heap profiles of the data plane's hot loops
 # into ./profiles/ for `go tool pprof`: the 500k-user snapshot codec and

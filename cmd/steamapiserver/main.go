@@ -105,7 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: handler}
+	srv := climain.NewHTTPServer(handler)
 	go func() {
 		fmt.Fprintf(os.Stderr, "serving the Steam Web API at http://%s\n", lis.Addr())
 		if err := srv.Serve(lis); err != nil && err != http.ErrServerClosed {

@@ -33,10 +33,14 @@ func main() {
 	app := climain.New("steamquery")
 	workers := app.WorkersFlag(0, "worker pool size for snapshot decode and analysis (0 = one per CPU, 1 = serial); responses are identical for any value")
 	var (
-		snapshot = flag.String("snapshot", "", "snapshot file to serve (.gob/.gob.gz/.jsonl/.jsonl.gz)")
-		addr     = flag.String("addr", "127.0.0.1:8090", "listen address for the /v1 API")
-		cacheN   = flag.Int("cache", 0, "result cache capacity in entries (0 = default, negative = unbounded)")
-		lazy     = flag.Bool("lazy", false, "start serving (503s) before the first snapshot load finishes instead of load-or-die")
+		snapshot    = flag.String("snapshot", "", "snapshot file to serve (.gob/.gob.gz/.jsonl/.jsonl.gz)")
+		addr        = flag.String("addr", "127.0.0.1:8090", "listen address for the /v1 API")
+		cacheN      = flag.Int("cache", 0, "result cache capacity in entries (0 = default, negative = unbounded)")
+		lazy        = flag.Bool("lazy", false, "start serving (503s) before the first snapshot load finishes instead of load-or-die")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently served data-route requests (0 = default 256, negative = unlimited)")
+		queueWait   = flag.Duration("queue-wait", 0, "admission control: max FIFO wait for a slot before shedding 503 + Retry-After (0 = default 100ms, negative = shed immediately)")
+		routeTO     = flag.Duration("route-timeout", 0, "per-request deadline budget; renderer routes get 4x (0 = default 5s, negative = none)")
+		warmKeys    = flag.Int("warm-keys", 0, "hottest cache keys replayed into the new state on reload (0 = default 64, negative = no warming)")
 	)
 	flag.Parse()
 	app.MustSnapshotPath("snapshot", *snapshot)
@@ -47,6 +51,10 @@ func main() {
 		CacheEntries: *cacheN,
 		Obs:          app.EnsureRegistry(),
 		Health:       app.Health(),
+		MaxInflight:  *maxInflight,
+		QueueWait:    *queueWait,
+		RouteTimeout: *routeTO,
+		WarmKeys:     *warmKeys,
 	}
 	var (
 		srv *query.Server
@@ -73,7 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: srv}
+	hs := climain.NewHTTPServer(srv)
 	go func() {
 		fmt.Fprintf(os.Stderr, "steamquery: serving /v1 at http://%s (snapshot %s)\n", lis.Addr(), *snapshot)
 		if err := hs.Serve(lis); err != nil && err != http.ErrServerClosed {

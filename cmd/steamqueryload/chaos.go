@@ -1,0 +1,510 @@
+package main
+
+// The chaos harness: hostile clients and operational abuse running
+// against the self-served steamquery server while the main mix
+// measures collateral damage. Each actor proves one robustness claim:
+//
+//   - slow clients (header tricklers and stalled readers) must be cut
+//     by the http.Server timeouts, never parked forever;
+//   - mid-body aborts must not wedge handlers or leak workers;
+//   - request bursts past -max-inflight must shed 503 + Retry-After,
+//     not pile up or 500;
+//   - a SIGHUP reload storm mid-flight must keep every response
+//     consistent (the storm goes through the real signal path);
+//   - a corrupt (truncated) snapshot reload must fail while the old
+//     state keeps serving, ETag unchanged, and a restored file must
+//     reload cleanly.
+//
+// stop() folds the evidence into the report's chaos section;
+// invariantViolations() turns missing evidence into a non-zero exit.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/query"
+)
+
+const (
+	// chaosWriteTimeout replaces the server's write/idle/read-header
+	// deadlines so slow-client cuts land within the run, not after a
+	// minute.
+	chaosWriteTimeout = 2 * time.Second
+	chaosTrickle      = 200 * time.Millisecond // slowloris inter-byte gap
+	chaosStall        = 3 * time.Second        // stalled reader's silent window (> write+idle deadline)
+	chaosGrace        = 3 * time.Second        // how long a cut may take to become visible
+	chaosBurstEvery   = 300 * time.Millisecond
+	chaosBurstSize    = 64
+	// Each storm reload wipes the result cache and re-renders the warm
+	// set, which is deliberately expensive; 2s spacing keeps a 1-CPU
+	// host making forward progress between wipes.
+	chaosReloadEvery  = 2 * time.Second
+	chaosCorruptAfter = 1 * time.Second // into the run, so the attempt lands mid-flight
+)
+
+// chaosReport is the chaos section of BENCH_query.json.
+type chaosReport struct {
+	GeneratedAt  string `json:"generated_at"`
+	Requests     int    `json:"requests"`
+	MaxInflight  int    `json:"max_inflight"`
+	QueueWait    string `json:"queue_wait"`
+	RouteTimeout string `json:"route_timeout"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	LatencyMs       struct {
+		P50 float64 `json:"p50"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	Routes         map[string]latencySummary `json:"routes_latency_ms"`
+	Classification classification            `json:"classification"`
+	ShedRate       float64                   `json:"shed_rate"`
+	ErrorRate      float64                   `json:"error_rate"`
+
+	ServerShed     int64 `json:"server_shed"`
+	ServerDeadline int64 `json:"server_deadline_exceeded"`
+	ServerWarmed   int64 `json:"server_warmed"`
+
+	SlowClients struct {
+		Observed int64 `json:"observed"`
+		Cut      int64 `json:"cut"`
+	} `json:"slow_clients"`
+	MidBodyAborts int64 `json:"mid_body_aborts"`
+	Bursts        struct {
+		Fired    int64 `json:"fired"`
+		Requests int64 `json:"requests"`
+		Shed     int64 `json:"shed"`
+		Errors   int64 `json:"errors"`
+	} `json:"bursts"`
+	Reloads struct {
+		Attempted int64 `json:"attempted"`
+		Failed    int64 `json:"failed"`
+	} `json:"reloads"`
+	CorruptReload struct {
+		Attempted       bool `json:"attempted"`
+		ReloadFailed    bool `json:"reload_failed"`
+		ETagStable      bool `json:"etag_stable"`
+		RecoveredReload bool `json:"recovered_reload"`
+	} `json:"corrupt_reload"`
+}
+
+// fillFromRun copies the main mix's measurements (taken while the chaos
+// actors ran) into the chaos section; the report's top level keeps the
+// calm-weather querybench numbers.
+func (c *chaosReport) fillFromRun(rep *benchReport, before, after query.StatsInfo) {
+	c.GeneratedAt = rep.GeneratedAt
+	c.Requests = rep.Requests
+	c.MaxInflight = rep.MaxInflight
+	c.QueueWait = rep.QueueWait
+	c.RouteTimeout = rep.RouteTimeout
+	c.DurationSeconds = rep.DurationSeconds
+	c.ThroughputRPS = rep.ThroughputRPS
+	c.LatencyMs.P50 = rep.LatencyMs.P50
+	c.LatencyMs.P99 = rep.LatencyMs.P99
+	c.LatencyMs.Max = rep.LatencyMs.Max
+	c.Routes = rep.Routes
+	c.Classification = rep.Classification
+	c.ShedRate = rep.ShedRate
+	c.ErrorRate = rep.ErrorRate
+	c.ServerShed = after.Shed - before.Shed
+	c.ServerDeadline = after.Deadline - before.Deadline
+	c.ServerWarmed = after.Warmed - before.Warmed
+}
+
+// invariantViolations are the chaos run's built-in pass/fail gates,
+// independent of any -slo file: the proof obligations of DESIGN.md §15.
+func (c *chaosReport) invariantViolations() []string {
+	var v []string
+	if c.ServerShed == 0 && c.Classification.Shed == 0 && c.Bursts.Shed == 0 {
+		v = append(v, "chaos: no load shedding observed; bursts should exceed -max-inflight")
+	}
+	if c.SlowClients.Observed == 0 {
+		v = append(v, "chaos: no slow-client connection completed a probe cycle")
+	} else if c.SlowClients.Cut < c.SlowClients.Observed {
+		v = append(v, fmt.Sprintf("chaos: %d/%d slow clients survived the server timeouts",
+			c.SlowClients.Observed-c.SlowClients.Cut, c.SlowClients.Observed))
+	}
+	if c.MidBodyAborts == 0 {
+		v = append(v, "chaos: no mid-body aborts landed")
+	}
+	if c.Reloads.Attempted < 2 {
+		v = append(v, "chaos: reload storm barely ran")
+	}
+	if !c.CorruptReload.Attempted {
+		v = append(v, "chaos: corrupt-snapshot reload never attempted")
+	} else {
+		if !c.CorruptReload.ReloadFailed {
+			v = append(v, "chaos: reload of the truncated snapshot did not fail")
+		}
+		if !c.CorruptReload.ETagStable {
+			v = append(v, "chaos: ETag changed across the corrupt reload attempt")
+		}
+		if !c.CorruptReload.RecoveredReload {
+			v = append(v, "chaos: reload after restoring the snapshot did not succeed")
+		}
+	}
+	return v
+}
+
+// chaosHarness owns the scratch snapshot copy and the actor goroutines.
+type chaosHarness struct {
+	dir       string
+	servePath string
+
+	srv    *query.Server
+	cancel chan struct{}
+	wg     sync.WaitGroup
+
+	slowObserved atomic.Int64
+	slowCut      atomic.Int64
+	aborts       atomic.Int64
+	burstsFired  atomic.Int64
+	burstReqs    atomic.Int64
+	burstShed    atomic.Int64
+	burstErrors  atomic.Int64
+	reloads      atomic.Int64
+	reloadFailed atomic.Int64
+
+	corruptDone chan struct{}
+	rep         chaosReport
+}
+
+// newChaosHarness copies the snapshot (and its manifest sidecar, so the
+// integrity check guards the copy too) into a scratch dir the corrupt
+// actor may truncate and restore at will.
+func newChaosHarness(snapshot string) (*chaosHarness, error) {
+	dir, err := os.MkdirTemp("", "steamquery-chaos-")
+	if err != nil {
+		return nil, err
+	}
+	dst := filepath.Join(dir, filepath.Base(snapshot))
+	if err := copyFile(snapshot, dst); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	if _, err := os.Stat(dataset.ManifestPath(snapshot)); err == nil {
+		if err := copyFile(dataset.ManifestPath(snapshot), dataset.ManifestPath(dst)); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+	}
+	return &chaosHarness{
+		dir:         dir,
+		servePath:   dst,
+		cancel:      make(chan struct{}),
+		corruptDone: make(chan struct{}),
+	}, nil
+}
+
+func copyFile(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
+}
+
+func (h *chaosHarness) done() bool {
+	select {
+	case <-h.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until the harness is cancelled; reports whether the
+// full wait elapsed.
+func (h *chaosHarness) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-h.cancel:
+		return false
+	}
+}
+
+// start launches every actor against the running server.
+func (h *chaosHarness) start(srv *query.Server, base string, client *query.Client, urls *mix) {
+	h.srv = srv
+	addr := base[len("http://"):]
+
+	// Slow clients: half trickle request headers (cut by
+	// ReadHeaderTimeout), half send a request then stop reading (cut by
+	// the write/idle deadlines).
+	for i := 0; i < 4; i++ {
+		loris := i%2 == 0
+		h.wg.Add(1)
+		go func(loris bool) {
+			defer h.wg.Done()
+			for !h.done() {
+				h.slowClientOnce(addr, loris)
+			}
+		}(loris)
+	}
+
+	// Mid-body aborts: read the first bytes of a response, then RST.
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for !h.done() {
+			h.abortOnce(addr)
+			h.sleep(100 * time.Millisecond)
+		}
+	}()
+
+	// Bursts target the expensive route family (experiment renders):
+	// right after a reload wipes the cache, chaosBurstSize concurrent
+	// cold fills hold admission slots for tens of milliseconds each,
+	// which is exactly the condition -max-inflight exists for. The
+	// server must answer each with 200/304 or a shed 503, never a 5xx.
+	expensive := make([]string, 0, len(urls.list))
+	for i, f := range urls.family {
+		if f == "experiment" {
+			expensive = append(expensive, urls.list[i])
+		}
+	}
+	if len(expensive) == 0 {
+		expensive = urls.list
+	}
+	burstC := make(chan struct{}, 1)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		hc := &http.Client{Timeout: 10 * time.Second, Transport: &http.Transport{
+			MaxIdleConnsPerHost: chaosBurstSize,
+		}}
+		rng := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-h.cancel:
+				return
+			case <-burstC:
+			}
+			h.burstsFired.Add(1)
+			var wg sync.WaitGroup
+			for i := 0; i < chaosBurstSize; i++ {
+				u := expensive[rng.Intn(len(expensive))]
+				wg.Add(1)
+				go func(u string) {
+					defer wg.Done()
+					h.burstReqs.Add(1)
+					resp, err := hc.Get(base + u)
+					if err != nil {
+						h.burstErrors.Add(1)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusServiceUnavailable:
+						h.burstShed.Add(1)
+					case resp.StatusCode >= 500:
+						h.burstErrors.Add(1)
+					}
+				}(u)
+			}
+			wg.Wait()
+		}
+	}()
+
+	// Reload storm through the real SIGHUP path: the process signals
+	// itself, the handler hot-reloads, both racing the serving traffic.
+	// Each storm reload chases the fresh (cold) state with a burst.
+	hup := make(chan os.Signal, 4)
+	signal.Notify(hup, syscall.SIGHUP)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-h.cancel:
+				return
+			case <-hup:
+				h.reloads.Add(1)
+				if err := h.srv.Reload(); err != nil {
+					h.reloadFailed.Add(1)
+				}
+				select {
+				case burstC <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for h.sleep(chaosReloadEvery) {
+			syscall.Kill(os.Getpid(), syscall.SIGHUP)
+		}
+	}()
+
+	// Corrupt-snapshot reload: one scripted sequence mid-run.
+	go h.corruptReload(client)
+}
+
+// slowClientOnce runs one hostile-client cycle. It only counts cycles
+// whose outcome it observed (cancellation mid-probe counts nothing), so
+// cut==observed is the pass condition.
+func (h *chaosHarness) slowClientOnce(addr string, loris bool) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		h.sleep(200 * time.Millisecond)
+		return
+	}
+	defer conn.Close()
+	observed, cut := h.probeSlow(conn, loris)
+	if observed {
+		h.slowObserved.Add(1)
+		if cut {
+			h.slowCut.Add(1)
+		}
+	}
+}
+
+func (h *chaosHarness) probeSlow(conn net.Conn, loris bool) (observed, cut bool) {
+	if loris {
+		// Trickle one header byte per chaosTrickle: far slower than
+		// ReadHeaderTimeout allows. The cut surfaces as a write error
+		// (RST after the server closes).
+		req := "GET /v1/genres HTTP/1.1\r\nHost: chaos\r\nUser-Agent: slowloris\r\nAccept: application/json\r\n\r\n"
+		for i := 0; i < len(req); i++ {
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			if _, err := conn.Write([]byte{req[i]}); err != nil {
+				return true, true
+			}
+			if !h.sleep(chaosTrickle) {
+				return false, false
+			}
+		}
+	} else {
+		// Send a full request, then go silent past the write and idle
+		// deadlines: the server must not keep the connection around.
+		if _, err := io.WriteString(conn, "GET /v1/genres HTTP/1.1\r\nHost: chaos\r\n\r\n"); err != nil {
+			return false, false
+		}
+		if !h.sleep(chaosStall) {
+			return false, false
+		}
+	}
+	// Drain fast. A timeout-protected server has already closed the
+	// connection, so EOF/reset must arrive within the grace window; a
+	// read timeout here means the slow client was never cut.
+	conn.SetReadDeadline(time.Now().Add(chaosGrace))
+	buf := make([]byte, 32<<10)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return true, false
+			}
+			return true, true
+		}
+	}
+}
+
+// abortOnce reads the first bytes of a response and slams the
+// connection shut with an RST mid-body.
+func (h *chaosHarness) abortOnce(addr string) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		h.sleep(200 * time.Millisecond)
+		return
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /v1/genres HTTP/1.1\r\nHost: chaos\r\n\r\n"); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, 64)); err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST, not FIN: an abort, not a polite close
+	}
+	h.aborts.Add(1)
+}
+
+// corruptReload truncates the serving snapshot copy, proves the reload
+// fails while the old state keeps serving (ETag unchanged), restores
+// the bytes and proves a clean reload recovers. It runs concurrently
+// with the SIGHUP storm on purpose: storm reloads during the corrupt
+// window fail too, and must be equally harmless.
+func (h *chaosHarness) corruptReload(client *query.Client) {
+	defer close(h.corruptDone)
+	if !h.sleep(chaosCorruptAfter) {
+		return
+	}
+	info, err := client.Snapshot()
+	if err != nil {
+		return
+	}
+	orig, err := os.ReadFile(h.servePath)
+	if err != nil {
+		return
+	}
+	h.rep.CorruptReload.Attempted = true
+	if err := os.WriteFile(h.servePath, orig[:len(orig)/2], 0o644); err != nil {
+		return
+	}
+	if _, err := client.Reload(); err != nil {
+		h.rep.CorruptReload.ReloadFailed = true
+	}
+	if again, err := client.Snapshot(); err == nil && again.ETag == info.ETag {
+		h.rep.CorruptReload.ETagStable = true
+	}
+	if err := os.WriteFile(h.servePath, orig, 0o644); err != nil {
+		return
+	}
+	if res, err := client.Reload(); err == nil && res.ETag == info.ETag {
+		h.rep.CorruptReload.RecoveredReload = true
+	}
+}
+
+// stop waits until every actor has evidence on the board, shuts the
+// harness down and assembles the chaos report (fillFromRun adds the
+// main mix's numbers afterwards).
+func (h *chaosHarness) stop() *chaosReport {
+	// The main mix may drain before the slower actors land their
+	// evidence; keep the storm running until every claim has at least
+	// one observation (bounded, so a broken actor still fails fast).
+	deadline := time.Now().Add(45 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.slowObserved.Load() > 0 && h.aborts.Load() > 0 &&
+			h.reloads.Load() >= 2 && h.burstShed.Load() > 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	<-h.corruptDone
+	close(h.cancel)
+	h.wg.Wait()
+	os.RemoveAll(h.dir)
+
+	r := h.rep
+	r.SlowClients.Observed = h.slowObserved.Load()
+	r.SlowClients.Cut = h.slowCut.Load()
+	r.MidBodyAborts = h.aborts.Load()
+	r.Bursts.Fired = h.burstsFired.Load()
+	r.Bursts.Requests = h.burstReqs.Load()
+	r.Bursts.Shed = h.burstShed.Load()
+	r.Bursts.Errors = h.burstErrors.Load()
+	r.Reloads.Attempted = h.reloads.Load()
+	r.Reloads.Failed = h.reloadFailed.Load()
+	return &r
+}

@@ -1,0 +1,87 @@
+package main
+
+// SLO gating for make querybench / make querychaos. The thresholds live
+// in a JSON file committed next to BENCH_query.json so a latency or
+// shedding regression fails CI with a diff-able artifact, not a shrug.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+// sloThresholds bound one mode's acceptable behavior. Zero values mean
+// "not checked" so the file only needs to state what it cares about.
+type sloThresholds struct {
+	// P99Ms caps the served-request (200/304) p99 latency.
+	P99Ms float64 `json:"p99_ms"`
+	// RouteP99Ms caps per-route p99s by mix family (snapshot,
+	// experiment, genres, games_top, user, ...).
+	RouteP99Ms map[string]float64 `json:"route_p99_ms"`
+	// MaxShedRate caps the 503 fraction of all issued requests.
+	MaxShedRate float64 `json:"max_shed_rate"`
+	// MaxErrorRate caps the non-shed failure fraction (5xx + timeouts +
+	// transport errors).
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MinServerShed (chaos only) demands the admission layer actually
+	// shed at least this many requests during the run.
+	MinServerShed int64 `json:"min_server_shed"`
+}
+
+// sloFile is BENCH_query_slo.json: one budget for calm-weather bench
+// runs, one for chaos runs.
+type sloFile struct {
+	Bench sloThresholds `json:"bench"`
+	Chaos sloThresholds `json:"chaos"`
+}
+
+// checkSLO compares the run against the thresholds file and returns the
+// violations (empty path = no file-based checks).
+func checkSLO(path string, rep *benchReport, chaos *chaosReport) []string {
+	if path == "" {
+		return nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("slo: %v", err)
+	}
+	var f sloFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		log.Fatalf("slo: parsing %s: %v", path, err)
+	}
+	if chaos != nil {
+		v := checkThresholds("chaos", f.Chaos, chaos.LatencyMs.P99, chaos.Routes, chaos.Classification)
+		if f.Chaos.MinServerShed > 0 && chaos.ServerShed < f.Chaos.MinServerShed {
+			v = append(v, fmt.Sprintf("chaos: server shed %d requests, SLO demands >= %d (admission control not engaging)",
+				chaos.ServerShed, f.Chaos.MinServerShed))
+		}
+		return v
+	}
+	return checkThresholds("bench", f.Bench, rep.LatencyMs.P99, rep.Routes, rep.Classification)
+}
+
+func checkThresholds(mode string, t sloThresholds, p99 float64, routes map[string]latencySummary, cls classification) []string {
+	var v []string
+	if t.P99Ms > 0 && p99 > t.P99Ms {
+		v = append(v, fmt.Sprintf("%s: p99 %.3fms exceeds budget %.3fms", mode, p99, t.P99Ms))
+	}
+	for route, limit := range t.RouteP99Ms {
+		s, ok := routes[route]
+		if !ok || s.Count == 0 {
+			v = append(v, fmt.Sprintf("%s: route %q has an SLO but saw no served requests", mode, route))
+			continue
+		}
+		if s.P99 > limit {
+			v = append(v, fmt.Sprintf("%s: route %q p99 %.3fms exceeds budget %.3fms", mode, route, s.P99, limit))
+		}
+	}
+	if rate := cls.shedRate(); t.MaxShedRate > 0 && rate > t.MaxShedRate {
+		v = append(v, fmt.Sprintf("%s: shed rate %.5f exceeds budget %.5f", mode, rate, t.MaxShedRate))
+	}
+	if rate := cls.errorRate(); rate > t.MaxErrorRate {
+		v = append(v, fmt.Sprintf("%s: error rate %.5f exceeds budget %.5f (%d 5xx, %d timeouts, %d transport)",
+			mode, rate, t.MaxErrorRate, cls.Errors5xx, cls.Timeouts, cls.TransportErrors))
+	}
+	return v
+}

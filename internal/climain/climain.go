@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 
 	"steamstudy/internal/dataset"
@@ -112,16 +113,18 @@ func (a *App) Adopt(reg *obs.Registry, health *obs.Health) {
 // at" line. Call after flag.Parse and after Adopt/EnsureRegistry; exits
 // fatally if the address cannot be bound, because a monitoring listener
 // the operator asked for and silently doesn't have is worse than no
-// process.
+// process. The listener is served through NewHTTPServer, so even the
+// admin surface carries slow-client timeouts.
 func (a *App) StartAdmin() {
 	if !a.AdminEnabled() {
 		return
 	}
-	addr, err := obs.ServeAdmin(*a.admin, a.Registry(), a.Health(), *a.pprofOn)
+	lis, err := net.Listen("tcp", *a.admin)
 	if err != nil {
 		log.Fatalf("admin listener: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: admin endpoints at http://%s/metrics\n", a.Name, addr)
+	go NewHTTPServer(obs.AdminMux(a.Registry(), a.Health(), *a.pprofOn)).Serve(lis)
+	fmt.Fprintf(os.Stderr, "%s: admin endpoints at http://%s/metrics\n", a.Name, lis.Addr())
 }
 
 // MustSnapshotPath validates that path names a readable/writable

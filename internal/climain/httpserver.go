@@ -1,0 +1,38 @@
+package climain
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default http.Server timeouts, shared by every listener in the repo
+// (the /v1 query API, the Steam API simulator, the admin surface).
+// Without them a single slow or stalled client holds a connection —
+// and under the query server's admission model, a goroutine — forever:
+// slowloris header dribbling, never-finishing request bodies, and
+// never-reading response consumers are all cut by the kernel-visible
+// deadlines below. Write is the loosest because it spans the handler's
+// own compute time on HTTP/1.1; it still must be finite, or a client
+// that stops reading pins its response write until process exit.
+const (
+	DefReadHeaderTimeout = 5 * time.Second
+	DefReadTimeout       = 30 * time.Second
+	DefWriteTimeout      = 60 * time.Second
+	DefIdleTimeout       = 120 * time.Second
+)
+
+// NewHTTPServer is the one http.Server constructor in the repo: every
+// listener gets the default read-header/read/write/idle timeouts, so a
+// server without slow-client protection cannot be created by omission.
+// Callers with special needs (the chaos harness shortens WriteTimeout
+// to provoke slow-reader cuts) adjust fields on the returned server
+// before Serve.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefReadHeaderTimeout,
+		ReadTimeout:       DefReadTimeout,
+		WriteTimeout:      DefWriteTimeout,
+		IdleTimeout:       DefIdleTimeout,
+	}
+}

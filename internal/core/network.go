@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"steamstudy/internal/apiserver"
+	"steamstudy/internal/climain"
 	"steamstudy/internal/crawler"
 	"steamstudy/internal/dataset"
 	"steamstudy/internal/simworld"
@@ -62,7 +63,9 @@ func ServeUniverse(u *simworld.Universe, opts ServerOptions) (*APIServer, error)
 	if err != nil {
 		return nil, fmt.Errorf("steamstudy: listening on %s: %w", opts.Addr, err)
 	}
-	srv := &http.Server{Handler: handler}
+	// climain.NewHTTPServer: every listener in the repo carries
+	// slow-client timeouts, including the embedded simulator.
+	srv := climain.NewHTTPServer(handler)
 	go srv.Serve(lis)
 	return &APIServer{
 		BaseURL: "http://" + lis.Addr().String(),

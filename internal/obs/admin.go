@@ -2,7 +2,6 @@ package obs
 
 import (
 	"encoding/json"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -109,17 +108,4 @@ func AdminMux(r *Registry, h *Health, enablePprof bool) *http.ServeMux {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
-}
-
-// ServeAdmin binds addr and serves the AdminMux in a background
-// goroutine, returning the bound address (useful with ":0"). This is the
-// -admin flag implementation shared by the binaries; the listener lives
-// until the process exits.
-func ServeAdmin(addr string, r *Registry, h *Health, enablePprof bool) (net.Addr, error) {
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	go http.Serve(lis, AdminMux(r, h, enablePprof))
-	return lis.Addr(), nil
 }

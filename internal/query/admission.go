@@ -1,0 +1,141 @@
+package query
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: the overload policy's front door (DESIGN.md §15).
+// A fixed pool of in-flight slots bounds how much work the data routes
+// may hold at once; requests that find the pool full wait briefly in a
+// FIFO queue (blocked channel sends wake in arrival order) and are shed
+// with 503 + Retry-After when the queue deadline passes or the queue
+// itself grows past queueDepthFactor x the slot count. Shedding early
+// and cheaply is the point: a bounded server answers *someone* quickly
+// instead of queueing unboundedly and answering everyone late.
+
+// Admission defaults. DefMaxInflight is deliberately generous for a
+// CPU-bound cache-backed server — it exists to stop pile-ups, not to
+// pace the steady state. DefQueueWait is long enough to absorb a burst
+// one service-time deep and short enough that a shed response beats a
+// client-side timeout.
+const (
+	DefMaxInflight  = 256
+	DefQueueWait    = 100 * time.Millisecond
+	DefRouteTimeout = 5 * time.Second
+
+	// queueDepthFactor bounds the wait queue's length relative to the
+	// slot count: past that, later arrivals could not be served within
+	// the queue deadline anyway, so they are shed immediately.
+	queueDepthFactor = 4
+
+	// DefRetryAfter is the backoff advertised on shed responses. One
+	// second is one full queue drain plus headroom; query.Client honors
+	// it with a single bounded retry.
+	DefRetryAfter = 1 * time.Second
+)
+
+// errShed and errDeadline are the two overload outcomes; both map to
+// 503 + Retry-After so clients treat them uniformly, but they keep
+// distinct envelope codes and counters because their remedies differ
+// (shed = too many concurrent requests, deadline = this request waited
+// past its route budget).
+var (
+	errShed = &apiError{
+		status:     503,
+		code:       "overloaded",
+		msg:        "server at capacity; retry after the advertised delay",
+		retryAfter: DefRetryAfter,
+	}
+	errDeadline = &apiError{
+		status:     503,
+		code:       "deadline_exceeded",
+		msg:        "request exceeded its route deadline while waiting; retry after the advertised delay",
+		retryAfter: DefRetryAfter,
+	}
+)
+
+// admission is the in-flight slot pool. A nil *admission admits
+// everything (unlimited mode); all methods are nil-safe.
+type admission struct {
+	slots     chan struct{}
+	queueWait time.Duration
+	maxQueue  int64
+	queued    atomic.Int64
+	inflight  atomic.Int64
+}
+
+// newAdmission sizes the pool. maxInflight <= 0 means unlimited (nil);
+// queueWait <= 0 sheds immediately when the pool is full.
+func newAdmission(maxInflight int, queueWait time.Duration) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	return &admission{
+		slots:     make(chan struct{}, maxInflight),
+		queueWait: queueWait,
+		maxQueue:  int64(maxInflight) * queueDepthFactor,
+	}
+}
+
+// acquire claims one in-flight slot, waiting up to queueWait (bounded
+// further by ctx) in FIFO order. It returns nil on admission — the
+// caller must release() — and errShed when the wait queue is already
+// past its depth bound, the queue deadline expires, or ctx is done.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queueWait <= 0 {
+		return errShed
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errShed
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.queueWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-t.C:
+		return errShed
+	case <-ctx.Done():
+		return errShed
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// Inflight reports currently admitted requests (the query_inflight
+// gauge).
+func (a *admission) Inflight() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inflight.Load()
+}
+
+// Queued reports requests waiting for a slot (the query_queued gauge).
+func (a *admission) Queued() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.queued.Load()
+}

@@ -9,8 +9,11 @@
 package query
 
 import (
+	"context"
 	"hash/maphash"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // cacheShards is the fixed shard count. Shard selection hashes the full
@@ -38,6 +41,9 @@ type entry struct {
 	ready chan struct{}
 	val   cached
 	err   error
+	// hits counts completed lookups that landed on this entry; reload's
+	// cache warming replays the hottest keys into the successor state.
+	hits atomic.Int64
 }
 
 type shard struct {
@@ -78,13 +84,20 @@ func (c *cache) shardFor(key string) *shard {
 // both a completed entry and a wait on another request's in-flight fill
 // (the work was not repeated, which is what the hit/miss metrics are
 // meant to count). Errors from fill propagate to every collapsed waiter
-// but are not cached.
-func (c *cache) do(key string, fill func() (cached, error)) (cached, bool, error) {
+// but are not cached. A waiter parked on someone else's in-flight fill
+// gives up when ctx expires (its route deadline) — the fill itself keeps
+// running to completion for the remaining waiters.
+func (c *cache) do(ctx context.Context, key string, fill func() (cached, error)) (cached, bool, error) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return cached{}, false, errDeadline
+		}
+		e.hits.Add(1)
 		return e.val, true, e.err
 	}
 	e := &entry{ready: make(chan struct{})}
@@ -138,4 +151,48 @@ func (c *cache) len() int {
 		c.shards[i].mu.Unlock()
 	}
 	return n
+}
+
+// hottest returns up to n resident keys ordered by descending hit count
+// (key order breaks ties, so the result is deterministic for a given
+// hit distribution). Only completed entries qualify — an in-flight fill
+// has no proven value yet. Reload replays these into the new state's
+// cache before the swap, so the hot working set never goes cold.
+func (c *cache) hottest(n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	type hot struct {
+		key  string
+		hits int64
+	}
+	var all []hot
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					all = append(all, hot{k, e.hits.Load()})
+				}
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].hits != all[j].hits {
+			return all[i].hits > all[j].hits
+		}
+		return all[i].key < all[j].key
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = all[i].key
+	}
+	return keys
 }

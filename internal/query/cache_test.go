@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,7 +26,7 @@ func TestCacheCollapsesInFlight(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		v, hit, err := c.do("k", func() (cached, error) {
+		v, hit, err := c.do(context.Background(), "k", func() (cached, error) {
 			fills.Add(1)
 			close(started)
 			<-gate
@@ -41,7 +42,7 @@ func TestCacheCollapsesInFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, hit, err := c.do("k", func() (cached, error) {
+			v, hit, err := c.do(context.Background(), "k", func() (cached, error) {
 				fills.Add(1)
 				return cached{body: []byte("wrong")}, nil
 			})
@@ -75,14 +76,14 @@ func TestCacheCollapsesInFlight(t *testing.T) {
 func TestCacheErrorsNotCached(t *testing.T) {
 	c := newCache(64)
 	boom := errors.New("boom")
-	_, _, err := c.do("k", func() (cached, error) { return cached{}, boom })
+	_, _, err := c.do(context.Background(), "k", func() (cached, error) { return cached{}, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want boom", err)
 	}
 	if c.len() != 0 {
 		t.Fatalf("error was cached: %d entries resident", c.len())
 	}
-	v, hit, err := c.do("k", func() (cached, error) {
+	v, hit, err := c.do(context.Background(), "k", func() (cached, error) {
 		return cached{body: []byte("recovered")}, nil
 	})
 	if err != nil || hit || string(v.body) != "recovered" {
@@ -97,7 +98,7 @@ func TestCacheEviction(t *testing.T) {
 	c := newCache(cap)
 	for i := 0; i < 10*cap; i++ {
 		key := fmt.Sprintf("k%d", i)
-		v, _, err := c.do(key, func() (cached, error) {
+		v, _, err := c.do(context.Background(), key, func() (cached, error) {
 			return cached{body: []byte(key)}, nil
 		})
 		if err != nil || string(v.body) != key {
@@ -116,7 +117,7 @@ func TestCacheUnbounded(t *testing.T) {
 	c := newCache(-1)
 	for i := 0; i < 500; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if _, _, err := c.do(key, func() (cached, error) {
+		if _, _, err := c.do(context.Background(), key, func() (cached, error) {
 			return cached{body: []byte(key)}, nil
 		}); err != nil {
 			t.Fatal(err)

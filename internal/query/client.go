@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,16 +9,37 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
+)
+
+// Client request-shaping defaults. The timeout exists so a programmatic
+// caller against a stalled server fails in bounded time instead of
+// hanging a goroutine; the Retry-After cap bounds how long a single 503
+// can make one call sleep, whatever the server advertises.
+const (
+	DefClientTimeout = 15 * time.Second
+	maxClientBackoff = 2 * time.Second
+	defClientBackoff = 100 * time.Millisecond
 )
 
 // Client is a typed consumer of the /v1 API. The zero HTTPClient means
 // http.DefaultClient. Methods return *APIError for any enveloped error
 // response, so callers can switch on the status/code without parsing.
+//
+// Every request carries a deadline (Timeout, default DefClientTimeout),
+// and a 503 — the server shedding load or mid-reload — is retried once
+// after honoring its Retry-After header (capped at 2s), so callers
+// survive shedding windows without writing their own backoff loop.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080" — no
 	// trailing slash, no /v1 (the client appends it).
 	BaseURL    string
 	HTTPClient *http.Client
+	// Timeout bounds each request attempt, retry included (0 =
+	// DefClientTimeout, negative = none).
+	Timeout time.Duration
+	// NoRetry disables the single bounded retry on 503.
+	NoRetry bool
 }
 
 // APIError is the client-side view of the server's error envelope.
@@ -39,33 +61,75 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do performs one request and decodes either the success body into out
-// or the error envelope into an *APIError.
+// or the error envelope into an *APIError. The whole call — both
+// attempts and the backoff sleep between them — runs under one
+// deadline, so the retry can never stretch a call past ~Timeout.
 func (c *Client) do(method, path string, out any) error {
-	req, err := http.NewRequest(method, c.BaseURL+path, nil)
+	ctx := context.Background()
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefClientTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	body, status, retryAfter, err := c.attempt(ctx, method, path)
+	if err == nil && status == http.StatusServiceUnavailable && !c.NoRetry {
+		backoff := defClientBackoff
+		if retryAfter > 0 {
+			backoff = retryAfter
+		}
+		if backoff > maxClientBackoff {
+			backoff = maxClientBackoff
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+			body, status, _, err = c.attempt(ctx, method, path)
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
+	if status != http.StatusOK {
 		var envelope ErrorBody
 		if json.Unmarshal(body, &envelope) == nil && envelope.Error.Status != 0 {
 			return &APIError{Status: envelope.Error.Status, Code: envelope.Error.Code, Message: envelope.Error.Message}
 		}
-		return &APIError{Status: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(body))}
+		return &APIError{Status: status, Code: "http_error", Message: strings.TrimSpace(string(body))}
 	}
 	if s, ok := out.(*string); ok {
 		*s = string(body)
 		return nil
 	}
 	return json.Unmarshal(body, out)
+}
+
+// attempt fires one HTTP request, returning the body, status, and any
+// parsed Retry-After delay.
+func (c *Client) attempt(ctx context.Context, method, path string) (body []byte, status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return body, resp.StatusCode, retryAfter, nil
 }
 
 // Snapshot fetches the serving snapshot's identity and totals.

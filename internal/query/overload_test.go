@@ -1,0 +1,545 @@
+package query
+
+// Overload-policy tests (DESIGN.md §15): admission control and load
+// shedding, per-route deadlines on collapsed fills, reload cache
+// warming, corrupt-snapshot reload safety, and the client's bounded
+// 503 retry. The fill seam (Config.testFillDelay) makes slot occupancy
+// deterministic; none of these tests depend on machine speed for
+// correctness, only for how quickly they finish.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newOverloadServer is newTestServer with a caller-shaped Config (the
+// snapshot path and worker count are filled in).
+func newOverloadServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	snap, _ := fixtures(t)
+	path := filepath.Join(t.TempDir(), "snap.jsonl")
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SnapshotPath = path
+	cfg.Workers = 1
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestAdmissionUnit(t *testing.T) {
+	ctx := context.Background()
+
+	// Unlimited modes.
+	if a := newAdmission(0, time.Second); a != nil {
+		t.Fatal("maxInflight 0 should mean unlimited (nil pool)")
+	}
+	var unlimited *admission
+	if err := unlimited.acquire(ctx); err != nil {
+		t.Fatalf("nil admission must admit: %v", err)
+	}
+	unlimited.release()
+	if unlimited.Inflight() != 0 || unlimited.Queued() != 0 {
+		t.Fatal("nil admission gauges should read 0")
+	}
+
+	// Immediate-shed mode: full pool + no queue wait.
+	im := newAdmission(1, -1)
+	if err := im.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := im.acquire(ctx); err != errShed {
+		t.Fatalf("want immediate errShed with queueWait<0, got %v", err)
+	}
+	im.release()
+
+	// Queue overflow sheds without waiting out the deadline.
+	a := newAdmission(2, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := a.acquire(ctx); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for i := 0; i < int(a.maxQueue); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.acquire(ctx); err == nil {
+				admitted.Add(1)
+				a.release()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return a.Queued() == a.maxQueue })
+	start := time.Now()
+	if err := a.acquire(ctx); err != errShed {
+		t.Fatalf("overflow acquire: want errShed, got %v", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("overflow shed took %v; should not wait out the queue deadline", d)
+	}
+	a.release()
+	a.release()
+	wg.Wait()
+	if got := admitted.Load(); got != a.maxQueue {
+		t.Fatalf("admitted %d queued waiters, want %d", got, a.maxQueue)
+	}
+	waitFor(t, func() bool { return a.Inflight() == 0 })
+
+	// Context cancellation sheds a queued waiter.
+	b := newAdmission(1, time.Minute)
+	if err := b.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if err := b.acquire(cctx); err != errShed {
+		t.Fatalf("cancelled waiter: want errShed, got %v", err)
+	}
+	b.release()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// TestSheddingHTTP pins the whole shed contract over HTTP: a saturated
+// server answers 503 with the "overloaded" envelope code and a
+// Retry-After header, counts it in query_shed_total, keeps serving
+// conditional revalidations (304) and the control plane (/v1/stats)
+// without an admission slot, and recovers as soon as the slot frees.
+func TestSheddingHTTP(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	s, _ := newOverloadServer(t, Config{
+		MaxInflight: 1,
+		QueueWait:   -1, // shed immediately: no timing in the assertion
+		testFillDelay: func(route string) {
+			entered <- struct{}{}
+			<-unblock
+		},
+	})
+	etag := s.ETag()
+
+	var blocked sync.WaitGroup
+	blocked.Add(1)
+	go func() {
+		defer blocked.Done()
+		w := get(t, s, "/v1/snapshot")
+		if w.Code != http.StatusOK {
+			t.Errorf("blocked filler finished %d, want 200", w.Code)
+		}
+	}()
+	<-entered // the one slot is now held by a fill in progress
+
+	w := get(t, s, "/v1/genres")
+	decodeEnvelope(t, w, http.StatusServiceUnavailable, "overloaded")
+	if ra := w.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	if got := s.metrics.ShedTotal.Load(); got != 1 {
+		t.Fatalf("query_shed_total = %d, want 1", got)
+	}
+
+	// Revalidation must not need a slot: same saturated instant, 304.
+	w = get(t, s, "/v1/genres", "If-None-Match", etag)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("conditional GET under saturation = %d, want 304", w.Code)
+	}
+	// Control plane bypasses admission too.
+	w = get(t, s, "/v1/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/stats under saturation = %d, want 200", w.Code)
+	}
+	var info StatsInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Shed != 1 || info.Inflight != 1 {
+		t.Fatalf("stats shed=%d inflight=%d, want 1/1", info.Shed, info.Inflight)
+	}
+
+	close(unblock)
+	blocked.Wait()
+	if w := get(t, s, "/v1/genres"); w.Code != http.StatusOK {
+		t.Fatalf("after slot freed: %d, want 200", w.Code)
+	}
+}
+
+// TestDeadlineShedsCollapsedWaiter: a request that collapses onto an
+// in-flight fill must give up when its route deadline passes — 503 with
+// the "deadline_exceeded" code — while the fill itself completes for
+// the filler.
+func TestDeadlineShedsCollapsedWaiter(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s, _ := newOverloadServer(t, Config{
+		RouteTimeout: 30 * time.Millisecond,
+		testFillDelay: func(route string) {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+
+	var filler sync.WaitGroup
+	filler.Add(1)
+	go func() {
+		defer filler.Done()
+		w := get(t, s, "/v1/snapshot")
+		if w.Code != http.StatusOK {
+			t.Errorf("filler finished %d, want 200", w.Code)
+		}
+	}()
+	<-entered
+
+	// Same URL: this request parks on the filler's ready channel and
+	// must abandon the wait at its deadline, not block indefinitely.
+	w := get(t, s, "/v1/snapshot")
+	decodeEnvelope(t, w, http.StatusServiceUnavailable, "deadline_exceeded")
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("deadline shed must carry Retry-After")
+	}
+	if got := s.metrics.DeadlineTotal.Load(); got != 1 {
+		t.Fatalf("query_deadline_total = %d, want 1", got)
+	}
+
+	close(release)
+	filler.Wait()
+	// The completed fill is cached; the same URL now answers instantly.
+	if w := get(t, s, "/v1/snapshot"); w.Code != http.StatusOK {
+		t.Fatalf("after fill completed: %d, want 200", w.Code)
+	}
+}
+
+// TestCorruptReloadKeepsServing is the reload-hardening proof: while
+// concurrent traffic runs, the snapshot file is truncated mid-flight, a
+// reload is triggered and must fail — and not one request may see
+// anything but 200/304 with the original ETag. Restoring the file must
+// make reload succeed again.
+func TestCorruptReloadKeepsServing(t *testing.T) {
+	s, path := newOverloadServer(t, Config{})
+	etag := s.ETag()
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	type tally struct {
+		bad      int64
+		badETags int64
+	}
+	var tl tally
+	var traffic sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		traffic.Add(1)
+		go func(i int) {
+			defer traffic.Done()
+			urls := []string{"/v1/snapshot", "/v1/genres", "/v1/games/top?n=5", "/v1/groups/top"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := urls[(n+i)%len(urls)]
+				var w *httptest.ResponseRecorder
+				if n%3 == 0 {
+					w = get(t, s, u, "If-None-Match", etag)
+					if w.Code != http.StatusNotModified {
+						atomic.AddInt64(&tl.bad, 1)
+					}
+				} else {
+					w = get(t, s, u)
+					if w.Code != http.StatusOK {
+						atomic.AddInt64(&tl.bad, 1)
+					}
+				}
+				if got := w.Header().Get("ETag"); got != "" && got != etag {
+					atomic.AddInt64(&tl.badETags, 1)
+				}
+			}
+		}(i)
+	}
+
+	// Truncate the serving file under the running traffic: the reload
+	// must fail (manifest mismatch / decode error), the old state must
+	// keep serving, and the ETag must not move.
+	if err := os.WriteFile(path, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload of a truncated snapshot must fail")
+	}
+	if got := s.ETag(); got != etag {
+		t.Fatalf("ETag changed across failed reload: %q -> %q", etag, got)
+	}
+	if got := s.metrics.ReloadFailures.Load(); got == 0 {
+		t.Fatal("reload_failures did not count the failed reload")
+	}
+	if w := get(t, s, "/v1/snapshot"); w.Code != http.StatusOK {
+		t.Fatalf("serving after failed reload: %d, want 200", w.Code)
+	}
+
+	close(stop)
+	traffic.Wait()
+	if n := atomic.LoadInt64(&tl.bad); n != 0 {
+		t.Fatalf("%d requests failed during the corrupt-reload window; overload policy promises zero", n)
+	}
+	if n := atomic.LoadInt64(&tl.badETags); n != 0 {
+		t.Fatalf("%d responses carried a different ETag during the corrupt-reload window", n)
+	}
+
+	// Restore the bytes: reload recovers, same identity.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload after restore: %v", err)
+	}
+	if got := s.ETag(); got != etag {
+		t.Fatalf("restored snapshot changed identity: %q -> %q", etag, got)
+	}
+}
+
+func TestCacheHottest(t *testing.T) {
+	c := newCache(64)
+	ctx := context.Background()
+	fill := func(v string) func() (cached, error) {
+		return func() (cached, error) { return cached{body: []byte(v), ctype: "t"}, nil }
+	}
+	hit := func(key string, times int) {
+		for i := 0; i <= times; i++ { // first call is the fill
+			if _, _, err := c.do(ctx, key, fill(key)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hit("/a", 3)
+	hit("/b", 1)
+	hit("/c", 0)
+	hit("/d", 0)
+
+	if got := c.hottest(2); len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Fatalf("hottest(2) = %v, want [/a /b]", got)
+	}
+	// Ties break by key for determinism.
+	if got := c.hottest(10); len(got) != 4 || got[2] != "/c" || got[3] != "/d" {
+		t.Fatalf("hottest(10) = %v, want [/a /b /c /d]", got)
+	}
+	if got := c.hottest(0); got != nil {
+		t.Fatalf("hottest(0) = %v, want nil", got)
+	}
+}
+
+// TestReloadWarmsHotCache: after a reload, the hottest keys of the
+// outgoing cache must already be resident in the new state — a request
+// for them is a hit, not a renderer stampede.
+func TestReloadWarmsHotCache(t *testing.T) {
+	s, _ := newOverloadServer(t, Config{WarmKeys: 2})
+
+	// Build a hit gradient: snapshot (2 hits) > genres (1) > top (0).
+	for i := 0; i < 3; i++ {
+		get(t, s, "/v1/snapshot")
+	}
+	for i := 0; i < 2; i++ {
+		get(t, s, "/v1/genres")
+	}
+	get(t, s, "/v1/games/top?n=5")
+
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.metrics.WarmedTotal.Load(); got != 2 {
+		t.Fatalf("query_warmed_total = %d, want 2", got)
+	}
+
+	// The two hottest keys serve from cache (no new miss); the cold one
+	// fills again.
+	misses := s.metrics.CacheMisses.Load()
+	if w := get(t, s, "/v1/snapshot"); w.Code != http.StatusOK {
+		t.Fatalf("warmed key: %d, want 200", w.Code)
+	}
+	if w := get(t, s, "/v1/genres"); w.Code != http.StatusOK {
+		t.Fatalf("warmed key: %d, want 200", w.Code)
+	}
+	if got := s.metrics.CacheMisses.Load(); got != misses {
+		t.Fatalf("warmed keys caused %d cache misses, want 0", got-misses)
+	}
+	get(t, s, "/v1/games/top?n=5")
+	if got := s.metrics.CacheMisses.Load(); got != misses+1 {
+		t.Fatalf("cold key after reload: misses %d -> %d, want +1", misses, got)
+	}
+}
+
+// TestOverloadRaceStorm exists for `go test -race ./internal/query`:
+// concurrent fills, sheds, conditional GETs and hot reloads all racing
+// over a tiny admission pool. The race detector is the assertion; the
+// status check just pins the policy's response-space (200/304/503,
+// nothing else) while the storm runs.
+func TestOverloadRaceStorm(t *testing.T) {
+	s, _ := newOverloadServer(t, Config{
+		MaxInflight:   4,
+		QueueWait:     2 * time.Millisecond,
+		RouteTimeout:  50 * time.Millisecond,
+		WarmKeys:      8,
+		testFillDelay: func(route string) { time.Sleep(100 * time.Microsecond) },
+	})
+	etag := s.ETag()
+	urls := []string{
+		"/v1/snapshot", "/v1/genres", "/v1/games/top?n=5",
+		"/v1/groups/top", "/v1/percentiles/friends", "/v1/experiments",
+	}
+
+	var wg sync.WaitGroup
+	var unexpected atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				u := urls[(g+i)%len(urls)]
+				var w *httptest.ResponseRecorder
+				if i%5 == 0 {
+					w = get(t, s, u, "If-None-Match", etag)
+				} else {
+					w = get(t, s, u)
+				}
+				switch w.Code {
+				case http.StatusOK, http.StatusNotModified, http.StatusServiceUnavailable:
+				default:
+					unexpected.Add(1)
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if err := s.Reload(); err != nil {
+					t.Errorf("reload under storm: %v", err)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d responses outside {200, 304, 503} during the storm", n)
+	}
+	if w := get(t, s, "/v1/snapshot"); w.Code != http.StatusOK {
+		t.Fatalf("after storm: %d, want 200", w.Code)
+	}
+}
+
+// --- client resilience ---
+
+func shedOnceServer(t *testing.T, calls *atomic.Int32, retryAfter string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{
+				Status: http.StatusServiceUnavailable, Code: "overloaded", Message: "shed",
+			}})
+			return
+		}
+		json.NewEncoder(w).Encode(SnapshotInfo{ETag: `"fresh"`})
+	}))
+}
+
+func TestClientRetriesShed(t *testing.T) {
+	var calls atomic.Int32
+	ts := shedOnceServer(t, &calls, "0")
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	info, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("want success after one bounded retry, got %v", err)
+	}
+	if info.ETag != `"fresh"` {
+		t.Fatalf("ETag = %q after retry", info.ETag)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (original + one retry)", got)
+	}
+}
+
+func TestClientRetryIsBounded(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{
+			Status: http.StatusServiceUnavailable, Code: "overloaded", Message: "still shedding",
+		}})
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	_, err := c.Snapshot()
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusServiceUnavailable || ae.Code != "overloaded" {
+		t.Fatalf("want *APIError 503/overloaded, got %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want exactly 2 (one retry, never more)", got)
+	}
+
+	calls.Store(0)
+	nc := &Client{BaseURL: ts.URL, NoRetry: true}
+	if _, err := nc.Snapshot(); err == nil {
+		t.Fatal("NoRetry client should surface the 503")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("NoRetry client made %d calls, want 1", got)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, Timeout: 30 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Snapshot()
+	if err == nil {
+		t.Fatal("want a timeout error from a stalled server")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v; the deadline is not being applied", d)
+	}
+}

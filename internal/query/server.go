@@ -1,11 +1,13 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +36,30 @@ type Config struct {
 	// until the first successful load — so /healthz on the admin mux (and
 	// the server's own /healthz) gate traffic on snapshot readiness.
 	Health *obs.Health
+
+	// MaxInflight bounds concurrently admitted data-route requests
+	// (0 = DefMaxInflight, negative = unlimited). Conditional GETs that
+	// 304, /v1/stats, /v1/admin/reload and /healthz bypass admission:
+	// revalidation and the control plane stay alive under overload.
+	MaxInflight int
+	// QueueWait is how long a request may wait (FIFO) for a slot before
+	// being shed with 503 + Retry-After (0 = DefQueueWait, negative =
+	// shed immediately when the pool is full).
+	QueueWait time.Duration
+	// RouteTimeout is the per-request deadline budget applied via
+	// context (0 = DefRouteTimeout, negative = none). Renderer routes
+	// get renderTimeoutScale x this; a request whose wait on a collapsed
+	// in-flight fill outlives the deadline is shed.
+	RouteTimeout time.Duration
+	// WarmKeys is how many of the outgoing cache's hottest keys Reload
+	// replays into the new state before swapping it in (0 = DefWarmKeys,
+	// negative = no warming).
+	WarmKeys int
+
+	// testFillDelay, when set (tests only), runs inside every cache fill
+	// before the handler — the seam the shedding and deadline tests use
+	// to hold slots open deterministically.
+	testFillDelay func(route string)
 }
 
 // DefCacheEntries is the default result-cache capacity. The full ad-hoc
@@ -41,6 +67,15 @@ type Config struct {
 // whatever user lookups recur; 4096 entries holds all of it with room
 // for a long tail while bounding worst-case residency.
 const DefCacheEntries = 4096
+
+// DefWarmKeys is the default reload warming depth: enough for every hot
+// board/table plus the head of the per-user tail, small enough that
+// warming adds milliseconds, not seconds, to a reload.
+const DefWarmKeys = 64
+
+// renderTimeoutScale widens the deadline budget for renderer-backed
+// routes (full table/figure renders are the API's heaviest fills).
+const renderTimeoutScale = 4
 
 // Metrics are the server's counters, adopted into Config.Obs under the
 // "query_" prefix.
@@ -52,6 +87,14 @@ type Metrics struct {
 	Errors         obs.Counter
 	Reloads        obs.Counter
 	ReloadFailures obs.Counter
+	// ShedTotal counts requests refused at admission (queue full or
+	// queue deadline exceeded); DeadlineTotal counts admitted requests
+	// shed because their route deadline expired while they waited on a
+	// collapsed fill; WarmedTotal counts cache keys replayed by reload
+	// warming.
+	ShedTotal     obs.Counter
+	DeadlineTotal obs.Counter
+	WarmedTotal   obs.Counter
 }
 
 // state is everything derived from one loaded snapshot. It is immutable
@@ -85,12 +128,17 @@ type state struct {
 type Server struct {
 	cfg     Config
 	metrics Metrics
+	adm     *admission
 	cur     atomic.Pointer[state]
 	// reloadMu serializes Reload: concurrent triggers (SIGHUP racing the
 	// admin endpoint) queue rather than loading the file twice.
 	reloadMu sync.Mutex
 	mux      *http.ServeMux
-	routes   map[string]*routeMetrics
+	// fillMux mirrors the cacheable routes for reload warming: its
+	// handlers fill the cache of the state carried in the request
+	// context, bypassing admission, ETags and response writing.
+	fillMux *http.ServeMux
+	routes  map[string]*routeMetrics
 }
 
 type routeMetrics struct {
@@ -115,8 +163,23 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = DefCacheEntries
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefMaxInflight
+	}
+	if cfg.QueueWait == 0 {
+		cfg.QueueWait = DefQueueWait
+	}
+	if cfg.RouteTimeout == 0 {
+		cfg.RouteTimeout = DefRouteTimeout
+	}
+	if cfg.WarmKeys == 0 {
+		cfg.WarmKeys = DefWarmKeys
+	}
 	s := &Server{cfg: cfg, routes: make(map[string]*routeMetrics, len(routeNames))}
+	s.adm = newAdmission(cfg.MaxInflight, cfg.QueueWait)
 	cfg.Obs.RegisterCounters("query_", &s.metrics)
+	cfg.Obs.GaugeFunc("query_inflight", func() float64 { return float64(s.adm.Inflight()) })
+	cfg.Obs.GaugeFunc("query_queued", func() float64 { return float64(s.adm.Queued()) })
 	for _, name := range routeNames {
 		c := cfg.Obs.Counter("query_requests:" + name)
 		h := cfg.Obs.Histogram("query_latency:"+name, obs.DefLatencyBuckets())
@@ -178,10 +241,46 @@ func (s *Server) Reload() error {
 		cache:   newCache(s.cfg.CacheEntries),
 		userIdx: snap.UserIndex(),
 	}
+	s.warm(st)
 	s.cur.Store(st)
 	s.metrics.Reloads.Inc()
 	return nil
 }
+
+// warmStateKey carries the state a warming fill should populate —
+// s.cur still points at the outgoing state while warming runs.
+type warmStateKey struct{}
+
+// warm replays the hottest WarmKeys keys of the outgoing cache into the
+// incoming state's cache, so the post-reload working set starts hot
+// instead of stampeding the renderer. It runs before the swap: live
+// traffic keeps hitting the old warm state until the new one is ready.
+// Fill errors are ignored — a key that no longer resolves (say a user
+// absent from the new snapshot) simply isn't warmed; errors were never
+// cacheable anyway.
+func (s *Server) warm(st *state) {
+	old := s.cur.Load()
+	if old == nil || s.cfg.WarmKeys <= 0 {
+		return
+	}
+	ctx := context.WithValue(context.Background(), warmStateKey{}, st)
+	for _, key := range old.cache.hottest(s.cfg.WarmKeys) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, key, nil)
+		if err != nil {
+			continue
+		}
+		s.fillMux.ServeHTTP(discardResponse{}, req)
+		s.metrics.WarmedTotal.Inc()
+	}
+}
+
+// discardResponse satisfies http.ResponseWriter for warming fills,
+// whose product is the cache entry, not the response.
+type discardResponse struct{}
+
+func (discardResponse) Header() http.Header         { return http.Header{} }
+func (discardResponse) Write(b []byte) (int, error) { return len(b), nil }
+func (discardResponse) WriteHeader(int)             {}
 
 // ETag returns the current snapshot's strong validator ("" when
 // unloaded). Clients that saw it in a response header can replay it in
@@ -196,11 +295,14 @@ func (s *Server) ETag() string {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// apiError is an error with a place in the envelope.
+// apiError is an error with a place in the envelope. retryAfter, when
+// positive, becomes a Retry-After header: the server's explicit backoff
+// request on shed and not-yet-loaded responses.
 type apiError struct {
-	status int
-	code   string
-	msg    string
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -214,9 +316,10 @@ func notFoundf(format string, args ...any) *apiError {
 }
 
 var errUnavailable = &apiError{
-	status: http.StatusServiceUnavailable,
-	code:   "unavailable",
-	msg:    "no snapshot loaded yet; retry after the server finishes loading",
+	status:     http.StatusServiceUnavailable,
+	code:       "unavailable",
+	msg:        "no snapshot loaded yet; retry after the server finishes loading",
+	retryAfter: DefRetryAfter,
 }
 
 // writeError emits the envelope. Error bodies are never cached and carry
@@ -228,6 +331,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 	s.metrics.Errors.Inc()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if ae.retryAfter > 0 {
+		secs := int64((ae.retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.WriteHeader(ae.status)
 	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{Status: ae.status, Code: ae.code, Message: ae.msg}})
 }
@@ -236,9 +343,24 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // at most once per (state, URL) thanks to the read-through cache.
 type handlerFn func(st *state, r *http.Request) (cached, error)
 
+// timeoutFor is the per-route deadline budget: the configured
+// RouteTimeout, widened for the renderer-backed experiment route (the
+// heaviest fill on the surface). Non-positive means no deadline.
+func (s *Server) timeoutFor(route string) time.Duration {
+	if s.cfg.RouteTimeout <= 0 {
+		return 0
+	}
+	if route == "experiment" {
+		return s.cfg.RouteTimeout * renderTimeoutScale
+	}
+	return s.cfg.RouteTimeout
+}
+
 // handle wires one cacheable GET route: request counting, 503 gating,
-// If-None-Match short-circuit, cache lookup with in-flight collapsing,
-// ETag stamping, latency observation.
+// If-None-Match short-circuit, admission control, the per-route
+// deadline, cache lookup with in-flight collapsing, ETag stamping,
+// latency observation. It also registers the route on fillMux so reload
+// warming can replay its cache fills against a not-yet-published state.
 func (s *Server) handle(pattern, route string, fn handlerFn) {
 	rm := s.routes[route]
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -252,14 +374,32 @@ func (s *Server) handle(pattern, route string, fn handlerFn) {
 			return
 		}
 		// The ETag is snapshot-wide, so a match means the client's copy of
-		// THIS url is still current — answer 304 without touching the cache.
+		// THIS url is still current — answer 304 without touching the cache
+		// and without an admission slot: revalidation costs nothing and
+		// must keep working while the server sheds expensive work.
 		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, st.etag) {
 			s.metrics.NotModified.Inc()
 			w.Header().Set("ETag", st.etag)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		val, hit, err := st.cache.do(cacheKey(r.URL), func() (cached, error) {
+		if err := s.adm.acquire(r.Context()); err != nil {
+			s.metrics.ShedTotal.Inc()
+			s.writeError(w, err)
+			return
+		}
+		defer s.adm.release()
+		ctx := r.Context()
+		if d := s.timeoutFor(route); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		val, hit, err := st.cache.do(ctx, cacheKey(r.URL), func() (cached, error) {
+			if s.cfg.testFillDelay != nil {
+				s.cfg.testFillDelay(route)
+			}
 			return fn(st, r)
 		})
 		if hit {
@@ -268,6 +408,9 @@ func (s *Server) handle(pattern, route string, fn handlerFn) {
 			s.metrics.CacheMisses.Inc()
 		}
 		if err != nil {
+			if err == errDeadline {
+				s.metrics.DeadlineTotal.Inc()
+			}
 			s.writeError(w, err)
 			return
 		}
@@ -275,6 +418,15 @@ func (s *Server) handle(pattern, route string, fn handlerFn) {
 		h.Set("ETag", st.etag)
 		h.Set("Content-Type", val.ctype)
 		w.Write(val.body)
+	})
+	s.fillMux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		st, ok := r.Context().Value(warmStateKey{}).(*state)
+		if !ok {
+			return
+		}
+		st.cache.do(r.Context(), cacheKey(r.URL), func() (cached, error) {
+			return fn(st, r)
+		})
 	})
 }
 
@@ -356,6 +508,7 @@ func jsonBody(v any) (cached, error) {
 // ServeMux) give 405s for wrong methods and {id} capture for free.
 func (s *Server) buildMux() *http.ServeMux {
 	s.mux = http.NewServeMux()
+	s.fillMux = http.NewServeMux()
 	s.handle("GET /v1/snapshot", "snapshot", handleSnapshot)
 	s.handle("GET /v1/experiments", "experiments", handleExperiments)
 	s.handle("GET /v1/experiments/{id}", "experiment", handleExperiment)
@@ -392,6 +545,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Errors:         s.metrics.Errors.Load(),
 		Reloads:        s.metrics.Reloads.Load(),
 		ReloadFailures: s.metrics.ReloadFailures.Load(),
+		Shed:           s.metrics.ShedTotal.Load(),
+		Deadline:       s.metrics.DeadlineTotal.Load(),
+		Warmed:         s.metrics.WarmedTotal.Load(),
+		Inflight:       s.adm.Inflight(),
+		Queued:         s.adm.Queued(),
 	}
 	if st := s.cur.Load(); st != nil {
 		info.SnapshotETag = st.etag

@@ -16,8 +16,12 @@ type ErrorBody struct {
 
 // ErrorInfo describes one API error.
 type ErrorInfo struct {
-	Status  int    `json:"status"`
-	Code    string `json:"code"` // bad_request | not_found | unavailable | internal
+	Status int `json:"status"`
+	// Code is one of bad_request | not_found | unavailable | internal |
+	// overloaded | deadline_exceeded. The 503-family codes (unavailable,
+	// overloaded, deadline_exceeded) always ride with a Retry-After
+	// header.
+	Code    string `json:"code"`
 	Message string `json:"message"`
 }
 
@@ -127,15 +131,25 @@ type FriendsResult struct {
 // dashboards. Unlike every other /v1 body it changes between identical
 // requests, so it is never cached and carries no ETag.
 type StatsInfo struct {
-	Requests       int64  `json:"requests"`
-	CacheHits      int64  `json:"cache_hits"`
-	CacheMisses    int64  `json:"cache_misses"`
-	CacheEntries   int    `json:"cache_entries"`
-	NotModified    int64  `json:"not_modified"`
-	Errors         int64  `json:"errors"`
-	Reloads        int64  `json:"reloads"`
-	ReloadFailures int64  `json:"reload_failures"`
-	SnapshotETag   string `json:"snapshot_etag"`
+	Requests       int64 `json:"requests"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	NotModified    int64 `json:"not_modified"`
+	Errors         int64 `json:"errors"`
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reload_failures"`
+	// Shed counts requests refused at admission with 503 + Retry-After;
+	// Deadline counts admitted requests whose route deadline expired
+	// while they waited on a collapsed fill; Warmed counts cache keys
+	// replayed into fresh states by reload warming. Inflight and Queued
+	// are instantaneous admission-pool readings.
+	Shed         int64  `json:"shed"`
+	Deadline     int64  `json:"deadline_exceeded"`
+	Warmed       int64  `json:"warmed"`
+	Inflight     int64  `json:"inflight"`
+	Queued       int64  `json:"queued"`
+	SnapshotETag string `json:"snapshot_etag"`
 }
 
 // ReloadResult answers POST /v1/admin/reload.
