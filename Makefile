@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify chaos crash fleetchaos fsck bench querybench querychaos profile fmt vet
+.PHONY: build test race verify chaos crash fleetchaos fsck bench scalebench querybench querychaos profile fmt vet
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,12 @@ race:
 verify: build vet test race
 	$(GO) vet -tags crash ./internal/crawler ./internal/fleet
 	$(GO) test -tags crash -run '^$$' ./internal/crawler ./internal/fleet
+	$(GO) vet -tags scale ./internal/scale
+	$(GO) test -tags scale -run '^$$' ./internal/scale
 	$(GO) build ./cmd/steamquery ./cmd/steamqueryload
 	$(GO) test -race ./internal/query
+	$(GO) test -race ./internal/dataset -run 'Stream|Shard|WriteUniverse|Merge'
+	$(GO) test -race ./internal/analysis -run 'StreamTable4'
 
 # chaos runs only the end-to-end fault-injection suite: a full crawl under
 # an aggressive fault profile with simulated process deaths, plus the
@@ -63,6 +67,21 @@ fsck:
 #   BENCH_datapath.json — the parallel data plane at 500k-user scale
 #     (generate, snapshot encode/decode, fsck; workers=1 vs workers=max)
 #     plus the hand-rolled JSONL codec against encoding/json.
+# scalebench is the out-of-core proof (DESIGN.md §16), two parts:
+#   1. the scale-tagged byte-identity harness — at 500k users the
+#      streamed encode must match the in-memory Save byte for byte, the
+#      sharded layout must round-trip to the same content signature and
+#      fsck clean, and the streaming Table 4 must render identically to
+#      the in-memory experiment (SCALE_USERS=n overrides the population);
+#   2. the budgeted pipeline — a 5M-user sharded generate → fsck →
+#      streaming Table 4, each stage a separate process capped at 2 GiB
+#      MaxRSS, recorded in BENCH_scale.json. Any stage over budget fails
+#      the target after the numbers are written.
+scalebench:
+	$(GO) test -tags scale ./internal/scale -run TestStreamingPipelineByteIdentity -count=1 -v -timeout 30m
+	$(GO) run ./cmd/benchjson -scale -users 5000000 -shard-size 250000 \
+		-max-rss-mb 2048 -out BENCH_scale.json
+
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_analysis.json
 	$(GO) run ./cmd/benchjson -out BENCH_obs.json -pkg ./internal/obs \

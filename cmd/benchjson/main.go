@@ -1,7 +1,7 @@
 // Command benchjson runs a benchmark suite and records its measurements
 // in a machine-readable JSON file, seeding the repo's performance
 // trajectory files (BENCH_analysis.json, BENCH_obs.json,
-// BENCH_datapath.json).
+// BENCH_datapath.json, BENCH_scale.json).
 //
 //	go run ./cmd/benchjson -out BENCH_analysis.json
 //
@@ -12,7 +12,17 @@
 // produced one: each recorded result carries the GOMAXPROCS it actually
 // ran under (parsed from the harness's -N name suffix), and the file
 // header records the host's CPU count. On a single-CPU host the two
-// passes coincide and only one is run.
+// passes coincide and only one is run. Every result also records the
+// child process's MaxRSS, so the trajectory files track memory as well
+// as time.
+//
+// With -scale it instead drives the out-of-core pipeline end to end —
+// sharded generate → fsck → streaming Table 4 as separate processes
+// under a fixed RSS budget — and records each stage's wall time and
+// MaxRSS into BENCH_scale.json, exiting non-zero if any stage exceeds
+// the budget:
+//
+//	go run ./cmd/benchjson -scale -users 5000000 -max-rss-mb 2048 -out BENCH_scale.json
 package main
 
 import (
@@ -35,7 +45,11 @@ import (
 const tier2Pattern = "^(BenchmarkRunAllRender|BenchmarkHeavytailFit|BenchmarkTable4Classification|BenchmarkSpearman100k)$"
 
 // Result is one benchmark measurement. BytesPerOp and AllocsPerOp are
-// present only when the benchmark reports allocations.
+// present only when the benchmark reports allocations. MaxRSSBytes is
+// the peak resident set of the child process that produced the line —
+// for `go test -bench` runs that is the whole test binary pass (shared
+// by every result of the pass), for -scale stages it is the stage
+// process alone.
 type Result struct {
 	Name        string  `json:"name"`
 	Gomaxprocs  int     `json:"gomaxprocs"`
@@ -43,6 +57,16 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	MaxRSSBytes int64   `json:"max_rss_bytes,omitempty"`
+}
+
+// Scale describes a -scale pipeline run: the population, the shard
+// geometry, the enforced budget, and the on-disk snapshot size.
+type Scale struct {
+	Users          int   `json:"users"`
+	ShardRecords   int   `json:"shard_records"`
+	MaxRSSBudgetMB int   `json:"max_rss_budget_mb"`
+	SnapshotBytes  int64 `json:"snapshot_bytes"`
 }
 
 // File is the BENCH_*.json schema.
@@ -51,8 +75,9 @@ type File struct {
 	GoVersion   string   `json:"go_version"`
 	NumCPU      int      `json:"num_cpu"`
 	Gomaxprocs  []int    `json:"gomaxprocs_runs"`
-	Pattern     string   `json:"pattern"`
-	Package     string   `json:"package"`
+	Pattern     string   `json:"pattern,omitempty"`
+	Package     string   `json:"package,omitempty"`
+	Scale       *Scale   `json:"scale,omitempty"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -70,6 +95,11 @@ func main() {
 		pattern   = flag.String("bench", tier2Pattern, "benchmark regexp passed to -bench")
 		benchtime = flag.String("benchtime", "", "optional -benchtime (e.g. 3x, 2s)")
 		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
+		scale     = flag.Bool("scale", false, "run the out-of-core scale pipeline (generate -> fsck -> streaming Table 4) instead of a benchmark suite")
+		users     = flag.Int("users", 5_000_000, "with -scale: population size")
+		shardSize = flag.Int("shard-size", 250_000, "with -scale: records per shard segment")
+		maxRSSMB  = flag.Int("max-rss-mb", 2048, "with -scale: per-stage RSS budget in MiB; any stage over budget fails the run (0 disables the gate)")
+		workers   = flag.Int("workers", 0, "with -scale: worker pool size passed to each stage")
 	)
 	flag.Parse()
 
@@ -79,6 +109,11 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		Pattern:     *pattern,
 		Package:     *pkg,
+	}
+	if *scale {
+		f.Pattern, f.Package = "", ""
+		runScale(&f, *out, *users, *shardSize, *maxRSSMB, *workers)
+		return
 	}
 	procs := []int{1}
 	if n := runtime.NumCPU(); n > 1 {
@@ -98,27 +133,39 @@ func main() {
 		if err != nil {
 			log.Fatalf("go %v (GOMAXPROCS=%d): %v", args, gmp, err)
 		}
-		f.Benchmarks = append(f.Benchmarks, parse(raw, gmp)...)
+		results := parse(raw, gmp)
+		// One test-binary pass produced every line, so they share its
+		// peak RSS.
+		rss := maxRSSBytes(cmd.ProcessState)
+		for i := range results {
+			results[i].MaxRSSBytes = rss
+		}
+		f.Benchmarks = append(f.Benchmarks, results...)
 	}
 	if len(f.Benchmarks) == 0 {
 		log.Fatalf("no benchmark lines matched pattern %q", *pattern)
 	}
-
-	enc, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc = append(enc, '\n')
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
-	}
+	writeFile(&f, *out)
 	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(f.Benchmarks), *out)
 	for _, r := range f.Benchmarks {
 		alloc := ""
 		if r.AllocsPerOp != nil {
 			alloc = fmt.Sprintf("  %8d B/op %6d allocs/op", *r.BytesPerOp, *r.AllocsPerOp)
 		}
-		fmt.Printf("  %-55s P=%-3d %14.0f ns/op%s\n", r.Name, r.Gomaxprocs, r.NsPerOp, alloc)
+		fmt.Printf("  %-55s P=%-3d %14.0f ns/op%s  rss=%dMB\n",
+			r.Name, r.Gomaxprocs, r.NsPerOp, alloc, r.MaxRSSBytes>>20)
+	}
+}
+
+// writeFile marshals the measurement file to disk.
+func writeFile(f *File, out string) {
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		log.Fatal(err)
 	}
 }
 

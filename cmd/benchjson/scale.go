@@ -1,0 +1,129 @@
+// The -scale mode: drive the out-of-core pipeline end to end as
+// separate processes — sharded generate, fsck, streaming Table 4 — and
+// record each stage's wall time and peak RSS under an enforced budget.
+// Separate processes matter: each stage's MaxRSS then proves that stage
+// alone fits the budget, which is the acceptance criterion of the
+// paper-scale path (the in-memory pipeline at the same population would
+// hold the whole snapshot resident and blow straight through it).
+
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// maxRSSBytes reports the child's peak resident set in bytes, or 0 when
+// the platform does not expose rusage.
+func maxRSSBytes(ps *os.ProcessState) int64 {
+	if ps == nil {
+		return 0
+	}
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok {
+		return 0
+	}
+	// Linux reports Maxrss in KiB.
+	return int64(ru.Maxrss) * 1024
+}
+
+// runScale builds the pipeline binaries, runs generate → fsck →
+// streaming Table 4 over a sharded snapshot in a scratch directory, and
+// writes the per-stage measurements. Any stage whose MaxRSS exceeds the
+// budget fails the run after the file is written, so the offending
+// numbers are still on disk to look at.
+func runScale(f *File, out string, users, shardSize, maxRSSMB, workers int) {
+	dir, err := os.MkdirTemp("", "scalebench-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build once so stage RSS measures the tool, not the compiler.
+	for _, tool := range []string{"steamgen", "steamstudy"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("build %s: %v", tool, err)
+		}
+	}
+
+	// Keep the Go runtime honest about the budget: the soft memory limit
+	// leaves headroom below the hard gate so GC runs before the kernel
+	// sees the excess.
+	env := os.Environ()
+	if maxRSSMB > 0 {
+		env = append(env, fmt.Sprintf("GOMEMLIMIT=%dMiB", maxRSSMB*85/100))
+	}
+	snap := filepath.Join(dir, "scale.d")
+	w := strconv.Itoa(workers)
+	stages := []struct {
+		name string
+		argv []string
+	}{
+		{"ScaleGenerate", []string{filepath.Join(dir, "steamgen"), "-stream",
+			"-users", strconv.Itoa(users), "-seed", "1",
+			"-shard-size", strconv.Itoa(shardSize), "-workers", w, "-out", snap}},
+		{"ScaleFsck", []string{filepath.Join(dir, "steamstudy"),
+			"-fsck", "-snapshot", snap, "-workers", w}},
+		{"ScaleTable4Stream", []string{filepath.Join(dir, "steamstudy"),
+			"-stream", "-snapshot", snap, "-workers", w}},
+	}
+
+	f.Scale = &Scale{Users: users, ShardRecords: shardSize, MaxRSSBudgetMB: maxRSSMB}
+	gmp := runtime.GOMAXPROCS(0)
+	var over []string
+	for _, st := range stages {
+		log.Printf("%s: %v", st.name, st.argv)
+		cmd := exec.Command(st.argv[0], st.argv[1:]...)
+		cmd.Env = env
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("%s: %v", st.name, err)
+		}
+		r := Result{
+			Name:        st.name,
+			Gomaxprocs:  gmp,
+			Iterations:  1,
+			NsPerOp:     float64(time.Since(start).Nanoseconds()),
+			MaxRSSBytes: maxRSSBytes(cmd.ProcessState),
+		}
+		f.Benchmarks = append(f.Benchmarks, r)
+		log.Printf("%s: %v, rss %d MiB", st.name,
+			time.Since(start).Round(time.Millisecond), r.MaxRSSBytes>>20)
+		if maxRSSMB > 0 && r.MaxRSSBytes > int64(maxRSSMB)<<20 {
+			over = append(over, st.name)
+		}
+		if st.name == "ScaleGenerate" {
+			f.Scale.SnapshotBytes = treeBytes(snap)
+		}
+	}
+
+	writeFile(f, out)
+	fmt.Printf("benchjson: scale pipeline (%d users, %d B snapshot) -> %s\n",
+		users, f.Scale.SnapshotBytes, out)
+	if len(over) > 0 {
+		log.Fatalf("RSS budget of %d MiB exceeded by: %v", maxRSSMB, over)
+	}
+}
+
+// treeBytes sums the file sizes under path (path itself for a single
+// file).
+func treeBytes(path string) int64 {
+	var n int64
+	filepath.Walk(path, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n
+}

@@ -38,6 +38,7 @@ func main() {
 		seeds      = flag.Int("seeds", 0, "instead of one study, sweep this many seeds and report the stability of the headline statistics")
 		timings    = flag.Bool("timings", false, "print per-experiment render timings to stderr after the run")
 		fsck       = flag.Bool("fsck", false, "validate the -snapshot file (manifest checksums + referential integrity) and exit; non-zero exit if damaged")
+		stream     = flag.Bool("stream", false, "with -snapshot: run the streaming Table 4 off the section readers without loading the snapshot (the paper-scale out-of-core path) and exit")
 	)
 	flag.Parse()
 	if *snapshot != "" {
@@ -57,6 +58,19 @@ func main() {
 		if !rep.Clean() {
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *stream {
+		if *snapshot == "" {
+			log.Fatal("-stream requires -snapshot to name the file to analyze")
+		}
+		start := time.Now()
+		if err := steamstudy.StreamTable4(os.Stdout, *snapshot, "", nil, *workers); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "steamstudy: streaming Table 4 over %s in %v\n",
+			*snapshot, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/simworld"
+)
+
+// The streaming Table 4 input builder must reproduce the in-memory row
+// set exactly — names, order, data vectors, FixedXmin — from both the
+// single-file and the sharded layouts, so the classification downstream
+// is identical by construction.
+func TestStreamTable4InputsMatchInMemory(t *testing.T) {
+	cfg := simworld.DefaultConfig(2000)
+	cfg.CatalogSize = 250
+	uni := simworld.MustGenerate(cfg, 3)
+	snap := dataset.FromUniverse(uni)
+	years := []int{2011, 2012, 2013}
+
+	v := Extract(snap)
+	want := StandardTable4Inputs(v, nil, years)
+
+	dir := t.TempDir()
+	single := filepath.Join(dir, "snap.jsonl")
+	sharded := filepath.Join(dir, "snap.d")
+	if err := snap.Save(single); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Save(sharded, dataset.WithShardRecords(256)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{single, sharded} {
+		got, err := StreamTable4Inputs(path, "", years)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d inputs, want %d", path, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name {
+				t.Fatalf("%s input %d: name %q, want %q", path, i, got[i].Name, want[i].Name)
+			}
+			if got[i].Discrete != want[i].Discrete || got[i].FixedXmin != want[i].FixedXmin {
+				t.Fatalf("%s input %q: options diverge (%v/%v vs %v/%v)", path, got[i].Name,
+					got[i].Discrete, got[i].FixedXmin, want[i].Discrete, want[i].FixedXmin)
+			}
+			if !reflect.DeepEqual(got[i].Data, want[i].Data) {
+				t.Fatalf("%s input %q: data diverges (%d vs %d values)",
+					path, got[i].Name, len(got[i].Data), len(want[i].Data))
+			}
+		}
+	}
+}
+
+// The second-snapshot rows must stream too.
+func TestStreamTable4InputsSecondSnapshot(t *testing.T) {
+	cfg := simworld.DefaultConfig(1200)
+	cfg.CatalogSize = 150
+	uni := simworld.MustGenerate(cfg, 4)
+	snap := dataset.FromUniverse(uni)
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.jsonl")
+	p2 := filepath.Join(dir, "b.d")
+	if err := snap.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Save(p2, dataset.WithShardRecords(128)); err != nil {
+		t.Fatal(err)
+	}
+	v := Extract(snap)
+	want := StandardTable4Inputs(v, v, nil)
+	got, err := StreamTable4Inputs(p1, p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d inputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || !reflect.DeepEqual(got[i].Data, want[i].Data) {
+			t.Fatalf("input %d (%q) diverges", i, want[i].Name)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"io"
+
+	"steamstudy/internal/analysis"
+	"steamstudy/internal/report"
+)
+
+// StreamTable4 renders the Table 4 heavy-tail classification directly
+// off a snapshot file or shard directory, never loading the snapshot:
+// the inputs come from analysis.StreamTable4Inputs' section-reader
+// passes, so the resident set is the positive-valued attribute vectors
+// rather than the dataset. On the same snapshot the rendered table is
+// identical to the in-memory T4 experiment. Years defaults to the
+// standard study slices when empty; secondPath may be empty.
+func StreamTable4(w io.Writer, path, secondPath string, years []int, workers int) error {
+	if len(years) == 0 {
+		years = Options{}.withDefaults().Years
+	}
+	inputs, err := analysis.StreamTable4Inputs(path, secondPath, years)
+	if err != nil {
+		return err
+	}
+	return report.Table4(w, analysis.Table4Classification(inputs, workers))
+}

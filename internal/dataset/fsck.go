@@ -289,6 +289,20 @@ func runShards(workers, n int, r *Report, verify func(lo, hi int, sub *Report)) 
 		verify(0, n, r)
 		return
 	}
+	if par.N(workers) <= 1 {
+		// Sequential fast path: one effective worker gains nothing from
+		// the fan-out plumbing (BENCH_datapath showed workers=max slower
+		// than workers=1 on a single-CPU host), so verify shard by shard
+		// straight into one sub-report. Shard boundaries and merge order
+		// match the parallel path, so the report — samples included — is
+		// identical.
+		sub := newReport()
+		for si := 0; si < ns; si++ {
+			verify(si*fsckShard, min((si+1)*fsckShard, n), sub)
+		}
+		r.merge(sub)
+		return
+	}
 	subs := make([]*Report, ns)
 	par.For(workers, ns, func(si int) {
 		sub := newReport()
@@ -390,12 +404,21 @@ func (s *Snapshot) fsckGroup(ix *fsckIndex, i int, r *Report) {
 // referential checks; WithProgress reports decode progress per section.
 func FsckFile(path string, m *IntegrityMetrics, opts ...Option) (*Report, error) {
 	o := buildOptions(opts)
-	encoding, gzipped, err := snapshotFormat(path)
+	encoding, gzipped, sharded, err := snapshotPath(path)
 	if err != nil {
 		return nil, err
 	}
 	r := newReport()
 	r.Path = path
+	if sharded {
+		// Sharded directories take the streaming passes in fsckstream.go,
+		// which never decode more than a bounded window of records.
+		if err := fsckShardDir(path, r, o); err != nil {
+			return nil, err
+		}
+		fsckRecordMetrics(r, m)
+		return r, nil
+	}
 
 	man, merr := ReadManifest(path)
 	switch {
@@ -431,10 +454,15 @@ func FsckFile(path string, m *IntegrityMetrics, opts ...Option) (*Report, error)
 		r.Users, r.Games, r.Groups = len(s.Users), len(s.Games), len(s.Groups)
 	}
 
-	if m != nil {
-		m.RecordsVerified.Add(r.RecordsVerified)
-		m.ChecksumFailures.Add(int64(r.Counts[ViolationFileHash] + r.Counts[ViolationSectionChecksum]))
-		m.Violations.Add(int64(r.Violations()))
-	}
+	fsckRecordMetrics(r, m)
 	return r, nil
+}
+
+func fsckRecordMetrics(r *Report, m *IntegrityMetrics) {
+	if m == nil {
+		return
+	}
+	m.RecordsVerified.Add(r.RecordsVerified)
+	m.ChecksumFailures.Add(int64(r.Counts[ViolationFileHash] + r.Counts[ViolationSectionChecksum]))
+	m.Violations.Add(int64(r.Violations()))
 }

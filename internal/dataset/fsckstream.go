@@ -1,0 +1,400 @@
+// Streaming fsck for sharded snapshot directories. The in-memory fsck
+// decodes the whole snapshot and then cross-references it; at paper scale
+// that decode is exactly what the sharded layout exists to avoid. This
+// file runs the same checks as multiple bounded-memory passes over the
+// section iterators:
+//
+//	raw bytes    per-segment CRC-32C + byte counts, concatenated SHA-256
+//	games        catalog set, duplicate detection, canonical CRC
+//	groups #1    member-set index (sorted copies), duplicates, CRC
+//	users #1     SteamID census, duplicate detection, canonical CRC
+//	users #2     friend-edge index + ownership/playtime/membership checks
+//	users #3     self-friend / friend-unknown / friend-asymmetric
+//	groups #2    member-unknown / membership-asymmetric (group side)
+//
+// What stays resident is index data — packed int32-pair edge and
+// membership arrays, the sorted ID census, sorted member slabs — a few
+// dozen bytes per relation instead of the decoded records themselves.
+//
+// The report is identical to what Fsck produces on the decoded snapshot:
+// every violation class is emitted by exactly one pass in record order,
+// and Report keys samples per class, so per-class counts and sample
+// prefixes match the in-memory pass (the property tests assert this).
+// The one representational difference: user and group references are
+// resolved through first-occurrence indexes over the ID census, exactly
+// mirroring the in-memory index maps (userAt first-wins, memberOf
+// last-wins, friend edges keyed by ID pairs).
+
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+)
+
+// fsckShardDir runs FsckFile's checks over a sharded directory. The error
+// is environmental (unreadable directory); corruption lands in r.
+func fsckShardDir(path string, r *Report, o options) error {
+	man, merr := ReadManifest(path)
+	switch {
+	case merr != nil:
+		r.add(ViolationManifest, "%v", merr)
+		man = nil
+	case man == nil:
+		// No sidecar: structural checks are limited to decodability.
+	case man.FormatVersion > SnapshotShardFormatVersion:
+		r.add(ViolationFormatVersion, "manifest format version %d is newer than this build supports (%d)",
+			man.FormatVersion, SnapshotShardFormatVersion)
+		man = nil
+	default:
+		r.ManifestVerified = true
+		verifyShardBytes(path, man, r)
+	}
+
+	st, derr := fsckScan(path, man, o)
+	if st != nil {
+		r.Users, r.Games, r.Groups = st.users, st.games, st.groups
+	}
+	if derr != nil {
+		// Mirror the in-memory path: a decode failure reports the shape
+		// seen so far and the decode violation; referential results from
+		// the aborted scan are discarded, not half-reported.
+		r.add(ViolationDecode, "%v", derr)
+		return nil
+	}
+	if man != nil && r.ManifestVerified {
+		for _, v := range st.verifySections(man) {
+			r.addViolation(v)
+		}
+	}
+	r.merge(st.sub)
+	return nil
+}
+
+// verifyShardBytes is verifyFile for the sharded layout: every segment's
+// raw bytes are checked against the manifest's per-shard byte count and
+// CRC-32C, and the concatenated stream against FileBytes/FileSHA256.
+// Damage localizes to a segment name; all failures land in r as
+// ViolationFileHash.
+func verifyShardBytes(dir string, man *Manifest, r *Report) {
+	sha := sha256.New()
+	var total int64
+	for i := range man.Shards {
+		s := &man.Shards[i]
+		crc := crc32.New(castagnoli)
+		f, err := os.Open(filepath.Join(dir, s.File))
+		if err != nil {
+			r.add(ViolationFileHash, "%v", fmt.Errorf("dataset: %s: segment %s: %v", dir, s.File, err))
+			continue
+		}
+		n, err := io.Copy(io.MultiWriter(crc, sha), f)
+		f.Close()
+		total += n
+		if err != nil {
+			r.add(ViolationFileHash, "%v", fmt.Errorf("dataset: %s: segment %s: %v", dir, s.File, err))
+			continue
+		}
+		if n != s.Bytes {
+			r.add(ViolationFileHash, "dataset: %s: segment %s is %d bytes, manifest records %d (truncated or partially overwritten)",
+				dir, s.File, n, s.Bytes)
+		} else if got := crc.Sum32(); got != s.CRC32C {
+			r.add(ViolationFileHash, "dataset: %s: segment %s checksum mismatch (file %08x, manifest %08x): on-disk corruption",
+				dir, s.File, got, s.CRC32C)
+		}
+	}
+	if total != man.FileBytes {
+		r.add(ViolationFileHash, "dataset: %s is %d bytes, manifest records %d (truncated or partially overwritten)",
+			dir, total, man.FileBytes)
+	} else if got := hex.EncodeToString(sha.Sum(nil)); got != man.FileSHA256 {
+		r.add(ViolationFileHash, "dataset: %s stream hash mismatch (got %s, manifest %s): on-disk corruption", dir, got, man.FileSHA256)
+	}
+}
+
+// fsckScanState accumulates the streaming referential scan.
+type fsckScanState struct {
+	users, games, groups int
+	collectedAt          int64
+	crc                  map[string]uint32 // canonical section CRCs
+	sub                  *Report           // referential violations + RecordsVerified
+}
+
+// verifySections mirrors Manifest.verifySections against the streamed
+// counts and checksums, with identical detail strings.
+func (st *fsckScanState) verifySections(m *Manifest) []Violation {
+	var out []Violation
+	check := func(name string, records int, crc uint32) {
+		want, ok := m.Sections[name]
+		if !ok {
+			out = append(out, Violation{Class: ViolationSectionCount,
+				Detail: fmt.Sprintf("%s section missing from manifest", name)})
+			return
+		}
+		if want.Records != records {
+			out = append(out, Violation{Class: ViolationSectionCount,
+				Detail: fmt.Sprintf("%s section has %d records, manifest records %d", name, records, want.Records)})
+		}
+		if want.CRC32C != crc {
+			out = append(out, Violation{Class: ViolationSectionChecksum,
+				Detail: fmt.Sprintf("%s section checksum mismatch (file %08x, manifest %08x)", name, crc, want.CRC32C)})
+		}
+	}
+	check(sectionUsers, st.users, st.crc[sectionUsers])
+	check(sectionGames, st.games, st.crc[sectionGames])
+	check(sectionGroups, st.groups, st.crc[sectionGroups])
+	if st.collectedAt != m.CollectedAt {
+		out = append(out, Violation{Class: ViolationHeader,
+			Detail: fmt.Sprintf("header CollectedAt %d, manifest records %d", st.collectedAt, m.CollectedAt)})
+	}
+	return out
+}
+
+// idCensus is the streaming stand-in for the in-memory userAt map: every
+// streamed SteamID in record order, plus a (sorted id, position) view for
+// binary-search lookups. For duplicate IDs find returns the first
+// occurrence, matching userAt's first-wins insert.
+type idCensus struct {
+	ids  []uint64 // stream order
+	keys []uint64 // sorted
+	pos  []int32  // keys[i] appeared at stream position pos[i]
+}
+
+func (c *idCensus) build() {
+	n := len(c.ids)
+	c.pos = make([]int32, n)
+	for i := range c.pos {
+		c.pos[i] = int32(i)
+	}
+	sort.SliceStable(c.pos, func(a, b int) bool { return c.ids[c.pos[a]] < c.ids[c.pos[b]] })
+	c.keys = make([]uint64, n)
+	for i, p := range c.pos {
+		c.keys[i] = c.ids[p]
+	}
+}
+
+// find returns the first stream position of id.
+func (c *idCensus) find(id uint64) (int32, bool) {
+	i, ok := slices.BinarySearch(c.keys, id)
+	if !ok {
+		return 0, false
+	}
+	return c.pos[i], true
+}
+
+// packPair packs two int32 indexes into a sortable uint64 key.
+func packPair(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+func hasPair(sorted []uint64, key uint64) bool {
+	_, ok := slices.BinarySearch(sorted, key)
+	return ok
+}
+
+// streamSection iterates one section of the snapshot with segment
+// verification off (the raw pass already judged the bytes), returning the
+// header timestamp.
+func streamSection(path, section string, fn func(rec *Record)) (int64, error) {
+	r, err := openSectionRaw(path, section)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	var rec Record
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return r.CollectedAt(), err
+		}
+		if !ok {
+			return r.CollectedAt(), nil
+		}
+		fn(&rec)
+	}
+}
+
+// fsckScan runs the referential passes. A decode error aborts the scan,
+// returning the per-section counts seen so far; options are accepted for
+// pipeline uniformity (the passes are sequential — each one is a single
+// ordered stream whose indexes the next pass depends on).
+func fsckScan(path string, man *Manifest, _ options) (*fsckScanState, error) {
+	st := &fsckScanState{crc: map[string]uint32{}, sub: newReport()}
+	est := func(section string) int {
+		if man == nil {
+			return 0
+		}
+		return man.Sections[section].Records
+	}
+
+	// Games: catalog census, duplicates, canonical checksum.
+	apps := make(map[uint32]bool, est(sectionGames))
+	c := canon{h: crc32.New(castagnoli)}
+	collectedAt, err := streamSection(path, sectionGames, func(rec *Record) {
+		g := &rec.Game
+		c.game(g)
+		st.games++
+		if apps[g.AppID] {
+			st.sub.add(ViolationDuplicateGame, "app %d appears more than once in the catalog", g.AppID)
+			return
+		}
+		apps[g.AppID] = true
+	})
+	st.collectedAt = collectedAt
+	if err != nil {
+		return st, err
+	}
+	st.crc[sectionGames] = c.h.Sum32()
+	st.sub.RecordsVerified += int64(st.games)
+
+	// Groups, pass 1: the memberOf index. gidIndex is last-wins like the
+	// in-memory memberOf map (a duplicate GID's later member set is the
+	// one user-side checks consult); members are copied and sorted so the
+	// user-side membership check is a binary search, not a set per group.
+	gidIndex := make(map[uint64]int32, est(sectionGroups))
+	var members [][]uint64
+	groupSeen := make(map[uint64]bool, est(sectionGroups))
+	c = canon{h: crc32.New(castagnoli)}
+	_, err = streamSection(path, sectionGroups, func(rec *Record) {
+		g := &rec.Group
+		c.group(g)
+		sorted := slices.Clone(g.Members)
+		slices.Sort(sorted)
+		members = append(members, sorted)
+		gidIndex[g.GID] = int32(st.groups)
+		if groupSeen[g.GID] {
+			st.sub.add(ViolationDuplicateGroup, "group %d appears more than once", g.GID)
+		}
+		groupSeen[g.GID] = true
+		st.groups++
+	})
+	if err != nil {
+		return st, err
+	}
+	st.crc[sectionGroups] = c.h.Sum32()
+
+	// Users, pass 1: the SteamID census and canonical checksum.
+	census := &idCensus{ids: make([]uint64, 0, est(sectionUsers))}
+	c = canon{h: crc32.New(castagnoli)}
+	_, err = streamSection(path, sectionUsers, func(rec *Record) {
+		c.user(&rec.User)
+		census.ids = append(census.ids, rec.User.SteamID)
+		st.users++
+	})
+	if err != nil {
+		return st, err
+	}
+	st.crc[sectionUsers] = c.h.Sum32()
+	census.build()
+	for i, id := range census.ids {
+		if at, _ := census.find(id); at != int32(i) {
+			st.sub.add(ViolationDuplicateUser, "user %d appears more than once", id)
+		}
+	}
+
+	// Users, pass 2: pack the friend-edge index (canonical indexes stand
+	// in for the in-memory ID-pair set — duplicate-ID records collapse
+	// onto one index exactly as map keys collapse onto one ID) and run
+	// every per-user check that needs no global edge view: ownership,
+	// playtime, membership. Membership pairs feed the group-side pass and
+	// come from first occurrences only, because the in-memory group check
+	// consults userAt's first-wins record.
+	var edges, pairs []uint64
+	owned := make(map[uint32]bool)
+	streamPos := int32(0)
+	_, err = streamSection(path, sectionUsers, func(rec *Record) {
+		u := &rec.User
+		i := streamPos
+		streamPos++
+		ci, _ := census.find(u.SteamID)
+		st.sub.RecordsVerified++
+		for _, f := range u.Friends {
+			if fi, ok := census.find(f.SteamID); ok {
+				edges = append(edges, packPair(ci, fi))
+			}
+		}
+		clear(owned)
+		for _, g := range u.Games {
+			if owned[g.AppID] {
+				st.sub.add(ViolationDuplicateOwnership, "user %d owns app %d twice", u.SteamID, g.AppID)
+			}
+			owned[g.AppID] = true
+			if !apps[g.AppID] {
+				st.sub.add(ViolationOwnedAppUnknown, "user %d owns app %d which is not in the catalog", u.SteamID, g.AppID)
+			}
+			if g.TotalMinutes < 0 || g.TwoWeekMinutes < 0 {
+				st.sub.add(ViolationPlaytimeInvariant, "user %d app %d has negative playtime", u.SteamID, g.AppID)
+			} else if int64(g.TwoWeekMinutes) > g.TotalMinutes {
+				st.sub.add(ViolationPlaytimeInvariant, "user %d app %d two-week playtime exceeds lifetime", u.SteamID, g.AppID)
+			}
+		}
+		for _, gid := range u.Groups {
+			gi, ok := gidIndex[gid]
+			if !ok {
+				st.sub.add(ViolationMembershipUnknown, "user %d belongs to uncrawled group %d", u.SteamID, gid)
+				continue
+			}
+			if _, found := slices.BinarySearch(members[gi], u.SteamID); !found {
+				st.sub.add(ViolationMembershipAsymmetric, "user %d lists group %d but the group does not list the user", u.SteamID, gid)
+			}
+			if ci == i {
+				pairs = append(pairs, packPair(ci, gi))
+			}
+		}
+	})
+	if err != nil {
+		return st, err
+	}
+	slices.Sort(edges)
+	slices.Sort(pairs)
+
+	// Users, pass 3: friend checks against the complete edge index.
+	_, err = streamSection(path, sectionUsers, func(rec *Record) {
+		u := &rec.User
+		ci, _ := census.find(u.SteamID)
+		for _, f := range u.Friends {
+			if f.SteamID == u.SteamID {
+				st.sub.add(ViolationSelfFriend, "user %d lists itself as a friend", u.SteamID)
+				continue
+			}
+			fi, ok := census.find(f.SteamID)
+			if !ok {
+				st.sub.add(ViolationFriendUnknown, "user %d lists unknown account %d as a friend", u.SteamID, f.SteamID)
+				continue
+			}
+			if !hasPair(edges, packPair(fi, ci)) {
+				st.sub.add(ViolationFriendAsymmetric, "user %d lists %d but %d does not list %d", u.SteamID, f.SteamID, f.SteamID, u.SteamID)
+			}
+		}
+	})
+	if err != nil {
+		return st, err
+	}
+
+	// Groups, pass 2: group-side member checks. The membership lookup
+	// resolves the group's GID through gidIndex so duplicate GIDs match a
+	// user listing that GID value, exactly as the in-memory check
+	// compares GID values.
+	_, err = streamSection(path, sectionGroups, func(rec *Record) {
+		g := &rec.Group
+		st.sub.RecordsVerified++
+		gi := gidIndex[g.GID]
+		for _, m := range g.Members {
+			ui, ok := census.find(m)
+			if !ok {
+				st.sub.add(ViolationMemberUnknown, "group %d lists unknown account %d as a member", g.GID, m)
+				continue
+			}
+			if !hasPair(pairs, packPair(ui, gi)) {
+				st.sub.add(ViolationMembershipAsymmetric, "group %d lists user %d but the user does not list the group", g.GID, m)
+			}
+		}
+	})
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}

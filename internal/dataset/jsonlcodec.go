@@ -264,12 +264,33 @@ func appendUint64s(b []byte, v []uint64) []byte {
 
 // --- decoding -----------------------------------------------------------
 
+// interner dedups bounded-cardinality strings during decode. Country and
+// city codes, game/group types, genres and developers are drawn from
+// small fixed vocabularies, so a 500k-user decode otherwise allocates
+// millions of copies of the same few hundred values; interning keeps one
+// instance per distinct value per decode chunk. Lookups convert []byte
+// keys without allocating (the compiler recognizes m[string(b)]).
+type interner struct{ m map[string]string }
+
+func (in *interner) intern(b []byte) string {
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	in.m[s] = s
+	return s
+}
+
 // lineScanner is a strict cursor over one trimmed JSONL line. Every
 // method reports failure instead of guessing; the caller treats any
 // failure as "not the canonical layout" and falls back to encoding/json.
 type lineScanner struct {
 	b   []byte
 	pos int
+	in  *interner
 }
 
 func (p *lineScanner) lit(s string) bool {
@@ -333,24 +354,45 @@ func (p *lineScanner) float64v() (float64, bool) {
 // (game names and country codes are plain text), so the fast path only
 // handles escape-free strings and punts anything with a backslash to the
 // encoding/json fallback for the whole line.
-func (p *lineScanner) stringv() (string, bool) {
+func (p *lineScanner) stringBytes() ([]byte, bool) {
 	if p.pos >= len(p.b) || p.b[p.pos] != '"' {
-		return "", false
+		return nil, false
 	}
 	p.pos++
 	start := p.pos
 	for p.pos < len(p.b) {
 		switch p.b[p.pos] {
 		case '"':
-			s := string(p.b[start:p.pos])
+			b := p.b[start:p.pos]
 			p.pos++
-			return s, true
+			return b, true
 		case '\\':
-			return "", false
+			return nil, false
 		}
 		p.pos++
 	}
-	return "", false
+	return nil, false
+}
+
+func (p *lineScanner) stringv() (string, bool) {
+	b, ok := p.stringBytes()
+	if !ok {
+		return "", false
+	}
+	return string(b), true
+}
+
+// stringvI is stringv for fields with bounded vocabularies; values are
+// interned when the scanner carries an interner.
+func (p *lineScanner) stringvI() (string, bool) {
+	b, ok := p.stringBytes()
+	if !ok {
+		return "", false
+	}
+	if p.in != nil {
+		return p.in.intern(b), true
+	}
+	return string(b), true
 }
 
 func (p *lineScanner) boolv() (bool, bool) {
@@ -401,8 +443,8 @@ type decodedLine struct {
 // decodeLineFast parses one trimmed line of the canonical encoder
 // layout. ok=false means "not canonical" — not an error; the caller
 // retries with encoding/json.
-func decodeLineFast(trimmed []byte, out *decodedLine) bool {
-	p := lineScanner{b: trimmed}
+func decodeLineFast(trimmed []byte, out *decodedLine, in *interner) bool {
+	p := lineScanner{b: trimmed, in: in}
 	if !p.lit(`{"kind":"`) {
 		return false
 	}
@@ -454,7 +496,7 @@ func decodeGameFast(p *lineScanner, g *GameRecord) bool {
 	if !p.lit(`,"Type":`) {
 		return false
 	}
-	if g.Type, ok = p.stringv(); !ok {
+	if g.Type, ok = p.stringvI(); !ok {
 		return false
 	}
 	if !p.lit(`,"Genres":`) {
@@ -469,7 +511,7 @@ func decodeGameFast(p *lineScanner, g *GameRecord) bool {
 			if len(g.Genres) > 0 && !p.lit(",") {
 				return false
 			}
-			s, ok := p.stringv()
+			s, ok := p.stringvI()
 			if !ok {
 				return false
 			}
@@ -507,7 +549,7 @@ func decodeGameFast(p *lineScanner, g *GameRecord) bool {
 	if !p.lit(`,"Developer":`) {
 		return false
 	}
-	if g.Developer, ok = p.stringv(); !ok {
+	if g.Developer, ok = p.stringvI(); !ok {
 		return false
 	}
 	if !p.lit(`,"Achievements":`) {
@@ -562,13 +604,13 @@ func decodeUserFast(p *lineScanner, u *UserRecord) bool {
 	if !p.lit(`,"Country":`) {
 		return false
 	}
-	if u.Country, ok = p.stringv(); !ok {
+	if u.Country, ok = p.stringvI(); !ok {
 		return false
 	}
 	if !p.lit(`,"City":`) {
 		return false
 	}
-	if u.City, ok = p.stringv(); !ok {
+	if u.City, ok = p.stringvI(); !ok {
 		return false
 	}
 	if !p.lit(`,"Friends":`) {
@@ -669,7 +711,7 @@ func decodeGroupFast(p *lineScanner, g *GroupRecord) bool {
 	if !p.lit(`,"Type":`) {
 		return false
 	}
-	if g.Type, ok = p.stringv(); !ok {
+	if g.Type, ok = p.stringvI(); !ok {
 		return false
 	}
 	members, ok := p.uint64sField(`,"Members":`)

@@ -216,7 +216,7 @@ func TestJSONLFastPathAgreesWithStdlib(t *testing.T) {
 			continue
 		}
 		var rec decodedLine
-		if !decodeLineFast(raw, &rec) {
+		if !decodeLineFast(raw, &rec, nil) {
 			// Escaped strings legitimately punt to the fallback; anything
 			// else should have been accepted.
 			if !bytes.Contains(raw, []byte{'\\'}) {

@@ -58,6 +58,12 @@ type Manifest struct {
 	FileBytes  int64                 `json:"file_bytes"`
 	FileSHA256 string                `json:"file_sha256"`
 	Sections   map[string]SectionSum `json:"sections"`
+	// ShardRecords and Shards describe the sharded directory layout
+	// (format version 2, shard.go). Both are omitted from single-file
+	// manifests, keeping version-1 manifest bytes identical to what
+	// pre-shard builds wrote.
+	ShardRecords int        `json:"shard_records,omitempty"`
+	Shards       []ShardSum `json:"shards,omitempty"`
 }
 
 // ManifestPath returns the sidecar path for a snapshot path.

@@ -11,8 +11,9 @@ package dataset
 type Option func(*options)
 
 type options struct {
-	workers  int
-	progress ProgressFunc
+	workers      int
+	progress     ProgressFunc
+	shardRecords int
 }
 
 func buildOptions(opts []Option) options {
@@ -31,6 +32,15 @@ func buildOptions(opts []Option) options {
 // uniformity; the merge itself is a map-bound sequential pass.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithShardRecords sets the fixed record count per segment when writing
+// the sharded directory layout (paths ending in ".d"); values <= 0 mean
+// DefaultShardRecords. The count is a write-time layout choice recorded
+// in the manifest — readers take segment boundaries from the directory,
+// so the option is ignored by Load, Fsck and single-file writes.
+func WithShardRecords(n int) Option {
+	return func(o *options) { o.shardRecords = n }
 }
 
 // ProgressFunc receives periodic per-section record counts while a

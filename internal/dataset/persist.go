@@ -45,11 +45,14 @@ func snapshotFormat(path string) (encoding string, gzipped bool, err error) {
 }
 
 // CheckSnapshotPath reports whether path names a snapshot this package
-// can read or write, judging by extension alone (the file need not
-// exist). CLIs use it to reject a typo'd -snapshot flag before any work
-// happens; the error names the accepted extensions.
+// can read or write, judging by the path alone (the file need not
+// exist): a single file by extension, or the sharded directory layout by
+// its ".d" suffix. CLIs use it to reject a typo'd -snapshot flag before
+// any work happens; the error names the accepted forms, and a path that
+// points at a segment file inside a sharded directory fails with
+// ErrShardSegment (the caller wants the directory).
 func CheckSnapshotPath(path string) error {
-	_, _, err := snapshotFormat(path)
+	_, _, _, err := snapshotPath(path)
 	return err
 }
 
@@ -104,9 +107,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // No option changes the bytes written.
 func (s *Snapshot) Save(path string, opts ...Option) (err error) {
 	o := buildOptions(opts)
-	encoding, gzipped, err := snapshotFormat(path)
+	encoding, gzipped, sharded, err := snapshotPath(path)
 	if err != nil {
 		return err
+	}
+	if sharded {
+		return s.saveSharded(path, opts)
 	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
@@ -237,9 +243,12 @@ func syncDir(dir string) error {
 // WithProgress reports per-section record counts as they decode.
 func Load(path string, opts ...Option) (*Snapshot, error) {
 	o := buildOptions(opts)
-	encoding, gzipped, err := snapshotFormat(path)
+	encoding, gzipped, sharded, err := snapshotPath(path)
 	if err != nil {
 		return nil, err
+	}
+	if sharded {
+		return loadSharded(path, o)
 	}
 	man, err := ReadManifest(path)
 	if err != nil {
@@ -433,10 +442,14 @@ type decodedChunk struct {
 func decodeChunk(lines []rawLine) decodedChunk {
 	var out decodedChunk
 	out.recs = make([]decodedLine, 0, len(lines))
+	// One interner per chunk: duplicate strings collapse within the chunk
+	// with no cross-goroutine sharing, so the parallel decode stays
+	// lock-free. Cross-chunk duplicates cost one instance per chunk.
+	var in interner
 	for _, ln := range lines {
 		trimmed := bytes.TrimSpace(ln.b)
 		var rec decodedLine
-		if !decodeLineFast(trimmed, &rec) {
+		if !decodeLineFast(trimmed, &rec, &in) {
 			var line jsonlLine
 			if uerr := json.Unmarshal(trimmed, &line); uerr != nil {
 				out.err, out.errLine = uerr, ln.no

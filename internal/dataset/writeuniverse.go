@@ -1,0 +1,122 @@
+// Out-of-core generate→encode. FromUniverse materializes a full
+// []UserRecord copy of the universe — per-user Friends/Games/Groups
+// slices included — before Save writes a byte; at paper scale that copy
+// is a second multi-gigabyte resident set. WriteUniverse instead walks
+// the universe's slab-backed columns (the CSR adjacency from FriendCSR,
+// the library and membership slabs) and streams each record through the
+// snapshot Writer, reusing one scratch record per section, so encoding
+// adds O(1) record memory on top of the universe itself.
+
+package dataset
+
+import (
+	"steamstudy/internal/simworld"
+)
+
+// WriteUniverse streams the ground-truth snapshot of u to path,
+// byte-identical (file bytes and manifest) to Save of FromUniverse(u) —
+// the crawler-equivalence tests pin that identity — for both the single
+// file and the sharded directory layouts.
+func WriteUniverse(path string, u *simworld.Universe, opts ...Option) error {
+	w, err := NewWriter(path, u.CollectedAt, opts...)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+
+	var achs []AchievementRecord
+	for i := range u.Games {
+		g := &u.Games[i]
+		achs = achs[:0]
+		for _, a := range g.Achievements {
+			achs = append(achs, AchievementRecord{Name: a.Name, Percent: a.GlobalPercent})
+		}
+		rec := GameRecord{
+			AppID:        g.AppID,
+			Name:         g.Name,
+			Type:         g.Type.String(),
+			Genres:       g.Genres.Names(),
+			Multiplayer:  g.Multiplayer,
+			PriceCents:   g.PriceCents,
+			Metacritic:   g.Metacritic,
+			ReleaseYear:  g.ReleaseYear,
+			Developer:    g.Developer,
+			Achievements: nilIfEmpty(achs),
+		}
+		if err := w.WriteGame(&rec); err != nil {
+			return err
+		}
+	}
+
+	offsets, edges := u.FriendCSR()
+	var friends []FriendRecord
+	var games []OwnershipRecord
+	var groups []uint64
+	for i := range u.Users {
+		user := &u.Users[i]
+		friends = friends[:0]
+		for _, e := range edges[offsets[i]:offsets[i+1]] {
+			f := &u.Friendships[e]
+			peer := f.A
+			if peer == int32(i) {
+				peer = f.B
+			}
+			friends = append(friends, FriendRecord{SteamID: uint64(u.Users[peer].ID), Since: f.Since})
+		}
+		games = games[:0]
+		for _, g := range user.Library {
+			games = append(games, OwnershipRecord{
+				AppID:          u.Games[g.GameIdx].AppID,
+				TotalMinutes:   g.TotalMinutes,
+				TwoWeekMinutes: g.TwoWeekMinutes,
+			})
+		}
+		groups = groups[:0]
+		for _, g := range user.Groups {
+			groups = append(groups, u.Groups[g].ID)
+		}
+		rec := UserRecord{
+			SteamID: uint64(user.ID),
+			Created: user.Created,
+			Country: user.Country,
+			City:    user.City,
+			Friends: nilIfEmpty(friends),
+			Games:   nilIfEmpty(games),
+			Groups:  nilIfEmpty(groups),
+		}
+		if err := w.WriteUser(&rec); err != nil {
+			return err
+		}
+	}
+
+	var members []uint64
+	for i := range u.Groups {
+		g := &u.Groups[i]
+		members = members[:0]
+		for _, m := range g.Members {
+			members = append(members, uint64(u.Users[m].ID))
+		}
+		rec := GroupRecord{
+			GID:     g.ID,
+			Name:    g.Name,
+			Type:    g.Type.String(),
+			Members: nilIfEmpty(members),
+		}
+		if err := w.WriteGroup(&rec); err != nil {
+			return err
+		}
+	}
+
+	_, err = w.Close()
+	return err
+}
+
+// nilIfEmpty maps a zero-length scratch slice to nil so the encoded form
+// matches FromUniverse's append-to-nil construction (the JSONL codec
+// distinguishes null from []).
+func nilIfEmpty[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}

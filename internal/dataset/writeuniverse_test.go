@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"steamstudy/internal/simworld"
+)
+
+// The streaming generate→encode path must be byte-identical to the
+// materializing path, in both layouts, manifests included.
+func TestWriteUniverseMatchesFromUniverseSave(t *testing.T) {
+	cfg := simworld.DefaultConfig(1500)
+	cfg.CatalogSize = 200
+	uni := simworld.MustGenerate(cfg, 3)
+
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.jsonl")
+	if err := FromUniverse(uni).Save(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	got := filepath.Join(dir, "got.jsonl")
+	if err := WriteUniverse(got, uni); err != nil {
+		t.Fatal(err)
+	}
+	if string(readFileT(t, got)) != string(readFileT(t, ref)) {
+		t.Fatal("streamed universe bytes differ from FromUniverse+Save")
+	}
+	gm, err := ReadManifest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := ReadManifest(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.FileSHA256 != rm.FileSHA256 || !reflect.DeepEqual(gm.Sections, rm.Sections) {
+		t.Fatal("streamed universe manifest differs from FromUniverse+Save")
+	}
+
+	// Sharded layout: the concatenated segment stream carries the same
+	// identity, and the snapshot loads back equal to the reference.
+	shard := filepath.Join(dir, "got.d")
+	if err := WriteUniverse(shard, uni, WithShardRecords(128)); err != nil {
+		t.Fatal(err)
+	}
+	sm, err := ReadManifest(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.FileSHA256 != rm.FileSHA256 {
+		t.Fatalf("sharded stream SHA %s, single-file %s", sm.FileSHA256, rm.FileSHA256)
+	}
+	loaded, err := Load(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ContentSignature() != FromUniverse(uni).ContentSignature() {
+		t.Fatal("sharded streamed universe loads back different content")
+	}
+}
+
+// FriendCSR must reproduce Adjacency's per-user neighbor order — the
+// byte identity above depends on it, and this pins the contract
+// directly.
+func TestFriendCSRMatchesAdjacency(t *testing.T) {
+	cfg := simworld.DefaultConfig(800)
+	cfg.CatalogSize = 120
+	uni := simworld.MustGenerate(cfg, 5)
+
+	adj := uni.Adjacency()
+	offsets, edges := uni.FriendCSR()
+	for i := range adj {
+		got := edges[offsets[i]:offsets[i+1]]
+		if len(got) != len(adj[i]) {
+			t.Fatalf("user %d degree: CSR %d, Adjacency %d", i, len(got), len(adj[i]))
+		}
+		for k, e := range got {
+			f := uni.Friendships[e]
+			peer := f.A
+			if peer == int32(i) {
+				peer = f.B
+			}
+			if peer != adj[i][k] {
+				t.Fatalf("user %d neighbor %d: CSR %d, Adjacency %d", i, k, peer, adj[i][k])
+			}
+		}
+	}
+}

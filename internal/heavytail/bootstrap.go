@@ -49,6 +49,24 @@ func PowerLawGoF(f *Fit, bootstraps int, seed int64) GoodnessOfFit {
 
 // PowerLawGoFWorkers is PowerLawGoF with an explicit worker-pool bound.
 func PowerLawGoFWorkers(f *Fit, bootstraps int, seed int64, workers int) GoodnessOfFit {
+	return PowerLawGoFSampledWorkers(f, bootstraps, 0, seed, workers)
+}
+
+// PowerLawGoFSampled is PowerLawGoF with each replicate's synthetic
+// dataset capped at sampleN points. The full-size bootstrap re-sorts and
+// re-scans n points per replicate — quadratic-feeling pain when n is a
+// paper-scale 10⁸ — while the KS comparison only needs enough synthetic
+// points for a stable re-fit; a few tens of thousands suffice. sampleN
+// <= 0 (or >= n) draws full-size replicates, byte-identical to
+// PowerLawGoF.
+func PowerLawGoFSampled(f *Fit, bootstraps, sampleN int, seed int64) GoodnessOfFit {
+	return PowerLawGoFSampledWorkers(f, bootstraps, sampleN, seed, 0)
+}
+
+// PowerLawGoFSampledWorkers is PowerLawGoFSampled with an explicit
+// worker-pool bound. Deterministic in (seed, sampleN) for any worker
+// count: replicate b always draws from the stream SplitN("replicate", b).
+func PowerLawGoFSampledWorkers(f *Fit, bootstraps, sampleN int, seed int64, workers int) GoodnessOfFit {
 	if bootstraps <= 0 {
 		bootstraps = 100
 	}
@@ -59,14 +77,18 @@ func PowerLawGoFWorkers(f *Fit, bootstraps int, seed int64, workers int) Goodnes
 	bodyEnd := sort.SearchFloat64s(f.Sorted, f.Xmin)
 	body := f.Sorted[:bodyEnd]
 	tailFrac := float64(n-bodyEnd) / float64(n)
+	m := n
+	if sampleN > 0 && sampleN < n {
+		m = sampleN
+	}
 
 	// Replicate outcomes, one slot per replicate: +1 fits worse than the
 	// data, 0 fits better, -1 skipped (degenerate re-fit).
 	outcome := make([]int8, bootstraps)
 	par.For(workers, bootstraps, func(b int) {
 		rng := base.SplitN("replicate", uint64(b))
-		synth := make([]float64, n)
-		for i := 0; i < n; i++ {
+		synth := make([]float64, m)
+		for i := 0; i < m; i++ {
 			if len(body) == 0 || rng.Float64() < tailFrac {
 				synth[i] = f.PowerLaw.Quantile(rng.Float64())
 			} else {
@@ -78,7 +100,7 @@ func PowerLawGoFWorkers(f *Fit, bootstraps int, seed int64, workers int) Goodnes
 		// needed for the KS comparison). The inner scan stays serial —
 		// the pool's parallelism is across replicates.
 		sort.Float64s(synth)
-		xmin := scanXmin(synth, Options{Workers: 1}.withDefaults(n))
+		xmin := scanXmin(synth, Options{Workers: 1}.withDefaults(m))
 		i := sort.SearchFloat64s(synth, xmin)
 		tail := synth[i:]
 		if len(tail) < 2 {

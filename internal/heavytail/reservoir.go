@@ -1,0 +1,135 @@
+package heavytail
+
+import "sort"
+
+// Reservoir draws a uniform without-replacement sample of at most K
+// values from a stream of unknown length in bounded memory. Unlike the
+// classic algorithm-R reservoir, the sample is deterministic in the
+// stream's *identity* rather than its order: every item is assigned a
+// pseudorandom priority by hashing (seed, item index), and the K
+// smallest priorities win (bottom-k sampling). Two reservoirs built over
+// disjoint index ranges merge into exactly the reservoir of the union,
+// so a sharded scan can sample each shard on its own worker, in any
+// order, and merge — byte-identical to one sequential pass. This is the
+// sampling layer under the paper-scale Table 4 path: full 10⁸-point
+// attribute vectors never materialize, only their bounded samples.
+type Reservoir struct {
+	k    int
+	seed uint64
+	// items is a max-heap on (priority, index): the root is the first
+	// item to evict once the reservoir is full.
+	items []reservoirItem
+}
+
+type reservoirItem struct {
+	pri   uint64
+	index uint64
+	value float64
+}
+
+// less orders items by priority, index-tiebroken, so the kept set is a
+// total-order prefix and therefore unique.
+func (a reservoirItem) less(b reservoirItem) bool {
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.index < b.index
+}
+
+// NewReservoir creates a reservoir keeping at most k values under the
+// given hash seed. Reservoirs merge only if built with the same k and
+// seed.
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k < 1 {
+		k = 1
+	}
+	return &Reservoir{k: k, seed: uint64(seed)}
+}
+
+// reservoirPriority is a splitmix64-style finalizer over (seed, index):
+// cheap, stateless, and well-distributed — the per-item equivalent of a
+// seeded RNG draw without any shared stream to contend on.
+func reservoirPriority(seed, index uint64) uint64 {
+	x := index*0x9e3779b97f4a7c15 ^ seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add offers one value. The index is the item's stable identity in the
+// stream (e.g. the user's position in the snapshot); feeding the same
+// (index, value) pairs in any order yields the same sample.
+func (r *Reservoir) Add(index uint64, v float64) {
+	it := reservoirItem{pri: reservoirPriority(r.seed, index), index: index, value: v}
+	if len(r.items) < r.k {
+		r.items = append(r.items, it)
+		r.siftUp(len(r.items) - 1)
+		return
+	}
+	if !it.less(r.items[0]) {
+		return // larger than the current maximum: not in the bottom k
+	}
+	r.items[0] = it
+	r.siftDown(0)
+}
+
+// Merge folds o's sample into r. Both must share k and seed.
+func (r *Reservoir) Merge(o *Reservoir) {
+	for _, it := range o.items {
+		if len(r.items) < r.k {
+			r.items = append(r.items, it)
+			r.siftUp(len(r.items) - 1)
+		} else if it.less(r.items[0]) {
+			r.items[0] = it
+			r.siftDown(0)
+		}
+	}
+}
+
+// Len reports the current sample size (min of k and items offered).
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Values returns the sampled values ordered by stream index — a
+// deterministic, reproducible vector ready for fitting.
+func (r *Reservoir) Values() []float64 {
+	sorted := make([]reservoirItem, len(r.items))
+	copy(sorted, r.items)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].index < sorted[b].index })
+	out := make([]float64, len(sorted))
+	for i, it := range sorted {
+		out[i] = it.value
+	}
+	return out
+}
+
+func (r *Reservoir) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !r.items[p].less(r.items[i]) {
+			return
+		}
+		r.items[p], r.items[i] = r.items[i], r.items[p]
+		i = p
+	}
+}
+
+func (r *Reservoir) siftDown(i int) {
+	n := len(r.items)
+	for {
+		big := i
+		if l := 2*i + 1; l < n && r.items[big].less(r.items[l]) {
+			big = l
+		}
+		if rt := 2*i + 2; rt < n && r.items[big].less(r.items[rt]) {
+			big = rt
+		}
+		if big == i {
+			return
+		}
+		r.items[i], r.items[big] = r.items[big], r.items[i]
+		i = big
+	}
+}

@@ -1,0 +1,136 @@
+package heavytail
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"steamstudy/internal/randx"
+)
+
+// The reservoir must be a pure function of (seed, k, item set): arrival
+// order and sharding must not change the sample.
+func TestReservoirOrderAndShardInvariance(t *testing.T) {
+	const n, k = 10_000, 256
+	values := make([]float64, n)
+	rng := randx.New(42)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+	}
+
+	seq := NewReservoir(k, 7)
+	for i, v := range values {
+		seq.Add(uint64(i), v)
+	}
+
+	rev := NewReservoir(k, 7)
+	for i := n - 1; i >= 0; i-- {
+		rev.Add(uint64(i), values[i])
+	}
+	if !reflect.DeepEqual(seq.Values(), rev.Values()) {
+		t.Fatal("sample depends on arrival order")
+	}
+
+	// Shard into uneven pieces, sample each independently, merge.
+	merged := NewReservoir(k, 7)
+	for lo := 0; lo < n; {
+		hi := lo + 700
+		if hi > n {
+			hi = n
+		}
+		part := NewReservoir(k, 7)
+		for i := lo; i < hi; i++ {
+			part.Add(uint64(i), values[i])
+		}
+		merged.Merge(part)
+		lo = hi
+	}
+	if !reflect.DeepEqual(seq.Values(), merged.Values()) {
+		t.Fatal("merged shard sample diverges from sequential sample")
+	}
+
+	if seq.Len() != k {
+		t.Fatalf("sample size %d, want %d", seq.Len(), k)
+	}
+	// Different seed, different sample.
+	other := NewReservoir(k, 8)
+	for i, v := range values {
+		other.Add(uint64(i), v)
+	}
+	if reflect.DeepEqual(seq.Values(), other.Values()) {
+		t.Fatal("seed does not influence the sample")
+	}
+}
+
+// A reservoir over fewer items than k keeps everything.
+func TestReservoirUnderfull(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 0; i < 10; i++ {
+		r.Add(uint64(i), float64(i))
+	}
+	got := r.Values()
+	if len(got) != 10 {
+		t.Fatalf("kept %d of 10", len(got))
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("values not in index order: %v", got)
+		}
+	}
+}
+
+// The bottom-k sample of a uniform stream should itself look uniform:
+// check the mean is in a loose tolerance (catches a biased priority
+// hash).
+func TestReservoirUniformity(t *testing.T) {
+	const n, k = 200_000, 5_000
+	r := NewReservoir(k, 3)
+	for i := 0; i < n; i++ {
+		r.Add(uint64(i), float64(i)/n)
+	}
+	var sum float64
+	for _, v := range r.Values() {
+		sum += v
+	}
+	mean := sum / k
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("sample mean %.4f far from 0.5: biased sampling", mean)
+	}
+}
+
+// Sampled GoF with sampleN <= 0 or >= n must be byte-identical to the
+// full bootstrap; a genuine cap must stay deterministic across worker
+// counts.
+func TestPowerLawGoFSampled(t *testing.T) {
+	rng := randx.New(9)
+	data := make([]float64, 4000)
+	for i := range data {
+		data[i] = rng.Pareto(1.8, 1)
+	}
+	f, err := New(data, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := PowerLawGoFWorkers(f, 20, 5, 1)
+	same := PowerLawGoFSampledWorkers(f, 20, 0, 5, 1)
+	if full != same {
+		t.Fatalf("sampleN=0 diverges from full bootstrap: %+v vs %+v", full, same)
+	}
+	huge := PowerLawGoFSampledWorkers(f, 20, len(data)*2, 5, 1)
+	if full != huge {
+		t.Fatalf("sampleN>n diverges from full bootstrap: %+v vs %+v", full, huge)
+	}
+
+	serial := PowerLawGoFSampledWorkers(f, 20, 500, 5, 1)
+	pooled := PowerLawGoFSampledWorkers(f, 20, 500, 5, 4)
+	if serial != pooled {
+		t.Fatalf("sampled bootstrap depends on worker count: %+v vs %+v", serial, pooled)
+	}
+	if serial.Bootstraps != 20 {
+		t.Fatalf("bootstraps %d", serial.Bootstraps)
+	}
+	if !math.IsNaN(serial.P) && (serial.P < 0 || serial.P > 1) {
+		t.Fatalf("p-value %v out of range", serial.P)
+	}
+}

@@ -1,0 +1,116 @@
+//go:build scale
+
+// Package scale holds the out-of-core acceptance harness (build tag:
+// scale). It proves, at a population large enough to matter, that the
+// streaming pipeline — WriteUniverse into a shard directory, the
+// section readers, the streaming Table 4 — is byte-identical to the
+// in-memory path the rest of the suite pins at small scale. `make
+// scalebench` runs it at 500 k users before the 5 M budgeted pipeline;
+// `make verify` compiles it so it cannot rot.
+package scale
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"steamstudy/internal/core"
+	"steamstudy/internal/dataset"
+	"steamstudy/internal/simworld"
+)
+
+// scaleUsers reads the SCALE_USERS override (default 500000).
+func scaleUsers(t *testing.T) int {
+	if v := os.Getenv("SCALE_USERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1000 {
+			t.Fatalf("bad SCALE_USERS %q", v)
+		}
+		return n
+	}
+	return 500000
+}
+
+// TestStreamingPipelineByteIdentity is the acceptance check behind
+// BENCH_scale.json: at bench scale, the out-of-core pipeline must be
+// indistinguishable from the in-memory one — same single-file bytes,
+// same content signature from the sharded layout, same rendered
+// Table 4.
+func TestStreamingPipelineByteIdentity(t *testing.T) {
+	users := scaleUsers(t)
+	cfg := simworld.DefaultConfig(users)
+	uni := simworld.MustGenerate(cfg, 1)
+	snap := dataset.FromUniverse(uni)
+	dir := t.TempDir()
+
+	// 1. WriteUniverse's streamed encoding == the materialized Save,
+	// byte for byte.
+	streamed := filepath.Join(dir, "streamed.jsonl")
+	memory := filepath.Join(dir, "memory.jsonl")
+	if err := dataset.WriteUniverse(streamed, uni); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Save(memory); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fileSHA(t, streamed), fileSHA(t, memory); a != b {
+		t.Fatalf("streamed encode diverges from in-memory Save: %s vs %s", a, b)
+	}
+
+	// 2. The sharded layout round-trips to the same snapshot content.
+	sharded := filepath.Join(dir, "streamed.d")
+	if err := dataset.WriteUniverse(sharded, uni, dataset.WithShardRecords(250000)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataset.Load(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.ContentSignature(), snap.ContentSignature(); got != want {
+		t.Fatalf("sharded round-trip content signature %s, want %s", got, want)
+	}
+
+	// 3. Fsck accepts the sharded layout.
+	rep, err := dataset.FsckFile(sharded, &dataset.IntegrityMetrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("sharded snapshot not fsck-clean:\n%s", rep.String())
+	}
+
+	// 4. Streaming Table 4 == the in-memory T4 experiment.
+	var mem bytes.Buffer
+	if err := core.FromSnapshot(snap).Run(&mem, "T4"); err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(mem.Bytes(), []byte("Table 4 —"))
+	if i < 0 {
+		t.Fatalf("no table in T4 output")
+	}
+	var stream bytes.Buffer
+	if err := core.StreamTable4(&stream, sharded, "", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	j := bytes.Index(stream.Bytes(), []byte("Table 4 —"))
+	if j < 0 {
+		t.Fatalf("no table in streaming output")
+	}
+	if mem.String()[i:] != stream.String()[j:] {
+		t.Fatalf("streaming Table 4 diverges from in-memory render at %d users", users)
+	}
+}
+
+func fileSHA(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

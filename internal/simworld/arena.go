@@ -1,0 +1,59 @@
+package simworld
+
+import "strconv"
+
+// Formatting helpers for the generation hot paths. The generator names
+// millions of entities ("ACH_220_017", "X042-city-31", "clan group 909");
+// fmt.Sprintf allocates the boxed arguments and the result separately and
+// dominated the allocation profile, so names are built into reused byte
+// scratch and converted to a string once — or, for batches, into a single
+// backing string sliced per name (a Go substring shares the backing
+// array, so a thousand names cost one allocation).
+
+// appendPadInt appends v in decimal, zero-padded to at least width digits
+// — the semantics of fmt.Sprintf("%0*d", width, v) for non-negative v.
+func appendPadInt(b []byte, v int64, width int) []byte {
+	start := len(b)
+	b = strconv.AppendInt(b, v, 10)
+	if pad := width - (len(b) - start); pad > 0 {
+		b = append(b, make([]byte, pad)...)
+		copy(b[start+pad:], b[start:])
+		for i := 0; i < pad; i++ {
+			b[start+i] = '0'
+		}
+	}
+	return b
+}
+
+// stringArena accumulates names in one growing buffer and hands out
+// substrings of a single backing string, so a batch of n names costs one
+// string allocation instead of n.
+type stringArena struct {
+	buf  []byte
+	offs []int
+}
+
+func (a *stringArena) reset() {
+	a.buf = a.buf[:0]
+	a.offs = a.offs[:0]
+}
+
+// mark records the start of the next name; bytes are then appended to
+// a.buf directly (or through the append helpers).
+func (a *stringArena) mark() {
+	a.offs = append(a.offs, len(a.buf))
+}
+
+// strings freezes the buffer and returns the names delimited by the
+// recorded marks. The arena must not be appended to until reset.
+func (a *stringArena) strings(out []string) []string {
+	backing := string(a.buf)
+	for k, off := range a.offs {
+		end := len(backing)
+		if k+1 < len(a.offs) {
+			end = a.offs[k+1]
+		}
+		out = append(out, backing[off:end])
+	}
+	return out
+}

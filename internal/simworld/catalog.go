@@ -1,9 +1,9 @@
 package simworld
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"steamstudy/internal/dists"
 	"steamstudy/internal/par"
@@ -42,13 +42,17 @@ func generateCatalog(cfg Config, rng *randx.RNG) *catalogState {
 	// Per-game draws are independent: chunk the catalog, one split stream
 	// per chunk, each chunk writing only its own games.
 	forChunks(cfg.Workers, n, rng, "game", func(lo, hi int, crng *randx.RNG) {
+		var nbuf []byte
 		for i := lo; i < hi; i++ {
 			g := &st.games[i]
 			g.AppID = uint32(10 + i*10) // Steam AppIDs are sparse multiples of 10
-			g.Name = fmt.Sprintf("Game %05d", i)
+			nbuf = appendPadInt(append(nbuf[:0], "Game "...), int64(i), 5)
+			g.Name = string(nbuf)
 			g.Type = productTypeFor(crng)
 			g.ReleaseYear = 2003 + crng.Intn(11)
-			g.Developer = fmt.Sprintf("Studio %03d", crng.Intn(1201)) // paper: 1,201 publishers
+			// paper: 1,201 publishers
+			nbuf = appendPadInt(append(nbuf[:0], "Studio "...), int64(crng.Intn(1201)), 3)
+			g.Developer = string(nbuf)
 			g.Quality = crng.NormFloat64()
 
 			// Genre labels, multiplayer flags and prices are dealt
@@ -355,9 +359,10 @@ func generateAchievements(cfg Config, rng *randx.RNG, st *catalogState) {
 
 	// Pass 2 (chunked): build the achievement lists from the final counts.
 	forChunks(cfg.Workers, len(st.games), rng, "ach-lists", func(lo, hi int, crng *randx.RNG) {
+		var sc achScratch
 		for i := lo; i < hi; i++ {
 			if counts[i] > 0 {
-				st.games[i].Achievements = makeAchievementList(cfg, crng, &st.games[i], counts[i])
+				st.games[i].Achievements = makeAchievementList(cfg, crng, &st.games[i], counts[i], &sc)
 			}
 		}
 	})
@@ -415,15 +420,28 @@ func permRho(p []int) float64 {
 	return 1 - 6*d2/(n*(n*n-1))
 }
 
+// achScratch is per-chunk reusable state for makeAchievementList: the
+// raw-percentage scratch and the name arena survive across the chunk's
+// games, so a game's list costs two allocations (the list itself and one
+// backing string shared by all its names) instead of two per achievement.
+type achScratch struct {
+	raw   []float64
+	arena stringArena
+	names []string
+}
+
 // makeAchievementList builds count achievements whose global completion
 // percentages decay from easy story beats to rare completionist goals,
 // scaled so the game's average matches its genre target (§9).
-func makeAchievementList(cfg Config, rng *randx.RNG, g *Game, count int) []Achievement {
+func makeAchievementList(cfg Config, rng *randx.RNG, g *Game, count int, sc *achScratch) []Achievement {
 	target := completionTarget(cfg, rng, g)
 	achs := make([]Achievement, count)
 	// Raw decaying curve: the k-th achievement is completed by a fraction
 	// that decays geometrically with noise.
-	raw := make([]float64, count)
+	if cap(sc.raw) < count {
+		sc.raw = make([]float64, count)
+	}
+	raw := sc.raw[:count]
 	sum := 0.0
 	for k := range raw {
 		base := math.Exp(-2.8 * float64(k) / float64(count))
@@ -431,6 +449,7 @@ func makeAchievementList(cfg Config, rng *randx.RNG, g *Game, count int) []Achie
 		sum += raw[k]
 	}
 	scale := target * float64(count) / sum
+	sc.arena.reset()
 	for k := range achs {
 		pct := raw[k] * scale
 		if pct > 97 {
@@ -439,10 +458,16 @@ func makeAchievementList(cfg Config, rng *randx.RNG, g *Game, count int) []Achie
 		if pct < 0.1 {
 			pct = 0.1
 		}
-		achs[k] = Achievement{
-			Name:          fmt.Sprintf("ACH_%s_%03d", achievementSlug(g), k),
-			GlobalPercent: math.Round(pct*10) / 10,
-		}
+		sc.arena.mark()
+		sc.arena.buf = append(sc.arena.buf, "ACH_"...)
+		sc.arena.buf = strconv.AppendUint(sc.arena.buf, uint64(g.AppID), 10)
+		sc.arena.buf = append(sc.arena.buf, '_')
+		sc.arena.buf = appendPadInt(sc.arena.buf, int64(k), 3)
+		achs[k].GlobalPercent = math.Round(pct*10) / 10
+	}
+	sc.names = sc.arena.strings(sc.names[:0])
+	for k := range achs {
+		achs[k].Name = sc.names[k]
 	}
 	return achs
 }
@@ -476,10 +501,6 @@ func completionTarget(cfg Config, rng *randx.RNG, g *Game) float64 {
 		v = 0.5
 	}
 	return v
-}
-
-func achievementSlug(g *Game) string {
-	return fmt.Sprintf("%d", g.AppID)
 }
 
 func clampInt(v, lo, hi int) int {

@@ -1,0 +1,58 @@
+package simworld
+
+import "testing"
+
+// BuildColumns is a pure re-projection: every column must agree with the
+// row-oriented universe it was built from.
+func TestBuildColumnsAgreesWithUniverse(t *testing.T) {
+	cfg := DefaultConfig(1200)
+	cfg.CatalogSize = 150
+	u := MustGenerate(cfg, 11)
+	c := u.BuildColumns()
+
+	deg := u.FriendCounts()
+	for i := range u.Users {
+		user := &u.Users[i]
+		if c.TotalMinutes[i] != user.TotalMinutes || c.TwoWeekMinutes[i] != user.TwoWeekMinutes {
+			t.Fatalf("user %d playtime columns diverge", i)
+		}
+		if int(c.LibrarySize[i]) != len(user.Library) || int(c.GroupCount[i]) != len(user.Groups) {
+			t.Fatalf("user %d size columns diverge", i)
+		}
+		if c.AccountAge[i] != u.CollectedAt-user.Created {
+			t.Fatalf("user %d account age diverges", i)
+		}
+		if int(c.FriendDegree[i]) != deg[i] {
+			t.Fatalf("user %d degree: column %d, FriendCounts %d", i, c.FriendDegree[i], deg[i])
+		}
+
+		// Recompute the genre histogram row-wise.
+		var want [genreCount]int32
+		for k := range user.Library {
+			mask := u.Games[user.Library[k].GameIdx].Genres
+			for b := 0; b < genreCount; b++ {
+				if mask&(1<<b) != 0 {
+					want[b]++
+				}
+			}
+		}
+		got := [genreCount]int32{}
+		for _, cell := range c.GenreCells[c.GenreOffsets[i]:c.GenreOffsets[i+1]] {
+			if GenreCellCount(cell) == 0 {
+				t.Fatalf("user %d has an empty genre cell", i)
+			}
+			got[GenreCellIndex(cell)] = int32(GenreCellCount(cell))
+		}
+		if want != got {
+			t.Fatalf("user %d genre histogram: want %v, got %v", i, want, got)
+		}
+	}
+	if len(c.Genres) != genreCount {
+		t.Fatalf("genre table has %d entries", len(c.Genres))
+	}
+	for _, code := range c.Countries {
+		if code == "" {
+			t.Fatal("interned country table contains the empty label")
+		}
+	}
+}

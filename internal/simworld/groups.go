@@ -1,9 +1,9 @@
 package simworld
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"steamstudy/internal/randx"
 )
@@ -26,10 +26,12 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 	// Total membership stubs from the user side.
 	remaining := make([]int, nUsers)
 	totalStubs := 0
-	var stubUsers []int32
 	for i := 0; i < nUsers; i++ {
 		remaining[i] = st.groupsTarget[i]
 		totalStubs += remaining[i]
+	}
+	stubUsers := make([]int32, 0, totalStubs)
+	for i := 0; i < nUsers; i++ {
 		for s := 0; s < remaining[i]; s++ {
 			stubUsers = append(stubUsers, int32(i))
 		}
@@ -87,6 +89,7 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 	// rank order; membership fill below is the sequential reconciliation.
 	u.Groups = make([]Group, nGroups)
 	forChunks(cfg.Workers, nGroups, grng, "type", func(lo, hi int, chrng *randx.RNG) {
+		var nbuf []byte
 		for rank := lo; rank < hi; rank++ {
 			g := order[rank]
 			grp := &u.Groups[g]
@@ -121,7 +124,9 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 					break
 				}
 			}
-			grp.Name = fmt.Sprintf("%s group %d", grp.Type, g)
+			nbuf = append(append(nbuf[:0], grp.Type.String()...), " group "...)
+			nbuf = strconv.AppendInt(nbuf, int64(g), 10)
+			grp.Name = string(nbuf)
 		}
 	})
 
@@ -141,11 +146,23 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 	memberSet := make(map[int32]struct{}, 1024)
 	hardcore := make(map[int]bool)
 	clanMember := make(map[int32]bool) // users already in a hardcore clan
+	// All member lists live in one slab carved per group (cap = the
+	// group's size draw; a group only falls short on stub exhaustion, so
+	// the waste is bounded and the per-group appends never reallocate).
+	sumSizes := 0
+	for _, s := range sizes {
+		sumSizes += s
+	}
+	memberSlab := make([]int32, sumSizes)
+	slabOff := 0
+	var deferred []int32
 	for _, g := range order {
 		grp := &u.Groups[g]
 		want := sizes[g]
 		clear(memberSet)
-		var deferred []int32
+		deferred = deferred[:0]
+		grp.Members = memberSlab[slabOff:slabOff : slabOff+want]
+		slabOff += want
 		// A minority of focal groups are hardcore clans recruiting almost
 		// exclusively among the focal game's owners — the source of
 		// Fig 3's "members devote >=90 % of playtime to one game" regime.
@@ -213,7 +230,25 @@ func generateGroups(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 		stubUsers = append(stubUsers, deferred...)
 	}
 
-	// Record per-user group lists.
+	// Record per-user group lists, slab-backed: count memberships per
+	// user, carve one slice each, then fill in group order (the same
+	// append order as the naive loop).
+	perUser := make([]int32, nUsers)
+	totalMembers := 0
+	for g := range u.Groups {
+		for _, m := range u.Groups[g].Members {
+			perUser[m]++
+		}
+		totalMembers += len(u.Groups[g].Members)
+	}
+	groupSlab := make([]int32, totalMembers)
+	off := 0
+	for i := 0; i < nUsers; i++ {
+		if c := int(perUser[i]); c > 0 {
+			u.Users[i].Groups = groupSlab[off:off : off+c]
+			off += c
+		}
+	}
 	for g := range u.Groups {
 		for _, m := range u.Groups[g].Members {
 			u.Users[m].Groups = append(u.Users[m].Groups, int32(g))

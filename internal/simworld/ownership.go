@@ -55,6 +55,21 @@ func generateOwnership(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 		ci := lo / genChunk
 		scratch := make([]int32, 0, 256)
 		weights := make([]float64, 0, 256)
+		sampler := librarySampler{bits: make([]uint64, (nGames+63)/64)}
+		var recent recentScratch
+		// One OwnedGame slab per chunk, sliced per user: libraries are the
+		// single largest per-user allocation, and the chunk knows its total
+		// size up front from the clamped targets.
+		slabN := 0
+		for ui := lo; ui < hi; ui++ {
+			if t := st.gamesTarget[ui]; t > 0 {
+				if t > nGames {
+					t = nGames
+				}
+				slabN += t
+			}
+		}
+		slab := make([]OwnedGame, slabN)
 		for ui := lo; ui < hi; ui++ {
 			user := &u.Users[ui]
 			target := st.gamesTarget[ui]
@@ -66,8 +81,9 @@ func generateOwnership(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 			}
 			tier := tierForPriceU(st.priceU[ui])
 
-			lib := sampleLibrary(chrng, cat, tier, target, nGames)
-			user.Library = make([]OwnedGame, len(lib))
+			lib := sampler.sample(chrng, cat, tier, target, nGames)
+			user.Library = slab[:len(lib):len(lib)]
+			slab = slab[len(lib):]
 			var value int64
 			for k, gi := range lib {
 				user.Library[k].GameIdx = gi
@@ -148,14 +164,14 @@ func generateOwnership(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 			// Two-week minutes: concentrated on 1-3 recently played titles,
 			// preferring the user's high-lifetime and multiplayer games.
 			if tw := st.twoWkTarget[ui]; tw > 0 {
-				recent := 1 + chrng.Poisson(0.9)
-				if recent > len(scratch) {
-					recent = len(scratch)
+				nRecent := 1 + chrng.Poisson(0.9)
+				if nRecent > len(scratch) {
+					nRecent = len(scratch)
 				}
 				// Select "recent" games by weighted sampling without
 				// replacement from the played set, multiplayer-boosted; the
 				// first selected game dominates the fortnight.
-				sel := selectRecent(chrng, user, scratch, cat, cfg, recent)
+				sel := selectRecent(chrng, user, scratch, cat, cfg, nRecent, &recent)
 				weights = weights[:0]
 				var wsum float64
 				for wi := range sel {
@@ -194,7 +210,20 @@ func generateOwnership(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 			user.TwoWeekMinutes = twsum
 		}
 	})
-	// Stitch the owner index in chunk order == user order.
+	// Stitch the owner index in chunk order == user order. Counting first
+	// sizes every per-rank list exactly, avoiding append regrowth across
+	// hundreds of thousands of entries.
+	rankCounts := make([]int, ownersIndexTop)
+	for _, pairs := range chunkOwners {
+		for _, p := range pairs {
+			rankCounts[p.rank]++
+		}
+	}
+	for r, c := range rankCounts {
+		if c > 0 {
+			st.owners[r] = make([]int32, 0, c)
+		}
+	}
 	for _, pairs := range chunkOwners {
 		for _, p := range pairs {
 			st.owners[p.rank] = append(st.owners[p.rank], p.user)
@@ -227,20 +256,29 @@ func pickBoosted(rng *randx.RNG, user *User, played []int32, mp []bool, boost fl
 	return played[len(played)-1]
 }
 
+// recentScratch is per-chunk reusable state for selectRecent. The
+// returned selection aliases the scratch and is consumed before the next
+// call.
+type recentScratch struct {
+	cands []recentCand
+	out   []int32
+}
+
+type recentCand struct {
+	k   int32
+	key float64
+}
+
 // selectRecent picks n entries from the played set, biased toward
 // multiplayer games and games with large lifetime playtime — the titles a
 // user is most likely to have touched in the last two weeks.
-func selectRecent(rng *randx.RNG, user *User, played []int32, cat *catalogState, cfg Config, n int) []int32 {
+func selectRecent(rng *randx.RNG, user *User, played []int32, cat *catalogState, cfg Config, n int, sc *recentScratch) []int32 {
 	if n >= len(played) {
-		out := make([]int32, len(played))
-		copy(out, played)
-		return out
+		sc.out = append(sc.out[:0], played...)
+		return sc.out
 	}
-	type cand struct {
-		k   int32
-		key float64
-	}
-	cands := make([]cand, len(played))
+	cands := append(sc.cands[:0], make([]recentCand, len(played))...)
+	sc.cands = cands
 	for i, k := range played {
 		gi := user.Library[k].GameIdx
 		w := float64(user.Library[k].TotalMinutes) + 30
@@ -249,7 +287,7 @@ func selectRecent(rng *randx.RNG, user *User, played []int32, cat *catalogState,
 		}
 		// Weighted sampling without replacement via exponential keys
 		// (Efraimidis–Spirakis): the n smallest Exp(1)/w keys win.
-		cands[i] = cand{k: k, key: rng.ExpFloat64() / w}
+		cands[i] = recentCand{k: k, key: rng.ExpFloat64() / w}
 	}
 	// Partial selection of the n smallest keys.
 	for i := 0; i < n; i++ {
@@ -261,51 +299,75 @@ func selectRecent(rng *randx.RNG, user *User, played []int32, cat *catalogState,
 		}
 		cands[i], cands[min] = cands[min], cands[i]
 	}
-	out := make([]int32, n)
+	sc.out = sc.out[:0]
 	for i := 0; i < n; i++ {
-		out[i] = cands[i].k
+		sc.out = append(sc.out, cands[i].k)
 	}
-	return out
+	return sc.out
 }
 
-// sampleLibrary draws target distinct games with the tier's price-tilted
+// librarySampler holds the dedup bitset and output scratch for
+// sampleLibrary calls within one chunk. The bitset replaces a per-user
+// map (the generator's former top allocation site); set bits are cleared
+// through the output list after every draw, so the cost stays
+// proportional to the library, not the catalog.
+type librarySampler struct {
+	bits []uint64
+	out  []int32
+}
+
+func (s *librarySampler) has(gi int32) bool {
+	return s.bits[gi>>6]&(1<<(uint(gi)&63)) != 0
+}
+
+func (s *librarySampler) add(gi int32) {
+	s.bits[gi>>6] |= 1 << (uint(gi) & 63)
+	s.out = append(s.out, gi)
+}
+
+// sample draws target distinct games with the tier's price-tilted
 // popularity weights; very large libraries (collectors) fall back to a
-// uniform subset since they approach the whole catalog anyway.
-func sampleLibrary(rng *randx.RNG, cat *catalogState, tier, target, nGames int) []int32 {
+// uniform subset since they approach the whole catalog anyway. The
+// returned slice aliases the sampler's scratch and is consumed before
+// the next call. The draw sequence is identical to the historical
+// map-based implementation (membership outcomes are the same, so the
+// retry loop consumes the same variates).
+func (s *librarySampler) sample(rng *randx.RNG, cat *catalogState, tier, target, nGames int) []int32 {
+	s.out = s.out[:0]
 	if target*4 >= nGames {
 		perm := rng.Perm(nGames)
-		out := make([]int32, target)
 		for i := 0; i < target; i++ {
-			out[i] = int32(perm[i])
+			s.out = append(s.out, int32(perm[i]))
 		}
-		return out
+		return s.out
 	}
+	defer func() {
+		for _, gi := range s.out {
+			s.bits[gi>>6] &^= 1 << (uint(gi) & 63)
+		}
+	}()
 	picker := cat.tiltedPickers[tier]
-	seen := make(map[int32]struct{}, target*2)
-	out := make([]int32, 0, target)
 	misses := 0
-	for len(out) < target {
+	for len(s.out) < target {
 		gi := int32(picker.Sample(rng))
-		if _, dup := seen[gi]; dup {
+		if s.has(gi) {
 			misses++
 			if misses > 40*target+400 {
 				// Pathological collision rate (tiny effective catalog):
 				// fill the remainder uniformly.
-				for len(out) < target {
+				for len(s.out) < target {
 					gi := int32(rng.Intn(nGames))
-					if _, dup := seen[gi]; !dup {
-						seen[gi] = struct{}{}
-						out = append(out, gi)
+					if !s.has(gi) {
+						s.add(gi)
 					}
 				}
-				return out
+				return s.out
 			}
 			continue
 		}
-		seen[gi] = struct{}{}
-		out = append(out, gi)
+		s.add(gi)
 	}
-	return out
+	return s.out
 }
 
 // tierForPriceU maps the price-preference uniform to a tilt tier.

@@ -352,6 +352,22 @@ func assignLocation(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 		return int16(len(cityEdges) - 1)
 	}
 
+	// Intern the full city-name table up front — one backing string for
+	// all country×city combinations — so the per-user loop assigns a
+	// shared substring instead of formatting a fresh name per reporter.
+	var cityArena stringArena
+	for _, code := range codes {
+		for k := 0; k < cfg.CitiesPerCountry; k++ {
+			cityArena.mark()
+			cityArena.buf = append(append(cityArena.buf, code...), "-city-"...)
+			cityArena.buf = appendPadInt(cityArena.buf, int64(k), 2)
+		}
+	}
+	cityNames := cityArena.strings(nil)
+	cityName := func(c, city int16) string {
+		return cityNames[int(c)*cfg.CitiesPerCountry+int(city)]
+	}
+
 	forChunks(cfg.Workers, len(u.Users), lrng, "chunk", func(lo, hi int, chrng *randx.RNG) {
 		for i := lo; i < hi; i++ {
 			c := int16(picker.Sample(chrng))
@@ -367,7 +383,7 @@ func assignLocation(cfg Config, rng *randx.RNG, st *genState, u *Universe) {
 			if chrng.Bool(cfg.CountryReportFrac) {
 				u.Users[i].Country = codes[c]
 				if chrng.Bool(cfg.CityReportFrac / cfg.CountryReportFrac) {
-					u.Users[i].City = fmt.Sprintf("%s-city-%02d", codes[c], st.city[i])
+					u.Users[i].City = cityName(c, st.city[i])
 				}
 			}
 		}

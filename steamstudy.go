@@ -77,3 +77,8 @@ func RobustnessSweep(opts Options, seeds []int64) ([]SweepStat, error) {
 
 // RenderSweep prints a robustness sweep as a table.
 var RenderSweep = core.RenderSweep
+
+// StreamTable4 renders the Table 4 classification directly off a
+// snapshot file or shard directory without loading the snapshot — the
+// paper-scale path (see core.StreamTable4).
+var StreamTable4 = core.StreamTable4
